@@ -1,0 +1,84 @@
+//! The cost of honesty: packet throughput of the constrained PISA
+//! programs vs their unconstrained `cheetah-core` references. The delta
+//! is the simulator's constraint-checking overhead — the real switch does
+//! this in silicon at line rate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cheetah_core::distinct::{DistinctPruner, EvictionPolicy};
+use cheetah_core::groupby::{Extremum, GroupByPruner};
+use cheetah_core::topn::RandomizedTopN;
+use cheetah_core::SwitchModel;
+use cheetah_pisa::programs::{DistinctLruProgram, GroupByProgram, RandTopNProgram};
+use cheetah_pisa::SwitchProgram;
+use cheetah_workloads::dist::rng_for;
+use rand::Rng;
+
+const N: usize = 50_000;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut rng = rng_for(1, "pipeline");
+    let keys: Vec<u64> = (0..N).map(|_| rng.gen_range(1..5_000u64)).collect();
+    let vals: Vec<u64> = (0..N).map(|_| rng.gen_range(1..1_000_000u64)).collect();
+    let spec = SwitchModel::tofino_like();
+
+    let mut g = c.benchmark_group("pisa_vs_core");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(20);
+
+    g.bench_function("core_distinct", |b| {
+        let mut p = DistinctPruner::new(1024, 2, EvictionPolicy::Lru, 0);
+        b.iter(|| {
+            for &k in &keys {
+                black_box(p.process(k));
+            }
+        })
+    });
+    g.bench_function("pisa_distinct", |b| {
+        let mut p = DistinctLruProgram::new(spec, 1024, 2, 0).unwrap();
+        b.iter(|| {
+            for &k in &keys {
+                black_box(p.process(&[k]).unwrap());
+            }
+        })
+    });
+
+    g.bench_function("core_topn", |b| {
+        let mut p = RandomizedTopN::new(1024, 4, 0);
+        b.iter(|| {
+            for &v in &vals {
+                black_box(p.process(v));
+            }
+        })
+    });
+    g.bench_function("pisa_topn", |b| {
+        let mut p = RandTopNProgram::new(spec, 1024, 4, 0).unwrap();
+        b.iter(|| {
+            for &v in &vals {
+                black_box(p.process(&[v]).unwrap());
+            }
+        })
+    });
+
+    g.bench_function("core_groupby", |b| {
+        let mut p = GroupByPruner::new(256, 4, Extremum::Max, 0);
+        b.iter(|| {
+            for (k, v) in keys.iter().zip(&vals) {
+                black_box(p.process(*k, *v));
+            }
+        })
+    });
+    g.bench_function("pisa_groupby", |b| {
+        let mut p = GroupByProgram::new(spec, 256, 4, Extremum::Max, 0).unwrap();
+        b.iter(|| {
+            for (k, v) in keys.iter().zip(&vals) {
+                black_box(p.process(&[*k, *v]).unwrap());
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Protocol simulation throughput: events/s through the worker–switch–
+//! master state machines at several loss rates, plus wire-format
+//! encode/decode speed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use bytes::Bytes;
+use cheetah_net::wire::{DataPacket, Message};
+use cheetah_net::{Simulation, SimulationConfig, SwitchNode, WorkerTx};
+
+fn bench_wire(c: &mut Criterion) {
+    let msg = Message::Data(DataPacket {
+        fid: 3,
+        seq: 123_456,
+        values: vec![42, 4242, 424242],
+    });
+    let encoded: Bytes = msg.encode();
+    let mut g = c.benchmark_group("wire_format");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode", |b| b.iter(|| black_box(msg.encode())));
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(Message::decode(encoded.clone()).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let n = 2_000u64;
+    let mut g = c.benchmark_group("protocol_simulation");
+    g.throughput(Throughput::Elements(n));
+    g.sample_size(15);
+    for loss in [0.0, 0.05, 0.2] {
+        g.bench_function(format!("loss_{:.0}pct", loss * 100.0), |b| {
+            b.iter(|| {
+                let entries: Vec<Vec<u64>> = (0..n).map(|i| vec![i % 97 + 1]).collect();
+                let workers = vec![WorkerTx::new(1, entries, 32, 200)];
+                let switch = SwitchNode::transparent();
+                let cfg = SimulationConfig {
+                    loss_rate: loss,
+                    seed: 7,
+                    rto_us: 200,
+                    window: 32,
+                    ..SimulationConfig::default()
+                };
+                let (_, stats) = Simulation::new(cfg).run(workers, switch);
+                assert!(stats.completed);
+                black_box(stats.delivered)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks: per-entry throughput of every pruning
+//! algorithm — the quantity that must stay far above the per-port packet
+//! rate for the software simulation to be usable at experiment scale
+//! (the real switch does this at line rate by construction).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cheetah_core::distinct::{CacheMatrix, EvictionPolicy};
+use cheetah_core::filter::{Atom, CmpOp, Formula, FilterPruner};
+use cheetah_core::groupby::{Extremum, GroupByPruner};
+use cheetah_core::having::CountMinSketch;
+use cheetah_core::join::{BloomFilter, KeyFilter};
+use cheetah_core::skyline::{Heuristic, SkylinePruner};
+use cheetah_core::topn::{DeterministicTopN, RandomizedTopN};
+use cheetah_workloads::dist::rng_for;
+use rand::Rng;
+
+const N: usize = 100_000;
+
+fn keys(seed: u64, domain: u64) -> Vec<u64> {
+    let mut rng = rng_for(seed, "bench");
+    (0..N).map(|_| rng.gen_range(1..=domain)).collect()
+}
+
+fn bench_pruners(c: &mut Criterion) {
+    let stream = keys(1, 10_000);
+    let vals = keys(2, 1_000_000);
+
+    let mut g = c.benchmark_group("pruners");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(20);
+
+    g.bench_function("distinct_lru_4096x2", |b| {
+        let mut m = CacheMatrix::new(4096, 2, EvictionPolicy::Lru, 0);
+        b.iter(|| {
+            for &k in &stream {
+                black_box(m.process(k));
+            }
+        })
+    });
+
+    g.bench_function("topn_rand_4096x4", |b| {
+        let mut p = RandomizedTopN::new(4096, 4, 0);
+        b.iter(|| {
+            for &v in &vals {
+                black_box(p.process(v));
+            }
+        })
+    });
+
+    g.bench_function("topn_det_w4", |b| {
+        let mut p = DeterministicTopN::new(250, 4);
+        b.iter(|| {
+            for &v in &vals {
+                black_box(p.process(v));
+            }
+        })
+    });
+
+    g.bench_function("groupby_max_4096x8", |b| {
+        let mut p = GroupByPruner::new(4096, 8, Extremum::Max, 0);
+        b.iter(|| {
+            for (k, v) in stream.iter().zip(&vals) {
+                black_box(p.process(*k, *v));
+            }
+        })
+    });
+
+    g.bench_function("count_min_3x1024_update", |b| {
+        let mut cm = CountMinSketch::new(3, 1024, 0);
+        b.iter(|| {
+            for (k, v) in stream.iter().zip(&vals) {
+                black_box(cm.update(*k, *v & 0xff));
+            }
+        })
+    });
+
+    g.bench_function("bloom_4mb_h3_insert_query", |b| {
+        let mut bf = BloomFilter::new(4 * (8 << 20), 3, 0);
+        b.iter(|| {
+            for &k in &stream {
+                bf.insert(k);
+                black_box(bf.contains(k ^ 1));
+            }
+        })
+    });
+
+    g.bench_function("skyline_aph_2d_w10", |b| {
+        let pts: Vec<[u64; 2]> = stream
+            .iter()
+            .zip(&vals)
+            .map(|(&a, &b)| [a + 1, b + 1])
+            .collect();
+        let mut p = SkylinePruner::new(2, 10, Heuristic::aph_default());
+        b.iter(|| {
+            for pt in &pts {
+                black_box(p.process(pt));
+            }
+        })
+    });
+
+    g.bench_function("filter_truth_table_3atoms", |b| {
+        let atoms = vec![
+            Atom::cmp(0, CmpOp::Gt, 5_000),
+            Atom::cmp(1, CmpOp::Lt, 500_000),
+            Atom::cmp(1, CmpOp::Ne, 7),
+        ];
+        let f = Formula::Or(vec![
+            Formula::Atom(0),
+            Formula::And(vec![Formula::Atom(1), Formula::Atom(2)]),
+        ]);
+        let p = FilterPruner::new(atoms, f).unwrap();
+        b.iter(|| {
+            for (k, v) in stream.iter().zip(&vals) {
+                black_box(p.process(&[*k, *v]));
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pruners);
+criterion_main!(benches);

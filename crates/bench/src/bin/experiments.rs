@@ -1,0 +1,52 @@
+//! CLI driving the per-figure experiment functions.
+//!
+//! ```sh
+//! cargo run --release -p cheetah-bench --bin experiments -- all
+//! cargo run --release -p cheetah-bench --bin experiments -- fig10c fig10e
+//! ```
+
+use cheetah_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: experiments <id>… | all\n\
+             ids: table2 table3 fig5 fig6a fig6b fig7 fig8 fig9 \
+             fig10a fig10b fig10c fig10d fig10e fig10f \
+             fig11a fig11b fig11c fig11d fig11e fig11f fig12 fig13"
+        );
+        std::process::exit(2);
+    }
+    for arg in &args {
+        match arg.as_str() {
+            "all" => exp::run_all(),
+            "table2" => exp::table_2(),
+            "table3" => exp::table_3(),
+            "fig5" => exp::fig_5(),
+            "fig6a" => exp::fig_6a(),
+            "fig6b" => exp::fig_6b(),
+            "fig7" => exp::fig_7(),
+            "fig8" => exp::fig_8(),
+            "fig9" => exp::fig_9(),
+            "fig10a" => exp::fig_10a(),
+            "fig10b" => exp::fig_10b(),
+            "fig10c" => exp::fig_10c(),
+            "fig10d" => exp::fig_10d(),
+            "fig10e" => exp::fig_10e(),
+            "fig10f" => exp::fig_10f(),
+            "fig11a" => exp::fig_11a(),
+            "fig11b" => exp::fig_11b(),
+            "fig11c" => exp::fig_11c(),
+            "fig11d" => exp::fig_11d(),
+            "fig11e" => exp::fig_11e(),
+            "fig11f" => exp::fig_11f(),
+            "fig12" | "fig13" => exp::fig_12_13(),
+            "ext" | "extensions" => exp::extensions(),
+            other => {
+                eprintln!("unknown experiment id '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+}

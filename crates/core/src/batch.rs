@@ -1,0 +1,242 @@
+//! Multi-entry packets (§9, "Packing multiple entries per packet").
+//!
+//! Cheetah spends much of its time transmitting one-entry packets; packing
+//! several entries per packet cuts that cost, but the switch cannot give
+//! each entry its own pipeline pass. The paper's rule: the per-stage ALUs
+//! process the packet's entries in parallel, and **entries that collide on
+//! a register row are left unprocessed rather than pruned** — the
+//! algorithms tolerate unprocessed entries (they are forwarded), never
+//! wrongly-pruned ones. "Our DISTINCT, TOP N, and GROUP BY algorithms
+//! support multiple entries per packet while maintaining correctness."
+//!
+//! The wrappers here implement exactly that: per packet, at most one entry
+//! per matrix row is processed; colliding entries are forwarded
+//! unprocessed and counted in [`BatchStats::skipped`], so experiments can
+//! quantify the pruning-rate cost of batching against its packet-count
+//! savings.
+
+use crate::decision::Decision;
+
+pub use adapters::{DistinctBatchAccess, GroupByBatchAccess, TopNBatchAccess};
+
+/// Counters for batched processing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Entries processed (through the algorithm).
+    pub processed: u64,
+    /// Entries forwarded *unprocessed* due to same-row collisions.
+    pub skipped: u64,
+    /// Entries pruned.
+    pub pruned: u64,
+}
+
+impl BatchStats {
+    /// Fraction of entries that survived (forwarded, processed or not).
+    pub fn unpruned_fraction(&self) -> f64 {
+        let total = self.processed + self.skipped;
+        if total == 0 {
+            0.0
+        } else {
+            (total - self.pruned) as f64 / total as f64
+        }
+    }
+}
+
+/// A pruner exposing per-entry row indices plus single-entry processing —
+/// what the batching wrapper needs. Implemented by DISTINCT, randomized
+/// TOP N and GROUP BY (the algorithms §9 names).
+pub trait BatchAccess {
+    /// The register row the entry would touch (collision domain).
+    fn row_of(&mut self, entry: &[u64]) -> usize;
+    /// Process one entry normally.
+    fn process_one(&mut self, entry: &[u64]) -> Decision;
+}
+
+/// Batches entries per packet over any [`BatchAccess`] pruner.
+#[derive(Debug)]
+pub struct BatchedPruner<P: BatchAccess> {
+    inner: P,
+    /// Scratch: rows already used by this packet (small, reused).
+    rows_in_packet: Vec<usize>,
+    /// Statistics.
+    pub stats: BatchStats,
+}
+
+impl<P: BatchAccess> BatchedPruner<P> {
+    /// Wrap a pruner for multi-entry packets.
+    pub fn new(inner: P) -> Self {
+        BatchedPruner {
+            inner,
+            rows_in_packet: Vec::with_capacity(8),
+            stats: BatchStats::default(),
+        }
+    }
+
+    /// Process one packet of entries; one decision per entry.
+    ///
+    /// Entries whose row is already taken by an earlier entry of the same
+    /// packet are forwarded unprocessed (never pruned), per §9.
+    pub fn process_packet(&mut self, entries: &[&[u64]]) -> Vec<Decision> {
+        self.stats.packets += 1;
+        self.rows_in_packet.clear();
+        let mut out = Vec::with_capacity(entries.len());
+        for &e in entries {
+            let row = self.inner.row_of(e);
+            if self.rows_in_packet.contains(&row) {
+                self.stats.skipped += 1;
+                out.push(Decision::Forward);
+                continue;
+            }
+            self.rows_in_packet.push(row);
+            let d = self.inner.process_one(e);
+            self.stats.processed += 1;
+            if d.is_prune() {
+                self.stats.pruned += 1;
+            }
+            out.push(d);
+        }
+        out
+    }
+
+    /// The wrapped pruner.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped pruner (e.g. for reset).
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+}
+
+/// Re-exports of the three adapters §9 names (defined next to their
+/// algorithms, where the row hashing is visible).
+pub mod adapters {
+    pub use crate::distinct::DistinctBatchAccess;
+    pub use crate::groupby::GroupByBatchAccess;
+    pub use crate::topn::TopNBatchAccess;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distinct::{DistinctPruner, EvictionPolicy};
+    use crate::groupby::{Extremum, GroupByPruner};
+    use crate::topn::RandomizedTopN;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn batched_distinct_never_prunes_first_occurrence() {
+        let inner = DistinctBatchAccess::new(DistinctPruner::new(32, 2, EvictionPolicy::Lru, 1));
+        let mut b = BatchedPruner::new(inner);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = HashSet::new();
+        for _ in 0..2_000 {
+            let packet: Vec<Vec<u64>> =
+                (0..4).map(|_| vec![rng.gen_range(1..150u64)]).collect();
+            let refs: Vec<&[u64]> = packet.iter().map(|v| v.as_slice()).collect();
+            let ds = b.process_packet(&refs);
+            for (e, d) in packet.iter().zip(&ds) {
+                if seen.insert(e[0]) {
+                    assert!(d.is_forward(), "first occurrence of {} pruned", e[0]);
+                }
+            }
+        }
+        assert!(b.stats.skipped > 0, "collisions should occur at 32 rows");
+        assert!(b.stats.pruned > 0, "non-colliding duplicates still pruned");
+    }
+
+    #[test]
+    fn batched_groupby_master_exact() {
+        let inner =
+            GroupByBatchAccess::new(GroupByPruner::new(16, 2, Extremum::Max, 2));
+        let mut b = BatchedPruner::new(inner);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut master: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..3_000 {
+            let packet: Vec<Vec<u64>> = (0..4)
+                .map(|_| vec![rng.gen_range(1..60u64), rng.gen_range(0..10_000u64)])
+                .collect();
+            let refs: Vec<&[u64]> = packet.iter().map(|v| v.as_slice()).collect();
+            let ds = b.process_packet(&refs);
+            for (e, d) in packet.iter().zip(&ds) {
+                let t = truth.entry(e[0]).or_insert(0);
+                *t = (*t).max(e[1]);
+                if d.is_forward() {
+                    let m = master.entry(e[0]).or_insert(0);
+                    *m = (*m).max(e[1]);
+                }
+            }
+        }
+        assert_eq!(master, truth, "batched GROUP BY lost a maximum");
+    }
+
+    #[test]
+    fn batched_topn_superset() {
+        let inner = TopNBatchAccess::new(RandomizedTopN::new(64, 4, 3));
+        let mut b = BatchedPruner::new(inner);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut all = Vec::new();
+        let mut forwarded = Vec::new();
+        for _ in 0..5_000 {
+            let packet: Vec<Vec<u64>> =
+                (0..4).map(|_| vec![rng.gen_range(0..1_000_000u64)]).collect();
+            let refs: Vec<&[u64]> = packet.iter().map(|v| v.as_slice()).collect();
+            let ds = b.process_packet(&refs);
+            for (e, d) in packet.iter().zip(&ds) {
+                all.push(e[0]);
+                if d.is_forward() {
+                    forwarded.push(e[0]);
+                }
+            }
+        }
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        forwarded.sort_unstable_by(|a, b| b.cmp(a));
+        // Top-20 multiset inclusion.
+        let mut fi = 0;
+        for &t in all.iter().take(20) {
+            while fi < forwarded.len() && forwarded[fi] > t {
+                fi += 1;
+            }
+            assert!(
+                fi < forwarded.len() && forwarded[fi] == t,
+                "top value {t} missing under batching"
+            );
+            fi += 1;
+        }
+    }
+
+    #[test]
+    fn larger_packets_skip_more_but_stay_correct() {
+        let run = |per_packet: usize| {
+            let inner =
+                DistinctBatchAccess::new(DistinctPruner::new(8, 2, EvictionPolicy::Lru, 4));
+            let mut b = BatchedPruner::new(inner);
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..8_000 / per_packet {
+                let packet: Vec<Vec<u64>> = (0..per_packet)
+                    .map(|_| vec![rng.gen_range(1..40u64)])
+                    .collect();
+                let refs: Vec<&[u64]> = packet.iter().map(|v| v.as_slice()).collect();
+                b.process_packet(&refs);
+            }
+            b.stats
+        };
+        let small = run(2);
+        let large = run(8);
+        let skip_rate = |s: BatchStats| s.skipped as f64 / (s.processed + s.skipped) as f64;
+        assert!(
+            skip_rate(large) > skip_rate(small),
+            "bigger packets must collide more: {:?} vs {:?}",
+            large,
+            small
+        );
+        // And the packet count shrinks proportionally — the §9 payoff.
+        assert!(large.packets * 3 < small.packets);
+    }
+}

@@ -1,0 +1,152 @@
+//! The prune/forward decision type and the switch-facing pruner trait.
+
+/// The verdict a pruning algorithm gives for a single entry.
+///
+/// `Prune` means the entry is *guaranteed not to affect the query output*
+/// (or, for probabilistic algorithms, affects it with probability ≤ δ) and
+/// the switch drops it. `Forward` means the entry continues to the master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Drop the entry at the switch; it cannot change the query result.
+    Prune,
+    /// Send the entry on to the master for final processing.
+    Forward,
+}
+
+impl Decision {
+    /// `true` if the entry is dropped.
+    #[inline]
+    pub fn is_prune(self) -> bool {
+        matches!(self, Decision::Prune)
+    }
+
+    /// `true` if the entry survives to the master.
+    #[inline]
+    pub fn is_forward(self) -> bool {
+        matches!(self, Decision::Forward)
+    }
+}
+
+/// Running counters for pruning effectiveness, used by every experiment.
+///
+/// The paper's figures plot the *unpruned fraction* (note the log axes in
+/// Figures 10 and 11): `10^-3` means 99.9% of entries were pruned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Total entries processed by the switch.
+    pub processed: u64,
+    /// Entries dropped by the pruning algorithm.
+    pub pruned: u64,
+}
+
+impl PruneStats {
+    /// Record one decision.
+    #[inline]
+    pub fn record(&mut self, d: Decision) {
+        self.processed += 1;
+        if d.is_prune() {
+            self.pruned += 1;
+        }
+    }
+
+    /// Entries that survived to the master.
+    #[inline]
+    pub fn forwarded(&self) -> u64 {
+        self.processed - self.pruned
+    }
+
+    /// Fraction of entries pruned, in `[0, 1]`. Zero if nothing processed.
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.processed == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.processed as f64
+        }
+    }
+
+    /// Fraction of entries that survived, in `[0, 1]`.
+    ///
+    /// This is the y-axis of Figures 10 and 11.
+    pub fn unpruned_fraction(&self) -> f64 {
+        if self.processed == 0 {
+            0.0
+        } else {
+            self.forwarded() as f64 / self.processed as f64
+        }
+    }
+
+    /// Merge counters from another stats object (e.g. per-worker stats).
+    pub fn merge(&mut self, other: PruneStats) {
+        self.processed += other.processed;
+        self.pruned += other.pruned;
+    }
+}
+
+/// A pruning algorithm viewed from the switch dataplane.
+///
+/// The CWorker serializes each entry into a packet whose switch-visible
+/// payload is a short vector of 64-bit values (key fingerprints, numeric
+/// columns, projection inputs — see Figure 4 of the paper). A `RowPruner`
+/// consumes that row and returns a [`Decision`].
+///
+/// Implementations are stateful: the order of `process_row` calls is the
+/// stream order the switch observes.
+pub trait RowPruner {
+    /// Process one entry's switch-visible values and decide its fate.
+    fn process_row(&mut self, row: &[u64]) -> Decision;
+
+    /// Clear all switch state, as when the control plane reinstalls rules
+    /// for a fresh query run.
+    fn reset(&mut self);
+
+    /// Human-readable algorithm name (used by experiment harnesses).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_predicates() {
+        assert!(Decision::Prune.is_prune());
+        assert!(!Decision::Prune.is_forward());
+        assert!(Decision::Forward.is_forward());
+        assert!(!Decision::Forward.is_prune());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = PruneStats::default();
+        s.record(Decision::Prune);
+        s.record(Decision::Forward);
+        s.record(Decision::Prune);
+        assert_eq!(s.processed, 3);
+        assert_eq!(s.pruned, 2);
+        assert_eq!(s.forwarded(), 1);
+        assert!((s.pruned_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.unpruned_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty_is_zero() {
+        let s = PruneStats::default();
+        assert_eq!(s.pruned_fraction(), 0.0);
+        assert_eq!(s.unpruned_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = PruneStats {
+            processed: 10,
+            pruned: 4,
+        };
+        let b = PruneStats {
+            processed: 5,
+            pruned: 5,
+        };
+        a.merge(b);
+        assert_eq!(a.processed, 15);
+        assert_eq!(a.pruned, 9);
+    }
+}

@@ -1,0 +1,496 @@
+//! HAVING pruning with a Count-Min sketch (§4.3, Example 5; Figures 10f/11f).
+//!
+//! `SELECT key … GROUP BY key HAVING SUM(val) > c` (or COUNT) cannot be
+//! decided from a single entry, so the switch folds values into a
+//! **Count-Min sketch**. Count-Min was chosen over Count sketch precisely
+//! because of its *one-sided* error: the estimate `ĝ(x)` always satisfies
+//! `ĝ(x) ≥ f(x)`, so pruning only when `ĝ(x) ≤ c` can never lose an output
+//! key — over-estimates merely forward some losers (pruning rate, not
+//! correctness).
+//!
+//! The execution is two-pass (§4.3): pass 1 streams all entries through
+//! the sketch and forwards only the single entry on which a key's estimate
+//! first *crosses* `c` (so the master learns the candidate key set); pass 2
+//! re-streams the data forwarding only candidate-key entries, from which
+//! the master computes exact aggregates and discards false positives.
+
+use crate::decision::{Decision, RowPruner};
+use crate::distinct::{CacheMatrix, EvictionPolicy};
+use crate::hash::HashFn;
+use crate::resources::{table2, ResourceUsage};
+
+/// Count-Min sketch with `d` rows of `w` counters.
+///
+/// Table 2 default: `w = 1024, d = 3`. Each row lives in its own register
+/// array; update is one read-modify-write per row.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    d: usize,
+    w: usize,
+    counters: Vec<u64>,
+    hashes: Vec<HashFn>,
+}
+
+impl CountMinSketch {
+    /// Create a `d`-row, `w`-counter sketch.
+    pub fn new(d: usize, w: usize, seed: u64) -> Self {
+        assert!(d > 0 && w > 0);
+        CountMinSketch {
+            d,
+            w,
+            counters: vec![0; d * w],
+            hashes: (0..d).map(|i| HashFn::new(seed ^ ((i as u64) << 40))).collect(),
+        }
+    }
+
+    /// Add `delta` to `key`'s cells; returns `(estimate_before, estimate_after)`.
+    ///
+    /// The before/after pair is what the switch needs to detect a threshold
+    /// crossing in-flight (a rolling minimum across the `d` stages, taken
+    /// twice: once over the read values, once over the written values).
+    pub fn update(&mut self, key: u64, delta: u64) -> (u64, u64) {
+        let mut before = u64::MAX;
+        let mut after = u64::MAX;
+        for r in 0..self.d {
+            let c = self.hashes[r].bucket(key, self.w);
+            let cell = &mut self.counters[r * self.w + c];
+            before = before.min(*cell);
+            *cell = cell.saturating_add(delta);
+            after = after.min(*cell);
+        }
+        (before, after)
+    }
+
+    /// One-sided estimate of the key's total: `estimate(k) ≥ true_sum(k)`.
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.d)
+            .map(|r| self.counters[r * self.w + self.hashes[r].bucket(key, self.w)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Dimensions `(d, w)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.d, self.w)
+    }
+
+    /// Zero all counters.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+    }
+
+    /// Table 2 resources: `⌈d/A⌉` stages, `d` ALUs, `(d·w)×64b` SRAM.
+    pub fn resources(&self, alus_per_stage: u32) -> ResourceUsage {
+        table2::having(self.w as u64, self.d as u32, alus_per_stage)
+    }
+}
+
+/// Two-pass HAVING pruner for `SUM(val) > c` / `COUNT(*) > c`.
+#[derive(Debug, Clone)]
+pub struct HavingPruner {
+    sketch: CountMinSketch,
+    threshold: u64,
+}
+
+impl HavingPruner {
+    /// Create a pruner for `HAVING agg > threshold` with a `d×w` sketch.
+    pub fn new(d: usize, w: usize, threshold: u64, seed: u64) -> Self {
+        HavingPruner {
+            sketch: CountMinSketch::new(d, w, seed),
+            threshold,
+        }
+    }
+
+    /// Pass 1: fold the entry into the sketch. Forwards exactly the entry
+    /// on which the key's estimate first exceeds the threshold — the
+    /// candidate announcement. For COUNT semantics pass `value = 1`.
+    pub fn pass_one(&mut self, key: u64, value: u64) -> Decision {
+        let (before, after) = self.sketch.update(key, value);
+        if before <= self.threshold && after > self.threshold {
+            Decision::Forward
+        } else {
+            Decision::Prune
+        }
+    }
+
+    /// Pass 2: forward only entries of candidate keys (estimate above the
+    /// threshold), so the master can compute exact sums for them.
+    pub fn pass_two(&self, key: u64) -> Decision {
+        if self.sketch.estimate(key) > self.threshold {
+            Decision::Forward
+        } else {
+            Decision::Prune
+        }
+    }
+
+    /// The HAVING threshold `c`.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Access the sketch (for resource accounting / experiments).
+    pub fn sketch(&self) -> &CountMinSketch {
+        &self.sketch
+    }
+
+    /// Reset sketch state for a new run.
+    pub fn clear(&mut self) {
+        self.sketch.clear();
+    }
+}
+
+/// Single-pass `HAVING MAX(val) > c` / `MIN(val) < c` pruner (§4.3: "For
+/// MAX and MIN, we simply maintain a counter with the current max and min
+/// value. If it is satisfied, we proceed to our Distinct solution").
+///
+/// An entry witnesses its key's membership in the output iff its own value
+/// satisfies the predicate, so the switch forwards the *first* satisfying
+/// entry per key (the DISTINCT matrix deduplicates; its false negatives
+/// merely forward a key twice). No second pass and no sketch needed — the
+/// master's output is exactly the forwarded key set.
+#[derive(Debug, Clone)]
+pub struct HavingExtremumPruner {
+    matrix: CacheMatrix,
+    row_hash: HashFn,
+    threshold: u64,
+    /// True for `MAX(val) > c`, false for `MIN(val) < c`.
+    max_variant: bool,
+}
+
+impl HavingExtremumPruner {
+    /// `HAVING MAX(val) > threshold` with a `d×w` dedup matrix.
+    pub fn new_max(d: usize, w: usize, threshold: u64, seed: u64) -> Self {
+        HavingExtremumPruner {
+            matrix: CacheMatrix::new(d, w, EvictionPolicy::Lru, seed),
+            row_hash: HashFn::new(seed ^ 0x4a71_11c5),
+            threshold,
+            max_variant: true,
+        }
+    }
+
+    /// `HAVING MIN(val) < threshold` with a `d×w` dedup matrix.
+    pub fn new_min(d: usize, w: usize, threshold: u64, seed: u64) -> Self {
+        HavingExtremumPruner {
+            max_variant: false,
+            ..Self::new_max(d, w, threshold, seed)
+        }
+    }
+
+    /// Process one `(key, value)` entry.
+    pub fn process(&mut self, key: u64, value: u64) -> Decision {
+        let satisfied = if self.max_variant {
+            value > self.threshold
+        } else {
+            value < self.threshold
+        };
+        if !satisfied {
+            return Decision::Prune;
+        }
+        let row = self.row_hash.bucket(key, self.matrix.rows());
+        self.matrix.process_in_row(row, key)
+    }
+
+    /// Reset matrix state.
+    pub fn clear(&mut self) {
+        self.matrix.clear();
+    }
+}
+
+impl RowPruner for HavingExtremumPruner {
+    fn process_row(&mut self, row: &[u64]) -> Decision {
+        self.process(row[0], row[1])
+    }
+
+    fn reset(&mut self) {
+        self.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        if self.max_variant {
+            "having-max"
+        } else {
+            "having-min"
+        }
+    }
+}
+
+/// [`RowPruner`] adapter running pass 1 semantics on `(key, value)` rows —
+/// the phase a packed multi-query switch executes inline (§6).
+#[derive(Debug, Clone)]
+pub struct HavingPassOne {
+    inner: HavingPruner,
+}
+
+impl HavingPassOne {
+    /// Wrap a fresh HAVING pruner.
+    pub fn new(inner: HavingPruner) -> Self {
+        HavingPassOne { inner }
+    }
+
+    /// Unwrap, e.g. to run pass 2 afterwards.
+    pub fn into_inner(self) -> HavingPruner {
+        self.inner
+    }
+}
+
+impl RowPruner for HavingPassOne {
+    fn process_row(&mut self, row: &[u64]) -> Decision {
+        self.inner.pass_one(row[0], row[1])
+    }
+
+    fn reset(&mut self) {
+        self.inner.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "having"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn count_min_never_underestimates() {
+        let mut cm = CountMinSketch::new(3, 64, 0);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20_000 {
+            let k = rng.gen_range(0..1_000u64);
+            let v = rng.gen_range(0..100u64);
+            cm.update(k, v);
+            *truth.entry(k).or_insert(0) += v;
+        }
+        for (&k, &t) in &truth {
+            assert!(cm.estimate(k) >= t, "underestimate for key {k}");
+        }
+    }
+
+    #[test]
+    fn count_min_exact_when_no_collisions() {
+        let mut cm = CountMinSketch::new(3, 4096, 0);
+        for k in 0..10u64 {
+            cm.update(k, k + 1);
+        }
+        for k in 0..10u64 {
+            assert_eq!(cm.estimate(k), k + 1, "sparse sketch should be exact");
+        }
+    }
+
+    #[test]
+    fn update_reports_before_and_after() {
+        let mut cm = CountMinSketch::new(3, 1024, 0);
+        let (b0, a0) = cm.update(7, 5);
+        assert_eq!(b0, 0);
+        assert_eq!(a0, 5);
+        let (b1, a1) = cm.update(7, 10);
+        assert_eq!(b1, 5);
+        assert_eq!(a1, 15);
+    }
+
+    #[test]
+    fn having_never_loses_output_key() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Skewed sums: a few heavy keys cross the threshold.
+        let entries: Vec<(u64, u64)> = (0..50_000)
+            .map(|_| {
+                let k = rng.gen_range(0..200u64);
+                let v = if k < 5 { rng.gen_range(50..150) } else { rng.gen_range(0..3) };
+                (k, v)
+            })
+            .collect();
+        let threshold = 10_000u64;
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(k, v) in &entries {
+            *truth.entry(k).or_insert(0) += v;
+        }
+        let output_keys: HashSet<u64> = truth
+            .iter()
+            .filter(|(_, &s)| s > threshold)
+            .map(|(&k, _)| k)
+            .collect();
+        assert!(!output_keys.is_empty(), "test needs some output keys");
+
+        let mut p = HavingPruner::new(3, 512, threshold, 0);
+        let mut candidates = HashSet::new();
+        for &(k, v) in &entries {
+            if p.pass_one(k, v).is_forward() {
+                candidates.insert(k);
+            }
+        }
+        // Every true output key must be announced in pass 1 …
+        for k in &output_keys {
+            assert!(candidates.contains(k), "output key {k} never announced");
+        }
+        // … and fully re-streamed in pass 2.
+        let mut master: HashMap<u64, u64> = HashMap::new();
+        for &(k, v) in &entries {
+            if p.pass_two(k).is_forward() {
+                *master.entry(k).or_insert(0) += v;
+            }
+        }
+        let final_keys: HashSet<u64> = master
+            .iter()
+            .filter(|(_, &s)| s > threshold)
+            .map(|(&k, _)| k)
+            .collect();
+        assert_eq!(final_keys, output_keys, "master output differs from truth");
+    }
+
+    #[test]
+    fn pass_one_announces_each_candidate_once() {
+        let mut p = HavingPruner::new(3, 1024, 100, 0);
+        let mut announcements = 0;
+        for _ in 0..50 {
+            if p.pass_one(42, 10).is_forward() {
+                announcements += 1;
+            }
+        }
+        assert_eq!(announcements, 1, "crossing happens exactly once");
+    }
+
+    #[test]
+    fn small_sums_fully_pruned() {
+        let mut p = HavingPruner::new(3, 1024, 1_000_000, 0);
+        for k in 0..100u64 {
+            assert!(p.pass_one(k, 5).is_prune());
+        }
+        for k in 0..100u64 {
+            assert!(p.pass_two(k).is_prune());
+        }
+    }
+
+    #[test]
+    fn tiny_sketch_overestimates_cost_pruning_not_correctness() {
+        // Cram 1000 keys into 8 counters: collisions galore. Output keys
+        // must still survive; extra keys may leak through.
+        let mut rng = StdRng::seed_from_u64(3);
+        let entries: Vec<(u64, u64)> = (0..20_000)
+            .map(|_| (rng.gen_range(0..1000u64), rng.gen_range(0..20u64)))
+            .collect();
+        let threshold = 2_000u64;
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(k, v) in &entries {
+            *truth.entry(k).or_insert(0) += v;
+        }
+        let mut p = HavingPruner::new(2, 8, threshold, 0);
+        for &(k, v) in &entries {
+            p.pass_one(k, v);
+        }
+        for (&k, &s) in &truth {
+            if s > threshold {
+                assert!(
+                    p.pass_two(k).is_forward(),
+                    "collision caused a lost output key"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clear_resets_sketch() {
+        let mut p = HavingPruner::new(3, 64, 10, 0);
+        p.pass_one(1, 100);
+        assert!(p.pass_two(1).is_forward());
+        p.clear();
+        assert!(p.pass_two(1).is_prune());
+    }
+
+    #[test]
+    fn resources_match_table2() {
+        let cm = CountMinSketch::new(3, 1024, 0);
+        let r = cm.resources(10);
+        assert_eq!(r.stages, 1);
+        assert_eq!(r.alus, 3);
+        assert_eq!(r.sram_bits, 3 * 1024 * 64);
+    }
+
+    #[test]
+    fn row_pruner_adapter() {
+        let mut p = HavingPassOne::new(HavingPruner::new(3, 64, 10, 0));
+        assert_eq!(p.name(), "having");
+        assert!(p.process_row(&[5, 11]).is_forward(), "immediate crossing");
+        assert!(p.process_row(&[5, 1]).is_prune());
+        p.reset();
+        assert!(p.process_row(&[5, 11]).is_forward());
+    }
+
+    #[test]
+    fn having_max_exact_single_pass() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let entries: Vec<(u64, u64)> = (0..30_000)
+            .map(|_| (rng.gen_range(0..300u64), rng.gen_range(0..10_000u64)))
+            .collect();
+        let threshold = 9_900u64;
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &(k, v) in &entries {
+            let e = truth.entry(k).or_insert(0);
+            *e = (*e).max(v);
+        }
+        let winners: HashSet<u64> = truth
+            .iter()
+            .filter(|(_, &m)| m > threshold)
+            .map(|(&k, _)| k)
+            .collect();
+        assert!(!winners.is_empty() && winners.len() < 300);
+        let mut p = HavingExtremumPruner::new_max(64, 2, threshold, 7);
+        let mut master: HashSet<u64> = HashSet::new();
+        let mut forwarded = 0u64;
+        for &(k, v) in &entries {
+            if p.process(k, v).is_forward() {
+                master.insert(k);
+                forwarded += 1;
+            }
+        }
+        assert_eq!(master, winners, "HAVING MAX output diverged");
+        // Dedup should keep forwarding close to one entry per winner.
+        assert!(
+            forwarded < winners.len() as u64 * 4,
+            "dedup ineffective: {forwarded} forwards for {} winners",
+            winners.len()
+        );
+    }
+
+    #[test]
+    fn having_min_exact_single_pass() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let entries: Vec<(u64, u64)> = (0..20_000)
+            .map(|_| (rng.gen_range(0..200u64), rng.gen_range(0..10_000u64)))
+            .collect();
+        let threshold = 40u64;
+        let winners: HashSet<u64> = {
+            let mut mins: HashMap<u64, u64> = HashMap::new();
+            for &(k, v) in &entries {
+                let e = mins.entry(k).or_insert(u64::MAX);
+                *e = (*e).min(v);
+            }
+            mins.into_iter()
+                .filter(|&(_, m)| m < threshold)
+                .map(|(k, _)| k)
+                .collect()
+        };
+        let mut p = HavingExtremumPruner::new_min(64, 2, threshold, 9);
+        let mut master: HashSet<u64> = HashSet::new();
+        for &(k, v) in &entries {
+            if p.process(k, v).is_forward() {
+                master.insert(k);
+            }
+        }
+        assert_eq!(master, winners, "HAVING MIN output diverged");
+    }
+
+    #[test]
+    fn having_extremum_reset_and_names() {
+        let mut p = HavingExtremumPruner::new_max(8, 2, 10, 0);
+        assert_eq!(p.name(), "having-max");
+        assert!(p.process_row(&[1, 11]).is_forward());
+        assert!(p.process_row(&[1, 12]).is_prune(), "dedup on second witness");
+        p.reset();
+        assert!(p.process_row(&[1, 11]).is_forward());
+        assert_eq!(HavingExtremumPruner::new_min(8, 2, 10, 0).name(), "having-min");
+    }
+}

@@ -1,0 +1,230 @@
+//! Multiple switches (§9, "Multiple switches").
+//!
+//! "We can use a 'master switch' to partition the data and offload each
+//! partition to a different switch. Each switch can perform local pruning
+//! of its partition and return it to the master switch which prunes the
+//! data further. This increases the hardware resources at our disposal
+//! and allows superior pruning results."
+//!
+//! [`SwitchTree`] models exactly that: a partitioner hash spreads entries
+//! over `k` leaf pruners; leaf survivors pass through a root pruner.
+//! Pruning composes safely for every Cheetah algorithm because each layer
+//! only ever drops entries that provably cannot affect the output — the
+//! composition forwards a subset of what either layer alone would, and
+//! the union of guarantees still covers the query result.
+
+use crate::decision::{Decision, PruneStats, RowPruner};
+use crate::hash::HashFn;
+
+/// A two-level switch hierarchy: `k` leaf pruners under one root pruner.
+pub struct SwitchTree {
+    leaves: Vec<Box<dyn RowPruner + Send>>,
+    root: Box<dyn RowPruner + Send>,
+    partitioner: HashFn,
+    /// Per-leaf pruning statistics.
+    pub leaf_stats: Vec<PruneStats>,
+    /// Root pruning statistics (over leaf survivors only).
+    pub root_stats: PruneStats,
+}
+
+impl std::fmt::Debug for SwitchTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchTree")
+            .field("leaves", &self.leaves.len())
+            .field("leaf_stats", &self.leaf_stats)
+            .field("root_stats", &self.root_stats)
+            .finish()
+    }
+}
+
+impl SwitchTree {
+    /// Build a tree from leaf pruners and a root pruner. The partitioner
+    /// spreads entries by the hash of their first value (the key), so a
+    /// key's entries always visit the same leaf — required for the
+    /// key-stateful algorithms (DISTINCT, GROUP BY, HAVING).
+    pub fn new(
+        leaves: Vec<Box<dyn RowPruner + Send>>,
+        root: Box<dyn RowPruner + Send>,
+        seed: u64,
+    ) -> Self {
+        assert!(!leaves.is_empty(), "need at least one leaf switch");
+        let n = leaves.len();
+        SwitchTree {
+            leaves,
+            root,
+            partitioner: HashFn::new(seed ^ 0x7ee5),
+            leaf_stats: vec![PruneStats::default(); n],
+            root_stats: PruneStats::default(),
+        }
+    }
+
+    /// Number of leaf switches.
+    pub fn fan_out(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Combined statistics over all entries entering the tree.
+    pub fn total_stats(&self) -> PruneStats {
+        let mut s = PruneStats::default();
+        for l in &self.leaf_stats {
+            s.merge(*l);
+        }
+        // Entries pruned at the root were already counted as processed at
+        // a leaf; only add the root's prunes.
+        s.pruned += self.root_stats.pruned;
+        s
+    }
+}
+
+impl RowPruner for SwitchTree {
+    fn process_row(&mut self, row: &[u64]) -> Decision {
+        let leaf = self.partitioner.bucket(row[0], self.leaves.len());
+        let d = self.leaves[leaf].process_row(row);
+        self.leaf_stats[leaf].record(d);
+        if d.is_prune() {
+            return Decision::Prune;
+        }
+        let d = self.root.process_row(row);
+        self.root_stats.record(d);
+        d
+    }
+
+    fn reset(&mut self) {
+        for l in &mut self.leaves {
+            l.reset();
+        }
+        self.root.reset();
+        self.leaf_stats.fill(PruneStats::default());
+        self.root_stats = PruneStats::default();
+    }
+
+    fn name(&self) -> &'static str {
+        "switch-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distinct::{DistinctPruner, EvictionPolicy};
+    use crate::groupby::{Extremum, GroupByPruner};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::{HashMap, HashSet};
+
+    fn distinct_leaf(d: usize, seed: u64) -> Box<dyn RowPruner + Send> {
+        Box::new(DistinctPruner::new(d, 2, EvictionPolicy::Lru, seed))
+    }
+
+    #[test]
+    fn tree_distinct_remains_exact() {
+        let mut tree = SwitchTree::new(
+            (0..4).map(|i| distinct_leaf(64, i)).collect(),
+            distinct_leaf(64, 99),
+            7,
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = HashSet::new();
+        let mut master = HashSet::new();
+        let mut truth = HashSet::new();
+        for _ in 0..50_000 {
+            let k = rng.gen_range(1..2_000u64);
+            truth.insert(k);
+            let d = tree.process_row(&[k]);
+            if seen.insert(k) {
+                assert!(d.is_forward(), "first occurrence of {k} pruned by tree");
+            }
+            if d.is_forward() {
+                master.insert(k);
+            }
+        }
+        assert_eq!(master, truth);
+    }
+
+    #[test]
+    fn tree_prunes_more_than_single_switch_of_same_size() {
+        // §9's claim: a tree of k leaf switches + a root out-prunes one
+        // switch with a single leaf's resources.
+        // 300 keys overload one 64×2 switch but split comfortably across
+        // eight leaves (~37 keys each).
+        let stream: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(2);
+            (0..200_000).map(|_| rng.gen_range(1..300u64)).collect()
+        };
+        let mut single = DistinctPruner::new(64, 2, EvictionPolicy::Lru, 3);
+        let mut single_fwd = 0u64;
+        for &k in &stream {
+            if single.process(k).is_forward() {
+                single_fwd += 1;
+            }
+        }
+        let mut tree = SwitchTree::new(
+            (0..8).map(|i| distinct_leaf(64, i + 10)).collect(),
+            distinct_leaf(64, 77),
+            7,
+        );
+        let mut tree_fwd = 0u64;
+        for &k in &stream {
+            if tree.process_row(&[k]).is_forward() {
+                tree_fwd += 1;
+            }
+        }
+        assert!(
+            tree_fwd * 2 < single_fwd,
+            "8 leaves + root ({tree_fwd}) should far out-prune one switch ({single_fwd})"
+        );
+    }
+
+    #[test]
+    fn tree_groupby_remains_exact() {
+        let leaf = |s: u64| -> Box<dyn RowPruner + Send> {
+            Box::new(GroupByPruner::new(16, 2, Extremum::Max, s))
+        };
+        let mut tree = SwitchTree::new((0..3).map(leaf).collect(), leaf(50), 9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut master: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..30_000 {
+            let (k, v) = (rng.gen_range(1..300u64), rng.gen_range(0..100_000u64));
+            let e = truth.entry(k).or_insert(0);
+            *e = (*e).max(v);
+            if tree.process_row(&[k, v]).is_forward() {
+                let e = master.entry(k).or_insert(0);
+                *e = (*e).max(v);
+            }
+        }
+        assert_eq!(master, truth, "tree GROUP BY lost a maximum");
+    }
+
+    #[test]
+    fn stats_account_for_both_levels() {
+        let mut tree = SwitchTree::new(
+            (0..2).map(|i| distinct_leaf(8, i)).collect(),
+            distinct_leaf(8, 42),
+            1,
+        );
+        for k in [1u64, 1, 2, 2, 3] {
+            tree.process_row(&[k]);
+        }
+        let total = tree.total_stats();
+        assert_eq!(total.processed, 5);
+        assert!(total.pruned >= 2, "duplicates pruned somewhere in the tree");
+        let leaf_processed: u64 = tree.leaf_stats.iter().map(|s| s.processed).sum();
+        assert_eq!(leaf_processed, 5, "every entry visits exactly one leaf");
+    }
+
+    #[test]
+    fn reset_clears_all_levels() {
+        let mut tree = SwitchTree::new(
+            vec![distinct_leaf(8, 0)],
+            distinct_leaf(8, 1),
+            1,
+        );
+        assert!(tree.process_row(&[5]).is_forward());
+        assert!(tree.process_row(&[5]).is_prune());
+        tree.reset();
+        assert!(tree.process_row(&[5]).is_forward());
+        assert_eq!(tree.root_stats.processed, 1);
+        assert_eq!(tree.name(), "switch-tree");
+    }
+}

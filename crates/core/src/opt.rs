@@ -1,0 +1,288 @@
+//! Unconstrained streaming baselines — the `OPT` curves of Figures 10/11.
+//!
+//! "OPT depicts a hypothetical stream algorithm with no resource
+//! constraints" (§8.3): an upper bound on the pruning rate of *any* switch
+//! algorithm. Each OPT mirrors the semantics of its constrained
+//! counterpart with unbounded memory:
+//!
+//! * DISTINCT — forward exactly first occurrences;
+//! * TOP N — forward an entry iff it is among the `N` largest *so far*;
+//! * GROUP BY MAX — forward iff the entry improves its key's running max;
+//! * JOIN — exact membership of the other side's key set;
+//! * HAVING — forward only entries of keys whose *final* aggregate clears
+//!   the threshold (offline optimum);
+//! * SKYLINE — forward iff not dominated by any previous point.
+
+use crate::decision::Decision;
+use crate::skyline::dominates;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// OPT for DISTINCT: an exact seen-set.
+#[derive(Debug, Default)]
+pub struct OptDistinct {
+    seen: HashSet<u64>,
+}
+
+impl OptDistinct {
+    /// Fresh OPT state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward iff this is the first occurrence.
+    pub fn process(&mut self, value: u64) -> Decision {
+        if self.seen.insert(value) {
+            Decision::Forward
+        } else {
+            Decision::Prune
+        }
+    }
+}
+
+/// OPT for TOP N: forward an entry iff it belongs to the running top-`N`.
+#[derive(Debug)]
+pub struct OptTopN {
+    n: usize,
+    /// Min-heap of the current top-n (via `Reverse`).
+    heap: BinaryHeap<std::cmp::Reverse<u64>>,
+}
+
+impl OptTopN {
+    /// OPT tracking the `n` largest values.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        OptTopN {
+            n,
+            heap: BinaryHeap::with_capacity(n + 1),
+        }
+    }
+
+    /// Forward iff the value enters the current top-`n`.
+    pub fn process(&mut self, value: u64) -> Decision {
+        if self.heap.len() < self.n {
+            self.heap.push(std::cmp::Reverse(value));
+            return Decision::Forward;
+        }
+        let min = self.heap.peek().expect("heap non-empty").0;
+        if value > min {
+            self.heap.pop();
+            self.heap.push(std::cmp::Reverse(value));
+            Decision::Forward
+        } else {
+            Decision::Prune
+        }
+    }
+}
+
+/// OPT for GROUP BY MAX: exact per-key running maxima.
+#[derive(Debug, Default)]
+pub struct OptGroupByMax {
+    best: HashMap<u64, u64>,
+}
+
+impl OptGroupByMax {
+    /// Fresh OPT state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward iff the value strictly improves its key's maximum (or the
+    /// key is new).
+    pub fn process(&mut self, key: u64, value: u64) -> Decision {
+        match self.best.get_mut(&key) {
+            Some(b) if *b >= value => Decision::Prune,
+            Some(b) => {
+                *b = value;
+                Decision::Forward
+            }
+            None => {
+                self.best.insert(key, value);
+                Decision::Forward
+            }
+        }
+    }
+}
+
+/// OPT for JOIN: exact key set of the opposite side.
+#[derive(Debug, Default)]
+pub struct OptJoin {
+    other_side: HashSet<u64>,
+}
+
+impl OptJoin {
+    /// Build from the exact key set of the opposite table.
+    pub fn from_keys(keys: impl IntoIterator<Item = u64>) -> Self {
+        OptJoin {
+            other_side: keys.into_iter().collect(),
+        }
+    }
+
+    /// Forward iff the key actually matches.
+    pub fn process(&self, key: u64) -> Decision {
+        if self.other_side.contains(&key) {
+            Decision::Forward
+        } else {
+            Decision::Prune
+        }
+    }
+}
+
+/// OPT unpruned count for HAVING `SUM > c`: only entries of keys whose
+/// final sum clears the threshold need to reach the master (the offline
+/// optimum — no streaming algorithm can do better and stay correct).
+pub fn opt_having_unpruned(entries: &[(u64, u64)], threshold: u64) -> u64 {
+    let mut sums: HashMap<u64, u64> = HashMap::new();
+    for &(k, v) in entries {
+        *sums.entry(k).or_insert(0) += v;
+    }
+    let winners: HashSet<u64> = sums
+        .into_iter()
+        .filter(|&(_, s)| s > threshold)
+        .map(|(k, _)| k)
+        .collect();
+    entries.iter().filter(|(k, _)| winners.contains(k)).count() as u64
+}
+
+/// OPT for SKYLINE: forward iff not dominated by any previous point
+/// (maintains the exact prefix Pareto set).
+#[derive(Debug, Default)]
+pub struct OptSkyline {
+    frontier: Vec<Vec<u64>>,
+}
+
+impl OptSkyline {
+    /// Fresh OPT state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward iff no previously seen point dominates this one.
+    pub fn process(&mut self, point: &[u64]) -> Decision {
+        if self.frontier.iter().any(|f| dominates(f, point)) {
+            return Decision::Prune;
+        }
+        // Keep the frontier minimal: drop stored points the new one
+        // dominates (they can never dominate anything it can't).
+        self.frontier.retain(|f| !dominates(point, f));
+        self.frontier.push(point.to_vec());
+        Decision::Forward
+    }
+
+    /// Current frontier size (diagnostics).
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn opt_distinct_counts_exactly() {
+        let mut o = OptDistinct::new();
+        let mut forwarded = 0;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut truth = HashSet::new();
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0..500u64);
+            truth.insert(v);
+            if o.process(v).is_forward() {
+                forwarded += 1;
+            }
+        }
+        assert_eq!(forwarded as usize, truth.len());
+    }
+
+    #[test]
+    fn opt_topn_forwards_running_top() {
+        let mut o = OptTopN::new(3);
+        let ds: Vec<bool> = [5u64, 1, 6, 2, 7, 3, 8]
+            .iter()
+            .map(|&v| o.process(v).is_forward())
+            .collect();
+        // 5,1,6 fill; 2 < min(1? heap={5,1,6}, min 1 → 2>1 forward);
+        // after: {5,6,2}. 7 > 2 fwd → {5,6,7}. 3 < 5 prune. 8 fwd.
+        assert_eq!(ds, vec![true, true, true, true, true, false, true]);
+    }
+
+    #[test]
+    fn opt_topn_is_lower_bound_for_constrained() {
+        // OPT forwards no more than the randomized matrix on any stream.
+        use crate::topn::RandomizedTopN;
+        let mut rng = StdRng::seed_from_u64(2);
+        let stream: Vec<u64> = (0..20_000).map(|_| rng.gen()).collect();
+        let mut opt = OptTopN::new(100);
+        let mut rand = RandomizedTopN::new(128, 8, 0);
+        let mut opt_fwd = 0u64;
+        let mut rand_fwd = 0u64;
+        for &v in &stream {
+            if opt.process(v).is_forward() {
+                opt_fwd += 1;
+            }
+            if rand.process(v).is_forward() {
+                rand_fwd += 1;
+            }
+        }
+        assert!(opt_fwd <= rand_fwd, "OPT must dominate: {opt_fwd} vs {rand_fwd}");
+    }
+
+    #[test]
+    fn opt_groupby_max() {
+        let mut o = OptGroupByMax::new();
+        assert!(o.process(1, 10).is_forward());
+        assert!(o.process(1, 10).is_prune(), "tie does not improve");
+        assert!(o.process(1, 11).is_forward());
+        assert!(o.process(2, 1).is_forward());
+    }
+
+    #[test]
+    fn opt_join_exact() {
+        let o = OptJoin::from_keys([1, 2, 3]);
+        assert!(o.process(2).is_forward());
+        assert!(o.process(9).is_prune());
+    }
+
+    #[test]
+    fn opt_having_counts_winner_entries() {
+        let entries = vec![(1u64, 10u64), (1, 10), (2, 1), (2, 2), (1, 5)];
+        // sums: key1=25, key2=3. threshold 20 → only key1's 3 entries.
+        assert_eq!(opt_having_unpruned(&entries, 20), 3);
+        assert_eq!(opt_having_unpruned(&entries, 30), 0);
+        assert_eq!(opt_having_unpruned(&entries, 2), 5);
+    }
+
+    #[test]
+    fn opt_skyline_prefix_frontier() {
+        let mut o = OptSkyline::new();
+        assert!(o.process(&[5, 5]).is_forward());
+        assert!(o.process(&[3, 3]).is_prune());
+        assert!(o.process(&[6, 4]).is_forward());
+        assert!(o.process(&[9, 9]).is_forward());
+        // (9,9) dominates everything stored: frontier collapses to 1.
+        assert_eq!(o.frontier_len(), 1);
+        assert!(o.process(&[5, 5]).is_prune());
+    }
+
+    #[test]
+    fn opt_skyline_never_prunes_true_skyline_point() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<Vec<u64>> = (0..3_000)
+            .map(|_| vec![rng.gen_range(0..1000u64), rng.gen_range(0..1000u64)])
+            .collect();
+        let mut o = OptSkyline::new();
+        let forwarded: Vec<Vec<u64>> = pts
+            .iter()
+            .filter(|p| o.process(p).is_forward())
+            .cloned()
+            .collect();
+        // True skyline ⊆ forwarded.
+        for p in &pts {
+            if !pts.iter().any(|q| dominates(q, p)) {
+                assert!(forwarded.contains(p), "OPT pruned a skyline point");
+            }
+        }
+    }
+}

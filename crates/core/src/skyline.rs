@@ -1,0 +1,576 @@
+//! SKYLINE pruning via projection (§4.4, Example 6; Appendix D).
+//!
+//! A SKYLINE query returns the Pareto frontier: points not dominated by any
+//! other point (`y` dominates `x` iff `yᵢ ≥ xᵢ` on every dimension with at
+//! least one strict inequality; we maximize all dimensions as the paper
+//! does). The switch cannot store and compare many multi-dimensional
+//! points, so Cheetah **projects** each point to a single score
+//! `h: ℝᴰ → ℝ`, monotone in every dimension, guaranteeing
+//! `x dominated by y ⇒ h(x) ≤ h(y)`. The switch keeps the `w` highest-score
+//! points seen (a rolling minimum over `w` two-stage slots) and prunes any
+//! arrival dominated by a stored point. Dominated points can never be
+//! output, and stored witnesses were themselves forwarded on arrival, so
+//! the master reconstructs the exact skyline.
+//!
+//! Projections (Appendix D):
+//!
+//! * **Sum** `h(x) = Σxᵢ` — cheap but biased toward large-range dimensions;
+//! * **Product** `h(x) = Πxᵢ` — better balanced but needs multiplication,
+//!   which switches lack (kept here as an exact reference);
+//! * **APH** (Approximate Product Heuristic) — `Σ ⌊β·log₂ xᵢ⌉` using a
+//!   2¹⁶-entry lookup table plus a TCAM most-significant-bit finder for
+//!   wide values: `log₂ z ≈ log₂ z′ + (ℓ − 15)` where `z′` is the 16-bit
+//!   window at the leading one (bit `ℓ`);
+//! * **Baseline** — stores the first `w` points with no score (the
+//!   comparison line in Figure 10b).
+
+use crate::decision::{Decision, RowPruner};
+use crate::resources::{table2, ResourceUsage};
+
+/// `y` dominates `x`: at least as large on all dimensions, larger on one.
+#[inline]
+pub fn dominates(y: &[u64], x: &[u64]) -> bool {
+    debug_assert_eq!(y.len(), x.len());
+    let mut strict = false;
+    for (a, b) in y.iter().zip(x.iter()) {
+        if a < b {
+            return false;
+        }
+        if a > b {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Optimization direction (the paper's footnote 4: "we can extend the
+/// solution to support minimizing all dimensions with small
+/// modifications" — the modification being a coordinate reflection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Pareto frontier of maxima (the paper's default).
+    #[default]
+    MaximizeAll,
+    /// Pareto frontier of minima.
+    MinimizeAll,
+}
+
+impl Direction {
+    /// Map a coordinate into the maximizing space (an involution).
+    #[inline]
+    pub fn transform(self, v: u64) -> u64 {
+        match self {
+            Direction::MaximizeAll => v,
+            Direction::MinimizeAll => u64::MAX - v,
+        }
+    }
+}
+
+/// `y` dominates `x` when minimizing all dimensions.
+#[inline]
+pub fn dominates_min(y: &[u64], x: &[u64]) -> bool {
+    debug_assert_eq!(y.len(), x.len());
+    let mut strict = false;
+    for (a, b) in y.iter().zip(x.iter()) {
+        if a > b {
+            return false;
+        }
+        if a < b {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Fixed-point approximate `log₂` table for APH (Appendix D).
+///
+/// `β = 2^frac_bits` is the fixed-point scale: `approx_log(v) ≈ β·log₂ v`.
+/// Values wider than 16 bits use the MSB window trick, which the switch
+/// implements with 64 TCAM rules per dimension (Table 2's `64·D` TCAM).
+#[derive(Debug, Clone)]
+pub struct ApproxLog {
+    frac_bits: u32,
+    table: Vec<u32>,
+}
+
+impl ApproxLog {
+    /// Build the 2¹⁶-entry control-plane table.
+    pub fn new(frac_bits: u32) -> Self {
+        assert!(frac_bits <= 16, "fixed-point scale too large for u32 table");
+        let beta = f64::from(1u32 << frac_bits);
+        let mut table = vec![0u32; 1 << 16];
+        for (a, slot) in table.iter_mut().enumerate().skip(1) {
+            *slot = (beta * (a as f64).log2()).round() as u32;
+        }
+        ApproxLog { frac_bits, table }
+    }
+
+    /// Approximate `β·log₂ v`. `v = 0` maps to 0 (points are assumed to
+    /// have positive coordinates; a zero coordinate scores as 1 would).
+    #[inline]
+    pub fn log2_fixed(&self, v: u64) -> u64 {
+        if v < (1 << 16) {
+            u64::from(self.table[v as usize])
+        } else {
+            // ℓ = index of the leading one (TCAM lookup on hardware).
+            let l = 63 - v.leading_zeros();
+            let window = (v >> (l - 15)) as usize; // 16 bits, top bit set
+            u64::from(self.table[window]) + (u64::from(l) - 15) * u64::from(1u32 << self.frac_bits)
+        }
+    }
+}
+
+/// Scoring heuristic for the stored-point replacement policy.
+#[derive(Debug, Clone)]
+pub enum Heuristic {
+    /// Sum of coordinates.
+    Sum,
+    /// Exact product of coordinates (not switch-implementable; reference).
+    Product,
+    /// Approximate Product Heuristic: sum of fixed-point logs.
+    Aph(ApproxLog),
+    /// No score: keep the first `w` points (Figure 10b's "Baseline").
+    Baseline,
+}
+
+impl Heuristic {
+    /// The default APH configuration (8 fractional bits).
+    pub fn aph_default() -> Self {
+        Heuristic::Aph(ApproxLog::new(8))
+    }
+
+    /// Project a point to its scalar score.
+    fn score(&self, point: &[u64]) -> u128 {
+        match self {
+            Heuristic::Sum => point.iter().map(|&v| u128::from(v)).sum(),
+            Heuristic::Product => point
+                .iter()
+                .map(|&v| u128::from(v.max(1)))
+                .fold(1u128, |acc, v| acc.saturating_mul(v)),
+            Heuristic::Aph(log) => point.iter().map(|&v| u128::from(log.log2_fixed(v))).sum(),
+            Heuristic::Baseline => 0,
+        }
+    }
+
+    fn short_name(&self) -> &'static str {
+        match self {
+            Heuristic::Sum => "skyline-sum",
+            Heuristic::Product => "skyline-product",
+            Heuristic::Aph(_) => "skyline-aph",
+            Heuristic::Baseline => "skyline-baseline",
+        }
+    }
+}
+
+/// The SKYLINE pruner: `w` stored points with projection-driven
+/// replacement.
+#[derive(Debug, Clone)]
+pub struct SkylinePruner {
+    dims: usize,
+    w: usize,
+    heuristic: Heuristic,
+    direction: Direction,
+    /// Flattened `w × dims` stored points (in the maximizing space), kept
+    /// sorted descending by score.
+    points: Vec<u64>,
+    scores: Vec<u128>,
+    len: usize,
+}
+
+impl SkylinePruner {
+    /// Create a pruner for `dims`-dimensional points storing `w` of them,
+    /// maximizing all dimensions. Table 2 default: `D = 2, w = 10`.
+    pub fn new(dims: usize, w: usize, heuristic: Heuristic) -> Self {
+        Self::with_direction(dims, w, heuristic, Direction::MaximizeAll)
+    }
+
+    /// A minimizing-skyline pruner (footnote 4): coordinates are reflected
+    /// into the maximizing space on entry, so every heuristic and the
+    /// storage logic apply unchanged.
+    pub fn new_min(dims: usize, w: usize, heuristic: Heuristic) -> Self {
+        Self::with_direction(dims, w, heuristic, Direction::MinimizeAll)
+    }
+
+    /// Create a pruner with an explicit optimization direction.
+    pub fn with_direction(
+        dims: usize,
+        w: usize,
+        heuristic: Heuristic,
+        direction: Direction,
+    ) -> Self {
+        assert!(dims > 0 && w > 0);
+        SkylinePruner {
+            dims,
+            w,
+            heuristic,
+            direction,
+            points: vec![0; w * dims],
+            scores: vec![0; w],
+            len: 0,
+        }
+    }
+
+    /// Process one point (maximizing semantics on every dimension).
+    ///
+    /// Prunes iff a stored point dominates it. Non-dominated points are
+    /// always forwarded and considered for storage: under a scoring
+    /// heuristic they displace the lowest-score stored point when they
+    /// score higher (the hardware rolling minimum); under `Baseline` only
+    /// the first `w` arrivals are stored.
+    pub fn process(&mut self, point: &[u64]) -> Decision {
+        assert_eq!(point.len(), self.dims, "dimension mismatch");
+        if self.direction == Direction::MinimizeAll {
+            // Reflect into the maximizing space; domination is preserved
+            // (dominates_min(y, x) ⟺ dominates(T(y), T(x))).
+            let transformed: Vec<u64> =
+                point.iter().map(|&v| self.direction.transform(v)).collect();
+            return self.process_max(&transformed);
+        }
+        self.process_max(point)
+    }
+
+    fn process_max(&mut self, point: &[u64]) -> Decision {
+        for i in 0..self.len {
+            let stored = &self.points[i * self.dims..(i + 1) * self.dims];
+            if dominates(stored, point) {
+                return Decision::Prune;
+            }
+        }
+        let score = self.heuristic.score(point);
+        if self.len < self.w {
+            let insert_at = self.scores[..self.len].partition_point(|&s| s >= score);
+            self.insert_at(insert_at, point, score);
+            self.len += 1;
+        } else if !matches!(self.heuristic, Heuristic::Baseline) && score > self.scores[self.w - 1]
+        {
+            // Displace the minimum-score point (it falls off the rolling
+            // minimum and, on hardware, rides out in the packet body).
+            let insert_at = self.scores[..self.w].partition_point(|&s| s >= score);
+            self.evict_last_and_insert(insert_at, point, score);
+        }
+        Decision::Forward
+    }
+
+    fn insert_at(&mut self, idx: usize, point: &[u64], score: u128) {
+        // Shift [idx..len] one slot right, then write.
+        self.scores[idx..self.len + 1].rotate_right(1);
+        self.points[idx * self.dims..(self.len + 1) * self.dims].rotate_right(self.dims);
+        self.scores[idx] = score;
+        self.points[idx * self.dims..(idx + 1) * self.dims].copy_from_slice(point);
+    }
+
+    fn evict_last_and_insert(&mut self, idx: usize, point: &[u64], score: u128) {
+        self.scores[idx..self.w].rotate_right(1);
+        self.points[idx * self.dims..self.w * self.dims].rotate_right(self.dims);
+        self.scores[idx] = score;
+        self.points[idx * self.dims..(idx + 1) * self.dims].copy_from_slice(point);
+    }
+
+    /// Currently stored prune points (for inspection / experiments).
+    pub fn stored(&self) -> impl Iterator<Item = &[u64]> {
+        self.points[..self.len * self.dims].chunks_exact(self.dims)
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Table 2 resources for this configuration.
+    pub fn resources(&self) -> ResourceUsage {
+        match self.heuristic {
+            Heuristic::Aph(_) => table2::skyline_aph(self.dims as u32, self.w as u32),
+            _ => table2::skyline_sum(self.dims as u32, self.w as u32),
+        }
+    }
+}
+
+impl RowPruner for SkylinePruner {
+    fn process_row(&mut self, row: &[u64]) -> Decision {
+        self.process(&row[..self.dims])
+    }
+
+    fn reset(&mut self) {
+        self.len = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        self.heuristic.short_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exact skyline of a point set (quadratic reference).
+    fn true_skyline(points: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        points
+            .iter()
+            .filter(|p| !points.iter().any(|q| dominates(q, p)))
+            .cloned()
+            .collect()
+    }
+
+    fn random_points(n: usize, dims: usize, max: u64, seed: u64) -> Vec<Vec<u64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dims).map(|_| rng.gen_range(1..=max)).collect())
+            .collect()
+    }
+
+    fn master_skyline(pruner: &mut SkylinePruner, points: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        let forwarded: Vec<Vec<u64>> = points
+            .iter()
+            .filter(|p| pruner.process(p).is_forward())
+            .cloned()
+            .collect();
+        true_skyline(&forwarded)
+    }
+
+    fn sorted(mut v: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn dominates_definition() {
+        assert!(dominates(&[5, 5], &[3, 4]));
+        assert!(dominates(&[5, 5], &[5, 4]));
+        assert!(!dominates(&[5, 5], &[5, 5]), "equal points don't dominate");
+        assert!(!dominates(&[5, 3], &[3, 5]), "incomparable");
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // Ratings: taste, texture. Skyline of {Pizza(7,5), Cheetos(8,6),
+        // Jello(9,4), Burger(5,7), Fries(3,3)} = {Cheetos, Jello, Burger}.
+        let pts = vec![
+            vec![7, 5], // Pizza — dominated by Cheetos
+            vec![8, 6], // Cheetos
+            vec![9, 4], // Jello
+            vec![5, 7], // Burger
+            vec![3, 3], // Fries — dominated
+        ];
+        let sky = sorted(true_skyline(&pts));
+        assert_eq!(sky, sorted(vec![vec![8, 6], vec![9, 4], vec![5, 7]]));
+        // The pruner must reproduce it for every heuristic.
+        for h in [
+            Heuristic::Sum,
+            Heuristic::Product,
+            Heuristic::aph_default(),
+            Heuristic::Baseline,
+        ] {
+            let mut p = SkylinePruner::new(2, 3, h);
+            assert_eq!(sorted(master_skyline(&mut p, &pts)), sky);
+        }
+    }
+
+    #[test]
+    fn never_prunes_skyline_point_2d() {
+        for seed in 0..5 {
+            let pts = random_points(5_000, 2, 10_000, seed);
+            let truth = sorted(true_skyline(&pts));
+            for h in [Heuristic::Sum, Heuristic::aph_default(), Heuristic::Baseline] {
+                let mut p = SkylinePruner::new(2, 8, h);
+                let got = sorted(master_skyline(&mut p, &pts));
+                assert_eq!(got, truth, "seed {seed}: master skyline differs");
+            }
+        }
+    }
+
+    #[test]
+    fn never_prunes_skyline_point_4d() {
+        let pts = random_points(2_000, 4, 100, 9);
+        let truth = sorted(true_skyline(&pts));
+        let mut p = SkylinePruner::new(4, 10, Heuristic::aph_default());
+        assert_eq!(sorted(master_skyline(&mut p, &pts)), truth);
+    }
+
+    #[test]
+    fn duplicates_are_forwarded() {
+        // Equal points do not dominate each other, so duplicates of a
+        // frontier point must survive (they may carry different rows).
+        let mut p = SkylinePruner::new(2, 4, Heuristic::Sum);
+        assert!(p.process(&[10, 10]).is_forward());
+        assert!(p.process(&[10, 10]).is_forward());
+        assert!(p.process(&[3, 3]).is_prune());
+    }
+
+    #[test]
+    fn rolling_minimum_learns_good_points() {
+        // A strong point arriving late must displace weak stored points
+        // under scoring heuristics (unlike Baseline).
+        let weak: Vec<Vec<u64>> = (1..=8).map(|i| vec![i, 9 - i]).collect();
+        let mut sum = SkylinePruner::new(2, 4, Heuristic::Sum);
+        let mut base = SkylinePruner::new(2, 4, Heuristic::Baseline);
+        for p in &weak {
+            sum.process(p);
+            base.process(p);
+        }
+        sum.process(&[100, 100]);
+        base.process(&[100, 100]);
+        // Now a mediocre point dominated by (100,100):
+        assert!(
+            sum.process(&[50, 50]).is_prune(),
+            "sum heuristic should have stored (100,100)"
+        );
+        assert!(
+            base.process(&[50, 50]).is_forward(),
+            "baseline kept only the first w points"
+        );
+    }
+
+    #[test]
+    fn aph_tracks_product_ordering() {
+        let log = ApproxLog::new(8);
+        let aph = Heuristic::Aph(log);
+        let prod = Heuristic::Product;
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..2_000 {
+            let a: Vec<u64> = (0..3).map(|_| rng.gen_range(1..1u64 << 40)).collect();
+            let b: Vec<u64> = (0..3).map(|_| rng.gen_range(1..1u64 << 40)).collect();
+            let (pa, pb) = (prod.score(&a), prod.score(&b));
+            // A 2x product gap is far beyond APH rounding error.
+            if pa >= pb.saturating_mul(2) {
+                assert!(
+                    aph.score(&a) >= aph.score(&b),
+                    "APH inverted a clear product ordering: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approx_log_wide_values() {
+        let log = ApproxLog::new(8);
+        let beta = 256.0;
+        for &v in &[1u64, 2, 3, 65_535, 65_536, 1 << 20, (1 << 40) + 12345, u64::MAX] {
+            let approx = log.log2_fixed(v) as f64 / beta;
+            let exact = (v as f64).log2();
+            assert!(
+                (approx - exact).abs() < 0.01,
+                "log2({v}): approx {approx}, exact {exact}"
+            );
+        }
+        assert_eq!(log.log2_fixed(0), 0);
+        assert_eq!(log.log2_fixed(1), 0);
+    }
+
+    #[test]
+    fn sum_bias_with_mismatched_ranges() {
+        // One dimension in [0,255], the other in [0,65535] (§4.4): Sum
+        // effectively ranks by the big dimension; Product balances. Check
+        // that Product/APH store more balanced points and prune more.
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<Vec<u64>> = (0..20_000)
+            .map(|_| vec![rng.gen_range(1..256u64), rng.gen_range(1..65_536u64)])
+            .collect();
+        let mut pruned_sum = 0u64;
+        let mut pruned_aph = 0u64;
+        let mut sum = SkylinePruner::new(2, 6, Heuristic::Sum);
+        let mut aph = SkylinePruner::new(2, 6, Heuristic::aph_default());
+        for p in &pts {
+            if sum.process(p).is_prune() {
+                pruned_sum += 1;
+            }
+            if aph.process(p).is_prune() {
+                pruned_aph += 1;
+            }
+        }
+        assert!(
+            pruned_aph >= pruned_sum,
+            "APH ({pruned_aph}) should prune at least as much as Sum ({pruned_sum}) under range mismatch"
+        );
+    }
+
+    #[test]
+    fn resources_match_table2() {
+        let sum = SkylinePruner::new(2, 10, Heuristic::Sum);
+        assert_eq!(sum.resources().stages, 21);
+        let aph = SkylinePruner::new(2, 10, Heuristic::aph_default());
+        assert_eq!(aph.resources().stages, 23);
+        assert_eq!(aph.resources().tcam_entries, 128);
+    }
+
+    #[test]
+    fn reset_and_row_interface() {
+        let mut p = SkylinePruner::new(2, 4, Heuristic::Sum);
+        assert!(p.process_row(&[10, 10]).is_forward());
+        assert!(p.process_row(&[1, 1]).is_prune());
+        p.reset();
+        assert!(p.process_row(&[1, 1]).is_forward());
+        assert_eq!(p.name(), "skyline-sum");
+    }
+
+    #[test]
+    fn stored_points_capped_at_w() {
+        let mut p = SkylinePruner::new(2, 3, Heuristic::Sum);
+        // Mutually incomparable points: (i, 1000-i).
+        for i in 1..100u64 {
+            p.process(&[i, 1000 - i]);
+        }
+        assert_eq!(p.stored().count(), 3);
+    }
+
+    #[test]
+    fn dominates_min_definition() {
+        assert!(dominates_min(&[1, 2], &[3, 4]));
+        assert!(dominates_min(&[1, 4], &[1, 5]));
+        assert!(!dominates_min(&[1, 1], &[1, 1]));
+        assert!(!dominates_min(&[1, 9], &[9, 1]));
+    }
+
+    #[test]
+    fn direction_transform_is_involution_and_order_reversing() {
+        let d = Direction::MinimizeAll;
+        for &v in &[0u64, 1, 42, u64::MAX] {
+            assert_eq!(d.transform(d.transform(v)), v);
+        }
+        assert!(d.transform(1) > d.transform(2));
+        assert_eq!(Direction::MaximizeAll.transform(7), 7);
+    }
+
+    /// Minimizing skyline never prunes a min-frontier point.
+    #[test]
+    fn minimizing_skyline_exact() {
+        fn true_min_skyline(points: &[Vec<u64>]) -> Vec<Vec<u64>> {
+            points
+                .iter()
+                .filter(|p| !points.iter().any(|q| dominates_min(q, p)))
+                .cloned()
+                .collect()
+        }
+        for seed in 0..3 {
+            let pts = random_points(3_000, 2, 5_000, 100 + seed);
+            let truth = sorted(true_min_skyline(&pts));
+            for h in [Heuristic::Sum, Heuristic::aph_default(), Heuristic::Baseline] {
+                let mut p = SkylinePruner::new_min(2, 8, h);
+                let survivors: Vec<Vec<u64>> = pts
+                    .iter()
+                    .filter(|pt| p.process(pt).is_forward())
+                    .cloned()
+                    .collect();
+                assert_eq!(
+                    sorted(true_min_skyline(&survivors)),
+                    truth,
+                    "seed {seed}: minimizing skyline diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimizing_paper_example() {
+        // Minimizing taste/texture on the Ratings table: the min-frontier
+        // is just Fries (3,3), which dominates everything.
+        let mut p = SkylinePruner::new_min(2, 4, Heuristic::Sum);
+        assert!(p.process(&[3, 3]).is_forward()); // Fries
+        assert!(p.process(&[7, 5]).is_prune()); // Pizza
+        assert!(p.process(&[8, 6]).is_prune()); // Cheetos
+        assert!(p.process(&[5, 7]).is_prune()); // Burger
+    }
+}

@@ -1,0 +1,505 @@
+//! TOP N pruning (§4.3 Example 3 deterministic; §5 Example 7 randomized).
+//!
+//! `SELECT TOP N … ORDER BY c` needs the master to receive (a superset of)
+//! the `N` largest values. Two switch algorithms:
+//!
+//! * [`DeterministicTopN`] — a handful of threshold counters. The switch
+//!   forwards the first `N` entries while computing their minimum `t₀`;
+//!   afterwards everything below the active threshold is pruned. It
+//!   speculatively arms exponentially-spaced thresholds `tᵢ = 2ⁱ·t₀` and
+//!   activates `tᵢ` once `N` entries above it have been *forwarded*, so the
+//!   guarantee stays deterministic.
+//! * [`RandomizedTopN`] — a `d × w` matrix; each entry is hashed to a row
+//!   that tracks the `w` largest values mapped to it (a rolling minimum
+//!   across `w` stages). An entry smaller than all `w` cached values is
+//!   pruned. Theorem 2 picks `w` so that, with probability `1 − δ`, no row
+//!   receives more than `w` of the true top-`N` — in which case no output
+//!   entry is ever pruned (see [`crate::params`]).
+
+use crate::decision::{Decision, RowPruner};
+use crate::hash::HashFn;
+use crate::params;
+use crate::resources::{table2, ResourceUsage};
+
+/// Deterministic TOP N pruner using `w` exponential threshold counters.
+///
+/// Default configuration in Table 2: `N = 250, w = 4`.
+#[derive(Debug, Clone)]
+pub struct DeterministicTopN {
+    n: u64,
+    w: usize,
+    seen: u64,
+    /// Minimum among the first `n` entries; becomes `t₀` when `seen == n`.
+    running_min: u64,
+    /// `thresholds[i] = max(t₀,1) · 2^(i+1)`, armed after warm-up.
+    thresholds: Vec<u64>,
+    /// Forwarded entries strictly above each threshold.
+    counters: Vec<u64>,
+    /// Currently active pruning threshold (entries `<` it are pruned).
+    active: u64,
+}
+
+impl DeterministicTopN {
+    /// Create a pruner for the `n` largest values with `w` speculative
+    /// thresholds (each threshold costs one pipeline stage, Table 2).
+    pub fn new(n: u64, w: usize) -> Self {
+        assert!(n > 0, "TOP 0 is trivial");
+        DeterministicTopN {
+            n,
+            w,
+            seen: 0,
+            running_min: u64::MAX,
+            thresholds: Vec::with_capacity(w),
+            counters: vec![0; w],
+            active: 0,
+        }
+    }
+
+    /// Process one value; maximizing semantics (ORDER BY … DESC LIMIT n).
+    pub fn process(&mut self, value: u64) -> Decision {
+        if self.seen < self.n {
+            // Warm-up: forward unconditionally, learn t₀.
+            self.seen += 1;
+            self.running_min = self.running_min.min(value);
+            if self.seen == self.n {
+                let t0 = self.running_min;
+                self.active = t0;
+                // Exponential ladder above t₀; base 1 when t₀ = 0 so the
+                // ladder still climbs (activation keeps it safe).
+                let base = t0.max(1);
+                self.thresholds = (0..self.w)
+                    .map(|i| base.saturating_mul(1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX)))
+                    .collect();
+            }
+            return Decision::Forward;
+        }
+        if value < self.active {
+            return Decision::Prune;
+        }
+        // Forwarded: credit every armed threshold strictly below the value.
+        for (t, c) in self.thresholds.iter().zip(self.counters.iter_mut()) {
+            if value > *t {
+                *c += 1;
+            }
+        }
+        // Activate the highest threshold with n forwarded entries above it.
+        for i in (0..self.w).rev() {
+            if self.counters[i] >= self.n {
+                self.active = self.active.max(self.thresholds[i]);
+                break;
+            }
+        }
+        Decision::Forward
+    }
+
+    /// The threshold below which entries are currently pruned.
+    pub fn active_threshold(&self) -> u64 {
+        self.active
+    }
+
+    /// Table 2 resources: `w + 1` stages, `w + 1` ALUs, `(w+1)×64b` SRAM.
+    pub fn resources(&self) -> ResourceUsage {
+        table2::topn_det(self.w as u32)
+    }
+}
+
+impl RowPruner for DeterministicTopN {
+    fn process_row(&mut self, row: &[u64]) -> Decision {
+        self.process(row[0])
+    }
+
+    fn reset(&mut self) {
+        let (n, w) = (self.n, self.w);
+        *self = DeterministicTopN::new(n, w);
+    }
+
+    fn name(&self) -> &'static str {
+        "topn-det"
+    }
+}
+
+/// Randomized TOP N pruner: `d` rows, each a rolling-minimum cache of the
+/// `w` largest values hashed to it (Figure 2 of the paper).
+///
+/// Entries are *randomly* partitioned (a per-entry random row, not a hash of
+/// the value — values repeat in ORDER BY columns and must spread).
+#[derive(Debug, Clone)]
+pub struct RandomizedTopN {
+    d: usize,
+    w: usize,
+    /// Flattened `d × w`, each row sorted descending.
+    cells: Vec<u64>,
+    lens: Vec<u16>,
+    /// Sequence-seeded row selector: row = h(counter), i.e. uniform random
+    /// and reproducible.
+    row_hash: HashFn,
+    counter: u64,
+}
+
+impl RandomizedTopN {
+    /// Create a matrix with `d` rows and `w` columns.
+    ///
+    /// Use [`params::topn_columns`] / [`params::topn_optimal_config`] to set
+    /// the dimensions from `(N, δ)`. Table 2 default: `N=250, w=4, d=4096`.
+    pub fn new(d: usize, w: usize, seed: u64) -> Self {
+        assert!(d > 0 && w > 0 && w <= u16::MAX as usize);
+        RandomizedTopN {
+            d,
+            w,
+            cells: vec![0; d * w],
+            lens: vec![0; d],
+            row_hash: HashFn::new(seed),
+            counter: 0,
+        }
+    }
+
+    /// A pruner configured per Theorem 2 for `(n, δ)` given `d` rows.
+    /// Returns `None` if `(d, n, δ)` is infeasible.
+    pub fn for_query(d: usize, n: usize, delta: f64, seed: u64) -> Option<Self> {
+        params::topn_columns(d, n, delta).map(|w| Self::new(d, w, seed))
+    }
+
+    /// A pruner at the space-optimal `(d*, w*)` for `(n, δ)` (Appendix E).
+    pub fn optimal(n: usize, delta: f64, seed: u64) -> Option<Self> {
+        params::topn_optimal_config(n, delta).map(|(d, w)| Self::new(d, w, seed))
+    }
+
+    /// Process one value; maximizing semantics.
+    pub fn process(&mut self, value: u64) -> Decision {
+        let r = self.next_row();
+        self.process_in_row(r, value)
+    }
+
+    /// Draw the next entry's (uniform random) row — exposed so the §9
+    /// batching adapter can resolve collisions before processing.
+    pub fn next_row(&mut self) -> usize {
+        let r = self.row_hash.bucket(self.counter, self.d);
+        self.counter += 1;
+        r
+    }
+
+    /// Process a value in a caller-chosen row.
+    pub fn process_in_row(&mut self, r: usize, value: u64) -> Decision {
+        let base = r * self.w;
+        let len = self.lens[r] as usize;
+        if len == self.w {
+            let min = self.cells[base + self.w - 1];
+            if value < min {
+                // Smaller than all w cached values in its row.
+                return Decision::Prune;
+            }
+            if value == min {
+                // Not smaller than all cached values: forward; replacing an
+                // equal minimum would be a no-op, so skip the state write.
+                return Decision::Forward;
+            }
+            // Rolling replacement: insert in sorted position, drop the
+            // row minimum off the end.
+            let pos = self.cells[base..base + self.w].partition_point(|&c| c >= value);
+            self.cells[base + pos..base + self.w].rotate_right(1);
+            self.cells[base + pos] = value;
+            return Decision::Forward;
+        }
+        // Row not yet full: insert keeping descending order.
+        let pos = self.cells[base..base + len].partition_point(|&c| c >= value);
+        self.cells[base + pos..base + len + 1].rotate_right(1);
+        self.cells[base + pos] = value;
+        self.lens[r] = (len + 1) as u16;
+        Decision::Forward
+    }
+
+    /// Matrix dimensions `(d, w)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.d, self.w)
+    }
+
+    /// Table 2 resources: `w` stages, `w` ALUs, `(d·w)×64b` SRAM.
+    pub fn resources(&self) -> ResourceUsage {
+        table2::topn_rand(self.w as u32, self.d as u64)
+    }
+}
+
+impl RowPruner for RandomizedTopN {
+    fn process_row(&mut self, row: &[u64]) -> Decision {
+        self.process(row[0])
+    }
+
+    fn reset(&mut self) {
+        self.cells.fill(0);
+        self.lens.fill(0);
+        self.counter = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "topn-rand"
+    }
+}
+
+/// [`crate::batch::BatchAccess`] adapter for §9 multi-entry packets: every
+/// entry draws its uniform row up front; collided entries are forwarded
+/// unprocessed.
+#[derive(Debug, Clone)]
+pub struct TopNBatchAccess {
+    inner: RandomizedTopN,
+    pending_row: Option<usize>,
+}
+
+impl TopNBatchAccess {
+    /// Wrap a randomized TOP N pruner for batching.
+    pub fn new(inner: RandomizedTopN) -> Self {
+        TopNBatchAccess {
+            inner,
+            pending_row: None,
+        }
+    }
+}
+
+impl crate::batch::BatchAccess for TopNBatchAccess {
+    fn row_of(&mut self, _entry: &[u64]) -> usize {
+        let r = self.inner.next_row();
+        self.pending_row = Some(r);
+        r
+    }
+
+    fn process_one(&mut self, entry: &[u64]) -> Decision {
+        let r = self.pending_row.take().expect("row_of called first");
+        self.inner.process_in_row(r, entry[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    /// Top-n multiset of a stream.
+    fn true_topn(stream: &[u64], n: usize) -> Vec<u64> {
+        let mut v = stream.to_vec();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v.truncate(n);
+        v
+    }
+
+    /// Check the pruning invariant: forwarded ⊇ top-n (as multisets).
+    fn forwarded_covers_topn(stream: &[u64], forwarded: &[u64], n: usize) -> bool {
+        let top = true_topn(stream, n);
+        let mut fwd = forwarded.to_vec();
+        fwd.sort_unstable_by(|a, b| b.cmp(a));
+        // Every element of `top` must appear in `fwd` with at least the
+        // same multiplicity; since both are sorted desc, compare prefixes.
+        let mut fi = 0;
+        for t in top {
+            while fi < fwd.len() && fwd[fi] > t {
+                fi += 1;
+            }
+            if fi >= fwd.len() || fwd[fi] != t {
+                return false;
+            }
+            fi += 1;
+        }
+        true
+    }
+
+    #[test]
+    fn deterministic_never_prunes_topn() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..20 {
+            let m = 20_000;
+            let stream: Vec<u64> = (0..m).map(|_| rng.gen_range(0..1_000_000)).collect();
+            let mut p = DeterministicTopN::new(100, 4);
+            let forwarded: Vec<u64> = stream
+                .iter()
+                .copied()
+                .filter(|&v| p.process(v).is_forward())
+                .collect();
+            assert!(
+                forwarded_covers_topn(&stream, &forwarded, 100),
+                "trial {trial}: deterministic TOP N pruned an output entry"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_prunes_on_uniform_streams() {
+        // On uniform data the exponential ladder only reaches ~2^w·t₀ with
+        // t₀ ≈ max/N, so pruning is modest — the motivation for the
+        // randomized variant (Figure 10c).
+        let mut rng = StdRng::seed_from_u64(2);
+        let stream: Vec<u64> = (0..50_000).map(|_| rng.gen_range(0..1_000_000u64)).collect();
+        let mut p = DeterministicTopN::new(250, 4);
+        let pruned = stream.iter().filter(|&&v| p.process(v).is_prune()).count();
+        assert!(pruned > 500, "expected some pruning, got {pruned}/50000");
+    }
+
+    #[test]
+    fn deterministic_prunes_heavily_on_skewed_streams() {
+        // Heavy-tailed values (most small, few large) let the ladder climb
+        // well past t₀ and prune the bulk of the stream.
+        let mut rng = StdRng::seed_from_u64(12);
+        let stream: Vec<u64> = (0..50_000)
+            .map(|_| {
+                let exp = rng.gen_range(0..24u32);
+                rng.gen_range(0..(1u64 << exp).max(2))
+            })
+            .collect();
+        let mut p = DeterministicTopN::new(100, 12);
+        let forwarded: Vec<u64> = stream
+            .iter()
+            .copied()
+            .filter(|&v| p.process(v).is_forward())
+            .collect();
+        assert!(
+            forwarded.len() < 25_000,
+            "skewed stream should prune >50%, forwarded {}",
+            forwarded.len()
+        );
+        assert!(forwarded_covers_topn(&stream, &forwarded, 100));
+    }
+
+    #[test]
+    fn deterministic_threshold_climbs() {
+        // Feed N small entries then a flood of big ones: the active
+        // threshold must rise above t0.
+        let mut p = DeterministicTopN::new(10, 4);
+        for v in 0..10u64 {
+            assert!(p.process(v + 1).is_forward());
+        }
+        let t0 = p.active_threshold();
+        assert_eq!(t0, 1);
+        for _ in 0..100 {
+            p.process(1000);
+        }
+        assert!(p.active_threshold() > t0, "threshold should climb");
+        // Entries below the climbed threshold are pruned.
+        assert!(p.process(2).is_prune());
+    }
+
+    #[test]
+    fn deterministic_handles_zero_t0() {
+        let mut p = DeterministicTopN::new(5, 4);
+        for _ in 0..5 {
+            assert!(p.process(0).is_forward());
+        }
+        // t0 = 0: nothing below it, but the ladder still arms at 2,4,8,16.
+        for _ in 0..10 {
+            p.process(100);
+        }
+        assert!(p.active_threshold() > 0);
+        assert!(p.process(1).is_prune());
+        // Values above the ladder still forwarded.
+        assert!(p.process(1_000).is_forward());
+    }
+
+    #[test]
+    fn deterministic_monotone_stream_forwards_everything() {
+        // Worst case from §5: monotonically increasing input defeats
+        // pruning but must stay correct.
+        let mut p = DeterministicTopN::new(50, 4);
+        for v in 0..5_000u64 {
+            assert!(p.process(v).is_forward(), "monotone stream: {v} pruned");
+        }
+    }
+
+    #[test]
+    fn randomized_succeeds_at_theorem2_dimensions() {
+        // d=481, w=19 guarantees 99.99% success for N=1000; check a few
+        // random-order streams never lose a top-N entry.
+        let (d, w) = params::topn_optimal_config(1000, 1e-4).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..5 {
+            let mut stream: Vec<u64> = (0..100_000u64).collect();
+            stream.shuffle(&mut rng);
+            let mut p = RandomizedTopN::new(d, w, trial);
+            let forwarded: Vec<u64> = stream
+                .iter()
+                .copied()
+                .filter(|&v| p.process(v).is_forward())
+                .collect();
+            assert!(
+                forwarded_covers_topn(&stream, &forwarded, 1000),
+                "trial {trial}: randomized TOP N pruned an output entry"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_pruning_beats_theorem3_bound() {
+        let (d, w) = (481, 19);
+        let m = 200_000u64;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut stream: Vec<u64> = (0..m).collect();
+        stream.shuffle(&mut rng);
+        let mut p = RandomizedTopN::new(d, w, 7);
+        let forwarded = stream.iter().filter(|&&v| p.process(v).is_forward()).count() as f64;
+        let bound = params::topn_expected_unpruned(m, d, w);
+        // Theorem 3 bounds the expectation; allow 30% slack for one run.
+        assert!(
+            forwarded <= bound * 1.3,
+            "forwarded {forwarded} far above Theorem 3 bound {bound}"
+        );
+    }
+
+    #[test]
+    fn randomized_duplicates_handled() {
+        let mut p = RandomizedTopN::new(4, 2, 0);
+        // All-equal stream: an entry equal to the row minimum is "not
+        // smaller than all cached values", so nothing is ever pruned.
+        for _ in 0..100 {
+            assert!(p.process(7).is_forward());
+        }
+        // Rows hold at most w values each.
+        assert!(p.lens.iter().all(|&l| l <= 2));
+    }
+
+    #[test]
+    fn randomized_rows_stay_sorted() {
+        let mut p = RandomizedTopN::new(8, 4, 9);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            p.process(rng.gen::<u64>() % 1000);
+        }
+        for r in 0..8 {
+            let len = p.lens[r] as usize;
+            let row = &p.cells[r * 4..r * 4 + len];
+            assert!(
+                row.windows(2).all(|w| w[0] >= w[1]),
+                "row {r} not sorted desc: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut p = RandomizedTopN::new(4, 2, 0);
+        for v in 0..100 {
+            p.process(v);
+        }
+        p.reset();
+        assert!(p.lens.iter().all(|&l| l == 0));
+        assert_eq!(p.counter, 0);
+
+        let mut d = DeterministicTopN::new(10, 4);
+        for v in 0..100 {
+            d.process(v);
+        }
+        d.reset();
+        assert_eq!(d.active_threshold(), 0);
+    }
+
+    #[test]
+    fn resources_match_table2_defaults() {
+        let det = DeterministicTopN::new(250, 4);
+        assert_eq!(det.resources().stages, 5);
+        let rand = RandomizedTopN::new(4096, 4, 0);
+        assert_eq!(rand.resources().stages, 4);
+        assert_eq!(rand.resources().sram_bits, 4096 * 4 * 64);
+    }
+
+    #[test]
+    fn row_pruner_names() {
+        assert_eq!(DeterministicTopN::new(1, 1).name(), "topn-det");
+        assert_eq!(RandomizedTopN::new(1, 1, 0).name(), "topn-rand");
+    }
+}

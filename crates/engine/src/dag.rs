@@ -1,0 +1,208 @@
+//! DAG of workers (§9, "DAG of workers").
+//!
+//! "In large scale deployments … query planning may result in a directed
+//! acyclic graph of workers, each takes several inputs, runs a task, and
+//! outputs to a worker on the next level. In such cases, we can run
+//! Cheetah at each edge in which data is sent between workers", with each
+//! edge identified by its own port/fid and given its own slice of switch
+//! resources via the §6 packing algorithm.
+//!
+//! [`DagPipeline`] models a linear chain of worker stages (the common
+//! query-plan spine; a general DAG is a union of such chains per edge):
+//! every row passes a per-stage worker task (map/filter), then the edge's
+//! pruner. Per-edge statistics expose where data dies, and
+//! [`DagPipeline::check_packing`] verifies the combined edge programs fit
+//! one switch.
+
+use cheetah_core::decision::{PruneStats, RowPruner};
+use cheetah_core::resources::{ResourceUsage, SwitchModel};
+use cheetah_pisa::pack::{pack, DoesNotFit, Packing};
+
+/// A worker-stage task: transform a row, or drop it (`None`).
+pub type StageTask = Box<dyn Fn(&[u64]) -> Option<Vec<u64>> + Send + Sync>;
+
+/// One worker stage plus the pruned edge leaving it.
+pub struct DagStage {
+    /// Stage label (diagnostics).
+    pub name: String,
+    /// The per-row worker task.
+    pub task: StageTask,
+    /// The Cheetah pruner on this stage's outgoing edge.
+    pub edge_pruner: Box<dyn RowPruner + Send>,
+    /// Declared switch resources of the edge's program (for packing).
+    pub edge_resources: ResourceUsage,
+}
+
+impl std::fmt::Debug for DagStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DagStage")
+            .field("name", &self.name)
+            .field("edge", &self.edge_pruner.name())
+            .finish()
+    }
+}
+
+/// A chain of worker stages with switch pruning on every edge.
+#[derive(Debug)]
+pub struct DagPipeline {
+    stages: Vec<DagStage>,
+    /// Pruning statistics per edge, in stage order.
+    pub edge_stats: Vec<PruneStats>,
+}
+
+impl DagPipeline {
+    /// Build from stages (at least one).
+    pub fn new(stages: Vec<DagStage>) -> Self {
+        assert!(!stages.is_empty(), "a pipeline needs at least one stage");
+        let n = stages.len();
+        DagPipeline {
+            stages,
+            edge_stats: vec![PruneStats::default(); n],
+        }
+    }
+
+    /// Run rows through every stage and edge; returns what reaches the
+    /// master (the sink of the last edge).
+    pub fn run(&mut self, input: impl IntoIterator<Item = Vec<u64>>) -> Vec<Vec<u64>> {
+        let mut current: Vec<Vec<u64>> = input.into_iter().collect();
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            let mut next = Vec::with_capacity(current.len());
+            for row in current {
+                let Some(out) = (stage.task)(&row) else {
+                    continue; // dropped by the worker task itself
+                };
+                let d = stage.edge_pruner.process_row(&out);
+                self.edge_stats[i].record(d);
+                if d.is_forward() {
+                    next.push(out);
+                }
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// Verify all edge programs pack onto one switch (§9 → §6).
+    pub fn check_packing(&self, model: &SwitchModel) -> Result<Packing, DoesNotFit> {
+        let usages: Vec<ResourceUsage> =
+            self.stages.iter().map(|s| s.edge_resources).collect();
+        pack(model, &usages)
+    }
+
+    /// Reset all edge pruners and statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.stages {
+            s.edge_pruner.reset();
+        }
+        self.edge_stats.fill(PruneStats::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_core::groupby::{Extremum, GroupByPruner};
+    use cheetah_core::resources::table2;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    /// Two-level pruned aggregation: filter at stage 1, GROUP BY pruning
+    /// on both edges (rack switch, then aggregation switch), exact MAX at
+    /// the master.
+    #[test]
+    fn two_stage_groupby_max_exact() {
+        let mk_edge = |seed| -> Box<dyn RowPruner + Send> {
+            Box::new(GroupByPruner::new(32, 2, Extremum::Max, seed))
+        };
+        let mut dag = DagPipeline::new(vec![
+            DagStage {
+                name: "filter-workers".into(),
+                task: Box::new(|row| (row[1] >= 100).then(|| row.to_vec())),
+                edge_pruner: mk_edge(1),
+                edge_resources: table2::group_by(2, 32),
+            },
+            DagStage {
+                name: "agg-workers".into(),
+                task: Box::new(|row| Some(row.to_vec())),
+                edge_pruner: mk_edge(2),
+                edge_resources: table2::group_by(2, 32),
+            },
+        ]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let input: Vec<Vec<u64>> = (0..40_000)
+            .map(|_| vec![rng.gen_range(1..200u64), rng.gen_range(0..10_000u64)])
+            .collect();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for r in &input {
+            if r[1] >= 100 {
+                let e = truth.entry(r[0]).or_insert(0);
+                *e = (*e).max(r[1]);
+            }
+        }
+        let survivors = dag.run(input);
+        let mut got: HashMap<u64, u64> = HashMap::new();
+        for r in &survivors {
+            let e = got.entry(r[0]).or_insert(0);
+            *e = (*e).max(r[1]);
+        }
+        assert_eq!(got, truth, "two-level pruned aggregation diverged");
+        // Both edges actually pruned.
+        assert!(dag.edge_stats[0].pruned > 0, "edge 1 idle");
+        assert!(dag.edge_stats[1].pruned > 0, "edge 2 idle");
+        // And the second edge sees only the first edge's survivors.
+        assert_eq!(
+            dag.edge_stats[1].processed,
+            dag.edge_stats[0].forwarded()
+        );
+    }
+
+    #[test]
+    fn packing_check_uses_section6_placer() {
+        let mk = |seed| DagStage {
+            name: format!("s{seed}"),
+            task: Box::new(|row: &[u64]| Some(row.to_vec())) as StageTask,
+            edge_pruner: Box::new(GroupByPruner::new(4096, 8, Extremum::Max, seed)),
+            edge_resources: table2::group_by(8, 4096),
+        };
+        let dag = DagPipeline::new(vec![mk(1), mk(2)]);
+        let model = SwitchModel::tofino_like();
+        let packing = dag.check_packing(&model).expect("two edges fit");
+        assert_eq!(packing.placements.len(), 2);
+        // An absurd chain overflows.
+        let dag = DagPipeline::new((0..40).map(mk).collect());
+        assert!(dag.check_packing(&model).is_err());
+    }
+
+    #[test]
+    fn worker_drops_do_not_count_as_pruning() {
+        let mut dag = DagPipeline::new(vec![DagStage {
+            name: "drop-odds".into(),
+            task: Box::new(|row| (row[0] % 2 == 0).then(|| row.to_vec())),
+            edge_pruner: Box::new(GroupByPruner::new(8, 2, Extremum::Max, 0)),
+            edge_resources: table2::group_by(2, 8),
+        }]);
+        let out = dag.run((0..10u64).map(|i| vec![i, i]));
+        assert_eq!(out.len(), 5, "evens survive");
+        assert_eq!(
+            dag.edge_stats[0].processed, 5,
+            "the edge never sees worker-dropped rows"
+        );
+    }
+
+    #[test]
+    fn reset_clears_edges() {
+        let mut dag = DagPipeline::new(vec![DagStage {
+            name: "s".into(),
+            task: Box::new(|row| Some(row.to_vec())),
+            edge_pruner: Box::new(GroupByPruner::new(8, 2, Extremum::Max, 0)),
+            edge_resources: table2::group_by(2, 8),
+        }]);
+        dag.run([vec![1, 10], vec![1, 5]]);
+        assert_eq!(dag.edge_stats[0].pruned, 1);
+        dag.reset();
+        assert_eq!(dag.edge_stats[0].processed, 0);
+        let out = dag.run([vec![1, 5]]);
+        assert_eq!(out.len(), 1, "edge state cleared");
+    }
+}

@@ -1,0 +1,52 @@
+//! # cheetah-engine — a mini Spark-SQL-style engine with switch pruning
+//!
+//! The paper integrates Cheetah into Spark SQL (§3, Figure 1/3): a query
+//! planner hands tasks to workers over partitioned columnar data, a master
+//! merges results; with Cheetah, workers skip their computational tasks
+//! and serialize the query's metadata columns straight through the switch,
+//! which prunes, and the master completes the query on the survivors.
+//!
+//! This crate rebuilds that pipeline at library scale:
+//!
+//! * [`table`] — columnar tables, hash/range partitioning;
+//! * [`query`] — the query specs of Appendix B + canonical results;
+//! * [`mod@reference`] — single-node ground-truth evaluator (test oracle);
+//! * [`spark`] — the baseline executor: per-partition worker tasks,
+//!   shuffled partials, master merge, with an analytic completion-time
+//!   model (first-run penalty, compressed shuffle);
+//! * [`cheetah`] — the Cheetah executor: CWorker serialization → switch
+//!   pruning ([`cheetah-core`] pruners) → CMaster completion, plus late
+//!   materialization and the 10G/20G network model;
+//! * [`threaded`] — a crossbeam-channel cluster running real worker/
+//!   switch/master threads (wall-clock, non-deterministic interleaving);
+//! * [`netaccel`] — the §8.2.4 NetAccel lower-bound comparator (result
+//!   drain from switch registers; switch-CPU offload model of App. F);
+//! * [`cost`] — the shared cost model and Table 3's hardware envelopes.
+//!
+//! Completion *times* are modeled (no testbed here — see DESIGN.md), but
+//! every executor computes **real query results** over real data, and the
+//! integration tests require Spark-baseline ≡ Cheetah ≡ reference for
+//! every query type.
+//!
+//! [`cheetah-core`]: cheetah_core
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod cheetah;
+pub mod cost;
+pub mod dag;
+pub mod netaccel;
+pub mod q3;
+pub mod query;
+pub mod reference;
+pub mod spark;
+pub mod table;
+pub mod threaded;
+
+pub use cheetah::{CheetahExecutor, CheetahReport};
+pub use cost::{CostModel, TimingBreakdown};
+pub use query::{Agg, Predicate, Query, QueryResult};
+pub use spark::{SparkExecutor, SparkReport};
+pub use table::{Database, Table};

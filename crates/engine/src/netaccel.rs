@@ -1,0 +1,93 @@
+//! The NetAccel comparator models (§8.2.4, Figure 7; Appendix F,
+//! Figures 12/13).
+//!
+//! NetAccel computes queries *on* the switch, storing results in dataplane
+//! registers, which forces (a) a result **drain** through the switch
+//! control plane when the query completes, and (b) overflowing work to the
+//! weak **switch CPU** when the dataplane cannot hold it. NetAccel's code
+//! is not public; like the paper, we model a *lower bound* — assume its
+//! pruning matches Cheetah's and charge only the mandatory drain/CPU
+//! costs.
+
+/// Rates for the NetAccel lower-bound model.
+#[derive(Debug, Clone, Copy)]
+pub struct NetAccelModel {
+    /// Entries/s readable from dataplane registers via the control plane
+    /// (PCIe register reads; the dominant Figure 7 cost).
+    pub drain_entries_per_s: f64,
+    /// Switch-CPU processing rate (entries/s) — a wimpy management core.
+    pub switch_cpu_rate: f64,
+    /// Dataplane→CPU channel in entries/s (the paper notes this
+    /// throughput is itself limited).
+    pub cpu_channel_rate: f64,
+    /// Server processing rate (entries/s) for the same operator — the
+    /// comparison line of Figures 12/13.
+    pub server_rate: f64,
+}
+
+impl Default for NetAccelModel {
+    fn default() -> Self {
+        NetAccelModel {
+            drain_entries_per_s: 150_000.0,
+            switch_cpu_rate: 0.4e6,
+            cpu_channel_rate: 1.0e6,
+            server_rate: 6.0e6,
+        }
+    }
+}
+
+impl NetAccelModel {
+    /// Figure 7: time to move a result of `entries` from the dataplane to
+    /// the master before the next pipeline stage can start.
+    pub fn drain_s(&self, entries: u64) -> f64 {
+        entries as f64 / self.drain_entries_per_s
+    }
+
+    /// Figures 12/13: processing `entries` on the switch CPU — bounded by
+    /// both the CPU itself and the dataplane→CPU channel.
+    pub fn switch_cpu_s(&self, entries: u64) -> f64 {
+        let e = entries as f64;
+        (e / self.switch_cpu_rate).max(e / self.cpu_channel_rate)
+    }
+
+    /// The same work on a server (master) core.
+    pub fn server_s(&self, entries: u64) -> f64 {
+        entries as f64 / self.server_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_grows_linearly_with_result_size() {
+        let m = NetAccelModel::default();
+        let t1 = m.drain_s(10_000);
+        let t4 = m.drain_s(40_000);
+        assert!((t4 / t1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure7_shape_drain_dominates_at_large_results() {
+        // Fig 7: by 40% result size the drain alone reaches ~0.6 s while
+        // Cheetah's curve stays near-flat. Check the magnitude band.
+        let m = NetAccelModel::default();
+        let t = m.drain_s(80_000); // ~40% of a 200K-entry input
+        assert!((0.3..1.0).contains(&t), "drain {t}s out of Fig 7 band");
+    }
+
+    #[test]
+    fn figures_12_13_server_beats_switch_cpu() {
+        let m = NetAccelModel::default();
+        for entries in [10_000u64, 100_000, 1_000_000, 10_000_000] {
+            assert!(
+                m.server_s(entries) < m.switch_cpu_s(entries),
+                "server must outperform the switch CPU at {entries}"
+            );
+        }
+        // And the gap is an order of magnitude, as the appendix plots.
+        let ratio = m.switch_cpu_s(1_000_000) / m.server_s(1_000_000);
+        assert!(ratio > 5.0, "gap ratio {ratio}");
+    }
+}

@@ -1,0 +1,299 @@
+//! Query specifications and canonical results.
+//!
+//! The enum covers every query shape the paper evaluates (Appendix B plus
+//! the Big Data benchmark queries A/B and their combination). Results are
+//! canonicalized (sorted, deduplicated where sets) so executors can be
+//! compared with `==` — the pruning correctness equation
+//! `Q(A_Q(D)) = Q(D)` in executable form.
+
+use std::collections::BTreeMap;
+
+use cheetah_core::filter::{Atom, Formula};
+
+/// Aggregate functions for GROUP BY.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Per-group maximum.
+    Max,
+    /// Per-group minimum.
+    Min,
+    /// Per-group sum.
+    Sum,
+    /// Per-group row count.
+    Count,
+}
+
+/// A `WHERE` predicate: atoms over a table's columns plus the formula.
+///
+/// `atoms[i].col` indexes into `columns`, the list of column names the
+/// predicate reads (what the CWorker serializes for the metadata pass).
+#[derive(Debug, Clone)]
+pub struct Predicate {
+    /// Columns the predicate reads, in atom `col` order.
+    pub columns: Vec<String>,
+    /// The atomic comparisons.
+    pub atoms: Vec<Atom>,
+    /// The Boolean structure over the atoms.
+    pub formula: Formula,
+}
+
+impl Predicate {
+    /// Evaluate the full predicate on a row of the referenced columns.
+    pub fn eval(&self, row: &[u64]) -> bool {
+        self.formula.eval(&self.atoms, row)
+    }
+}
+
+/// One query over a [`crate::table::Database`].
+#[derive(Debug, Clone)]
+pub enum Query {
+    /// `SELECT COUNT(*) FROM t WHERE …` (Big Data query A / App. B q1).
+    FilterCount {
+        /// Source table.
+        table: String,
+        /// The WHERE predicate.
+        predicate: Predicate,
+    },
+    /// `SELECT * FROM t WHERE …` — returns matching row ids (late
+    /// materialization fetches the full rows afterwards).
+    Filter {
+        /// Source table.
+        table: String,
+        /// The WHERE predicate.
+        predicate: Predicate,
+    },
+    /// `SELECT DISTINCT col FROM t` (App. B q2).
+    Distinct {
+        /// Source table.
+        table: String,
+        /// Column whose distinct values are requested.
+        column: String,
+    },
+    /// `SELECT DISTINCT c1, c2, … FROM t` — multi-column distinct; the
+    /// CWorker ships a fingerprint of the combination (§5, Example 8),
+    /// making this a probabilistic-guarantee query (Theorem 4).
+    DistinctMulti {
+        /// Source table.
+        table: String,
+        /// The combined key columns.
+        columns: Vec<String>,
+    },
+    /// `SELECT TOP n * FROM t ORDER BY col` (App. B q4).
+    TopN {
+        /// Source table.
+        table: String,
+        /// Ordering column (maximized).
+        order_by: String,
+        /// Result size.
+        n: usize,
+    },
+    /// `SELECT key, AGG(val) FROM t GROUP BY key` (App. B q5, Big Data B).
+    GroupBy {
+        /// Source table.
+        table: String,
+        /// Grouping column.
+        key: String,
+        /// Aggregated column (ignored for COUNT).
+        val: String,
+        /// Aggregate function.
+        agg: Agg,
+    },
+    /// `SELECT key FROM t GROUP BY key HAVING SUM(val) > threshold`
+    /// (App. B q7).
+    Having {
+        /// Source table.
+        table: String,
+        /// Grouping column.
+        key: String,
+        /// Summed column.
+        val: String,
+        /// The HAVING threshold `c`.
+        threshold: u64,
+    },
+    /// `SELECT * FROM l JOIN r ON l.lcol = r.rcol` (App. B q6).
+    Join {
+        /// Left table.
+        left: String,
+        /// Right table.
+        right: String,
+        /// Left join column.
+        left_col: String,
+        /// Right join column.
+        right_col: String,
+    },
+    /// `SELECT * FROM t SKYLINE OF c1, c2, …` (App. B q3), maximizing.
+    Skyline {
+        /// Source table.
+        table: String,
+        /// The skyline dimensions.
+        columns: Vec<String>,
+    },
+}
+
+impl Query {
+    /// Short name for harness output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::FilterCount { .. } => "filter-count",
+            Query::Filter { .. } => "filter",
+            Query::Distinct { .. } => "distinct",
+            Query::DistinctMulti { .. } => "distinct",
+            Query::TopN { .. } => "topn",
+            Query::GroupBy { .. } => "groupby",
+            Query::Having { .. } => "having",
+            Query::Join { .. } => "join",
+            Query::Skyline { .. } => "skyline",
+        }
+    }
+}
+
+/// Canonical query output, comparable across executors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResult {
+    /// A row count.
+    Count(u64),
+    /// Matching row ids, sorted (Filter).
+    RowIds(Vec<u64>),
+    /// A sorted set of values (DISTINCT).
+    Values(Vec<u64>),
+    /// The top-n values, sorted descending (TOP N).
+    TopValues(Vec<u64>),
+    /// `key → aggregate` (GROUP BY).
+    Groups(BTreeMap<u64, u64>),
+    /// Sorted output keys (HAVING).
+    Keys(Vec<u64>),
+    /// Join cardinality + an order-independent checksum of the matched
+    /// pairs (full materialization would dwarf everything else).
+    JoinSummary {
+        /// Number of matching (left-row, right-row) pairs.
+        pairs: u64,
+        /// Commutative checksum over pair keys.
+        checksum: u64,
+    },
+    /// Sorted, deduplicated skyline points.
+    Points(Vec<Vec<u64>>),
+}
+
+impl QueryResult {
+    /// Canonicalize a value set.
+    pub fn values(mut v: Vec<u64>) -> Self {
+        v.sort_unstable();
+        v.dedup();
+        QueryResult::Values(v)
+    }
+
+    /// Canonicalize top-n values (desc, truncated to n).
+    pub fn top_values(mut v: Vec<u64>, n: usize) -> Self {
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v.truncate(n);
+        QueryResult::TopValues(v)
+    }
+
+    /// Canonicalize keys.
+    pub fn keys(mut v: Vec<u64>) -> Self {
+        v.sort_unstable();
+        v.dedup();
+        QueryResult::Keys(v)
+    }
+
+    /// Canonicalize row ids.
+    pub fn row_ids(mut v: Vec<u64>) -> Self {
+        v.sort_unstable();
+        QueryResult::RowIds(v)
+    }
+
+    /// Canonicalize points.
+    pub fn points(mut v: Vec<Vec<u64>>) -> Self {
+        v.sort();
+        v.dedup();
+        QueryResult::Points(v)
+    }
+
+    /// Number of output entries (drives the NetAccel drain model, Fig 7).
+    pub fn output_size(&self) -> u64 {
+        match self {
+            QueryResult::Count(_) => 1,
+            QueryResult::RowIds(v) => v.len() as u64,
+            QueryResult::Values(v) => v.len() as u64,
+            QueryResult::TopValues(v) => v.len() as u64,
+            QueryResult::Groups(g) => g.len() as u64,
+            QueryResult::Keys(k) => k.len() as u64,
+            QueryResult::JoinSummary { pairs, .. } => *pairs,
+            QueryResult::Points(p) => p.len() as u64,
+        }
+    }
+}
+
+/// Commutative checksum used by join summaries (order-independent).
+pub fn pair_checksum(acc: u64, key: u64, left_row: u64, right_row: u64) -> u64 {
+    acc.wrapping_add(cheetah_core::hash::mix64(
+        key ^ left_row.rotate_left(17) ^ right_row.rotate_left(41),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_core::filter::CmpOp;
+
+    #[test]
+    fn canonical_values() {
+        assert_eq!(
+            QueryResult::values(vec![3, 1, 3, 2]),
+            QueryResult::Values(vec![1, 2, 3])
+        );
+        assert_eq!(
+            QueryResult::top_values(vec![5, 9, 1, 7], 2),
+            QueryResult::TopValues(vec![9, 7])
+        );
+        assert_eq!(
+            QueryResult::keys(vec![2, 2, 1]),
+            QueryResult::Keys(vec![1, 2])
+        );
+        assert_eq!(
+            QueryResult::points(vec![vec![2, 1], vec![1, 2], vec![2, 1]]),
+            QueryResult::Points(vec![vec![1, 2], vec![2, 1]])
+        );
+    }
+
+    #[test]
+    fn output_sizes() {
+        assert_eq!(QueryResult::Count(5).output_size(), 1);
+        assert_eq!(QueryResult::values(vec![1, 2, 3]).output_size(), 3);
+        assert_eq!(
+            QueryResult::JoinSummary {
+                pairs: 42,
+                checksum: 0
+            }
+            .output_size(),
+            42
+        );
+    }
+
+    #[test]
+    fn checksum_is_commutative() {
+        let a = pair_checksum(pair_checksum(0, 1, 2, 3), 4, 5, 6);
+        let b = pair_checksum(pair_checksum(0, 4, 5, 6), 1, 2, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predicate_eval() {
+        let p = Predicate {
+            columns: vec!["x".into()],
+            atoms: vec![Atom::cmp(0, CmpOp::Lt, 10)],
+            formula: Formula::Atom(0),
+        };
+        assert!(p.eval(&[5]));
+        assert!(!p.eval(&[15]));
+    }
+
+    #[test]
+    fn kinds() {
+        let q = Query::Distinct {
+            table: "t".into(),
+            column: "c".into(),
+        };
+        assert_eq!(q.kind(), "distinct");
+    }
+}

@@ -1,0 +1,209 @@
+//! Columnar tables and partitioning.
+//!
+//! All engine values are 64-bit integers: string columns arrive
+//! dictionary-encoded from `cheetah-workloads` (the CWorker would
+//! fingerprint wide columns anyway, §3), money is in cents, dates are day
+//! numbers. Tables split into row-range partitions, one per worker, as in
+//! the Spark setup of §8.2 (five workers, one partition each).
+
+use std::collections::HashMap;
+
+/// A named, columnar, u64-typed table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Vec<String>,
+    columns: Vec<Vec<u64>>,
+    rows: usize,
+}
+
+impl Table {
+    /// Build a table from `(column name, data)` pairs (all equal length).
+    pub fn new(name: impl Into<String>, cols: Vec<(&str, Vec<u64>)>) -> Self {
+        assert!(!cols.is_empty(), "a table needs at least one column");
+        let rows = cols[0].1.len();
+        assert!(
+            cols.iter().all(|(_, c)| c.len() == rows),
+            "ragged columns"
+        );
+        Table {
+            name: name.into(),
+            schema: cols.iter().map(|(n, _)| (*n).to_string()).collect(),
+            columns: cols.into_iter().map(|(_, c)| c).collect(),
+            rows,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column names in order.
+    pub fn schema(&self) -> &[String] {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn col_index(&self, name: &str) -> usize {
+        self.schema
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column '{name}' in table '{}'", self.name))
+    }
+
+    /// A column's data by name.
+    pub fn col(&self, name: &str) -> &[u64] {
+        &self.columns[self.col_index(name)]
+    }
+
+    /// A column's data by index.
+    pub fn col_at(&self, idx: usize) -> &[u64] {
+        &self.columns[idx]
+    }
+
+    /// One full row (across all columns) — used by late materialization.
+    pub fn row(&self, r: usize) -> Vec<u64> {
+        self.columns.iter().map(|c| c[r]).collect()
+    }
+
+    /// Append a derived column (e.g. the `sourceIP` prefix of Big Data B).
+    pub fn add_column(&mut self, name: &str, data: Vec<u64>) {
+        assert_eq!(data.len(), self.rows, "column length mismatch");
+        self.schema.push(name.to_string());
+        self.columns.push(data);
+    }
+
+    /// Row-range partition bounds for `p` workers: `p` near-equal spans.
+    pub fn partition_bounds(&self, p: usize) -> Vec<(usize, usize)> {
+        assert!(p > 0);
+        let per = self.rows / p;
+        let extra = self.rows % p;
+        let mut bounds = Vec::with_capacity(p);
+        let mut start = 0;
+        for i in 0..p {
+            let len = per + usize::from(i < extra);
+            bounds.push((start, start + len));
+            start += len;
+        }
+        bounds
+    }
+}
+
+/// A named collection of tables — what the planner resolves against.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Insert (or replace) a table under its own name.
+    pub fn add(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Look a table up; panics on unknown names (planner bug).
+    pub fn table(&self, name: &str) -> &Table {
+        self.tables
+            .get(name)
+            .unwrap_or_else(|| panic!("no table '{name}'"))
+    }
+
+    /// Mutable lookup (for derived columns).
+    pub fn table_mut(&mut self, name: &str) -> &mut Table {
+        self.tables
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no table '{name}'"))
+    }
+
+    /// Table names (sorted, for deterministic iteration).
+    pub fn names(&self) -> Vec<&str> {
+        let mut n: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        n.sort_unstable();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(
+            "t",
+            vec![("a", vec![1, 2, 3, 4, 5]), ("b", vec![10, 20, 30, 40, 50])],
+        )
+    }
+
+    #[test]
+    fn basic_access() {
+        let t = t();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.col("b")[2], 30);
+        assert_eq!(t.row(1), vec![2, 20]);
+        assert_eq!(t.col_index("a"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn unknown_column_panics() {
+        t().col("zzz");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rejected() {
+        Table::new("bad", vec![("a", vec![1]), ("b", vec![1, 2])]);
+    }
+
+    #[test]
+    fn partitions_cover_exactly() {
+        let t = Table::new("t", vec![("a", (0..103u64).collect())]);
+        for p in 1..=7 {
+            let bounds = t.partition_bounds(p);
+            assert_eq!(bounds.len(), p);
+            assert_eq!(bounds[0].0, 0);
+            assert_eq!(bounds[p - 1].1, 103);
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "gaps/overlaps");
+            }
+            // Near-equal sizes.
+            let sizes: Vec<usize> = bounds.iter().map(|(s, e)| e - s).collect();
+            assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        }
+    }
+
+    #[test]
+    fn derived_column() {
+        let mut t = t();
+        t.add_column("c", vec![0, 0, 1, 1, 0]);
+        assert_eq!(t.width(), 3);
+        assert_eq!(t.col("c")[3], 1);
+    }
+
+    #[test]
+    fn database_roundtrip() {
+        let mut db = Database::new();
+        db.add(t());
+        assert_eq!(db.table("t").rows(), 5);
+        db.table_mut("t").add_column("x", vec![0; 5]);
+        assert_eq!(db.table("t").width(), 3);
+        assert_eq!(db.names(), vec!["t"]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Real-threads cluster: workers, switch and master as OS threads wired
+//! with crossbeam channels.
+//!
+//! The deterministic executor interleaves partitions round-robin; this
+//! module runs the same dataflow with genuine concurrency — worker threads
+//! race into one switch thread (the pruner runs serialized there, as the
+//! single ASIC pipeline would), and the master thread accumulates
+//! survivors. Entry arrival order is nondeterministic, so pruning *rates*
+//! vary run to run, but Cheetah's guarantee is order-independent: the
+//! completed result must always equal the reference — which is exactly
+//! what the integration tests assert.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use cheetah_core::decision::{PruneStats, RowPruner};
+
+/// One worker's partition: the rows (metadata values) it streams.
+pub type Partition = Vec<Vec<u64>>;
+
+/// Outcome of a threaded streaming run.
+#[derive(Debug)]
+pub struct ThreadedRun {
+    /// Entries the switch forwarded, in master arrival order.
+    pub forwarded: Vec<Vec<u64>>,
+    /// Switch pruning counters.
+    pub stats: PruneStats,
+}
+
+/// Stream `partitions` through `pruner` with one thread per worker, one
+/// switch thread, and the calling thread as master.
+pub fn run_stream(partitions: Vec<Partition>, pruner: Box<dyn RowPruner + Send>) -> ThreadedRun {
+    let (entry_tx, entry_rx) = channel::bounded::<Vec<u64>>(1024);
+    let (fwd_tx, fwd_rx) = channel::bounded::<Vec<u64>>(1024);
+    let pruner = Mutex::new(pruner);
+    let stats = Mutex::new(PruneStats::default());
+
+    std::thread::scope(|scope| {
+        // Workers: serialize their partition into the shared switch queue.
+        for part in partitions {
+            let tx = entry_tx.clone();
+            scope.spawn(move || {
+                for row in part {
+                    tx.send(row).expect("switch alive");
+                }
+            });
+        }
+        drop(entry_tx);
+
+        // Switch: single consumer — the one pipeline.
+        {
+            let fwd_tx = fwd_tx;
+            let pruner = &pruner;
+            let stats = &stats;
+            scope.spawn(move || {
+                let mut pruner = pruner.lock();
+                let mut local = PruneStats::default();
+                for row in entry_rx {
+                    let d = pruner.process_row(&row);
+                    local.record(d);
+                    if d.is_forward() {
+                        fwd_tx.send(row).expect("master alive");
+                    }
+                }
+                *stats.lock() = local;
+            });
+        }
+
+        // Master: the current thread collects survivors.
+        let forwarded: Vec<Vec<u64>> = fwd_rx.into_iter().collect();
+        ThreadedRun {
+            forwarded,
+            stats: *stats.lock(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_core::distinct::{DistinctPruner, EvictionPolicy};
+    use cheetah_core::groupby::{Extremum, GroupByPruner};
+    use std::collections::{HashMap, HashSet};
+
+    fn partitions(workers: usize, rows: usize, keys: u64) -> Vec<Partition> {
+        (0..workers)
+            .map(|w| {
+                (0..rows)
+                    .map(|i| {
+                        let k = (w * rows + i) as u64 % keys + 1;
+                        vec![k, (i as u64 * 13) % 1000]
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distinct_result_correct_under_races() {
+        for trial in 0..5 {
+            let parts = partitions(4, 2_000, 97);
+            let truth: HashSet<u64> = parts.iter().flatten().map(|r| r[0]).collect();
+            let pruner = Box::new(DistinctPruner::new(256, 2, EvictionPolicy::Lru, trial));
+            let run = run_stream(parts, pruner);
+            let got: HashSet<u64> = run.forwarded.iter().map(|r| r[0]).collect();
+            assert_eq!(got, truth, "trial {trial}: distinct set diverged");
+            assert_eq!(run.stats.processed, 8_000);
+            assert!(run.stats.pruned > 0, "should prune duplicates");
+        }
+    }
+
+    #[test]
+    fn groupby_max_correct_under_races() {
+        let parts = partitions(3, 3_000, 50);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for r in parts.iter().flatten() {
+            let e = truth.entry(r[0]).or_insert(0);
+            *e = (*e).max(r[1]);
+        }
+        let pruner = Box::new(GroupByPruner::new(64, 4, Extremum::Max, 9));
+        let run = run_stream(parts, pruner);
+        let mut got: HashMap<u64, u64> = HashMap::new();
+        for r in &run.forwarded {
+            let e = got.entry(r[0]).or_insert(0);
+            *e = (*e).max(r[1]);
+        }
+        assert_eq!(got, truth);
+    }
+
+    #[test]
+    fn empty_partitions_complete() {
+        let pruner = Box::new(DistinctPruner::new(4, 1, EvictionPolicy::Fifo, 0));
+        let run = run_stream(vec![vec![], vec![]], pruner);
+        assert!(run.forwarded.is_empty());
+        assert_eq!(run.stats.processed, 0);
+    }
+}

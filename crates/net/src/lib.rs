@@ -1,0 +1,36 @@
+//! # cheetah-net — the switch-assisted reliable transport (§7.2)
+//!
+//! Cheetah ships entries from CWorkers to the CMaster over UDP for low
+//! latency, with a custom reliability layer. The twist: the switch prunes
+//! packets, so the master alone cannot tell a pruned packet from a lost
+//! one. The switch therefore *participates* in the protocol — it ACKs the
+//! packets it prunes, and enforces in-order processing so its stateful
+//! pruning algorithms see each entry exactly once:
+//!
+//! * `Y = X + 1` — in-order packet: process (prune or forward), advance `X`;
+//!   if pruned, the **switch** sends the ACK, otherwise the master will.
+//! * `Y ≤ X` — a retransmission of an already-processed packet: forward to
+//!   the master *without* processing (its retransmission must not corrupt
+//!   switch state; if the original was pruned, the master sees a harmless
+//!   superset — every Cheetah algorithm tolerates supersets).
+//! * `Y > X + 1` — a gap: drop and wait for the retransmission of `X + 1`.
+//!
+//! The crate provides the Figure 4 wire format ([`wire`]), the three
+//! protocol state machines ([`worker`], [`switchnode`], [`master`]) and a
+//! seeded discrete-event simulation of the lossy fabric ([`sim`]) used by
+//! the correctness property tests and the protocol micro-benchmarks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod master;
+pub mod sim;
+pub mod switchnode;
+pub mod wire;
+pub mod worker;
+
+pub use master::MasterRx;
+pub use sim::{NetStats, Simulation, SimulationConfig};
+pub use switchnode::SwitchNode;
+pub use wire::{AckPacket, DataPacket, Message};
+pub use worker::WorkerTx;

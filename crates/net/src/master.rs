@@ -1,0 +1,135 @@
+//! The CMaster receive state machine: ACK everything, deduplicate,
+//! deliver entry values to the query completion layer.
+
+use std::collections::HashMap;
+
+use crate::wire::{AckPacket, DataPacket, Message};
+
+/// Receive-side state for the master across all flows.
+#[derive(Debug, Default)]
+pub struct MasterRx {
+    /// Per-flow received sequence numbers (dedup bitmap, grown lazily).
+    received: HashMap<u16, Vec<bool>>,
+    /// Delivered entries in arrival order: `(fid, seq, values)`.
+    delivered: Vec<(u16, u32, Vec<u64>)>,
+    /// Flows whose FIN arrived.
+    finished: HashMap<u16, bool>,
+    /// Statistics: duplicate data packets discarded.
+    pub duplicates: u64,
+}
+
+impl MasterRx {
+    /// A fresh master.
+    pub fn new() -> Self {
+        MasterRx::default()
+    }
+
+    /// Handle a data packet: always ACK; deliver if not seen before.
+    pub fn on_data(&mut self, pkt: DataPacket) -> Message {
+        let ack = Message::Ack(AckPacket {
+            fid: pkt.fid,
+            seq: pkt.seq,
+            pruned: false,
+        });
+        let seen = self.received.entry(pkt.fid).or_default();
+        let idx = pkt.seq as usize;
+        if seen.len() <= idx {
+            seen.resize(idx + 1, false);
+        }
+        if seen[idx] {
+            self.duplicates += 1;
+        } else {
+            seen[idx] = true;
+            self.delivered.push((pkt.fid, pkt.seq, pkt.values));
+        }
+        ack
+    }
+
+    /// Handle a FIN: record flow completion and acknowledge.
+    pub fn on_fin(&mut self, fid: u16) -> Message {
+        self.finished.insert(fid, true);
+        Message::FinAck { fid }
+    }
+
+    /// All `fids` have delivered their FIN.
+    pub fn all_finished(&self, fids: &[u16]) -> bool {
+        fids.iter().all(|f| self.finished.get(f).copied().unwrap_or(false))
+    }
+
+    /// Entries delivered so far, in arrival order.
+    pub fn delivered(&self) -> &[(u16, u32, Vec<u64>)] {
+        &self.delivered
+    }
+
+    /// Consume the master, returning the delivered entries.
+    pub fn into_delivered(self) -> Vec<(u16, u32, Vec<u64>)> {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(fid: u16, seq: u32, v: u64) -> DataPacket {
+        DataPacket {
+            fid,
+            seq,
+            values: vec![v],
+        }
+    }
+
+    #[test]
+    fn delivers_and_acks() {
+        let mut m = MasterRx::new();
+        let ack = m.on_data(data(1, 0, 42));
+        assert_eq!(
+            ack,
+            Message::Ack(AckPacket {
+                fid: 1,
+                seq: 0,
+                pruned: false
+            })
+        );
+        assert_eq!(m.delivered().len(), 1);
+    }
+
+    #[test]
+    fn duplicates_acked_but_not_redelivered() {
+        let mut m = MasterRx::new();
+        m.on_data(data(1, 5, 42));
+        let ack = m.on_data(data(1, 5, 42));
+        assert!(matches!(ack, Message::Ack(_)), "duplicates still acked");
+        assert_eq!(m.delivered().len(), 1);
+        assert_eq!(m.duplicates, 1);
+    }
+
+    #[test]
+    fn flows_independent() {
+        let mut m = MasterRx::new();
+        m.on_data(data(1, 0, 1));
+        m.on_data(data(2, 0, 2));
+        assert_eq!(m.delivered().len(), 2);
+    }
+
+    #[test]
+    fn fin_tracking() {
+        let mut m = MasterRx::new();
+        assert!(!m.all_finished(&[1, 2]));
+        assert_eq!(m.on_fin(1), Message::FinAck { fid: 1 });
+        assert!(!m.all_finished(&[1, 2]));
+        m.on_fin(2);
+        assert!(m.all_finished(&[1, 2]));
+        assert!(m.all_finished(&[]));
+    }
+
+    #[test]
+    fn out_of_order_delivery_accepted() {
+        // The master does not require order (the switch enforces
+        // processing order; retransmissions may arrive late).
+        let mut m = MasterRx::new();
+        m.on_data(data(1, 9, 9));
+        m.on_data(data(1, 3, 3));
+        assert_eq!(m.delivered().len(), 2);
+    }
+}

@@ -1,0 +1,377 @@
+//! The switch's role in the protocol: sequence tracking + pruning + ACKs.
+//!
+//! Per flow, the switch keeps the sequence number `X` of the last packet
+//! it processed (one register; the real implementation spends two pipeline
+//! stages on the protocol, §7.1). The §7.2 case analysis:
+//!
+//! * `Y = X + 1` → advance `X`, run the pruning algorithm; pruned packets
+//!   are ACKed *by the switch*, forwarded ones by the master;
+//! * `Y ≤ X` → retransmission of a processed packet: forward unprocessed
+//!   (state must not see an entry twice; a pruned original reaching the
+//!   master via retransmission is a harmless superset);
+//! * `Y > X + 1` → a gap: drop silently and wait for `X + 1`.
+
+use std::collections::HashMap;
+
+use crate::wire::{AckPacket, DataPacket, Message};
+
+/// What the switch emits in response to one data packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchOutput {
+    /// Forwarded packet toward the master (None when pruned or dropped).
+    pub to_master: Option<Message>,
+    /// ACK toward the worker (Some only when the switch pruned in-order).
+    pub to_worker: Option<Message>,
+}
+
+/// The pruning callback: the packed query algorithms behind the protocol.
+///
+/// Boxed so the protocol layer stays independent of which algorithm runs;
+/// the engine passes `cheetah-core` pruners or `cheetah-pisa` programs.
+pub type PruneFn = Box<dyn FnMut(u16, &[u64]) -> cheetah_core::Decision + Send>;
+
+/// Protocol + pruning state for the switch.
+pub struct SwitchNode {
+    /// Last processed sequence number per flow (`X`), `None` before the
+    /// first packet.
+    last_seq: HashMap<u16, u32>,
+    prune: PruneFn,
+    /// Statistics: packets pruned in-order.
+    pub pruned: u64,
+    /// Statistics: packets forwarded after processing.
+    pub forwarded: u64,
+    /// Statistics: retransmissions forwarded without processing.
+    pub passed_through: u64,
+    /// Statistics: out-of-order packets dropped.
+    pub gap_drops: u64,
+}
+
+impl std::fmt::Debug for SwitchNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchNode")
+            .field("flows", &self.last_seq.len())
+            .field("pruned", &self.pruned)
+            .field("forwarded", &self.forwarded)
+            .field("passed_through", &self.passed_through)
+            .field("gap_drops", &self.gap_drops)
+            .finish()
+    }
+}
+
+impl SwitchNode {
+    /// A switch running `prune` as its packed pruning logic.
+    pub fn new(prune: PruneFn) -> Self {
+        SwitchNode {
+            last_seq: HashMap::new(),
+            prune,
+            pruned: 0,
+            forwarded: 0,
+            passed_through: 0,
+            gap_drops: 0,
+        }
+    }
+
+    /// A transparent switch that forwards everything (no pruning) — the
+    /// baseline configuration.
+    pub fn transparent() -> Self {
+        SwitchNode::new(Box::new(|_, _| cheetah_core::Decision::Forward))
+    }
+
+    /// Handle one data packet per the §7.2 rules.
+    pub fn on_data(&mut self, pkt: DataPacket) -> SwitchOutput {
+        let expected = match self.last_seq.get(&pkt.fid) {
+            Some(&x) => x.wrapping_add(1),
+            None => 0,
+        };
+        if pkt.seq == expected {
+            self.last_seq.insert(pkt.fid, pkt.seq);
+            let decision = (self.prune)(pkt.fid, &pkt.values);
+            if decision.is_prune() {
+                self.pruned += 1;
+                SwitchOutput {
+                    to_master: None,
+                    to_worker: Some(Message::Ack(AckPacket {
+                        fid: pkt.fid,
+                        seq: pkt.seq,
+                        pruned: true,
+                    })),
+                }
+            } else {
+                self.forwarded += 1;
+                SwitchOutput {
+                    to_master: Some(Message::Data(pkt)),
+                    to_worker: None,
+                }
+            }
+        } else if pkt.seq < expected {
+            // Already processed: forward without touching switch state.
+            self.passed_through += 1;
+            SwitchOutput {
+                to_master: Some(Message::Data(pkt)),
+                to_worker: None,
+            }
+        } else {
+            // Gap: drop, wait for the retransmission of `expected`.
+            self.gap_drops += 1;
+            SwitchOutput {
+                to_master: None,
+                to_worker: None,
+            }
+        }
+    }
+
+    /// FINs pass through to the master unchanged (the switch only tracks
+    /// data sequence numbers).
+    pub fn on_fin(&mut self, fid: u16, seq: u32) -> Message {
+        Message::Fin { fid, seq }
+    }
+
+    /// §9 multi-entry packets: `pkt.values` concatenates entries of
+    /// `entry_width` words. In-order packets run the pruner per entry and
+    /// **pop** the pruned entries from the header (P4 supports popping
+    /// header fields); the packet is forwarded if any entry survives, or
+    /// switch-ACKed if all were pruned. Retransmissions (`Y ≤ X`) pass
+    /// through whole — their entries were already accounted for — and
+    /// gaps drop, exactly as in the single-entry protocol.
+    pub fn on_data_batched(&mut self, pkt: DataPacket, entry_width: usize) -> SwitchOutput {
+        assert!(entry_width > 0, "entries must have at least one value");
+        assert_eq!(
+            pkt.values.len() % entry_width,
+            0,
+            "packet length must be a multiple of the entry width"
+        );
+        let expected = match self.last_seq.get(&pkt.fid) {
+            Some(&x) => x.wrapping_add(1),
+            None => 0,
+        };
+        if pkt.seq == expected {
+            self.last_seq.insert(pkt.fid, pkt.seq);
+            let mut surviving = Vec::with_capacity(pkt.values.len());
+            for entry in pkt.values.chunks_exact(entry_width) {
+                if (self.prune)(pkt.fid, entry).is_forward() {
+                    surviving.extend_from_slice(entry);
+                    self.forwarded += 1;
+                } else {
+                    self.pruned += 1;
+                }
+            }
+            if surviving.is_empty() {
+                SwitchOutput {
+                    to_master: None,
+                    to_worker: Some(Message::Ack(AckPacket {
+                        fid: pkt.fid,
+                        seq: pkt.seq,
+                        pruned: true,
+                    })),
+                }
+            } else {
+                SwitchOutput {
+                    to_master: Some(Message::Data(DataPacket {
+                        fid: pkt.fid,
+                        seq: pkt.seq,
+                        values: surviving,
+                    })),
+                    to_worker: None,
+                }
+            }
+        } else if pkt.seq < expected {
+            self.passed_through += 1;
+            SwitchOutput {
+                to_master: Some(Message::Data(pkt)),
+                to_worker: None,
+            }
+        } else {
+            self.gap_drops += 1;
+            SwitchOutput {
+                to_master: None,
+                to_worker: None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_core::Decision;
+
+    /// A pruner that drops even-keyed entries.
+    fn drop_even() -> SwitchNode {
+        SwitchNode::new(Box::new(|_, v| {
+            if v[0] % 2 == 0 {
+                Decision::Prune
+            } else {
+                Decision::Forward
+            }
+        }))
+    }
+
+    fn data(fid: u16, seq: u32, key: u64) -> DataPacket {
+        DataPacket {
+            fid,
+            seq,
+            values: vec![key],
+        }
+    }
+
+    #[test]
+    fn in_order_processing() {
+        let mut s = drop_even();
+        let out = s.on_data(data(1, 0, 2));
+        assert!(out.to_master.is_none());
+        assert_eq!(
+            out.to_worker,
+            Some(Message::Ack(AckPacket {
+                fid: 1,
+                seq: 0,
+                pruned: true
+            }))
+        );
+        let out = s.on_data(data(1, 1, 3));
+        assert!(out.to_worker.is_none());
+        assert!(matches!(out.to_master, Some(Message::Data(_))));
+        assert_eq!(s.pruned, 1);
+        assert_eq!(s.forwarded, 1);
+    }
+
+    #[test]
+    fn gap_dropped_silently() {
+        let mut s = drop_even();
+        s.on_data(data(1, 0, 1));
+        let out = s.on_data(data(1, 2, 1)); // seq 1 missing
+        assert!(out.to_master.is_none());
+        assert!(out.to_worker.is_none());
+        assert_eq!(s.gap_drops, 1);
+        // seq 1 retransmitted: processed normally.
+        let out = s.on_data(data(1, 1, 1));
+        assert!(out.to_master.is_some());
+    }
+
+    #[test]
+    fn retransmission_passes_without_processing() {
+        let mut s = drop_even();
+        s.on_data(data(1, 0, 2)); // pruned, X = 0
+        // The pruned packet's ACK was lost; worker retransmits seq 0.
+        let out = s.on_data(data(1, 0, 2));
+        // Forwarded to the master unprocessed — NOT pruned again.
+        assert!(matches!(out.to_master, Some(Message::Data(_))));
+        assert!(out.to_worker.is_none());
+        assert_eq!(s.passed_through, 1);
+        assert_eq!(s.pruned, 1, "pruning state untouched by retransmission");
+    }
+
+    #[test]
+    fn flows_tracked_independently() {
+        let mut s = drop_even();
+        s.on_data(data(1, 0, 1));
+        let out = s.on_data(data(2, 0, 1)); // fresh flow starts at 0
+        assert!(out.to_master.is_some());
+        let out = s.on_data(data(2, 5, 1)); // gap within flow 2
+        assert!(out.to_master.is_none());
+        let out = s.on_data(data(1, 1, 1)); // flow 1 unaffected
+        assert!(out.to_master.is_some());
+    }
+
+    #[test]
+    fn transparent_switch_forwards_all() {
+        let mut s = SwitchNode::transparent();
+        for seq in 0..10u32 {
+            let out = s.on_data(data(1, seq, seq as u64));
+            assert!(out.to_master.is_some());
+        }
+        assert_eq!(s.forwarded, 10);
+        assert_eq!(s.pruned, 0);
+    }
+
+    #[test]
+    fn fin_passes_through() {
+        let mut s = drop_even();
+        assert_eq!(s.on_fin(3, 100), Message::Fin { fid: 3, seq: 100 });
+    }
+
+    fn batched(fid: u16, seq: u32, keys: &[u64]) -> DataPacket {
+        DataPacket {
+            fid,
+            seq,
+            values: keys.to_vec(),
+        }
+    }
+
+    #[test]
+    fn batched_pops_pruned_entries() {
+        let mut s = drop_even();
+        // Entries 2,3,4,5: evens pruned, odds popped through.
+        let out = s.on_data_batched(batched(1, 0, &[2, 3, 4, 5]), 1);
+        match out.to_master {
+            Some(Message::Data(d)) => assert_eq!(d.values, vec![3, 5]),
+            other => panic!("expected popped packet, got {other:?}"),
+        }
+        assert!(out.to_worker.is_none());
+        assert_eq!(s.pruned, 2);
+        assert_eq!(s.forwarded, 2);
+    }
+
+    #[test]
+    fn batched_all_pruned_gets_switch_ack() {
+        let mut s = drop_even();
+        let out = s.on_data_batched(batched(1, 0, &[2, 4, 6]), 1);
+        assert!(out.to_master.is_none());
+        assert_eq!(
+            out.to_worker,
+            Some(Message::Ack(AckPacket {
+                fid: 1,
+                seq: 0,
+                pruned: true
+            }))
+        );
+    }
+
+    #[test]
+    fn batched_retransmission_passes_whole() {
+        let mut s = drop_even();
+        s.on_data_batched(batched(1, 0, &[2, 3]), 1);
+        // ACK lost; retransmission arrives: whole packet passes, state
+        // untouched (the popped version already went to the master or the
+        // master dedups by seq).
+        let out = s.on_data_batched(batched(1, 0, &[2, 3]), 1);
+        match out.to_master {
+            Some(Message::Data(d)) => assert_eq!(d.values, vec![2, 3]),
+            other => panic!("expected pass-through, got {other:?}"),
+        }
+        assert_eq!(s.passed_through, 1);
+        assert_eq!(s.pruned, 1, "pruner state untouched by retransmission");
+    }
+
+    #[test]
+    fn batched_gap_drops() {
+        let mut s = drop_even();
+        s.on_data_batched(batched(1, 0, &[3]), 1);
+        let out = s.on_data_batched(batched(1, 2, &[5]), 1);
+        assert!(out.to_master.is_none() && out.to_worker.is_none());
+        assert_eq!(s.gap_drops, 1);
+    }
+
+    #[test]
+    fn batched_multi_word_entries() {
+        // (key, value) pairs: prune when key is even.
+        let mut s = SwitchNode::new(Box::new(|_, e| {
+            if e[0] % 2 == 0 {
+                Decision::Prune
+            } else {
+                Decision::Forward
+            }
+        }));
+        let out = s.on_data_batched(batched(1, 0, &[2, 100, 3, 200]), 2);
+        match out.to_master {
+            Some(Message::Data(d)) => assert_eq!(d.values, vec![3, 200]),
+            other => panic!("expected popped pair, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the entry width")]
+    fn batched_ragged_packet_rejected() {
+        let mut s = drop_even();
+        s.on_data_batched(batched(1, 0, &[1, 2, 3]), 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Packet and ACK wire format (Figure 4).
+//!
+//! Data packets carry a flow id (`fid`, identifying the worker/query
+//! stream), an 8-bit value count `n`, the entry identifier doubling as the
+//! sequence number, and `n` 64-bit values (key fingerprints / numeric
+//! columns). ACKs echo the flow id and sequence number plus a bit saying
+//! whether the switch (prune) or the master (delivery) generated them.
+//! FIN/FIN-ACK close a flow once every entry is accounted for.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A data packet: one entry's switch-visible values (§7.2 stores one entry
+/// per packet; §9 discusses batching).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataPacket {
+    /// Flow id (worker/query stream).
+    pub fid: u16,
+    /// Entry id, also the sequence number.
+    pub seq: u32,
+    /// The values (at most 255, per the 8-bit `n` field).
+    pub values: Vec<u64>,
+}
+
+/// An acknowledgement for one data packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckPacket {
+    /// Flow id being acknowledged.
+    pub fid: u16,
+    /// Sequence number being acknowledged.
+    pub seq: u32,
+    /// True when the switch pruned the packet (vs. master delivery).
+    pub pruned: bool,
+}
+
+/// All messages on the Cheetah channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Entry data, worker → switch → master.
+    Data(DataPacket),
+    /// Acknowledgement, switch/master → worker.
+    Ack(AckPacket),
+    /// End of a flow's data (seq = last data seq + 1).
+    Fin {
+        /// Flow being closed.
+        fid: u16,
+        /// Sequence number of the FIN itself.
+        seq: u32,
+    },
+    /// Master's acknowledgement of a FIN.
+    FinAck {
+        /// Flow whose FIN is acknowledged.
+        fid: u16,
+    },
+}
+
+const TAG_DATA: u8 = 1;
+const TAG_ACK: u8 = 2;
+const TAG_FIN: u8 = 3;
+const TAG_FINACK: u8 = 4;
+
+/// Wire-format decoding error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended before the advertised fields.
+    Truncated,
+    /// Unknown message tag byte.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated packet"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl Message {
+    /// Serialize to the UDP payload format of Figure 4.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16);
+        match self {
+            Message::Data(d) => {
+                assert!(d.values.len() <= u8::MAX as usize, "n is an 8-bit field");
+                b.put_u8(TAG_DATA);
+                b.put_u16(d.fid);
+                b.put_u8(d.values.len() as u8);
+                b.put_u32(d.seq);
+                for &v in &d.values {
+                    b.put_u64(v);
+                }
+            }
+            Message::Ack(a) => {
+                b.put_u8(TAG_ACK);
+                b.put_u16(a.fid);
+                b.put_u8(u8::from(a.pruned));
+                b.put_u32(a.seq);
+            }
+            Message::Fin { fid, seq } => {
+                b.put_u8(TAG_FIN);
+                b.put_u16(*fid);
+                b.put_u32(*seq);
+            }
+            Message::FinAck { fid } => {
+                b.put_u8(TAG_FINACK);
+                b.put_u16(*fid);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Parse a UDP payload.
+    pub fn decode(mut buf: Bytes) -> Result<Message, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf.get_u8();
+        match tag {
+            TAG_DATA => {
+                if buf.remaining() < 7 {
+                    return Err(WireError::Truncated);
+                }
+                let fid = buf.get_u16();
+                let n = buf.get_u8() as usize;
+                let seq = buf.get_u32();
+                if buf.remaining() < n * 8 {
+                    return Err(WireError::Truncated);
+                }
+                let values = (0..n).map(|_| buf.get_u64()).collect();
+                Ok(Message::Data(DataPacket { fid, seq, values }))
+            }
+            TAG_ACK => {
+                if buf.remaining() < 7 {
+                    return Err(WireError::Truncated);
+                }
+                let fid = buf.get_u16();
+                let pruned = buf.get_u8() != 0;
+                let seq = buf.get_u32();
+                Ok(Message::Ack(AckPacket { fid, seq, pruned }))
+            }
+            TAG_FIN => {
+                if buf.remaining() < 6 {
+                    return Err(WireError::Truncated);
+                }
+                let fid = buf.get_u16();
+                let seq = buf.get_u32();
+                Ok(Message::Fin { fid, seq })
+            }
+            TAG_FINACK => {
+                if buf.remaining() < 2 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::FinAck { fid: buf.get_u16() })
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Serialized size in bytes (for network-volume accounting).
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Message::Data(d) => 8 + 8 * d.values.len(),
+            Message::Ack(_) => 8,
+            Message::Fin { .. } => 7,
+            Message::FinAck { .. } => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let enc = m.encode();
+        assert_eq!(enc.len(), m.wire_len());
+        assert_eq!(Message::decode(enc).unwrap(), m);
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        roundtrip(Message::Data(DataPacket {
+            fid: 7,
+            seq: 123_456,
+            values: vec![u64::MAX, 0, 42],
+        }));
+        roundtrip(Message::Data(DataPacket {
+            fid: 0,
+            seq: 0,
+            values: vec![],
+        }));
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        roundtrip(Message::Ack(AckPacket {
+            fid: 1,
+            seq: 99,
+            pruned: true,
+        }));
+        roundtrip(Message::Ack(AckPacket {
+            fid: 1,
+            seq: 99,
+            pruned: false,
+        }));
+    }
+
+    #[test]
+    fn fin_roundtrip() {
+        roundtrip(Message::Fin { fid: 3, seq: 1000 });
+        roundtrip(Message::FinAck { fid: 3 });
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let m = Message::Data(DataPacket {
+            fid: 7,
+            seq: 1,
+            values: vec![1, 2],
+        });
+        let enc = m.encode();
+        for cut in 0..enc.len() {
+            let r = Message::decode(enc.slice(0..cut));
+            assert!(r.is_err() || cut == enc.len(), "cut {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let buf = Bytes::from_static(&[99, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(Message::decode(buf), Err(WireError::BadTag(99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "8-bit")]
+    fn oversized_value_count_panics() {
+        Message::Data(DataPacket {
+            fid: 0,
+            seq: 0,
+            values: vec![0; 256],
+        })
+        .encode();
+    }
+}

@@ -1,0 +1,289 @@
+//! The CWorker transmit state machine.
+//!
+//! Entry ids double as sequence numbers (§7.2). The worker keeps a timer
+//! per unacknowledged packet and retransmits on expiry; a sliding window
+//! bounds the number of packets in flight. Because the switch drops
+//! out-of-order packets (`Y > X + 1`), sending far ahead of the first
+//! unacked packet wastes bandwidth — the window models the DPDK pacing of
+//! the real CWorker.
+
+use crate::wire::{DataPacket, Message};
+
+/// Transmit-side state for one flow (one worker's stream).
+#[derive(Debug)]
+pub struct WorkerTx {
+    fid: u16,
+    entries: Vec<Vec<u64>>,
+    acked: Vec<bool>,
+    /// First not-yet-acked sequence number (window base).
+    base: u32,
+    /// Next sequence number never sent.
+    next_new: u32,
+    /// Per-seq retransmission deadline (µs), for in-flight packets.
+    deadlines: Vec<u64>,
+    window: u32,
+    rto_us: u64,
+    fin_acked: bool,
+    /// Next time the FIN may be (re)sent.
+    fin_deadline: u64,
+    /// Statistics: total data transmissions (including retransmissions).
+    pub transmissions: u64,
+    /// Statistics: retransmissions only.
+    pub retransmissions: u64,
+}
+
+impl WorkerTx {
+    /// A worker streaming `entries` on flow `fid`.
+    ///
+    /// `window` is the in-flight packet cap; `rto_us` the retransmission
+    /// timeout in microseconds.
+    pub fn new(fid: u16, entries: Vec<Vec<u64>>, window: u32, rto_us: u64) -> Self {
+        assert!(window >= 1);
+        assert!(entries.len() < u32::MAX as usize - 1, "seq space");
+        let n = entries.len();
+        WorkerTx {
+            fid,
+            entries,
+            acked: vec![false; n],
+            base: 0,
+            next_new: 0,
+            deadlines: vec![u64::MAX; n],
+            window,
+            rto_us,
+            fin_acked: false,
+            fin_deadline: 0,
+            transmissions: 0,
+            retransmissions: 0,
+        }
+    }
+
+    /// The flow id.
+    pub fn fid(&self) -> u16 {
+        self.fid
+    }
+
+    /// Total entries in the stream.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All data acked and the FIN acknowledged.
+    pub fn is_done(&self) -> bool {
+        self.all_data_acked() && self.fin_acked
+    }
+
+    fn all_data_acked(&self) -> bool {
+        self.base as usize >= self.entries.len()
+    }
+
+    /// The FIN sequence number (one past the last entry).
+    fn fin_seq(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    /// Messages to transmit at time `now`: fresh packets within the
+    /// window, expired retransmissions, and the FIN once data completes.
+    pub fn pump(&mut self, now_us: u64) -> Vec<Message> {
+        let mut out = Vec::new();
+        if self.all_data_acked() {
+            if !self.fin_acked && now_us >= self.fin_deadline {
+                out.push(Message::Fin {
+                    fid: self.fid,
+                    seq: self.fin_seq(),
+                });
+                self.fin_deadline = now_us + self.rto_us;
+            }
+            return out;
+        }
+        // Retransmit expired in-flight packets.
+        let window_end =
+            (self.base + self.window).min(self.entries.len() as u32);
+        for seq in self.base..window_end {
+            let i = seq as usize;
+            if self.acked[i] {
+                continue;
+            }
+            if seq < self.next_new {
+                if self.deadlines[i] <= now_us {
+                    out.push(self.make_data(seq));
+                    self.deadlines[i] = now_us + self.rto_us;
+                    self.transmissions += 1;
+                    self.retransmissions += 1;
+                }
+            } else {
+                // Fresh transmission.
+                out.push(self.make_data(seq));
+                self.deadlines[i] = now_us + self.rto_us;
+                self.transmissions += 1;
+                self.next_new = seq + 1;
+            }
+        }
+        out
+    }
+
+    fn make_data(&self, seq: u32) -> Message {
+        Message::Data(DataPacket {
+            fid: self.fid,
+            seq,
+            values: self.entries[seq as usize].clone(),
+        })
+    }
+
+    /// Earliest time anything needs doing (next deadline), if any.
+    pub fn next_deadline(&self) -> Option<u64> {
+        if self.is_done() {
+            return None;
+        }
+        if self.all_data_acked() {
+            return Some(self.fin_deadline);
+        }
+        let window_end =
+            (self.base + self.window).min(self.entries.len() as u32);
+        let mut earliest = None;
+        for seq in self.base..window_end {
+            let i = seq as usize;
+            if self.acked[i] {
+                continue;
+            }
+            let t = if seq < self.next_new { self.deadlines[i] } else { 0 };
+            earliest = Some(earliest.map_or(t, |e: u64| e.min(t)));
+        }
+        earliest
+    }
+
+    /// Handle an ACK (from the switch for pruned packets, from the master
+    /// for delivered ones — the worker does not care which).
+    pub fn on_ack(&mut self, seq: u32) {
+        let i = seq as usize;
+        if i < self.acked.len() && !self.acked[i] {
+            self.acked[i] = true;
+            while (self.base as usize) < self.acked.len() && self.acked[self.base as usize] {
+                self.base += 1;
+            }
+        }
+    }
+
+    /// Handle the master's FIN-ACK.
+    pub fn on_fin_ack(&mut self) {
+        if self.all_data_acked() {
+            self.fin_acked = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: usize) -> Vec<Vec<u64>> {
+        (0..n as u64).map(|i| vec![i]).collect()
+    }
+
+    fn seqs(msgs: &[Message]) -> Vec<u32> {
+        msgs.iter()
+            .filter_map(|m| match m {
+                Message::Data(d) => Some(d.seq),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_pump_fills_window() {
+        let mut w = WorkerTx::new(1, entries(10), 4, 100);
+        let out = w.pump(0);
+        assert_eq!(seqs(&out), vec![0, 1, 2, 3]);
+        // Nothing more until acks or timeouts.
+        assert!(w.pump(50).is_empty());
+    }
+
+    #[test]
+    fn acks_slide_window() {
+        let mut w = WorkerTx::new(1, entries(10), 4, 100);
+        w.pump(0);
+        w.on_ack(0);
+        w.on_ack(1);
+        let out = w.pump(10);
+        assert_eq!(seqs(&out), vec![4, 5]);
+    }
+
+    #[test]
+    fn out_of_order_ack_does_not_slide_past_gap() {
+        let mut w = WorkerTx::new(1, entries(10), 4, 100);
+        w.pump(0);
+        w.on_ack(2); // 0 and 1 still missing
+        let out = w.pump(10);
+        assert!(seqs(&out).is_empty(), "window base stuck at 0");
+        w.on_ack(0);
+        w.on_ack(1);
+        let out = w.pump(20);
+        assert_eq!(seqs(&out), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn timeout_retransmits() {
+        let mut w = WorkerTx::new(1, entries(3), 8, 100);
+        w.pump(0);
+        assert_eq!(w.transmissions, 3);
+        let out = w.pump(100);
+        assert_eq!(seqs(&out), vec![0, 1, 2]);
+        assert_eq!(w.retransmissions, 3);
+    }
+
+    #[test]
+    fn duplicate_acks_ignored() {
+        let mut w = WorkerTx::new(1, entries(3), 8, 100);
+        w.pump(0);
+        w.on_ack(1);
+        w.on_ack(1);
+        w.on_ack(99); // out of range
+        assert!(!w.is_done());
+    }
+
+    #[test]
+    fn fin_after_all_data() {
+        let mut w = WorkerTx::new(1, entries(2), 8, 100);
+        w.pump(0);
+        w.on_ack(0);
+        w.on_ack(1);
+        let out = w.pump(10);
+        assert_eq!(out, vec![Message::Fin { fid: 1, seq: 2 }]);
+        assert!(!w.is_done());
+        w.on_fin_ack();
+        assert!(w.is_done());
+        assert!(w.pump(20).is_empty());
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn premature_fin_ack_ignored() {
+        let mut w = WorkerTx::new(1, entries(2), 8, 100);
+        w.pump(0);
+        w.on_fin_ack(); // data not yet acked
+        assert!(!w.is_done());
+    }
+
+    #[test]
+    fn empty_stream_is_fin_only() {
+        let mut w = WorkerTx::new(1, vec![], 8, 100);
+        let out = w.pump(0);
+        assert_eq!(out, vec![Message::Fin { fid: 1, seq: 0 }]);
+        w.on_fin_ack();
+        assert!(w.is_done());
+    }
+
+    #[test]
+    fn deadline_reflects_state() {
+        let mut w = WorkerTx::new(1, entries(2), 1, 100);
+        assert_eq!(w.next_deadline(), Some(0), "fresh packet is due now");
+        w.pump(0);
+        assert_eq!(w.next_deadline(), Some(100), "RTO of seq 0");
+        w.on_ack(0);
+        assert_eq!(w.next_deadline(), Some(0), "seq 1 now in window, due");
+    }
+}

@@ -1,0 +1,72 @@
+//! Adapter exposing a constrained [`SwitchProgram`] through the
+//! `cheetah-core` [`RowPruner`] interface, so the query engine (and the
+//! protocol switch) can run on the metered pipeline implementations
+//! instead of the unconstrained references.
+
+use cheetah_core::decision::{Decision, RowPruner};
+
+use crate::programs::SwitchProgram;
+
+/// Wraps a switch program as a [`RowPruner`].
+///
+/// Pipeline violations are configuration bugs (the program was compiled
+/// against the wrong envelope), not data-dependent conditions — the
+/// adapter panics on them, matching how a P4 compiler would reject the
+/// program before deployment.
+#[derive(Debug)]
+pub struct ProgramPruner<P: SwitchProgram> {
+    program: P,
+    name: &'static str,
+}
+
+impl<P: SwitchProgram> ProgramPruner<P> {
+    /// Wrap a configured program.
+    pub fn new(program: P) -> Self {
+        let name = program.name();
+        ProgramPruner { program, name }
+    }
+
+    /// Access the wrapped program.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// Mutable access (e.g. to flip a join/having phase).
+    pub fn program_mut(&mut self) -> &mut P {
+        &mut self.program
+    }
+}
+
+impl<P: SwitchProgram> RowPruner for ProgramPruner<P> {
+    fn process_row(&mut self, row: &[u64]) -> Decision {
+        self.program
+            .process(row)
+            .unwrap_or_else(|v| panic!("pipeline violation in {}: {v}", self.name))
+    }
+
+    fn reset(&mut self) {
+        self.program.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::DistinctLruProgram;
+    use cheetah_core::SwitchModel;
+
+    #[test]
+    fn adapter_roundtrip() {
+        let prog = DistinctLruProgram::new(SwitchModel::tofino_like(), 64, 2, 1).unwrap();
+        let mut p = ProgramPruner::new(prog);
+        assert_eq!(p.name(), "pisa-distinct-lru");
+        assert!(p.process_row(&[42]).is_forward());
+        assert!(p.process_row(&[42]).is_prune());
+        p.reset();
+        assert!(p.process_row(&[42]).is_forward());
+    }
+}

@@ -1,0 +1,39 @@
+//! # cheetah-pisa — a PISA switch pipeline simulator
+//!
+//! The paper runs Cheetah on a Barefoot Tofino programmed in P4. No P4
+//! toolchain or ASIC is available here, so this crate provides the closest
+//! software equivalent that still *enforces the constraints the paper
+//! designs around* (§2.2):
+//!
+//! * a bounded number of **match-action stages** traversed monotonically;
+//! * a bounded number of **stateful ALU operations per stage**;
+//! * **register arrays** pinned to a stage, with at most **one
+//!   read-modify-write per packet per array** — the fundamental PISA
+//!   restriction that shapes every Cheetah algorithm (rolling replacement,
+//!   rolling minima, per-stage Bloom partitions);
+//! * per-stage **SRAM** budgets and a bounded **TCAM**;
+//! * a bounded number of packet **header bits** (PHV share) plus a bounded
+//!   per-packet metadata budget (Appendix A.2.1 quotes ≤ ~255 bits).
+//!
+//! Violating any of these returns a [`PipelineViolation`] instead of
+//! silently computing — a program that runs here without violations is a
+//! program that plausibly maps onto the real pipeline.
+//!
+//! The [`programs`] module expresses every Cheetah pruning algorithm as a
+//! [`SwitchProgram`] over these primitives; differential tests (in the
+//! workspace `tests/`) check each one produces byte-identical decisions to
+//! its unconstrained `cheetah-core` reference. [`pack`] implements the §6
+//! multi-query stage packer.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adapter;
+pub mod pack;
+pub mod pipeline;
+pub mod programs;
+pub mod tcam;
+
+pub use adapter::ProgramPruner;
+pub use pipeline::{PacketCtx, PipelineViolation, RegId, SwitchPipeline, TableId, TcamId};
+pub use programs::SwitchProgram;

@@ -1,0 +1,692 @@
+//! The constrained pipeline: stages, register arrays, tables, accounting.
+//!
+//! A [`SwitchPipeline`] is configured once (control plane: allocate
+//! registers to stages, install tables) and then processes packets through
+//! [`PacketCtx`], which meters every dataplane primitive against the
+//! [`SwitchModel`] budgets and rejects anything a PISA ASIC could not do.
+
+use cheetah_core::hash::HashFn;
+use cheetah_core::resources::SwitchModel;
+
+use crate::tcam::Tcam;
+
+/// Handle to a register array allocated on the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegId(usize);
+
+/// Handle to an exact-match table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableId(usize);
+
+/// Handle to a TCAM block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcamId(usize);
+
+/// A dataplane constraint violation — the program does not fit the switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineViolation {
+    /// Allocation or traversal past the last stage.
+    StageOverflow {
+        /// Stage that was requested.
+        requested: u32,
+        /// Stages the switch has.
+        available: u32,
+    },
+    /// A packet tried to revisit an earlier stage (pipelines are one-way).
+    BackwardsTraversal {
+        /// Stage the packet is in.
+        current: u32,
+        /// Earlier stage it tried to reach.
+        requested: u32,
+    },
+    /// Too many stateful ALU operations in one stage for one packet.
+    AluBudget {
+        /// The offending stage.
+        stage: u32,
+        /// The per-stage budget.
+        budget: u32,
+    },
+    /// A register array was accessed twice by the same packet.
+    DoubleAccess {
+        /// Name of the register array.
+        register: &'static str,
+    },
+    /// Stage SRAM exhausted at allocation time.
+    SramBudget {
+        /// The offending stage.
+        stage: u32,
+        /// Bits requested.
+        requested_bits: u64,
+        /// Bits remaining in that stage.
+        remaining_bits: u64,
+    },
+    /// TCAM entries exhausted.
+    TcamBudget {
+        /// Entries requested.
+        requested: u32,
+        /// Entries remaining.
+        remaining: u32,
+    },
+    /// Packet header values exceed the PHV share.
+    PhvBudget {
+        /// Bits the packet carries.
+        bits: u32,
+        /// The budget.
+        budget: u32,
+    },
+    /// Per-packet metadata exceeds the budget (~255 bits, A.2.1).
+    MetadataBudget {
+        /// Bits requested in total.
+        bits: u32,
+        /// The budget.
+        budget: u32,
+    },
+    /// Index out of bounds for a register array (bad hash width etc.).
+    RegisterIndex {
+        /// Name of the register array.
+        register: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Array length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineViolation::StageOverflow { requested, available } => {
+                write!(f, "stage {requested} requested but switch has {available}")
+            }
+            PipelineViolation::BackwardsTraversal { current, requested } => {
+                write!(f, "packet at stage {current} cannot go back to {requested}")
+            }
+            PipelineViolation::AluBudget { stage, budget } => {
+                write!(f, "ALU budget ({budget}) exhausted in stage {stage}")
+            }
+            PipelineViolation::DoubleAccess { register } => {
+                write!(f, "register '{register}' accessed twice by one packet")
+            }
+            PipelineViolation::SramBudget {
+                stage,
+                requested_bits,
+                remaining_bits,
+            } => write!(
+                f,
+                "stage {stage} SRAM exhausted: need {requested_bits}b, have {remaining_bits}b"
+            ),
+            PipelineViolation::TcamBudget { requested, remaining } => {
+                write!(f, "TCAM exhausted: need {requested}, have {remaining}")
+            }
+            PipelineViolation::PhvBudget { bits, budget } => {
+                write!(f, "packet header {bits}b exceeds PHV share {budget}b")
+            }
+            PipelineViolation::MetadataBudget { bits, budget } => {
+                write!(f, "metadata {bits}b exceeds budget {budget}b")
+            }
+            PipelineViolation::RegisterIndex { register, index, len } => {
+                write!(f, "register '{register}' index {index} out of range {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineViolation {}
+
+/// Per-packet metadata bit budget (Appendix A.2.1: "no individual query
+/// … took more than ∼255 bits of metadata").
+pub const METADATA_BUDGET_BITS: u32 = 256;
+
+#[derive(Debug, Clone)]
+struct RegisterArray {
+    name: &'static str,
+    stage: u32,
+    cells: Vec<u64>,
+    init: u64,
+    /// `true` when the array holds `width`-cell rows that same-stage ALUs
+    /// may scan in one logical access (Table 2's `*` assumption).
+    wide_width: usize,
+}
+
+/// The configured switch: register arrays, tables, TCAMs, and budgets.
+///
+/// Configuration methods (`alloc_*`, `install_*`) model the control plane;
+/// [`SwitchPipeline::begin_packet`] starts a metered dataplane traversal.
+#[derive(Debug, Clone)]
+pub struct SwitchPipeline {
+    spec: SwitchModel,
+    registers: Vec<RegisterArray>,
+    tables: Vec<ExactTable>,
+    tcams: Vec<Tcam>,
+    sram_used: Vec<u64>,
+    tcam_used: u32,
+}
+
+#[derive(Debug, Clone)]
+struct ExactTable {
+    stage: u32,
+    entries: std::collections::HashMap<u64, u64>,
+}
+
+impl SwitchPipeline {
+    /// A pipeline with the given resource envelope.
+    pub fn new(spec: SwitchModel) -> Self {
+        SwitchPipeline {
+            sram_used: vec![0; spec.stages as usize],
+            spec,
+            registers: Vec::new(),
+            tables: Vec::new(),
+            tcams: Vec::new(),
+            tcam_used: 0,
+        }
+    }
+
+    /// The resource envelope.
+    pub fn spec(&self) -> &SwitchModel {
+        &self.spec
+    }
+
+    /// Allocate a register array of `cells` 64-bit cells in `stage`,
+    /// initialized to `init` (control planes can pre-load registers).
+    pub fn alloc_register(
+        &mut self,
+        name: &'static str,
+        stage: u32,
+        cells: usize,
+        init: u64,
+    ) -> Result<RegId, PipelineViolation> {
+        self.alloc_register_inner(name, stage, cells, init, 1)
+    }
+
+    /// Allocate a register array organized as rows of `width` cells that a
+    /// packet may scan-and-update as **one** logical access. This models
+    /// Table 2's `*` footnote ("same-stage ALUs can access the same memory
+    /// space") used by DISTINCT-FIFO and the wide GROUP BY cells; the scan
+    /// still charges `width` ALUs in the stage.
+    pub fn alloc_wide_register(
+        &mut self,
+        name: &'static str,
+        stage: u32,
+        rows: usize,
+        width: usize,
+        init: u64,
+    ) -> Result<RegId, PipelineViolation> {
+        assert!(width >= 1);
+        self.alloc_register_inner(name, stage, rows * width, init, width)
+    }
+
+    fn alloc_register_inner(
+        &mut self,
+        name: &'static str,
+        stage: u32,
+        cells: usize,
+        init: u64,
+        wide_width: usize,
+    ) -> Result<RegId, PipelineViolation> {
+        if stage >= self.spec.stages {
+            return Err(PipelineViolation::StageOverflow {
+                requested: stage,
+                available: self.spec.stages,
+            });
+        }
+        let bits = cells as u64 * 64;
+        let used = &mut self.sram_used[stage as usize];
+        let remaining = self.spec.sram_per_stage_bits.saturating_sub(*used);
+        if bits > remaining {
+            return Err(PipelineViolation::SramBudget {
+                stage,
+                requested_bits: bits,
+                remaining_bits: remaining,
+            });
+        }
+        *used += bits;
+        self.registers.push(RegisterArray {
+            name,
+            stage,
+            cells: vec![init; cells],
+            init,
+            wide_width,
+        });
+        Ok(RegId(self.registers.len() - 1))
+    }
+
+    /// Install an exact-match table in `stage` (SRAM-backed).
+    pub fn install_table(
+        &mut self,
+        stage: u32,
+        entries: impl IntoIterator<Item = (u64, u64)>,
+        entry_bits: u64,
+    ) -> Result<TableId, PipelineViolation> {
+        if stage >= self.spec.stages {
+            return Err(PipelineViolation::StageOverflow {
+                requested: stage,
+                available: self.spec.stages,
+            });
+        }
+        let map: std::collections::HashMap<u64, u64> = entries.into_iter().collect();
+        let bits = map.len() as u64 * entry_bits;
+        let used = &mut self.sram_used[stage as usize];
+        let remaining = self.spec.sram_per_stage_bits.saturating_sub(*used);
+        if bits > remaining {
+            return Err(PipelineViolation::SramBudget {
+                stage,
+                requested_bits: bits,
+                remaining_bits: remaining,
+            });
+        }
+        *used += bits;
+        self.tables.push(ExactTable { stage, entries: map });
+        Ok(TableId(self.tables.len() - 1))
+    }
+
+    /// Install a TCAM block in `stage`, charged against the global TCAM
+    /// entry budget.
+    pub fn install_tcam(&mut self, stage: u32, tcam: Tcam) -> Result<TcamId, PipelineViolation> {
+        if stage >= self.spec.stages {
+            return Err(PipelineViolation::StageOverflow {
+                requested: stage,
+                available: self.spec.stages,
+            });
+        }
+        let entries = tcam.len() as u32;
+        let remaining = self.spec.tcam_entries.saturating_sub(self.tcam_used);
+        if entries > remaining {
+            return Err(PipelineViolation::TcamBudget {
+                requested: entries,
+                remaining,
+            });
+        }
+        self.tcam_used += entries;
+        self.tcams.push(tcam);
+        Ok(TcamId(self.tcams.len() - 1))
+    }
+
+    /// Reset all register contents to their initial values (control-plane
+    /// state clear between queries; allocations stay).
+    pub fn clear_registers(&mut self) {
+        for r in &mut self.registers {
+            let init = r.init;
+            r.cells.fill(init);
+        }
+    }
+
+    /// Start a metered packet traversal carrying `header_words` 64-bit
+    /// query values (Figure 4's value fields).
+    pub fn begin_packet(
+        &mut self,
+        header_words: u32,
+    ) -> Result<PacketCtx<'_>, PipelineViolation> {
+        let bits = header_words * 64;
+        if bits > self.spec.phv_bits {
+            return Err(PipelineViolation::PhvBudget {
+                bits,
+                budget: self.spec.phv_bits,
+            });
+        }
+        let n = self.registers.len();
+        Ok(PacketCtx {
+            pipe: self,
+            stage: 0,
+            alus_used: 0,
+            accessed: vec![false; n],
+            metadata_bits: 0,
+        })
+    }
+
+    /// Total SRAM bits allocated per stage (diagnostics / Table 2 checks).
+    pub fn sram_used(&self) -> &[u64] {
+        &self.sram_used
+    }
+
+    /// Total TCAM entries installed.
+    pub fn tcam_used(&self) -> u32 {
+        self.tcam_used
+    }
+
+    /// Highest stage index any resource is pinned to, plus one (the number
+    /// of stages the program occupies).
+    pub fn stages_occupied(&self) -> u32 {
+        let r = self.registers.iter().map(|r| r.stage + 1).max().unwrap_or(0);
+        let t = self.tables.iter().map(|t| t.stage + 1).max().unwrap_or(0);
+        r.max(t)
+    }
+}
+
+/// One packet's metered traversal of the pipeline.
+///
+/// All dataplane primitives live here; each checks and charges the
+/// relevant budget. The packet moves forward only: touching a resource in
+/// an earlier stage than the packet's current stage is a violation.
+#[derive(Debug)]
+pub struct PacketCtx<'p> {
+    pipe: &'p mut SwitchPipeline,
+    stage: u32,
+    alus_used: u32,
+    accessed: Vec<bool>,
+    metadata_bits: u32,
+}
+
+impl PacketCtx<'_> {
+    /// The stage the packet is currently in.
+    pub fn stage(&self) -> u32 {
+        self.stage
+    }
+
+    /// Move the packet to `stage` (forward only), resetting the per-stage
+    /// ALU meter.
+    pub fn goto_stage(&mut self, stage: u32) -> Result<(), PipelineViolation> {
+        if stage < self.stage {
+            return Err(PipelineViolation::BackwardsTraversal {
+                current: self.stage,
+                requested: stage,
+            });
+        }
+        if stage >= self.pipe.spec.stages {
+            return Err(PipelineViolation::StageOverflow {
+                requested: stage,
+                available: self.pipe.spec.stages,
+            });
+        }
+        if stage > self.stage {
+            self.stage = stage;
+            self.alus_used = 0;
+        }
+        Ok(())
+    }
+
+    fn charge_alus(&mut self, n: u32) -> Result<(), PipelineViolation> {
+        if self.alus_used + n > self.pipe.spec.alus_per_stage {
+            return Err(PipelineViolation::AluBudget {
+                stage: self.stage,
+                budget: self.pipe.spec.alus_per_stage,
+            });
+        }
+        self.alus_used += n;
+        Ok(())
+    }
+
+    /// A stateless ALU operation (comparison, add, shift) in the current
+    /// stage.
+    pub fn alu(&mut self) -> Result<(), PipelineViolation> {
+        self.charge_alus(1)
+    }
+
+    /// Reserve `bits` of per-packet metadata (PHV scratch that crosses
+    /// stages). Cumulative per packet; capped at [`METADATA_BUDGET_BITS`].
+    pub fn use_metadata(&mut self, bits: u32) -> Result<(), PipelineViolation> {
+        self.metadata_bits += bits;
+        if self.metadata_bits > METADATA_BUDGET_BITS {
+            return Err(PipelineViolation::MetadataBudget {
+                bits: self.metadata_bits,
+                budget: METADATA_BUDGET_BITS,
+            });
+        }
+        Ok(())
+    }
+
+    /// Invoke a hash engine (dedicated hardware, not an ALU op).
+    pub fn hash(&self, h: &HashFn, x: u64) -> u64 {
+        h.hash(x)
+    }
+
+    /// Hash to a bucket in `0..n` via a hash engine.
+    pub fn hash_bucket(&self, h: &HashFn, x: u64, n: usize) -> usize {
+        h.bucket(x, n)
+    }
+
+    /// The single-RMW stateful primitive: move to the register's stage,
+    /// read cell `idx`, write `f(old)`, return `old`. At most once per
+    /// packet per array; charges one stateful ALU.
+    pub fn reg_rmw(
+        &mut self,
+        reg: RegId,
+        idx: usize,
+        f: impl FnOnce(u64) -> u64,
+    ) -> Result<u64, PipelineViolation> {
+        let r = &self.pipe.registers[reg.0];
+        debug_assert_eq!(r.wide_width, 1, "use reg_rmw_wide for wide arrays");
+        self.enter_register(reg)?;
+        self.charge_alus(1)?;
+        let r = &mut self.pipe.registers[reg.0];
+        let cell = r
+            .cells
+            .get_mut(idx)
+            .ok_or(PipelineViolation::RegisterIndex {
+                register: r.name,
+                index: idx,
+                len: 0,
+            })?;
+        let old = *cell;
+        *cell = f(old);
+        Ok(old)
+    }
+
+    /// Read-only register access (an RMW with the identity function —
+    /// still counts as the packet's one access to this array).
+    pub fn reg_read(&mut self, reg: RegId, idx: usize) -> Result<u64, PipelineViolation> {
+        self.reg_rmw(reg, idx, |v| v)
+    }
+
+    /// Wide-row RMW under the shared-memory assumption (Table 2 `*`):
+    /// read the `width`-cell row `row`, let `f` inspect it and return a
+    /// small set of `(offset, value)` writes (at most 3 — one value cell,
+    /// one paired cell, one cursor). One logical access; charges `width`
+    /// ALUs in the stage.
+    pub fn reg_rmw_wide(
+        &mut self,
+        reg: RegId,
+        row: usize,
+        f: impl FnOnce(&[u64]) -> Vec<(usize, u64)>,
+    ) -> Result<Vec<u64>, PipelineViolation> {
+        let width = self.pipe.registers[reg.0].wide_width;
+        debug_assert!(width > 1, "use reg_rmw for 1-wide arrays");
+        self.enter_register(reg)?;
+        self.charge_alus(width as u32)?;
+        let r = &mut self.pipe.registers[reg.0];
+        let base = row * width;
+        if base + width > r.cells.len() {
+            return Err(PipelineViolation::RegisterIndex {
+                register: r.name,
+                index: base + width - 1,
+                len: r.cells.len(),
+            });
+        }
+        let snapshot = r.cells[base..base + width].to_vec();
+        let writes = f(&snapshot);
+        debug_assert!(writes.len() <= 3, "wide RMW writes at most 3 cells");
+        for (off, val) in writes {
+            debug_assert!(off < width);
+            r.cells[base + off] = val;
+        }
+        Ok(snapshot)
+    }
+
+    fn enter_register(&mut self, reg: RegId) -> Result<(), PipelineViolation> {
+        let r = &self.pipe.registers[reg.0];
+        if self.accessed[reg.0] {
+            return Err(PipelineViolation::DoubleAccess { register: r.name });
+        }
+        let stage = r.stage;
+        self.goto_stage(stage)?;
+        self.accessed[reg.0] = true;
+        Ok(())
+    }
+
+    /// Exact-match table lookup in the table's stage.
+    pub fn table_lookup(&mut self, table: TableId, key: u64) -> Result<Option<u64>, PipelineViolation> {
+        let stage = self.pipe.tables[table.0].stage;
+        self.goto_stage(stage)?;
+        Ok(self.pipe.tables[table.0].entries.get(&key).copied())
+    }
+
+    /// TCAM lookup (highest-priority matching entry's action data).
+    pub fn tcam_lookup(&mut self, tcam: TcamId, key: u64) -> Option<u64> {
+        self.pipe.tcams[tcam.0].lookup(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipe() -> SwitchPipeline {
+        SwitchPipeline::new(SwitchModel::tofino_like())
+    }
+
+    #[test]
+    fn register_rmw_roundtrip() {
+        let mut p = pipe();
+        let r = p.alloc_register("acc", 0, 4, 0).unwrap();
+        let mut ctx = p.begin_packet(1).unwrap();
+        let old = ctx.reg_rmw(r, 2, |v| v + 5).unwrap();
+        assert_eq!(old, 0);
+        drop(ctx);
+        let mut ctx = p.begin_packet(1).unwrap();
+        assert_eq!(ctx.reg_read(r, 2).unwrap(), 5);
+    }
+
+    #[test]
+    fn double_access_rejected() {
+        let mut p = pipe();
+        let r = p.alloc_register("acc", 0, 4, 0).unwrap();
+        let mut ctx = p.begin_packet(1).unwrap();
+        ctx.reg_rmw(r, 0, |v| v + 1).unwrap();
+        let err = ctx.reg_rmw(r, 0, |v| v + 1).unwrap_err();
+        assert_eq!(err, PipelineViolation::DoubleAccess { register: "acc" });
+    }
+
+    #[test]
+    fn backwards_traversal_rejected() {
+        let mut p = pipe();
+        let early = p.alloc_register("early", 0, 1, 0).unwrap();
+        let late = p.alloc_register("late", 3, 1, 0).unwrap();
+        let mut ctx = p.begin_packet(1).unwrap();
+        ctx.reg_rmw(late, 0, |v| v).unwrap();
+        let err = ctx.reg_rmw(early, 0, |v| v).unwrap_err();
+        assert!(matches!(err, PipelineViolation::BackwardsTraversal { .. }));
+    }
+
+    #[test]
+    fn alu_budget_enforced() {
+        let mut p = pipe();
+        let budget = p.spec().alus_per_stage;
+        let mut ctx = p.begin_packet(1).unwrap();
+        for _ in 0..budget {
+            ctx.alu().unwrap();
+        }
+        assert!(matches!(
+            ctx.alu().unwrap_err(),
+            PipelineViolation::AluBudget { .. }
+        ));
+        // A new stage resets the meter.
+        ctx.goto_stage(1).unwrap();
+        ctx.alu().unwrap();
+    }
+
+    #[test]
+    fn sram_budget_enforced() {
+        let mut p = pipe();
+        let cells = (p.spec().sram_per_stage_bits / 64) as usize;
+        p.alloc_register("big", 0, cells, 0).unwrap();
+        let err = p.alloc_register("more", 0, 1, 0).unwrap_err();
+        assert!(matches!(err, PipelineViolation::SramBudget { .. }));
+        // Other stages unaffected.
+        p.alloc_register("other", 1, 1, 0).unwrap();
+    }
+
+    #[test]
+    fn stage_overflow_rejected() {
+        let mut p = pipe();
+        let s = p.spec().stages;
+        assert!(matches!(
+            p.alloc_register("x", s, 1, 0).unwrap_err(),
+            PipelineViolation::StageOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn phv_budget_enforced() {
+        let mut p = pipe();
+        // tofino_like allows 256 bits = 4 words; 5 words is too many.
+        assert!(p.begin_packet(4).is_ok());
+        assert!(matches!(
+            p.begin_packet(5).unwrap_err(),
+            PipelineViolation::PhvBudget { .. }
+        ));
+    }
+
+    #[test]
+    fn metadata_budget_enforced() {
+        let mut p = pipe();
+        let mut ctx = p.begin_packet(1).unwrap();
+        ctx.use_metadata(200).unwrap();
+        assert!(matches!(
+            ctx.use_metadata(100).unwrap_err(),
+            PipelineViolation::MetadataBudget { .. }
+        ));
+    }
+
+    #[test]
+    fn wide_rmw_single_access() {
+        let mut p = pipe();
+        let r = p.alloc_wide_register("row", 0, 2, 4, 0).unwrap();
+        let mut ctx = p.begin_packet(1).unwrap();
+        let snap = ctx
+            .reg_rmw_wide(r, 1, |cells| {
+                assert_eq!(cells, &[0, 0, 0, 0]);
+                vec![(2, 99)]
+            })
+            .unwrap();
+        assert_eq!(snap.len(), 4);
+        assert!(matches!(
+            ctx.reg_rmw_wide(r, 1, |_| Vec::new()).unwrap_err(),
+            PipelineViolation::DoubleAccess { .. }
+        ));
+        drop(ctx);
+        let mut ctx = p.begin_packet(1).unwrap();
+        let snap = ctx.reg_rmw_wide(r, 1, |_| Vec::new()).unwrap();
+        assert_eq!(snap, vec![0, 0, 99, 0]);
+    }
+
+    #[test]
+    fn register_init_and_clear() {
+        let mut p = pipe();
+        let r = p.alloc_register("mins", 0, 2, u64::MAX).unwrap();
+        let mut ctx = p.begin_packet(1).unwrap();
+        assert_eq!(ctx.reg_rmw(r, 0, |_| 7).unwrap(), u64::MAX);
+        drop(ctx);
+        p.clear_registers();
+        let mut ctx = p.begin_packet(1).unwrap();
+        assert_eq!(ctx.reg_read(r, 0).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn table_lookup_works() {
+        let mut p = pipe();
+        let t = p.install_table(2, [(5u64, 50u64), (6, 60)], 128).unwrap();
+        let mut ctx = p.begin_packet(1).unwrap();
+        assert_eq!(ctx.table_lookup(t, 5).unwrap(), Some(50));
+        assert_eq!(ctx.table_lookup(t, 7).unwrap(), None);
+        assert_eq!(ctx.stage(), 2, "lookup advances to the table's stage");
+    }
+
+    #[test]
+    fn stages_occupied_reports_extent() {
+        let mut p = pipe();
+        assert_eq!(p.stages_occupied(), 0);
+        p.alloc_register("a", 0, 1, 0).unwrap();
+        p.alloc_register("b", 5, 1, 0).unwrap();
+        assert_eq!(p.stages_occupied(), 6);
+    }
+
+    #[test]
+    fn register_index_out_of_bounds() {
+        let mut p = pipe();
+        let r = p.alloc_register("small", 0, 2, 0).unwrap();
+        let mut ctx = p.begin_packet(1).unwrap();
+        assert!(matches!(
+            ctx.reg_rmw(r, 5, |v| v).unwrap_err(),
+            PipelineViolation::RegisterIndex { .. }
+        ));
+    }
+}

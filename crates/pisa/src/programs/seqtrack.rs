@@ -1,0 +1,200 @@
+//! The reliability protocol's switch component as a pipeline program.
+//!
+//! §7.1: "It also participates in our reliability protocol, which takes
+//! two pipeline stages on the hardware switch." Stage 0 holds the per-flow
+//! last-sequence register `X` (one RMW per packet: read, conditionally
+//! advance); stage 1 resolves the §7.2 action. The pruning verdict itself
+//! comes from whatever query program is packed behind it — here the caller
+//! supplies it, as the fid-selected prune bit of §6 would.
+
+use cheetah_core::resources::{ResourceUsage, SwitchModel};
+
+use crate::pipeline::{PipelineViolation, RegId, SwitchPipeline};
+
+/// The §7.2 case analysis outcome for one data packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqAction {
+    /// `Y = X + 1`: in-order — run the pruning algorithm; `X` advanced.
+    Process,
+    /// `Y ≤ X`: retransmission — forward unprocessed.
+    PassThrough,
+    /// `Y > X + 1`: gap — drop and wait for the retransmission.
+    Drop,
+}
+
+/// Per-flow sequence tracking on the pipeline.
+///
+/// Flows index directly into one register array (the control plane
+/// allocates fid slots); `X` is stored as `seq + 1` so that the zero-
+/// initialized register means "expecting seq 0".
+#[derive(Debug)]
+pub struct SeqTrackProgram {
+    pipe: SwitchPipeline,
+    last_seq: RegId,
+    flows: usize,
+}
+
+impl SeqTrackProgram {
+    /// Configure for up to `flows` concurrent flows.
+    pub fn new(spec: SwitchModel, flows: usize) -> Result<Self, PipelineViolation> {
+        assert!(flows > 0);
+        let mut pipe = SwitchPipeline::new(spec);
+        let last_seq = pipe.alloc_register("proto-seq", 0, flows, 0)?;
+        Ok(SeqTrackProgram {
+            pipe,
+            last_seq,
+            flows,
+        })
+    }
+
+    /// Handle one data packet's `(fid, seq)`; the decision stage (§7.2).
+    pub fn on_packet(&mut self, fid: u16, seq: u32) -> Result<SeqAction, PipelineViolation> {
+        let slot = usize::from(fid) % self.flows;
+        let mut ctx = self.pipe.begin_packet(1)?;
+        // Metadata: the action code (2 bits).
+        ctx.use_metadata(2)?;
+        let expected_plus_one = u64::from(seq) + 1;
+        let old = ctx.reg_rmw(self.last_seq, slot, move |x| {
+            // Advance only on the in-order packet (stored value is X+1,
+            // i.e. the expected next sequence number).
+            if x == expected_plus_one - 1 {
+                expected_plus_one
+            } else {
+                x
+            }
+        })?;
+        // Stage 1: resolve the action from the read value.
+        ctx.goto_stage(1)?;
+        ctx.alu()?;
+        let expected = old; // stored X+1 == next expected seq
+        Ok(if u64::from(seq) == expected {
+            SeqAction::Process
+        } else if u64::from(seq) < expected {
+            SeqAction::PassThrough
+        } else {
+            SeqAction::Drop
+        })
+    }
+
+    /// Reset all flow state (switch reboot, §3).
+    pub fn reset(&mut self) {
+        self.pipe.clear_registers();
+    }
+
+    /// Resources: one register per flow across two stages (§7.1).
+    pub fn layout(&self) -> ResourceUsage {
+        ResourceUsage {
+            stages: 2,
+            alus: 2,
+            sram_bits: self.flows as u64 * 64,
+            tcam_entries: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog() -> SeqTrackProgram {
+        SeqTrackProgram::new(SwitchModel::tofino_like(), 16).unwrap()
+    }
+
+    #[test]
+    fn in_order_stream_processes() {
+        let mut p = prog();
+        for seq in 0..100u32 {
+            assert_eq!(p.on_packet(1, seq).unwrap(), SeqAction::Process);
+        }
+    }
+
+    #[test]
+    fn case_analysis_matches_paper() {
+        let mut p = prog();
+        assert_eq!(p.on_packet(1, 0).unwrap(), SeqAction::Process);
+        assert_eq!(p.on_packet(1, 2).unwrap(), SeqAction::Drop, "gap (Y > X+1)");
+        assert_eq!(p.on_packet(1, 0).unwrap(), SeqAction::PassThrough, "Y ≤ X");
+        assert_eq!(p.on_packet(1, 1).unwrap(), SeqAction::Process, "retransmit fills gap");
+        assert_eq!(p.on_packet(1, 2).unwrap(), SeqAction::Process);
+    }
+
+    #[test]
+    fn flows_independent() {
+        let mut p = prog();
+        p.on_packet(1, 0).unwrap();
+        assert_eq!(p.on_packet(2, 0).unwrap(), SeqAction::Process);
+        assert_eq!(p.on_packet(2, 5).unwrap(), SeqAction::Drop);
+        assert_eq!(p.on_packet(1, 1).unwrap(), SeqAction::Process);
+    }
+
+    #[test]
+    fn agrees_with_protocol_switch_node() {
+        // Differential vs the cheetah-net state machine on a noisy
+        // sequence pattern.
+        use cheetah_net::wire::DataPacket;
+        use cheetah_net::SwitchNode;
+        let mut node = SwitchNode::transparent();
+        let mut p = prog();
+        let pattern: Vec<u32> = vec![0, 1, 5, 2, 2, 3, 1, 4, 9, 5, 6, 0, 7];
+        for &seq in &pattern {
+            let out = node.on_data(DataPacket {
+                fid: 3,
+                seq,
+                values: vec![1],
+            });
+            let expected = if out.to_master.is_some() {
+                // Transparent switch forwards processed + passthrough; the
+                // distinction is whether state advanced, which the
+                // statistics expose.
+                None
+            } else {
+                Some(SeqAction::Drop)
+            };
+            let got = p.on_packet(3, seq).unwrap();
+            if let Some(e) = expected {
+                assert_eq!(got, e, "seq {seq}");
+            } else {
+                assert_ne!(got, SeqAction::Drop, "seq {seq}");
+            }
+        }
+        // Totals line up: Process == forwarded-after-processing,
+        // PassThrough == passed_through.
+        let mut p2 = prog();
+        let (mut processed, mut passed) = (0u64, 0u64);
+        for &seq in &pattern {
+            match p2.on_packet(4, seq).unwrap() {
+                SeqAction::Process => processed += 1,
+                SeqAction::PassThrough => passed += 1,
+                SeqAction::Drop => {}
+            }
+        }
+        let mut node2 = SwitchNode::transparent();
+        for &seq in &pattern {
+            node2.on_data(DataPacket {
+                fid: 4,
+                seq,
+                values: vec![1],
+            });
+        }
+        assert_eq!(processed, node2.forwarded);
+        assert_eq!(passed, node2.passed_through);
+    }
+
+    #[test]
+    fn reboot_restarts_sequence_space() {
+        let mut p = prog();
+        p.on_packet(1, 0).unwrap();
+        p.on_packet(1, 1).unwrap();
+        p.reset();
+        // After a reboot the switch expects seq 0 again; the workers'
+        // retransmissions re-synchronize (§3's reboot-with-empty-state).
+        assert_eq!(p.on_packet(1, 2).unwrap(), SeqAction::Drop);
+        assert_eq!(p.on_packet(1, 0).unwrap(), SeqAction::Process);
+    }
+
+    #[test]
+    fn layout_is_two_stages() {
+        let p = prog();
+        assert_eq!(p.layout().stages, 2, "§7.1: the protocol takes 2 stages");
+    }
+}

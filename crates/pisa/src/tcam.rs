@@ -1,0 +1,183 @@
+//! Ternary content-addressable memory with range-to-prefix expansion.
+//!
+//! Switch TCAM matches a key against `(value, mask)` patterns in priority
+//! order. Cheetah uses it for the APH most-significant-bit finder (64
+//! rules per dimension, Table 2) and for range predicates, which classic
+//! prefix expansion turns into at most `2·bits − 2` prefix rules.
+
+/// One ternary rule: matches when `key & mask == value`, yields `action`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcamEntry {
+    /// Pattern bits (must satisfy `value & !mask == 0`).
+    pub value: u64,
+    /// Care mask: 1 bits must match, 0 bits are wildcards.
+    pub mask: u64,
+    /// Action data returned on match.
+    pub action: u64,
+}
+
+/// A priority-ordered ternary match block.
+#[derive(Debug, Clone, Default)]
+pub struct Tcam {
+    entries: Vec<TcamEntry>,
+}
+
+impl Tcam {
+    /// An empty TCAM block.
+    pub fn new() -> Self {
+        Tcam::default()
+    }
+
+    /// Append a rule (earlier rules have higher priority).
+    pub fn push(&mut self, value: u64, mask: u64, action: u64) {
+        debug_assert_eq!(value & !mask, 0, "pattern bits outside the mask");
+        self.entries.push(TcamEntry { value, mask, action });
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Highest-priority match, if any.
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| key & e.mask == e.value)
+            .map(|e| e.action)
+    }
+
+    /// Installed rules in priority order.
+    pub fn entries(&self) -> impl Iterator<Item = &TcamEntry> {
+        self.entries.iter()
+    }
+
+    /// The APH most-significant-bit finder: 64 rules mapping a value to
+    /// the index `ℓ` of its leading one (Appendix D). Rule `i` matches
+    /// values whose bit `63−i` is the highest set bit.
+    pub fn msb_finder() -> Tcam {
+        let mut t = Tcam::new();
+        for i in 0..64u32 {
+            let bit = 63 - i;
+            t.push(1u64 << bit, u64::MAX << bit, u64::from(bit));
+        }
+        t
+    }
+
+    /// Install rules matching the inclusive range `[lo, hi]` over
+    /// `bits`-wide keys via prefix expansion, all yielding `action`.
+    pub fn push_range(&mut self, lo: u64, hi: u64, bits: u32, action: u64) {
+        assert!(lo <= hi, "empty range");
+        assert!(bits <= 64);
+        let limit = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        assert!(hi <= limit, "range exceeds key width");
+        for (value, prefix_len) in range_to_prefixes(lo, hi, bits) {
+            let mask = if prefix_len == 0 {
+                0
+            } else {
+                (u64::MAX << (bits - prefix_len)) & limit
+            };
+            self.push(value & mask, mask, action);
+        }
+    }
+}
+
+/// Decompose `[lo, hi]` into maximal aligned prefixes `(value, prefix_len)`
+/// over `bits`-wide keys — the classic algorithm producing at most
+/// `2·bits − 2` prefixes.
+pub fn range_to_prefixes(lo: u64, hi: u64, bits: u32) -> Vec<(u64, u32)> {
+    assert!(lo <= hi);
+    let mut out = Vec::new();
+    let mut lo = u128::from(lo);
+    let hi = u128::from(hi);
+    while lo <= hi {
+        // Largest block size aligned at `lo` that fits within [lo, hi].
+        let max_align = if lo == 0 { bits } else { lo.trailing_zeros().min(bits) };
+        let mut size_log = max_align;
+        while size_log > 0 && lo + (1u128 << size_log) - 1 > hi {
+            size_log -= 1;
+        }
+        out.push((lo as u64, bits - size_log));
+        lo += 1u128 << size_log;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_match_priority() {
+        let mut t = Tcam::new();
+        t.push(0b10, 0b11, 1); // exact low bits 10
+        t.push(0, 0, 2); // catch-all
+        assert_eq!(t.lookup(0b110), Some(1));
+        assert_eq!(t.lookup(0b111), Some(2));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn msb_finder_matches_leading_zeros() {
+        let t = Tcam::msb_finder();
+        assert_eq!(t.len(), 64);
+        for &v in &[1u64, 2, 3, 255, 256, 1 << 20, (1 << 45) | 7, u64::MAX] {
+            let expect = u64::from(63 - v.leading_zeros());
+            assert_eq!(t.lookup(v), Some(expect), "msb of {v:#x}");
+        }
+        assert_eq!(t.lookup(0), None, "zero has no leading one");
+    }
+
+    #[test]
+    fn prefix_expansion_covers_range_exactly() {
+        for (lo, hi, bits) in [(3u64, 12u64, 8u32), (0, 255, 8), (100, 100, 8), (1, 254, 8)] {
+            let prefixes = range_to_prefixes(lo, hi, bits);
+            // Check membership for the whole key space.
+            for k in 0..(1u64 << bits) {
+                let inside = prefixes.iter().any(|&(v, plen)| {
+                    let shift = bits - plen;
+                    (k >> shift) == (v >> shift)
+                });
+                assert_eq!(inside, (lo..=hi).contains(&k), "key {k} in [{lo},{hi}]");
+            }
+            assert!(
+                prefixes.len() <= 2 * bits as usize,
+                "too many prefixes for [{lo},{hi}]: {}",
+                prefixes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn range_rules_in_tcam() {
+        let mut t = Tcam::new();
+        t.push_range(10, 20, 16, 1);
+        for k in 0..64u64 {
+            assert_eq!(
+                t.lookup(k).is_some(),
+                (10..=20).contains(&k),
+                "range lookup for {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_width_range() {
+        let mut t = Tcam::new();
+        t.push_range(0, u64::MAX, 64, 7);
+        assert_eq!(t.lookup(12345), Some(7));
+        assert_eq!(t.len(), 1, "full range is a single wildcard rule");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_panics() {
+        let mut t = Tcam::new();
+        t.push_range(5, 4, 8, 0);
+    }
+}

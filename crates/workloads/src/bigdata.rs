@@ -1,0 +1,240 @@
+//! The Big Data benchmark tables (Appendix B of the paper).
+//!
+//! `Rankings` has 3 columns and is *roughly sorted* on `pageRank` (the
+//! paper permutes it before SKYLINE/filter experiments — see
+//! [`crate::stream`]); `UserVisits` has 9 columns with zipfian
+//! `userAgent`/`languageCode` and a long-tailed `adRevenue`. All values
+//! are 64-bit: string columns are dictionary ranks, with renderers
+//! ([`user_agent_string`], [`language_code_string`]) for display.
+//! Revenue is in cents to stay integral (the paper's HAVING query
+//! threshold "$1M" is `100_000_000` cents).
+
+use rand::Rng;
+
+use crate::dist::{rng_for, Zipf};
+
+/// The `Rankings` table: `pageURL, pageRank, avgDuration`.
+#[derive(Debug, Clone)]
+pub struct Rankings {
+    /// Unique page ids (stand-ins for URL strings).
+    pub page_url: Vec<u64>,
+    /// Page rank, roughly ascending (nearly sorted, as in the benchmark).
+    pub page_rank: Vec<u64>,
+    /// Average visit duration in seconds, uniform 1..200.
+    pub avg_duration: Vec<u64>,
+}
+
+impl Rankings {
+    /// Generate `n` rows (paper sample: 18M; default experiments use
+    /// scaled-down sizes).
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = rng_for(seed, "rankings");
+        let mut page_rank: Vec<u64> = Vec::with_capacity(n);
+        // Roughly sorted: monotone base plus small local jitter.
+        for i in 0..n {
+            let base = (i as u64) * 3;
+            let jitter = rng.gen_range(0..50u64);
+            page_rank.push(base + jitter);
+        }
+        let avg_duration = (0..n).map(|_| rng.gen_range(1..200u64)).collect();
+        Rankings {
+            page_url: (1..=n as u64).collect(),
+            page_rank,
+            avg_duration,
+        }
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.page_url.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.page_url.is_empty()
+    }
+}
+
+/// The `UserVisits` table (nine columns, as in the benchmark).
+#[derive(Debug, Clone)]
+pub struct UserVisits {
+    /// Destination URL id; joins against `Rankings::page_url`.
+    pub dest_url: Vec<u64>,
+    /// Ad revenue in cents, long-tailed.
+    pub ad_revenue: Vec<u64>,
+    /// Language code rank (~25 distinct, zipfian). Nonzero.
+    pub language_code: Vec<u64>,
+    /// User agent rank (zipfian over `ua_distinct`). Nonzero.
+    pub user_agent: Vec<u64>,
+    /// Source IP (u32 space).
+    pub source_ip: Vec<u64>,
+    /// Visit date (days since epoch-ish).
+    pub visit_date: Vec<u64>,
+    /// Country code rank (~200 distinct). Nonzero.
+    pub country_code: Vec<u64>,
+    /// Search word rank (~10k distinct). Nonzero.
+    pub search_word: Vec<u64>,
+    /// Visit duration in seconds.
+    pub duration: Vec<u64>,
+}
+
+/// Generation knobs for [`UserVisits`].
+#[derive(Debug, Clone, Copy)]
+pub struct UserVisitsConfig {
+    /// Rows to generate (paper sample: 31.7M for Figure 5, 775M full).
+    pub rows: usize,
+    /// Distinct user agents (drives DISTINCT/GROUP BY pruning rates).
+    pub ua_distinct: usize,
+    /// Distinct URLs (drives the JOIN match rate).
+    pub url_distinct: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UserVisitsConfig {
+    fn default() -> Self {
+        UserVisitsConfig {
+            rows: 100_000,
+            ua_distinct: 1_000,
+            url_distinct: 20_000,
+            seed: 0,
+        }
+    }
+}
+
+impl UserVisits {
+    /// Generate per `config`.
+    pub fn generate(config: UserVisitsConfig) -> Self {
+        let n = config.rows;
+        let mut rng = rng_for(config.seed, "uservisits");
+        let ua_dist = Zipf::new(config.ua_distinct.max(1), 1.0);
+        let lang_dist = Zipf::new(25, 1.0);
+        let word_dist = Zipf::new(10_000, 1.05);
+        let mut uv = UserVisits {
+            dest_url: Vec::with_capacity(n),
+            ad_revenue: Vec::with_capacity(n),
+            language_code: Vec::with_capacity(n),
+            user_agent: Vec::with_capacity(n),
+            source_ip: Vec::with_capacity(n),
+            visit_date: Vec::with_capacity(n),
+            country_code: Vec::with_capacity(n),
+            search_word: Vec::with_capacity(n),
+            duration: Vec::with_capacity(n),
+        };
+        for _ in 0..n {
+            uv.dest_url
+                .push(rng.gen_range(1..=config.url_distinct.max(1) as u64));
+            // Long tail: mostly cents, occasionally dollars-to-hundreds.
+            let rev = if rng.gen_bool(0.02) {
+                rng.gen_range(10_000..1_000_000u64)
+            } else {
+                rng.gen_range(1..10_000u64)
+            };
+            uv.ad_revenue.push(rev);
+            uv.language_code.push(lang_dist.sample(&mut rng) as u64 + 1);
+            uv.user_agent.push(ua_dist.sample(&mut rng) as u64 + 1);
+            uv.source_ip.push(rng.gen_range(0..u64::from(u32::MAX)));
+            uv.visit_date.push(rng.gen_range(10_000..12_000u64));
+            uv.country_code.push(rng.gen_range(1..=200u64));
+            uv.search_word.push(word_dist.sample(&mut rng) as u64 + 1);
+            uv.duration.push(rng.gen_range(1..600u64));
+        }
+        uv
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.dest_url.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.dest_url.is_empty()
+    }
+}
+
+/// Render a user-agent rank as a plausible string (for examples/display
+/// and for exercising byte-wise fingerprints).
+pub fn user_agent_string(rank: u64) -> String {
+    format!("Mozilla/5.0 (Agent-{rank}; rv:{}.0) Cheetah/{}", rank % 90, rank % 7)
+}
+
+/// Render a language-code rank as an ISO-ish code.
+pub fn language_code_string(rank: u64) -> String {
+    let a = (b'a' + ((rank / 26) % 26) as u8) as char;
+    let b = (b'a' + (rank % 26) as u8) as char;
+    format!("{a}{b}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rankings_shape() {
+        let r = Rankings::generate(10_000, 1);
+        assert_eq!(r.len(), 10_000);
+        assert!(!r.is_empty());
+        // Unique URLs.
+        let urls: HashSet<u64> = r.page_url.iter().copied().collect();
+        assert_eq!(urls.len(), 10_000);
+        // Roughly sorted: global trend upward, local inversions allowed.
+        let inversions = r
+            .page_rank
+            .windows(2)
+            .filter(|w| w[0] > w[1])
+            .count();
+        assert!(inversions > 0, "should not be perfectly sorted");
+        assert!(
+            inversions < 5_000,
+            "should be *nearly* sorted, got {inversions} inversions"
+        );
+        assert!(r.page_rank[9_999] > r.page_rank[0]);
+    }
+
+    #[test]
+    fn uservisits_shape() {
+        let uv = UserVisits::generate(UserVisitsConfig {
+            rows: 20_000,
+            ua_distinct: 100,
+            url_distinct: 500,
+            seed: 2,
+        });
+        assert_eq!(uv.len(), 20_000);
+        let uas: HashSet<u64> = uv.user_agent.iter().copied().collect();
+        assert!(uas.len() <= 100);
+        assert!(uas.len() > 50, "zipf should still touch most ranks");
+        assert!(uv.user_agent.iter().all(|&u| u != 0), "nonzero for switch");
+        assert!(uv.language_code.iter().all(|&l| (1..=25).contains(&l)));
+        let urls: HashSet<u64> = uv.dest_url.iter().copied().collect();
+        assert!(urls.len() <= 500);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = UserVisits::generate(UserVisitsConfig::default());
+        let b = UserVisits::generate(UserVisitsConfig::default());
+        assert_eq!(a.user_agent, b.user_agent);
+        assert_eq!(a.ad_revenue, b.ad_revenue);
+    }
+
+    #[test]
+    fn revenue_long_tail() {
+        let uv = UserVisits::generate(UserVisitsConfig {
+            rows: 50_000,
+            ..Default::default()
+        });
+        let big = uv.ad_revenue.iter().filter(|&&r| r >= 10_000).count();
+        let frac = big as f64 / 50_000.0;
+        assert!((0.01..0.04).contains(&frac), "tail fraction {frac}");
+    }
+
+    #[test]
+    fn string_renderers() {
+        assert_ne!(user_agent_string(1), user_agent_string(2));
+        assert_eq!(language_code_string(0), "aa");
+        assert_eq!(language_code_string(1), "ab");
+        assert_eq!(language_code_string(26), "ba");
+    }
+}

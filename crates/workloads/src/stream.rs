@@ -1,0 +1,90 @@
+//! Stream-order utilities.
+//!
+//! The order entries reach the switch decides pruning rates: the paper's
+//! theorems assume *random-order* streams, its worst case is a monotone
+//! stream, and two benchmark columns are nearly sorted (the paper runs
+//! those queries "on a random permutation of the table" — footnotes 8/9).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dist::rng_for;
+
+/// A seeded random permutation of `0..n` (row order for a shuffled scan).
+pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rng_for(seed, "permutation"));
+    idx
+}
+
+/// Shuffle a column into random order (the paper's footnote treatment for
+/// nearly-sorted inputs).
+pub fn shuffled(values: &[u64], seed: u64) -> Vec<u64> {
+    let mut v = values.to_vec();
+    v.shuffle(&mut rng_for(seed, "shuffled"));
+    v
+}
+
+/// A monotonically increasing stream — the adversarial worst case for
+/// TOP N pruning (§5: "the switch must pass all entries").
+pub fn monotone(n: usize) -> Vec<u64> {
+    (1..=n as u64).collect()
+}
+
+/// A nearly sorted stream: ascending with a fraction of random swaps,
+/// mimicking the benchmark's `pageRank` ordering.
+pub fn nearly_sorted(n: usize, swap_fraction: f64, seed: u64) -> Vec<u64> {
+    assert!((0.0..=1.0).contains(&swap_fraction));
+    let mut v: Vec<u64> = (1..=n as u64).collect();
+    let mut rng = rng_for(seed, "nearly-sorted");
+    let swaps = ((n as f64) * swap_fraction) as usize;
+    for _ in 0..swaps {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        v.swap(i, j);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = permutation(1000, 3);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+        assert_ne!(p, (0..1000).collect::<Vec<_>>(), "should actually shuffle");
+    }
+
+    #[test]
+    fn shuffled_preserves_multiset() {
+        let v = vec![5, 5, 1, 2, 9];
+        let mut s = shuffled(&v, 1);
+        s.sort_unstable();
+        assert_eq!(s, vec![1, 2, 5, 5, 9]);
+    }
+
+    #[test]
+    fn monotone_is_sorted() {
+        let m = monotone(100);
+        assert!(m.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn nearly_sorted_inversion_count_scales() {
+        let inversions = |v: &[u64]| v.windows(2).filter(|w| w[0] > w[1]).count();
+        let tame = nearly_sorted(10_000, 0.01, 5);
+        let wild = nearly_sorted(10_000, 0.5, 5);
+        assert!(inversions(&tame) < inversions(&wild));
+        assert!(inversions(&tame) > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(permutation(50, 9), permutation(50, 9));
+        assert_ne!(permutation(50, 9), permutation(50, 10));
+    }
+}

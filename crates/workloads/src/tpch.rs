@@ -1,0 +1,212 @@
+//! TPC-H subset for query Q3 (§8.1: "two join operations, three filtering
+//! operations, a group-by, and a top N").
+//!
+//! Q3:
+//! ```sql
+//! SELECT l_orderkey, SUM(l_extendedprice*(1-l_discount)) AS revenue,
+//!        o_orderdate, o_shippriority
+//! FROM customer, orders, lineitem
+//! WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+//!   AND l_orderkey = o_orderkey AND o_orderdate < DATE '1995-03-15'
+//!   AND l_shipdate > DATE '1995-03-15'
+//! GROUP BY l_orderkey, o_orderdate, o_shippriority
+//! ORDER BY revenue DESC, o_orderdate LIMIT 10
+//! ```
+//!
+//! Only Q3's columns are generated; dates are day numbers (the Q3 cut date
+//! `1995-03-15` is [`Q3_CUT_DATE`]), money is in cents, and discounts are
+//! percent points — all integral for switch-representability.
+
+use rand::Rng;
+
+use crate::dist::rng_for;
+
+/// Day-number encoding of `DATE '1995-03-15'` (days since 1992-01-01,
+/// the earliest TPC-H order date).
+pub const Q3_CUT_DATE: u64 = 1169;
+
+/// Market segment code for `BUILDING` (TPC-H has five segments, 1–5).
+pub const SEGMENT_BUILDING: u64 = 1;
+
+/// The three Q3 tables at a given scale.
+#[derive(Debug, Clone)]
+pub struct TpchData {
+    /// `customer`: key + market segment.
+    pub customer: Customers,
+    /// `orders`: key, customer key, order date, ship priority.
+    pub orders: Orders,
+    /// `lineitem`: order key, extended price (cents), discount (%),
+    /// ship date.
+    pub lineitem: Lineitems,
+}
+
+/// The `customer` columns Q3 reads.
+#[derive(Debug, Clone)]
+pub struct Customers {
+    /// Customer keys, 1-based dense.
+    pub custkey: Vec<u64>,
+    /// Market segment code 1..=5 (uniform, as in TPC-H).
+    pub mktsegment: Vec<u64>,
+}
+
+/// The `orders` columns Q3 reads.
+#[derive(Debug, Clone)]
+pub struct Orders {
+    /// Order keys, 1-based dense.
+    pub orderkey: Vec<u64>,
+    /// Owning customer.
+    pub custkey: Vec<u64>,
+    /// Order date, day number in `0..2405` (1992-01-01 .. 1998-08-02).
+    pub orderdate: Vec<u64>,
+    /// Ship priority (always 0 in TPC-H; kept for output fidelity).
+    pub shippriority: Vec<u64>,
+}
+
+/// The `lineitem` columns Q3 reads.
+#[derive(Debug, Clone)]
+pub struct Lineitems {
+    /// Owning order.
+    pub orderkey: Vec<u64>,
+    /// Extended price in cents.
+    pub extendedprice: Vec<u64>,
+    /// Discount in percent points 0..=10.
+    pub discount: Vec<u64>,
+    /// Ship date, day number (order date + 1..=121).
+    pub shipdate: Vec<u64>,
+}
+
+impl TpchData {
+    /// Generate at `scale` (1.0 = TPC-H SF1: 150K customers, 1.5M orders,
+    /// ~6M lineitems). The paper runs "default scale" on a testbed; our
+    /// experiments default to `scale = 0.01`.
+    pub fn generate(scale: f64, seed: u64) -> Self {
+        assert!(scale > 0.0);
+        let n_cust = ((150_000.0 * scale) as usize).max(10);
+        let n_orders = n_cust * 10;
+        let mut rng = rng_for(seed, "tpch");
+
+        let customer = Customers {
+            custkey: (1..=n_cust as u64).collect(),
+            mktsegment: (0..n_cust).map(|_| rng.gen_range(1..=5u64)).collect(),
+        };
+
+        let mut orders = Orders {
+            orderkey: (1..=n_orders as u64).collect(),
+            custkey: Vec::with_capacity(n_orders),
+            orderdate: Vec::with_capacity(n_orders),
+            shippriority: vec![0; n_orders],
+        };
+        for _ in 0..n_orders {
+            orders.custkey.push(rng.gen_range(1..=n_cust as u64));
+            orders.orderdate.push(rng.gen_range(0..2_406u64));
+        }
+
+        // 1..=7 lineitems per order (TPC-H average ≈ 4).
+        let mut lineitem = Lineitems {
+            orderkey: Vec::new(),
+            extendedprice: Vec::new(),
+            discount: Vec::new(),
+            shipdate: Vec::new(),
+        };
+        for (i, &ok) in orders.orderkey.iter().enumerate() {
+            let items = rng.gen_range(1..=7usize);
+            for _ in 0..items {
+                lineitem.orderkey.push(ok);
+                lineitem
+                    .extendedprice
+                    .push(rng.gen_range(10_000..1_000_000u64));
+                lineitem.discount.push(rng.gen_range(0..=10u64));
+                lineitem
+                    .shipdate
+                    .push(orders.orderdate[i] + rng.gen_range(1..=121u64));
+            }
+        }
+
+        TpchData {
+            customer,
+            orders,
+            lineitem,
+        }
+    }
+
+    /// Revenue of one lineitem: `extendedprice·(1 − discount)`, in cents
+    /// (integer arithmetic: `price·(100 − disc) / 100`).
+    pub fn revenue_cents(extendedprice: u64, discount: u64) -> u64 {
+        extendedprice * (100 - discount) / 100
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn shapes_scale_together() {
+        let d = TpchData::generate(0.001, 1);
+        let n_cust = d.customer.custkey.len();
+        assert_eq!(n_cust, 150);
+        assert_eq!(d.orders.orderkey.len(), n_cust * 10);
+        let avg_items = d.lineitem.orderkey.len() as f64 / d.orders.orderkey.len() as f64;
+        assert!((3.0..5.0).contains(&avg_items), "avg items {avg_items}");
+    }
+
+    #[test]
+    fn referential_integrity() {
+        let d = TpchData::generate(0.001, 2);
+        let custs: HashSet<u64> = d.customer.custkey.iter().copied().collect();
+        assert!(d.orders.custkey.iter().all(|c| custs.contains(c)));
+        let orders: HashSet<u64> = d.orders.orderkey.iter().copied().collect();
+        assert!(d.lineitem.orderkey.iter().all(|o| orders.contains(o)));
+    }
+
+    #[test]
+    fn ship_after_order() {
+        let d = TpchData::generate(0.001, 3);
+        let order_date: std::collections::HashMap<u64, u64> = d
+            .orders
+            .orderkey
+            .iter()
+            .zip(&d.orders.orderdate)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        for (ok, sd) in d.lineitem.orderkey.iter().zip(&d.lineitem.shipdate) {
+            assert!(*sd > order_date[ok], "shipdate before orderdate");
+        }
+    }
+
+    #[test]
+    fn q3_selectivity_nontrivial() {
+        // The Q3 filters must keep a meaningful but strict subset.
+        let d = TpchData::generate(0.005, 4);
+        let building = d
+            .customer
+            .mktsegment
+            .iter()
+            .filter(|&&s| s == SEGMENT_BUILDING)
+            .count();
+        let frac = building as f64 / d.customer.custkey.len() as f64;
+        assert!((0.1..0.3).contains(&frac), "BUILDING fraction {frac}");
+        let early_orders = d
+            .orders
+            .orderdate
+            .iter()
+            .filter(|&&dt| dt < Q3_CUT_DATE)
+            .count();
+        assert!(early_orders > 0 && early_orders < d.orders.orderkey.len());
+    }
+
+    #[test]
+    fn revenue_arithmetic() {
+        assert_eq!(TpchData::revenue_cents(10_000, 0), 10_000);
+        assert_eq!(TpchData::revenue_cents(10_000, 10), 9_000);
+        assert_eq!(TpchData::revenue_cents(999, 1), 989);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = TpchData::generate(0.001, 9);
+        let b = TpchData::generate(0.001, 9);
+        assert_eq!(a.lineitem.extendedprice, b.lineitem.extendedprice);
+    }
+}

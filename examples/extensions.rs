@@ -1,0 +1,119 @@
+//! The §9 extensions and footnote features in one tour: multi-entry
+//! packets, a switch tree, outer-join pruning, the minimizing skyline,
+//! and single-pass HAVING MAX.
+//!
+//! ```sh
+//! cargo run --release --example extensions
+//! ```
+
+use cheetah::core::batch::{BatchedPruner, DistinctBatchAccess};
+use cheetah::core::distinct::{DistinctPruner, EvictionPolicy};
+use cheetah::core::having::HavingExtremumPruner;
+use cheetah::core::join::{BloomFilter, JoinPruner, JoinType, Side};
+use cheetah::core::multiswitch::SwitchTree;
+use cheetah::core::skyline::{Heuristic, SkylinePruner};
+use cheetah::core::RowPruner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    // ── §9: multiple entries per packet ────────────────────────────────
+    println!("— §9: packing multiple entries per packet —");
+    let stream: Vec<u64> = (0..80_000).map(|_| rng.gen_range(1..800u64)).collect();
+    for per_packet in [1usize, 2, 4, 8] {
+        let inner =
+            DistinctBatchAccess::new(DistinctPruner::new(256, 2, EvictionPolicy::Lru, 1));
+        let mut b = BatchedPruner::new(inner);
+        for chunk in stream.chunks(per_packet) {
+            let entries: Vec<Vec<u64>> = chunk.iter().map(|&k| vec![k]).collect();
+            let refs: Vec<&[u64]> = entries.iter().map(|v| v.as_slice()).collect();
+            b.process_packet(&refs);
+        }
+        println!(
+            "  {per_packet} entries/packet: {:>6} packets, unpruned {:.4}, skipped {:>5} (row collisions)",
+            b.stats.packets,
+            b.stats.unpruned_fraction(),
+            b.stats.skipped
+        );
+    }
+
+    // ── §9: multiple switches ──────────────────────────────────────────
+    println!("\n— §9: a leaf/root switch tree vs one switch —");
+    let big_stream: Vec<u64> = (0..200_000).map(|_| rng.gen_range(1..400u64)).collect();
+    let mut single = DistinctPruner::new(64, 2, EvictionPolicy::Lru, 2);
+    let single_fwd = big_stream
+        .iter()
+        .filter(|&&k| single.process(k).is_forward())
+        .count();
+    let leaf = |s: u64| -> Box<dyn RowPruner + Send> {
+        Box::new(DistinctPruner::new(64, 2, EvictionPolicy::Lru, s))
+    };
+    let mut tree = SwitchTree::new((0..4).map(leaf).collect(), leaf(99), 7);
+    let tree_fwd = big_stream
+        .iter()
+        .filter(|&&k| tree.process_row(&[k]).is_forward())
+        .count();
+    println!("  one 64×2 switch       : {single_fwd:>6} forwarded");
+    println!("  4 leaves + root (64×2): {tree_fwd:>6} forwarded");
+
+    // ── footnote 3: LEFT OUTER join ────────────────────────────────────
+    println!("\n— footnote 3: LEFT OUTER join pruning —");
+    let mut jp = JoinPruner::new(
+        BloomFilter::new(1 << 16, 3, 0),
+        BloomFilter::new(1 << 16, 3, 1),
+    );
+    let left: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..50_000u64)).collect();
+    let right: Vec<u64> = (0..20_000).map(|_| rng.gen_range(40_000..90_000u64)).collect();
+    for &k in &left {
+        jp.observe(Side::Left, k);
+    }
+    for &k in &right {
+        jp.observe(Side::Right, k);
+    }
+    let count = |jt: JoinType, side: Side, keys: &[u64]| {
+        keys.iter()
+            .filter(|&&k| jp.prune_decision_typed(jt, side, k).is_forward())
+            .count()
+    };
+    println!(
+        "  INNER     : left {:>6}/20000 forwarded, right {:>6}/20000",
+        count(JoinType::Inner, Side::Left, &left),
+        count(JoinType::Inner, Side::Right, &right)
+    );
+    println!(
+        "  LEFT OUTER: left {:>6}/20000 forwarded (preserved), right {:>6}/20000",
+        count(JoinType::LeftOuter, Side::Left, &left),
+        count(JoinType::LeftOuter, Side::Right, &right)
+    );
+
+    // ── footnote 4: minimizing skyline ─────────────────────────────────
+    println!("\n— footnote 4: minimizing skyline (cheapest-and-fastest) —");
+    let mut sky = SkylinePruner::new_min(2, 8, Heuristic::aph_default());
+    let mut survivors = 0usize;
+    let n_pts = 100_000;
+    for _ in 0..n_pts {
+        let p = [rng.gen_range(1..10_000u64), rng.gen_range(1..10_000u64)];
+        if sky.process(&p).is_forward() {
+            survivors += 1;
+        }
+    }
+    println!("  {survivors}/{n_pts} points survive toward the min-frontier");
+
+    // ── §4.3: single-pass HAVING MAX ───────────────────────────────────
+    println!("\n— §4.3: HAVING MAX(val) > c in a single pass —");
+    let mut hp = HavingExtremumPruner::new_max(256, 2, 9_990, 5);
+    let mut keys_out = std::collections::HashSet::new();
+    let m = 300_000;
+    for _ in 0..m {
+        let (k, v) = (rng.gen_range(0..2_000u64), rng.gen_range(0..10_000u64));
+        if hp.process(k, v).is_forward() {
+            keys_out.insert(k);
+        }
+    }
+    println!(
+        "  {} candidate keys forwarded out of {m} entries — no second pass needed",
+        keys_out.len()
+    );
+}

@@ -1,0 +1,18 @@
+//! # Cheetah — accelerating database queries with switch pruning
+//!
+//! Facade crate for the Cheetah reproduction (SIGMOD 2020). Re-exports the
+//! workspace crates under one roof so that examples and downstream users
+//! can `use cheetah::core::...` etc. See the individual crates for the
+//! substance:
+//!
+//! * [`core`] — the pruning algorithms (the paper's contribution);
+//! * [`pisa`] — the PISA switch pipeline simulator the algorithms run on;
+//! * [`net`] — the switch-assisted reliable transport (§7.2);
+//! * [`engine`] — a mini Spark-SQL-style engine with Cheetah integration;
+//! * [`workloads`] — Big Data benchmark and TPC-H subset generators.
+
+pub use cheetah_core as core;
+pub use cheetah_engine as engine;
+pub use cheetah_net as net;
+pub use cheetah_pisa as pisa;
+pub use cheetah_workloads as workloads;

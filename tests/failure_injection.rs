@@ -1,0 +1,204 @@
+//! Failure injection: §3's fault story — "If the switch fails, operators
+//! can simply reboot the switch with empty states" — holds because
+//! pruning state is *soft*: losing it only reduces the pruning rate. The
+//! one exception is §6's SUM/COUNT partial aggregation, which holds real
+//! data in registers and must drain before a reboot; these tests pin both
+//! the guarantee and the exception.
+
+use std::collections::{HashMap, HashSet};
+
+use cheetah::core::distinct::{DistinctPruner, EvictionPolicy};
+use cheetah::core::filter::{Atom, CmpOp, Formula, FilterPruner};
+use cheetah::core::groupby::{Extremum, GroupByPruner, GroupBySumPruner, SumAction};
+use cheetah::core::skyline::{Heuristic, SkylinePruner};
+use cheetah::core::topn::DeterministicTopN;
+use cheetah::core::RowPruner;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reboot (reset) the pruner at several points mid-stream; the master's
+/// result must stay exact for every soft-state algorithm.
+#[test]
+fn distinct_survives_mid_stream_reboots() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let stream: Vec<u64> = (0..30_000).map(|_| rng.gen_range(1..500u64)).collect();
+    let truth: HashSet<u64> = stream.iter().copied().collect();
+    let mut p = DistinctPruner::new(128, 2, EvictionPolicy::Lru, 3);
+    let mut master = HashSet::new();
+    for (i, &k) in stream.iter().enumerate() {
+        if i % 7_000 == 3_500 {
+            p.reset(); // switch reboot with empty state
+        }
+        if p.process(k).is_forward() {
+            master.insert(k);
+        }
+    }
+    assert_eq!(master, truth, "reboot must not lose distinct values");
+}
+
+#[test]
+fn groupby_max_survives_mid_stream_reboots() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let entries: Vec<(u64, u64)> = (0..30_000)
+        .map(|_| (rng.gen_range(1..200u64), rng.gen_range(0..100_000u64)))
+        .collect();
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for &(k, v) in &entries {
+        let e = truth.entry(k).or_insert(0);
+        *e = (*e).max(v);
+    }
+    let mut p = GroupByPruner::new(32, 4, Extremum::Max, 5);
+    let mut master: HashMap<u64, u64> = HashMap::new();
+    for (i, &(k, v)) in entries.iter().enumerate() {
+        if i % 9_000 == 1_000 {
+            RowPruner::reset(&mut p);
+        }
+        if p.process(k, v).is_forward() {
+            let e = master.entry(k).or_insert(0);
+            *e = (*e).max(v);
+        }
+    }
+    assert_eq!(master, truth, "reboot must not lose maxima");
+}
+
+#[test]
+fn det_topn_survives_mid_stream_reboots() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let stream: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..1_000_000u64)).collect();
+    let n = 100usize;
+    let mut p = DeterministicTopN::new(n as u64, 4);
+    let mut forwarded: Vec<u64> = Vec::new();
+    for (i, &v) in stream.iter().enumerate() {
+        if i == 8_000 {
+            RowPruner::reset(&mut p); // re-enters warm-up, forwards freely
+        }
+        if p.process(v).is_forward() {
+            forwarded.push(v);
+        }
+    }
+    let mut truth = stream.clone();
+    truth.sort_unstable_by(|a, b| b.cmp(a));
+    truth.truncate(n);
+    forwarded.sort_unstable_by(|a, b| b.cmp(a));
+    forwarded.truncate(n);
+    assert_eq!(forwarded, truth, "reboot must not lose top-N entries");
+}
+
+#[test]
+fn skyline_survives_mid_stream_reboots() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let pts: Vec<Vec<u64>> = (0..8_000)
+        .map(|_| vec![rng.gen_range(1..3_000u64), rng.gen_range(1..3_000u64)])
+        .collect();
+    let mut p = SkylinePruner::new(2, 8, Heuristic::aph_default());
+    let mut survivors: Vec<Vec<u64>> = Vec::new();
+    for (i, pt) in pts.iter().enumerate() {
+        if i == 4_000 {
+            RowPruner::reset(&mut p);
+        }
+        if p.process(pt).is_forward() {
+            survivors.push(pt.clone());
+        }
+    }
+    let frontier = |set: &[Vec<u64>]| -> HashSet<Vec<u64>> {
+        use cheetah::core::skyline::dominates;
+        set.iter()
+            .filter(|p| !set.iter().any(|q| dominates(q, p)))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(frontier(&survivors), frontier(&pts));
+}
+
+#[test]
+fn filter_is_stateless_reboot_is_free() {
+    let p = FilterPruner::new(
+        vec![Atom::cmp(0, CmpOp::Gt, 100)],
+        Formula::Atom(0),
+    )
+    .unwrap();
+    // Stateless: identical decisions forever, nothing to lose.
+    assert!(p.process(&[200]).is_forward());
+    assert!(p.process(&[50]).is_prune());
+}
+
+/// The documented exception: SUM partial aggregation holds hard state.
+/// A reboot WITHOUT draining loses revenue; draining first is exact.
+#[test]
+fn groupby_sum_requires_drain_before_reboot() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let entries: Vec<(u64, u64)> = (0..10_000)
+        .map(|_| (rng.gen_range(1..100u64), rng.gen_range(1..1_000u64)))
+        .collect();
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for &(k, v) in &entries {
+        *truth.entry(k).or_insert(0) += v;
+    }
+
+    // Careless reboot at the midpoint: totals are silently wrong.
+    let mut careless = GroupBySumPruner::new(16, 2, 1);
+    let mut lost: HashMap<u64, u64> = HashMap::new();
+    for (i, &(k, v)) in entries.iter().enumerate() {
+        if i == 5_000 {
+            // Reboot without drain: re-create the pruner, registers gone.
+            careless = GroupBySumPruner::new(16, 2, 1);
+        }
+        if let SumAction::EvictAndForward { key, partial } = careless.process(k, v) {
+            *lost.entry(key).or_insert(0) += partial;
+        }
+    }
+    for (key, partial) in careless.drain() {
+        *lost.entry(key).or_insert(0) += partial;
+    }
+    assert_ne!(lost, truth, "dropping accumulators must visibly corrupt sums");
+
+    // Drain-then-reboot: exact.
+    let mut careful = GroupBySumPruner::new(16, 2, 1);
+    let mut master: HashMap<u64, u64> = HashMap::new();
+    for (i, &(k, v)) in entries.iter().enumerate() {
+        if i == 5_000 {
+            for (key, partial) in careful.drain() {
+                *master.entry(key).or_insert(0) += partial;
+            }
+            careful = GroupBySumPruner::new(16, 2, 1);
+        }
+        if let SumAction::EvictAndForward { key, partial } = careful.process(k, v) {
+            *master.entry(key).or_insert(0) += partial;
+        }
+    }
+    for (key, partial) in careful.drain() {
+        *master.entry(key).or_insert(0) += partial;
+    }
+    assert_eq!(master, truth, "drain-before-reboot must preserve exact sums");
+}
+
+/// Reboots under the reliability protocol: workers re-synchronize via
+/// retransmission because the switch starts expecting seq 0 again and
+/// gap-drops everything until the stream's head is resent. (Real
+/// deployments restart the query; this documents the failure mode.)
+#[test]
+fn protocol_seq_state_loss_is_detectable_not_silent() {
+    use cheetah::net::wire::DataPacket;
+    use cheetah::net::SwitchNode;
+    let mut node = SwitchNode::transparent();
+    for seq in 0..5u32 {
+        let out = node.on_data(DataPacket {
+            fid: 1,
+            seq,
+            values: vec![seq as u64],
+        });
+        assert!(out.to_master.is_some());
+    }
+    // "Reboot": fresh switch state.
+    let mut node = SwitchNode::transparent();
+    // In-flight packets past the head are gap-dropped, not misprocessed.
+    let out = node.on_data(DataPacket {
+        fid: 1,
+        seq: 5,
+        values: vec![5],
+    });
+    assert!(out.to_master.is_none(), "post-reboot gap must drop");
+    assert!(out.to_worker.is_none(), "and not be acked");
+    assert_eq!(node.gap_drops, 1);
+}

@@ -1,0 +1,279 @@
+//! Differential testing: every `cheetah-pisa` switch program must make
+//! byte-identical prune/forward decisions to its `cheetah-core` reference
+//! on the same stream — the evidence that the constrained dataplane
+//! faithfully implements the algorithms the theorems analyze.
+
+use cheetah::core::distinct::{DistinctPruner, EvictionPolicy};
+use cheetah::core::groupby::{Extremum, GroupByPruner};
+use cheetah::core::having::HavingPruner;
+use cheetah::core::join::{BloomFilter, JoinPruner, KeyFilter, RegisterBloomFilter, Side};
+use cheetah::core::skyline::{Heuristic, SkylinePruner};
+use cheetah::core::topn::{DeterministicTopN, RandomizedTopN};
+use cheetah::core::SwitchModel;
+use cheetah::pisa::programs::{
+    BloomJoinProgram, DetTopNProgram, DistinctFifoProgram, DistinctLruProgram, GroupByProgram,
+    HavingPhase, HavingProgram, JoinMode, RandTopNProgram, RbfJoinProgram, SkylineProgram,
+    SkylineScoring,
+};
+use cheetah::pisa::SwitchProgram;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 0xd1ff;
+const N: usize = 30_000;
+
+/// Nonzero keys (0 is the pisa empty-cell sentinel; CWorkers guarantee
+/// nonzero encodings).
+fn keys(n: usize, domain: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(1..=domain)).collect()
+}
+
+#[test]
+fn distinct_lru_program_equals_core() {
+    let stream = keys(N, 700, 1);
+    let mut core = DistinctPruner::new(256, 3, EvictionPolicy::Lru, SEED);
+    let mut prog = DistinctLruProgram::new(SwitchModel::tofino_like(), 256, 3, SEED).unwrap();
+    for (i, &k) in stream.iter().enumerate() {
+        let a = core.process(k);
+        let b = prog.process(&[k]).unwrap();
+        assert_eq!(a, b, "entry {i} (key {k}) diverged");
+    }
+}
+
+#[test]
+fn distinct_fifo_program_equals_core() {
+    let stream = keys(N, 700, 2);
+    let mut core = DistinctPruner::new(128, 4, EvictionPolicy::Fifo, SEED);
+    let mut prog = DistinctFifoProgram::new(SwitchModel::tofino_like(), 128, 4, SEED).unwrap();
+    for (i, &k) in stream.iter().enumerate() {
+        assert_eq!(
+            core.process(k),
+            prog.process(&[k]).unwrap(),
+            "entry {i} diverged"
+        );
+    }
+}
+
+#[test]
+fn rand_topn_program_equals_core() {
+    let stream = keys(N, 1_000_000, 3);
+    let mut core = RandomizedTopN::new(512, 6, SEED);
+    let mut prog = RandTopNProgram::new(SwitchModel::tofino_like(), 512, 6, SEED).unwrap();
+    for (i, &v) in stream.iter().enumerate() {
+        assert_eq!(
+            core.process(v),
+            prog.process(&[v]).unwrap(),
+            "entry {i} diverged"
+        );
+    }
+}
+
+#[test]
+fn det_topn_program_equals_core() {
+    // Skewed values so the threshold ladder actually climbs.
+    let mut rng = StdRng::seed_from_u64(4);
+    let stream: Vec<u64> = (0..N)
+        .map(|_| {
+            let exp = rng.gen_range(0..22u32);
+            rng.gen_range(0..(1u64 << exp).max(2))
+        })
+        .collect();
+    let mut core = DeterministicTopN::new(100, 6);
+    let mut prog = DetTopNProgram::new(SwitchModel::tofino_like(), 100, 6).unwrap();
+    for (i, &v) in stream.iter().enumerate() {
+        assert_eq!(
+            core.process(v),
+            prog.process(&[v]).unwrap(),
+            "entry {i} (value {v}) diverged"
+        );
+    }
+}
+
+#[test]
+fn groupby_program_equals_core() {
+    let ks = keys(N, 300, 5);
+    let vs = keys(N, 100_000, 6);
+    for ext in [Extremum::Max, Extremum::Min] {
+        let mut core = GroupByPruner::new(64, 4, ext, SEED);
+        let mut prog =
+            GroupByProgram::new(SwitchModel::tofino_like(), 64, 4, ext, SEED).unwrap();
+        for i in 0..N {
+            assert_eq!(
+                core.process(ks[i], vs[i]),
+                prog.process(&[ks[i], vs[i]]).unwrap(),
+                "entry {i} diverged ({ext:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn bloom_join_program_equals_core() {
+    let a_keys = keys(8_000, 40_000, 7);
+    let b_keys = keys(8_000, 40_000, 8);
+    let m_bits = 3 * (1u64 << 14);
+    let mut core = JoinPruner::new(
+        BloomFilter::new(m_bits, 3, SEED),
+        BloomFilter::new(m_bits, 3, SEED ^ 1),
+    );
+    let mut prog =
+        BloomJoinProgram::new(SwitchModel::tofino_like(), m_bits, 3, SEED, SEED ^ 1).unwrap();
+    prog.set_mode(JoinMode::BuildA);
+    for &k in &a_keys {
+        core.observe(Side::Left, k);
+        prog.process(&[k]).unwrap();
+    }
+    prog.set_mode(JoinMode::BuildB);
+    for &k in &b_keys {
+        core.observe(Side::Right, k);
+        prog.process(&[k]).unwrap();
+    }
+    prog.set_mode(JoinMode::ProbeA);
+    for (i, &k) in a_keys.iter().enumerate() {
+        assert_eq!(
+            core.prune_decision(Side::Left, k),
+            prog.process(&[k]).unwrap(),
+            "A probe {i} diverged"
+        );
+    }
+    prog.set_mode(JoinMode::ProbeB);
+    for (i, &k) in b_keys.iter().enumerate() {
+        assert_eq!(
+            core.prune_decision(Side::Right, k),
+            prog.process(&[k]).unwrap(),
+            "B probe {i} diverged"
+        );
+    }
+}
+
+#[test]
+fn rbf_join_program_equals_core() {
+    let a_keys = keys(5_000, 30_000, 9);
+    let b_keys = keys(5_000, 30_000, 10);
+    let m_bits = 1u64 << 14;
+    let mut fa = RegisterBloomFilter::new(m_bits, 3, SEED);
+    let mut fb = RegisterBloomFilter::new(m_bits, 3, SEED ^ 1);
+    let mut prog =
+        RbfJoinProgram::new(SwitchModel::tofino_like(), m_bits, 3, SEED, SEED ^ 1).unwrap();
+    prog.set_mode(JoinMode::BuildA);
+    for &k in &a_keys {
+        fa.insert(k);
+        prog.process(&[k]).unwrap();
+    }
+    prog.set_mode(JoinMode::BuildB);
+    for &k in &b_keys {
+        fb.insert(k);
+        prog.process(&[k]).unwrap();
+    }
+    prog.set_mode(JoinMode::ProbeA);
+    for (i, &k) in a_keys.iter().enumerate() {
+        let core_fwd = fb.contains(k);
+        let prog_fwd = prog.process(&[k]).unwrap().is_forward();
+        assert_eq!(core_fwd, prog_fwd, "A probe {i} diverged");
+    }
+}
+
+#[test]
+fn having_program_equals_core() {
+    let ks = keys(N, 200, 11);
+    let vs = keys(N, 50, 12);
+    let threshold = 2_000;
+    let mut core = HavingPruner::new(3, 256, threshold, SEED);
+    let mut prog =
+        HavingProgram::new(SwitchModel::tofino_like(), 3, 256, threshold, SEED).unwrap();
+    for i in 0..N {
+        assert_eq!(
+            core.pass_one(ks[i], vs[i]),
+            prog.process(&[ks[i], vs[i]]).unwrap(),
+            "pass-1 entry {i} diverged"
+        );
+    }
+    prog.set_phase(HavingPhase::PassTwo);
+    for i in 0..N {
+        assert_eq!(
+            core.pass_two(ks[i]),
+            prog.process(&[ks[i], vs[i]]).unwrap(),
+            "pass-2 entry {i} diverged"
+        );
+    }
+}
+
+#[test]
+fn skyline_sum_program_equals_core() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let spec = SwitchModel {
+        stages: 32,
+        ..SwitchModel::tofino2_like()
+    };
+    let mut core = SkylinePruner::new(2, 8, Heuristic::Sum);
+    let mut prog = SkylineProgram::new(spec, 2, 8, SkylineScoring::Sum).unwrap();
+    for i in 0..20_000 {
+        let p = [rng.gen_range(1..10_000u64), rng.gen_range(1..10_000u64)];
+        assert_eq!(
+            core.process(&p),
+            prog.process(&p).unwrap(),
+            "point {i} ({p:?}) diverged"
+        );
+    }
+}
+
+#[test]
+fn skyline_aph_program_equals_core() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let spec = SwitchModel {
+        stages: 32,
+        ..SwitchModel::tofino2_like()
+    };
+    let mut core = SkylinePruner::new(3, 6, Heuristic::aph_default());
+    let mut prog =
+        SkylineProgram::new(spec, 3, 6, SkylineScoring::Aph { frac_bits: 8 }).unwrap();
+    for i in 0..10_000 {
+        // Mix narrow and wide magnitudes to hit both APH paths.
+        let p = [
+            rng.gen_range(1..1u64 << 15),
+            rng.gen_range(1..1u64 << 30),
+            rng.gen_range(1..1u64 << 45),
+        ];
+        assert_eq!(
+            core.process(&p),
+            prog.process(&p).unwrap(),
+            "point {i} ({p:?}) diverged"
+        );
+    }
+}
+
+#[test]
+fn resets_keep_equivalence() {
+    // Run, reset, run a different stream: still identical.
+    let mut core = DistinctPruner::new(64, 2, EvictionPolicy::Lru, SEED);
+    let mut prog = DistinctLruProgram::new(SwitchModel::tofino_like(), 64, 2, SEED).unwrap();
+    for &k in &keys(2_000, 100, 15) {
+        core.process(k);
+        prog.process(&[k]).unwrap();
+    }
+    cheetah::core::RowPruner::reset(&mut core);
+    prog.reset();
+    for (i, &k) in keys(2_000, 100, 16).iter().enumerate() {
+        assert_eq!(
+            core.process(k),
+            prog.process(&[k]).unwrap(),
+            "post-reset entry {i} diverged"
+        );
+    }
+}
+
+#[test]
+fn layouts_agree_with_core_resource_formulas() {
+    use cheetah::core::resources::table2;
+    let spec = SwitchModel::tofino_like();
+    let p = DistinctLruProgram::new(spec, 4096, 2, 0).unwrap();
+    assert_eq!(p.layout(), table2::distinct_lru(2, 4096));
+    let p = RandTopNProgram::new(spec, 4096, 4, 0).unwrap();
+    assert_eq!(p.layout(), table2::topn_rand(4, 4096));
+    let p = DetTopNProgram::new(spec, 250, 4).unwrap();
+    assert_eq!(p.layout(), table2::topn_det(4));
+    let p = HavingProgram::new(spec, 3, 1024, 0, 0).unwrap();
+    assert_eq!(p.layout(), table2::having(1024, 3, spec.alus_per_stage));
+}

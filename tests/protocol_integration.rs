@@ -1,0 +1,156 @@
+//! Query correctness across the lossy transport: core pruners installed in
+//! the protocol switch, multiple workers, packet loss everywhere — the
+//! master must still compute exact results (§7.2's claim that any
+//! superset of the unpruned data yields the same output).
+
+use std::collections::{HashMap, HashSet};
+
+use cheetah::core::distinct::{DistinctPruner, EvictionPolicy};
+use cheetah::core::groupby::{Extremum, GroupByPruner};
+use cheetah::core::topn::DeterministicTopN;
+use cheetah::core::RowPruner;
+use cheetah::net::{Simulation, SimulationConfig, SwitchNode, WorkerTx};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn partitions(workers: usize, rows: usize, key_domain: u64, seed: u64) -> Vec<Vec<Vec<u64>>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..workers)
+        .map(|_| {
+            (0..rows)
+                .map(|_| vec![rng.gen_range(1..=key_domain), rng.gen_range(1..100_000u64)])
+                .collect()
+        })
+        .collect()
+}
+
+fn run_query_over_lossy_net(
+    parts: &[Vec<Vec<u64>>],
+    pruner: Box<dyn RowPruner + Send>,
+    loss: f64,
+    seed: u64,
+) -> Vec<Vec<u64>> {
+    let cfg = SimulationConfig {
+        loss_rate: loss,
+        seed,
+        rto_us: 200,
+        window: 16,
+        ..SimulationConfig::default()
+    };
+    let workers: Vec<WorkerTx> = parts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| WorkerTx::new(i as u16 + 1, p.clone(), 16, 200))
+        .collect();
+    let pruner = std::sync::Mutex::new(pruner);
+    let switch = SwitchNode::new(Box::new(move |_fid, row| {
+        pruner.lock().expect("no poisoning").process_row(row)
+    }));
+    let (master, stats) = Simulation::new(cfg).run(workers, switch);
+    assert!(stats.completed, "protocol must terminate");
+    master
+        .into_delivered()
+        .into_iter()
+        .map(|(_, _, v)| v)
+        .collect()
+}
+
+#[test]
+fn distinct_exact_under_loss() {
+    let parts = partitions(3, 800, 120, 1);
+    let truth: HashSet<u64> = parts.iter().flatten().map(|r| r[0]).collect();
+    for loss in [0.0, 0.05, 0.2] {
+        let pruner = Box::new(DistinctPruner::new(64, 2, EvictionPolicy::Lru, 7));
+        let delivered = run_query_over_lossy_net(&parts, pruner, loss, 42);
+        let got: HashSet<u64> = delivered.iter().map(|r| r[0]).collect();
+        assert_eq!(got, truth, "distinct diverged at loss {loss}");
+    }
+}
+
+#[test]
+fn groupby_max_exact_under_loss() {
+    let parts = partitions(4, 600, 60, 2);
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for r in parts.iter().flatten() {
+        let e = truth.entry(r[0]).or_insert(0);
+        *e = (*e).max(r[1]);
+    }
+    for loss in [0.1, 0.3] {
+        let pruner = Box::new(GroupByPruner::new(32, 4, Extremum::Max, 5));
+        let delivered = run_query_over_lossy_net(&parts, pruner, loss, 99);
+        let mut got: HashMap<u64, u64> = HashMap::new();
+        for r in &delivered {
+            let e = got.entry(r[0]).or_insert(0);
+            *e = (*e).max(r[1]);
+        }
+        assert_eq!(got, truth, "groupby diverged at loss {loss}");
+    }
+}
+
+#[test]
+fn topn_superset_under_loss() {
+    let parts = partitions(2, 1_000, 1_000_000, 3);
+    let mut all: Vec<u64> = parts.iter().flatten().map(|r| r[0]).collect();
+    all.sort_unstable_by(|a, b| b.cmp(a));
+    let top50: Vec<u64> = all.into_iter().take(50).collect();
+    let pruner = Box::new(TopNRowAdapter(DeterministicTopN::new(50, 4)));
+    let delivered = run_query_over_lossy_net(&parts, pruner, 0.15, 7);
+    let mut got: Vec<u64> = delivered.iter().map(|r| r[0]).collect();
+    got.sort_unstable_by(|a, b| b.cmp(a));
+    got.truncate(50);
+    assert_eq!(got, top50, "master top-50 diverged under loss");
+}
+
+/// Adapter: the deterministic TOP N reads only the first value.
+struct TopNRowAdapter(DeterministicTopN);
+
+impl RowPruner for TopNRowAdapter {
+    fn process_row(&mut self, row: &[u64]) -> cheetah::core::Decision {
+        self.0.process(row[0])
+    }
+    fn reset(&mut self) {
+        self.0.reset();
+    }
+    fn name(&self) -> &'static str {
+        "topn-adapter"
+    }
+}
+
+#[test]
+fn heavy_loss_costs_time_not_correctness() {
+    let parts = partitions(2, 400, 80, 4);
+    let truth: HashSet<u64> = parts.iter().flatten().map(|r| r[0]).collect();
+    let run = |loss| {
+        let cfg = SimulationConfig {
+            loss_rate: loss,
+            seed: 11,
+            rto_us: 150,
+            window: 8,
+            ..SimulationConfig::default()
+        };
+        let workers: Vec<WorkerTx> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| WorkerTx::new(i as u16 + 1, p.clone(), 8, 150))
+            .collect();
+        let pruner = std::sync::Mutex::new(DistinctPruner::new(64, 2, EvictionPolicy::Lru, 3));
+        let switch = SwitchNode::new(Box::new(move |_f, row| {
+            pruner.lock().expect("no poisoning").process_row(row)
+        }));
+        Simulation::new(cfg).run(workers, switch)
+    };
+    let (m_clean, s_clean) = run(0.0);
+    let (m_lossy, s_lossy) = run(0.4);
+    assert!(s_clean.completed && s_lossy.completed);
+    let set = |m: &cheetah::net::MasterRx| -> HashSet<u64> {
+        m.delivered().iter().map(|(_, _, v)| v[0]).collect()
+    };
+    assert_eq!(set(&m_clean), truth);
+    assert_eq!(set(&m_lossy), truth, "40% loss must not lose results");
+    assert!(
+        s_lossy.completion_us > s_clean.completion_us,
+        "loss shows up as time, not wrong answers"
+    );
+    assert!(s_lossy.retransmissions > 0);
+}

@@ -1,0 +1,200 @@
+//! Randomized soak: wide-parameter databases (including degenerate ones —
+//! empty tables, single rows, zero keys, values at the u64 extremes)
+//! through every query kind on both executors. The pruning equation must
+//! hold everywhere, not just on friendly benchmark data.
+
+use cheetah::core::filter::{Atom, CmpOp, Formula};
+use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah::engine::reference;
+use cheetah::engine::spark::SparkExecutor;
+use cheetah::engine::{Agg, CostModel, Database, Predicate, Query, Table};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_db(rows: usize, key_domain: u64, extreme_values: bool, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen_val = |rng: &mut StdRng| -> u64 {
+        if extreme_values && rng.gen_bool(0.05) {
+            *[0u64, 1, u64::MAX - 1, u64::MAX / 2].get(rng.gen_range(0..4)).unwrap()
+        } else {
+            rng.gen_range(0..100_000u64)
+        }
+    };
+    let mut db = Database::new();
+    db.add(Table::new(
+        "t",
+        vec![
+            (
+                "k",
+                (0..rows).map(|_| rng.gen_range(0..key_domain.max(1))).collect(),
+            ),
+            ("v", (0..rows).map(|_| gen_val(&mut rng)).collect()),
+            ("w", (0..rows).map(|_| rng.gen_range(1..1_000u64)).collect()),
+        ],
+    ));
+    db.add(Table::new(
+        "s",
+        vec![
+            (
+                "k",
+                (0..rows / 2)
+                    .map(|_| rng.gen_range(0..key_domain.max(1) * 2))
+                    .collect(),
+            ),
+            ("x", (0..rows / 2).map(|_| rng.gen_range(0..50u64)).collect()),
+        ],
+    ));
+    db
+}
+
+fn query_matrix() -> Vec<Query> {
+    vec![
+        Query::FilterCount {
+            table: "t".into(),
+            predicate: Predicate {
+                columns: vec!["v".into(), "w".into()],
+                atoms: vec![
+                    Atom::cmp(0, CmpOp::Ge, 50_000),
+                    Atom::unsupported(1, CmpOp::Lt, 500),
+                ],
+                formula: Formula::And(vec![Formula::Atom(0), Formula::NotAtom(1)]),
+            },
+        },
+        Query::Distinct {
+            table: "t".into(),
+            column: "k".into(),
+        },
+        Query::DistinctMulti {
+            table: "t".into(),
+            columns: vec!["k".into(), "w".into()],
+        },
+        Query::TopN {
+            table: "t".into(),
+            order_by: "v".into(),
+            n: 17,
+        },
+        Query::GroupBy {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            agg: Agg::Max,
+        },
+        Query::GroupBy {
+            table: "t".into(),
+            key: "k".into(),
+            val: "w".into(),
+            agg: Agg::Sum,
+        },
+        Query::Having {
+            table: "t".into(),
+            key: "k".into(),
+            val: "w".into(),
+            threshold: 5_000,
+        },
+        Query::Join {
+            left: "t".into(),
+            right: "s".into(),
+            left_col: "k".into(),
+            right_col: "k".into(),
+        },
+        Query::Skyline {
+            table: "t".into(),
+            columns: vec!["v".into(), "w".into()],
+        },
+    ]
+}
+
+#[test]
+fn soak_across_shapes_and_seeds() {
+    // (rows, key_domain, extreme_values)
+    let shapes = [
+        (0usize, 10u64, false),  // empty tables
+        (1, 1, false),           // single row, single key
+        (2, 1, true),            // duplicate key, extreme values
+        (500, 3, true),          // tiny key domain
+        (3_000, 5_000, false),   // keys mostly unique
+        (4_000, 64, true),       // mid-skew with extremes
+    ];
+    let model = CostModel::default();
+    let spark = SparkExecutor::new(model);
+    for (si, &(rows, domain, extremes)) in shapes.iter().enumerate() {
+        for seed in 0..3u64 {
+            let db = random_db(rows, domain, extremes, seed * 100 + si as u64);
+            let cheetah = CheetahExecutor::new(
+                model,
+                PrunerConfig {
+                    seed: seed ^ 0x50a_u64 ^ si as u64,
+                    ..PrunerConfig::default()
+                },
+            );
+            for q in query_matrix() {
+                let truth = reference::evaluate(&db, &q);
+                let s = spark.execute(&db, &q);
+                assert_eq!(
+                    s.result, truth,
+                    "spark diverged: shape {si}, seed {seed}, query {}",
+                    q.kind()
+                );
+                let c = cheetah.execute(&db, &q);
+                assert_eq!(
+                    c.result, truth,
+                    "cheetah diverged: shape {si}, seed {seed}, query {}",
+                    q.kind()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn monotone_and_sorted_orders_stay_correct() {
+    // Adversarial arrival orders (§5's worst case): ascending, descending
+    // and nearly-sorted streams must stay exact — only rates may suffer.
+    let rows = 5_000usize;
+    let mut db = Database::new();
+    db.add(Table::new(
+        "t",
+        vec![
+            ("k", (0..rows as u64).map(|i| i % 97).collect()),
+            ("v", (0..rows as u64).collect()), // strictly ascending
+            ("w", (0..rows as u64).rev().collect()), // strictly descending
+        ],
+    ));
+    db.add(Table::new(
+        "s",
+        vec![("k", (0..50u64).collect()), ("x", (0..50u64).collect())],
+    ));
+    let model = CostModel::default();
+    let cheetah = CheetahExecutor::new(model, PrunerConfig::default());
+    for q in [
+        Query::TopN {
+            table: "t".into(),
+            order_by: "v".into(),
+            n: 100,
+        },
+        Query::TopN {
+            table: "t".into(),
+            order_by: "w".into(),
+            n: 100,
+        },
+        Query::GroupBy {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            agg: Agg::Max,
+        },
+        Query::Skyline {
+            table: "t".into(),
+            columns: vec!["v".into(), "w".into()],
+        },
+    ] {
+        let truth = reference::evaluate(&db, &q);
+        assert_eq!(
+            cheetah.execute(&db, &q).result,
+            truth,
+            "sorted-order {} diverged",
+            q.kind()
+        );
+    }
+}
