@@ -213,12 +213,8 @@ fn ablate_batching(c: &mut Criterion) {
         let stream = &stream;
         g.bench_function(format!("{per_packet}_entries_per_packet"), move |b| {
             b.iter(|| {
-                let inner = DistinctBatchAccess::new(DistinctPruner::new(
-                    512,
-                    2,
-                    EvictionPolicy::Lru,
-                    3,
-                ));
+                let inner =
+                    DistinctBatchAccess::new(DistinctPruner::new(512, 2, EvictionPolicy::Lru, 3));
                 let mut batched = BatchedPruner::new(inner);
                 for chunk in stream.chunks(per_packet) {
                     let entries: Vec<Vec<u64>> = chunk.iter().map(|&k| vec![k]).collect();

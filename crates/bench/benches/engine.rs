@@ -1,14 +1,16 @@
 //! End-to-end executor benches: wall-clock cost of running a query
-//! through the reference evaluator, the Spark baseline (real partials)
-//! and the Cheetah executor (real pruning) at library scale.
+//! through the reference evaluator and every [`Executor`] implementation
+//! (real partials / real pruning) at library scale — one generic loop
+//! over the trait, no per-executor bench bodies.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 use cheetah_bench::bigdata_db;
 use cheetah_engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah_engine::netaccel::NetAccelModel;
 use cheetah_engine::reference;
 use cheetah_engine::spark::SparkExecutor;
-use cheetah_engine::{Agg, CostModel, Query};
+use cheetah_engine::{Agg, CostModel, Executor, NetAccelExecutor, Query, ThreadedExecutor};
 
 fn bench_executors(c: &mut Criterion) {
     let rows = 100_000usize;
@@ -42,6 +44,9 @@ fn bench_executors(c: &mut Criterion) {
     let model = CostModel::default();
     let spark = SparkExecutor::new(model);
     let cheetah = CheetahExecutor::new(model, PrunerConfig::default());
+    let threaded = ThreadedExecutor::new(cheetah.clone());
+    let netaccel = NetAccelExecutor::new(cheetah.clone(), NetAccelModel::default());
+    let executors: Vec<&dyn Executor> = vec![&spark, &cheetah, &threaded, &netaccel];
 
     for (name, q) in &queries {
         let mut g = c.benchmark_group(format!("engine_{name}"));
@@ -50,10 +55,11 @@ fn bench_executors(c: &mut Criterion) {
         g.bench_function("reference", |b| {
             b.iter(|| black_box(reference::evaluate(&db, q)))
         });
-        g.bench_function("spark_executor", |b| b.iter(|| black_box(spark.execute(&db, q))));
-        g.bench_function("cheetah_executor", |b| {
-            b.iter(|| black_box(cheetah.execute(&db, q)))
-        });
+        for exec in &executors {
+            g.bench_function(format!("{}_executor", exec.name()), |b| {
+                b.iter(|| black_box(exec.execute(&db, q)))
+            });
+        }
         g.finish();
     }
 }

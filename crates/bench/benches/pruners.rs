@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 use cheetah_core::distinct::{CacheMatrix, EvictionPolicy};
-use cheetah_core::filter::{Atom, CmpOp, Formula, FilterPruner};
+use cheetah_core::filter::{Atom, CmpOp, FilterPruner, Formula};
 use cheetah_core::groupby::{Extremum, GroupByPruner};
 use cheetah_core::having::CountMinSketch;
 use cheetah_core::join::{BloomFilter, KeyFilter};

@@ -7,15 +7,19 @@
 
 use cheetah_bench::experiments as exp;
 
+const USAGE: &str = "usage: experiments <id>… | all\n\
+     ids: table2 table3 fig5 fig6a fig6b fig7 fig8 fig9 \
+     fig10a fig10b fig10c fig10d fig10e fig10f \
+     fig11a fig11b fig11c fig11d fig11e fig11f fig12 fig13 ext";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
     if args.is_empty() {
-        eprintln!(
-            "usage: experiments <id>… | all\n\
-             ids: table2 table3 fig5 fig6a fig6b fig7 fig8 fig9 \
-             fig10a fig10b fig10c fig10d fig10e fig10f \
-             fig11a fig11b fig11c fig11d fig11e fig11f fig12 fig13"
-        );
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     for arg in &args {

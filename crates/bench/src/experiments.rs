@@ -19,10 +19,11 @@ use cheetah_core::topn::{DeterministicTopN, RandomizedTopN};
 
 use cheetah_engine::cheetah::{CheetahExecutor, PrunerConfig};
 use cheetah_engine::cost::{master_rate, HARDWARE_COMPARISON};
+use cheetah_engine::executor::run_all as run_executors;
 use cheetah_engine::netaccel::NetAccelModel;
 use cheetah_engine::q3;
 use cheetah_engine::spark::SparkExecutor;
-use cheetah_engine::{Agg, CostModel, Predicate, Query};
+use cheetah_engine::{Agg, CostModel, ExecutionReport, Executor, Predicate, Query};
 
 use cheetah_workloads::bigdata::{UserVisits, UserVisitsConfig};
 use cheetah_workloads::dist::{rng_for, Zipf};
@@ -35,22 +36,52 @@ use crate::{bigdata_db, fmt_frac, header};
 /// Default stream length for the pruning-rate simulations (Figures 10/11).
 pub const SIM_ENTRIES: usize = 1_000_000;
 
+/// Run one query through Spark + Cheetah behind the [`Executor`] trait,
+/// assert result equivalence, and hand back `(spark, cheetah)` — the one
+/// driver loop every completion-time figure shares.
+fn spark_vs_cheetah(
+    spark: &SparkExecutor,
+    cheetah: &CheetahExecutor,
+    db: &cheetah_engine::Database,
+    q: &Query,
+) -> (ExecutionReport, ExecutionReport) {
+    let executors: [&dyn Executor; 2] = [spark, cheetah];
+    let mut reports = run_executors(&executors, db, q);
+    let c = reports.pop().expect("cheetah report");
+    let s = reports.pop().expect("spark report");
+    assert_eq!(s.result, c.result, "{} diverged", q.kind());
+    (s, c)
+}
+
 // ---------------------------------------------------------------- tables
 
 /// Table 2: switch resources per algorithm at its default parameters.
 pub fn table_2() {
-    header("Table 2", "switch resource consumption per algorithm", "§7, Table 2");
+    header(
+        "Table 2",
+        "switch resource consumption per algorithm",
+        "§7, Table 2",
+    );
     let a = SwitchModel::tofino_like().alus_per_stage;
     let rows = [
-        ("DISTINCT FIFO (w=2, d=4096)", table2::distinct_fifo(2, 4096, a)),
+        (
+            "DISTINCT FIFO (w=2, d=4096)",
+            table2::distinct_fifo(2, 4096, a),
+        ),
         ("DISTINCT LRU  (w=2, d=4096)", table2::distinct_lru(2, 4096)),
         ("SKYLINE SUM  (D=2, w=10)", table2::skyline_sum(2, 10)),
         ("SKYLINE APH  (D=2, w=10)", table2::skyline_aph(2, 10)),
         ("TOP N Det    (N=250, w=4)", table2::topn_det(4)),
         ("TOP N Rand   (w=4, d=4096)", table2::topn_rand(4, 4096)),
         ("GROUP BY     (w=8, d=4096)", table2::group_by(8, 4096)),
-        ("JOIN BF      (M=4MB, H=3)", table2::join_bf(4 * (8 << 20), 3)),
-        ("JOIN RBF     (M=4MB, H=3)", table2::join_rbf(4 * (8 << 20), 3)),
+        (
+            "JOIN BF      (M=4MB, H=3)",
+            table2::join_bf(4 * (8 << 20), 3),
+        ),
+        (
+            "JOIN RBF     (M=4MB, H=3)",
+            table2::join_rbf(4 * (8 << 20), 3),
+        ),
         ("HAVING       (w=1024, d=3)", table2::having(1024, 3, a)),
         ("Filtering    (1 predicate)", table2::filter(1)),
     ];
@@ -73,7 +104,11 @@ pub fn table_2() {
 
 /// Table 3: hardware choices (throughput/latency envelopes).
 pub fn table_3() {
-    header("Table 3", "hardware performance comparison", "§2/§10, Table 3");
+    header(
+        "Table 3",
+        "hardware performance comparison",
+        "§2/§10, Table 3",
+    );
     println!(
         "{:<12} {:>22} {:>18}",
         "system", "throughput (Gbps)", "latency (µs)"
@@ -187,28 +222,24 @@ pub fn fig_5() {
         );
     };
 
-    let ra_s = spark.execute(&db, &a);
-    let ra_c = cheetah.execute(&db, &a);
-    assert_eq!(ra_s.result, ra_c.result);
+    let (ra_s, ra_c) = spark_vs_cheetah(&spark, &cheetah, &db, &a);
     print_row(
         "BigData A",
-        ra_s.first_run.total_s(),
-        ra_s.later_run.total_s(),
+        ra_s.first_run_total_s(),
+        ra_s.timing.total_s(),
         ra_c.timing.total_s(),
     );
-    let rb_s = spark.execute(&db, &b);
-    let rb_c = cheetah.execute(&db, &b);
-    assert_eq!(rb_s.result, rb_c.result);
+    let (rb_s, rb_c) = spark_vs_cheetah(&spark, &cheetah, &db, &b);
     print_row(
         "BigData B",
-        rb_s.first_run.total_s(),
-        rb_s.later_run.total_s(),
+        rb_s.first_run_total_s(),
+        rb_s.timing.total_s(),
         rb_c.timing.total_s(),
     );
     // A+B executed on one pipelined pass: shared setup, overlapped
     // serialization (§8.2.1: "faster than the sum of individual times").
-    let ab_spark_1 = ra_s.first_run.total_s() + rb_s.first_run.total_s() - model.spark_overhead_s;
-    let ab_spark_2 = ra_s.later_run.total_s() + rb_s.later_run.total_s() - model.spark_overhead_s;
+    let ab_spark_1 = ra_s.first_run_total_s() + rb_s.first_run_total_s() - model.spark_overhead_s;
+    let ab_spark_2 = ra_s.timing.total_s() + rb_s.timing.total_s() - model.spark_overhead_s;
     let ab_cheetah = ra_c.timing.total_s() + rb_c.timing.total_s()
         - model.cheetah_setup_s
         - 0.2 * ra_c.timing.network_s.min(rb_c.timing.network_s);
@@ -233,13 +264,11 @@ pub fn fig_5() {
     );
 
     for (name, q) in singles {
-        let s = spark.execute(&db, &q);
-        let c = cheetah.execute(&db, &q);
-        assert_eq!(s.result, c.result, "{name} diverged");
+        let (s, c) = spark_vs_cheetah(&spark, &cheetah, &db, &q);
         print_row(
             name,
-            s.first_run.total_s(),
-            s.later_run.total_s(),
+            s.first_run_total_s(),
+            s.timing.total_s(),
             c.timing.total_s(),
         );
     }
@@ -259,24 +288,21 @@ pub fn fig_6a() {
         table: "uservisits".into(),
         column: "userAgent".into(),
     };
-    println!(
-        "{:<9} {:>12} {:>12}",
-        "workers", "cheetah", "spark (warm)"
-    );
+    println!("{:<9} {:>12} {:>12}", "workers", "cheetah", "spark (warm)");
     for workers in 1..=5 {
         let model = CostModel {
             workers,
             model_scale: 100.0,
             ..CostModel::default()
         };
-        let s = SparkExecutor::new(model).execute(&db, &q);
-        let c = CheetahExecutor::new(model, PrunerConfig::default()).execute(&db, &q);
-        assert_eq!(s.result, c.result);
+        let spark = SparkExecutor::new(model);
+        let cheetah = CheetahExecutor::new(model, PrunerConfig::default());
+        let (s, c) = spark_vs_cheetah(&spark, &cheetah, &db, &q);
         println!(
             "{:<9} {:>10.2} s {:>10.2} s",
             workers,
             c.timing.total_s(),
-            s.later_run.total_s()
+            s.timing.total_s()
         );
     }
 }
@@ -288,10 +314,7 @@ pub fn fig_6b() {
         "DISTINCT completion time vs number of entries",
         "§8.2.2, Figure 6b (scaled ×1/100)",
     );
-    println!(
-        "{:<12} {:>12} {:>12}",
-        "entries", "cheetah", "spark (warm)"
-    );
+    println!("{:<12} {:>12} {:>12}", "entries", "cheetah", "spark (warm)");
     for entries in [100_000usize, 200_000, 300_000] {
         let db = bigdata_db(entries, 50_000, 2_000, 0.5, 7);
         let model = CostModel {
@@ -302,14 +325,14 @@ pub fn fig_6b() {
             table: "uservisits".into(),
             column: "userAgent".into(),
         };
-        let s = SparkExecutor::new(model).execute(&db, &q);
-        let c = CheetahExecutor::new(model, PrunerConfig::default()).execute(&db, &q);
-        assert_eq!(s.result, c.result);
+        let spark = SparkExecutor::new(model);
+        let cheetah = CheetahExecutor::new(model, PrunerConfig::default());
+        let (s, c) = spark_vs_cheetah(&spark, &cheetah, &db, &q);
         println!(
             "{:<12} {:>10.2} s {:>10.2} s",
             entries * 100,
             c.timing.total_s(),
-            s.later_run.total_s()
+            s.timing.total_s()
         );
     }
 }
@@ -335,8 +358,8 @@ pub fn fig_7() {
         let entries = input_entries * pct / 100;
         // Cheetah: results stream to the master inline (already there);
         // the only cost is receiving + touching them once.
-        let cheetah_s = entries as f64 / master_rate("join")
-            + model.transfer_s(entries as f64 * 64.0);
+        let cheetah_s =
+            entries as f64 / master_rate("join") + model.transfer_s(entries as f64 * 64.0);
         let netaccel_s = na.drain_s(entries);
         println!(
             "{:<22} {:>12.3} s {:>14.3} s",
@@ -385,15 +408,15 @@ pub fn fig_8() {
             model_scale: 100.0,
             ..CostModel::default()
         };
-        let s = SparkExecutor::new(base).execute(&db, q);
+        let s = Executor::execute(&SparkExecutor::new(base), &db, q);
         println!(
             "{:<10} {:<14} {:>10.2} s {:>8.2} s {:>6.2} s {:>7.2} s",
             name,
             "Spark (warm)",
-            s.later_run.computation_s,
-            s.later_run.network_s,
-            s.later_run.other_s,
-            s.later_run.total_s()
+            s.timing.computation_s,
+            s.timing.network_s,
+            s.timing.other_s,
+            s.timing.total_s()
         );
         for gbps in [10.0, 20.0] {
             let model = CostModel {
@@ -401,7 +424,11 @@ pub fn fig_8() {
                 model_scale: 100.0,
                 ..CostModel::default()
             };
-            let c = CheetahExecutor::new(model, PrunerConfig::default()).execute(&db, q);
+            let c = Executor::execute(
+                &CheetahExecutor::new(model, PrunerConfig::default()),
+                &db,
+                q,
+            );
             assert_eq!(c.result, s.result);
             println!(
                 "{:<10} {:<14} {:>10.2} s {:>8.2} s {:>6.2} s {:>7.2} s",
@@ -518,10 +545,7 @@ pub fn fig_10a() {
     for &v in stream {
         opt_stats.record(opt.process(v));
     }
-    println!(
-        "{:<8} {:>14} {:>14} {:>14}",
-        "d", "LRU", "FIFO", "OPT"
-    );
+    println!("{:<8} {:>14} {:>14} {:>14}", "d", "LRU", "FIFO", "OPT");
     for d in [64usize, 256, 1024, 4096, 16384] {
         let run = |policy| {
             let mut m = CacheMatrix::new(d, 2, policy, 3);
@@ -604,10 +628,7 @@ pub fn fig_10c() {
     for &v in stream {
         opt_stats.record(opt.process(v));
     }
-    println!(
-        "{:<6} {:>14} {:>14} {:>14}",
-        "w", "Det", "Rand", "OPT"
-    );
+    println!("{:<6} {:>14} {:>14} {:>14}", "w", "Det", "Rand", "OPT");
     for w in [2usize, 4, 6, 8, 12] {
         let mut det = DeterministicTopN::new(n as u64, w);
         let mut det_stats = PruneStats::default();
@@ -674,7 +695,9 @@ pub fn fig_10e() {
     let mut rng = rng_for(16, "fig10e");
     // ~10% key overlap (footnote 10).
     let a_keys: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=10_000_000u64)).collect();
-    let b_keys: Vec<u64> = (0..n).map(|_| rng.gen_range(9_000_000..=19_000_000u64)).collect();
+    let b_keys: Vec<u64> = (0..n)
+        .map(|_| rng.gen_range(9_000_000..=19_000_000u64))
+        .collect();
     let opt = OptJoin::from_keys(b_keys.iter().copied());
     let mut opt_stats = PruneStats::default();
     for &k in &a_keys {
@@ -931,7 +954,9 @@ pub fn fig_11e() {
     let n = SIM_ENTRIES / 2;
     let mut rng = rng_for(27, "fig11e");
     let a_keys: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=10_000_000u64)).collect();
-    let b_keys: Vec<u64> = (0..n).map(|_| rng.gen_range(9_000_000..=19_000_000u64)).collect();
+    let b_keys: Vec<u64> = (0..n)
+        .map(|_| rng.gen_range(9_000_000..=19_000_000u64))
+        .collect();
     let cps = checkpoints(n);
     let mut series = Vec::new();
     for mb in [0.25f64, 1.0, 4.0, 16.0] {
@@ -1015,10 +1040,7 @@ pub fn fig_12_13() {
         "Appendix F (the switch CPU neither computes nor moves data fast)",
     );
     let na = NetAccelModel::default();
-    println!(
-        "{:<14} {:>14} {:>16}",
-        "entries", "server", "switch CPU"
-    );
+    println!("{:<14} {:>14} {:>16}", "entries", "server", "switch CPU");
     for entries in [1_000_000u64, 5_000_000, 10_000_000, 50_000_000, 100_000_000] {
         println!(
             "{:<14} {:>12.2} s {:>14.2} s",
@@ -1058,8 +1080,7 @@ pub fn extensions() {
         "entries/packet", "packets", "unpruned", "skipped"
     );
     for per_packet in [1usize, 2, 4, 8] {
-        let inner =
-            DistinctBatchAccess::new(DistinctPruner::new(512, 2, EvictionPolicy::Lru, 3));
+        let inner = DistinctBatchAccess::new(DistinctPruner::new(512, 2, EvictionPolicy::Lru, 3));
         let mut b = BatchedPruner::new(inner);
         for chunk in stream.chunks(per_packet) {
             let entries: Vec<Vec<u64>> = chunk.iter().map(|&k| vec![k]).collect();
@@ -1079,7 +1100,9 @@ pub fn extensions() {
     println!("\n— §9 switch tree vs one switch (DISTINCT, 64×2 each) —");
     let tree_stream: Vec<u64> = {
         let mut rng = rng_for(91, "ext-tree");
-        (0..SIM_ENTRIES / 2).map(|_| rng.gen_range(1..600u64)).collect()
+        (0..SIM_ENTRIES / 2)
+            .map(|_| rng.gen_range(1..600u64))
+            .collect()
     };
     let mut single = DistinctPruner::new(64, 2, EvictionPolicy::Lru, 2);
     let single_fwd = tree_stream
@@ -1120,11 +1143,11 @@ pub fn extensions() {
             },
         );
         let started = std::time::Instant::now();
-        let r = exec.execute(&db, &q);
+        let r = Executor::execute(&exec, &db, &q);
         println!(
             "{:<10} backend: pruned {:.4}, result size {}, wall {:?}",
             name,
-            r.prune.pruned_fraction(),
+            r.prune_stats().pruned_fraction(),
             r.result.output_size(),
             started.elapsed()
         );

@@ -136,8 +136,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut seen = HashSet::new();
         for _ in 0..2_000 {
-            let packet: Vec<Vec<u64>> =
-                (0..4).map(|_| vec![rng.gen_range(1..150u64)]).collect();
+            let packet: Vec<Vec<u64>> = (0..4).map(|_| vec![rng.gen_range(1..150u64)]).collect();
             let refs: Vec<&[u64]> = packet.iter().map(|v| v.as_slice()).collect();
             let ds = b.process_packet(&refs);
             for (e, d) in packet.iter().zip(&ds) {
@@ -152,8 +151,7 @@ mod tests {
 
     #[test]
     fn batched_groupby_master_exact() {
-        let inner =
-            GroupByBatchAccess::new(GroupByPruner::new(16, 2, Extremum::Max, 2));
+        let inner = GroupByBatchAccess::new(GroupByPruner::new(16, 2, Extremum::Max, 2));
         let mut b = BatchedPruner::new(inner);
         let mut rng = StdRng::seed_from_u64(2);
         let mut truth: HashMap<u64, u64> = HashMap::new();
@@ -184,8 +182,9 @@ mod tests {
         let mut all = Vec::new();
         let mut forwarded = Vec::new();
         for _ in 0..5_000 {
-            let packet: Vec<Vec<u64>> =
-                (0..4).map(|_| vec![rng.gen_range(0..1_000_000u64)]).collect();
+            let packet: Vec<Vec<u64>> = (0..4)
+                .map(|_| vec![rng.gen_range(0..1_000_000u64)])
+                .collect();
             let refs: Vec<&[u64]> = packet.iter().map(|v| v.as_slice()).collect();
             let ds = b.process_packet(&refs);
             for (e, d) in packet.iter().zip(&ds) {
@@ -214,8 +213,7 @@ mod tests {
     #[test]
     fn larger_packets_skip_more_but_stay_correct() {
         let run = |per_packet: usize| {
-            let inner =
-                DistinctBatchAccess::new(DistinctPruner::new(8, 2, EvictionPolicy::Lru, 4));
+            let inner = DistinctBatchAccess::new(DistinctPruner::new(8, 2, EvictionPolicy::Lru, 4));
             let mut b = BatchedPruner::new(inner);
             let mut rng = StdRng::seed_from_u64(5);
             for _ in 0..8_000 / per_packet {

@@ -98,7 +98,9 @@ impl CacheMatrix {
         debug_assert!(row < self.d);
         let base = row * self.w;
         let len = self.lens[row] as usize;
-        let hit = self.cells[base..base + len].iter().position(|&c| c == value);
+        let hit = self.cells[base..base + len]
+            .iter()
+            .position(|&c| c == value);
         match hit {
             Some(i) => {
                 if self.policy == EvictionPolicy::Lru && i > 0 {
@@ -241,7 +243,9 @@ impl DistinctBatchAccess {
 
 impl crate::batch::BatchAccess for DistinctBatchAccess {
     fn row_of(&mut self, entry: &[u64]) -> usize {
-        self.inner.row_hash.bucket(entry[0], self.inner.matrix.rows())
+        self.inner
+            .row_hash
+            .bucket(entry[0], self.inner.matrix.rows())
     }
 
     fn process_one(&mut self, entry: &[u64]) -> Decision {

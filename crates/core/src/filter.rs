@@ -517,7 +517,14 @@ mod tests {
 
     #[test]
     fn cmp_op_negation_roundtrip() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
             assert_eq!(op.negate().negate(), op);
             for (a, b) in [(1u64, 2u64), (2, 2), (3, 2)] {
                 assert_eq!(op.eval(a, b), !op.negate().eval(a, b));

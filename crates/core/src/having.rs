@@ -39,7 +39,9 @@ impl CountMinSketch {
             d,
             w,
             counters: vec![0; d * w],
-            hashes: (0..d).map(|i| HashFn::new(seed ^ ((i as u64) << 40))).collect(),
+            hashes: (0..d)
+                .map(|i| HashFn::new(seed ^ ((i as u64) << 40)))
+                .collect(),
         }
     }
 
@@ -299,7 +301,11 @@ mod tests {
         let entries: Vec<(u64, u64)> = (0..50_000)
             .map(|_| {
                 let k = rng.gen_range(0..200u64);
-                let v = if k < 5 { rng.gen_range(50..150) } else { rng.gen_range(0..3) };
+                let v = if k < 5 {
+                    rng.gen_range(50..150)
+                } else {
+                    rng.gen_range(0..3)
+                };
                 (k, v)
             })
             .collect();
@@ -488,9 +494,15 @@ mod tests {
         let mut p = HavingExtremumPruner::new_max(8, 2, 10, 0);
         assert_eq!(p.name(), "having-max");
         assert!(p.process_row(&[1, 11]).is_forward());
-        assert!(p.process_row(&[1, 12]).is_prune(), "dedup on second witness");
+        assert!(
+            p.process_row(&[1, 12]).is_prune(),
+            "dedup on second witness"
+        );
         p.reset();
         assert!(p.process_row(&[1, 11]).is_forward());
-        assert_eq!(HavingExtremumPruner::new_min(8, 2, 10, 0).name(), "having-min");
+        assert_eq!(
+            HavingExtremumPruner::new_min(8, 2, 10, 0).name(),
+            "having-min"
+        );
     }
 }

@@ -126,10 +126,7 @@ impl BloomFilter {
     fn bit_index(&self, i: usize, key: u64) -> (usize, u64) {
         let seg_bits = self.seg_words as u64 * 64;
         let b = ((u128::from(self.hashes[i].hash(key)) * u128::from(seg_bits)) >> 64) as u64;
-        (
-            i * self.seg_words + (b / 64) as usize,
-            1u64 << (b % 64),
-        )
+        (i * self.seg_words + (b / 64) as usize, 1u64 << (b % 64))
     }
 }
 
@@ -389,7 +386,9 @@ mod tests {
         for k in 0..1000u64 {
             bf.insert(k);
         }
-        let fps = (1_000_000..1_100_000u64).filter(|&k| bf.contains(k)).count();
+        let fps = (1_000_000..1_100_000u64)
+            .filter(|&k| bf.contains(k))
+            .count();
         let rate = fps as f64 / 100_000.0;
         assert!(rate < 0.03, "false positive rate too high: {rate}");
     }
@@ -428,7 +427,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let a_keys: Vec<u64> = (0..5_000).map(|_| rng.gen_range(0..20_000)).collect();
         let b_keys: Vec<u64> = (0..5_000).map(|_| rng.gen_range(10_000..30_000)).collect();
-        let mut jp = JoinPruner::new(BloomFilter::new(1 << 14, 3, 0), BloomFilter::new(1 << 14, 3, 1));
+        let mut jp = JoinPruner::new(
+            BloomFilter::new(1 << 14, 3, 0),
+            BloomFilter::new(1 << 14, 3, 1),
+        );
         for &k in &a_keys {
             jp.observe(Side::Left, k);
         }
@@ -481,7 +483,9 @@ mod tests {
         for k in 0..100u64 {
             assert!(aj.prune_big(k).is_forward(), "matching big-side key pruned");
         }
-        let pruned = (10_000..20_000u64).filter(|&k| aj.prune_big(k).is_prune()).count();
+        let pruned = (10_000..20_000u64)
+            .filter(|&k| aj.prune_big(k).is_prune())
+            .count();
         assert!(pruned > 9_900, "low-FPR filter should prune ~all: {pruned}");
     }
 
@@ -549,7 +553,10 @@ mod tests {
                     .is_prune()
             })
             .count();
-        assert!(pruned_right > 490, "non-preserved side must prune: {pruned_right}");
+        assert!(
+            pruned_right > 490,
+            "non-preserved side must prune: {pruned_right}"
+        );
     }
 
     #[test]

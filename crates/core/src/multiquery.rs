@@ -120,7 +120,9 @@ pub struct CombinedPruner {
 impl std::fmt::Debug for CombinedPruner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.pruners.iter().map(|p| p.name()).collect();
-        f.debug_struct("CombinedPruner").field("pruners", &names).finish()
+        f.debug_struct("CombinedPruner")
+            .field("pruners", &names)
+            .finish()
     }
 }
 

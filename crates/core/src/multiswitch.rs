@@ -215,11 +215,7 @@ mod tests {
 
     #[test]
     fn reset_clears_all_levels() {
-        let mut tree = SwitchTree::new(
-            vec![distinct_leaf(8, 0)],
-            distinct_leaf(8, 1),
-            1,
-        );
+        let mut tree = SwitchTree::new(vec![distinct_leaf(8, 0)], distinct_leaf(8, 1), 1);
         assert!(tree.process_row(&[5]).is_forward());
         assert!(tree.process_row(&[5]).is_prune());
         tree.reset();

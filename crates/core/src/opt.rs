@@ -226,7 +226,10 @@ mod tests {
                 rand_fwd += 1;
             }
         }
-        assert!(opt_fwd <= rand_fwd, "OPT must dominate: {opt_fwd} vs {rand_fwd}");
+        assert!(
+            opt_fwd <= rand_fwd,
+            "OPT must dominate: {opt_fwd} vs {rand_fwd}"
+        );
     }
 
     #[test]

@@ -251,10 +251,7 @@ mod tests {
     fn paper_example_distinct_bound() {
         // D=15000, d=1000, w=24 ⇒ expected ≈58% of duplicates pruned.
         let f = distinct_expected_prune_fraction(15_000, 1000, 24);
-        assert!(
-            (f - 0.58).abs() < 0.01,
-            "paper quotes 58%, computed {f:.4}"
-        );
+        assert!((f - 0.58).abs() < 0.01, "paper quotes 58%, computed {f:.4}");
     }
 
     #[test]

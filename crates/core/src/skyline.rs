@@ -374,7 +374,11 @@ mod tests {
         for seed in 0..5 {
             let pts = random_points(5_000, 2, 10_000, seed);
             let truth = sorted(true_skyline(&pts));
-            for h in [Heuristic::Sum, Heuristic::aph_default(), Heuristic::Baseline] {
+            for h in [
+                Heuristic::Sum,
+                Heuristic::aph_default(),
+                Heuristic::Baseline,
+            ] {
                 let mut p = SkylinePruner::new(2, 8, h);
                 let got = sorted(master_skyline(&mut p, &pts));
                 assert_eq!(got, truth, "seed {seed}: master skyline differs");
@@ -448,7 +452,16 @@ mod tests {
     fn approx_log_wide_values() {
         let log = ApproxLog::new(8);
         let beta = 256.0;
-        for &v in &[1u64, 2, 3, 65_535, 65_536, 1 << 20, (1 << 40) + 12345, u64::MAX] {
+        for &v in &[
+            1u64,
+            2,
+            3,
+            65_535,
+            65_536,
+            1 << 20,
+            (1 << 40) + 12345,
+            u64::MAX,
+        ] {
             let approx = log.log2_fixed(v) as f64 / beta;
             let exact = (v as f64).log2();
             assert!(
@@ -547,7 +560,11 @@ mod tests {
         for seed in 0..3 {
             let pts = random_points(3_000, 2, 5_000, 100 + seed);
             let truth = sorted(true_min_skyline(&pts));
-            for h in [Heuristic::Sum, Heuristic::aph_default(), Heuristic::Baseline] {
+            for h in [
+                Heuristic::Sum,
+                Heuristic::aph_default(),
+                Heuristic::Baseline,
+            ] {
                 let mut p = SkylinePruner::new_min(2, 8, h);
                 let survivors: Vec<Vec<u64>> = pts
                     .iter()

@@ -68,7 +68,9 @@ impl DeterministicTopN {
                 // ladder still climbs (activation keeps it safe).
                 let base = t0.max(1);
                 self.thresholds = (0..self.w)
-                    .map(|i| base.saturating_mul(1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX)))
+                    .map(|i| {
+                        base.saturating_mul(1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX))
+                    })
                     .collect();
             }
             return Decision::Forward;
@@ -327,7 +329,9 @@ mod tests {
         // t₀ ≈ max/N, so pruning is modest — the motivation for the
         // randomized variant (Figure 10c).
         let mut rng = StdRng::seed_from_u64(2);
-        let stream: Vec<u64> = (0..50_000).map(|_| rng.gen_range(0..1_000_000u64)).collect();
+        let stream: Vec<u64> = (0..50_000)
+            .map(|_| rng.gen_range(0..1_000_000u64))
+            .collect();
         let mut p = DeterministicTopN::new(250, 4);
         let pruned = stream.iter().filter(|&&v| p.process(v).is_prune()).count();
         assert!(pruned > 500, "expected some pruning, got {pruned}/50000");
@@ -432,7 +436,10 @@ mod tests {
         let mut stream: Vec<u64> = (0..m).collect();
         stream.shuffle(&mut rng);
         let mut p = RandomizedTopN::new(d, w, 7);
-        let forwarded = stream.iter().filter(|&&v| p.process(v).is_forward()).count() as f64;
+        let forwarded = stream
+            .iter()
+            .filter(|&&v| p.process(v).is_forward())
+            .count() as f64;
         let bound = params::topn_expected_unpruned(m, d, w);
         // Theorem 3 bounds the expectation; allow 30% slack for one run.
         assert!(

@@ -91,9 +91,7 @@ pub fn topn(cfg: &PrunerConfig, n: usize) -> Box<dyn RowPruner + Send> {
         (SwitchBackend::Reference, true) => {
             Box::new(RandomizedTopN::new(cfg.topn_d, cfg.topn_w, cfg.seed))
         }
-        (SwitchBackend::Reference, false) => {
-            Box::new(DeterministicTopN::new(n as u64, cfg.topn_w))
-        }
+        (SwitchBackend::Reference, false) => Box::new(DeterministicTopN::new(n as u64, cfg.topn_w)),
         (SwitchBackend::Pisa, true) => Box::new(ProgramPruner::new(
             RandTopNProgram::new(spec(), cfg.topn_d, cfg.topn_w, cfg.seed)
                 .expect("topn program fits"),
@@ -296,7 +294,10 @@ mod tests {
             ..PrunerConfig::default()
         };
         let mut d = distinct(&cfg);
-        assert!(d.process_row(&[0]).is_forward(), "zero key first occurrence");
+        assert!(
+            d.process_row(&[0]).is_forward(),
+            "zero key first occurrence"
+        );
         assert!(d.process_row(&[0]).is_prune(), "zero key duplicate");
         assert!(d.process_row(&[1]).is_forward(), "distinct from zero");
     }
@@ -327,9 +328,7 @@ mod tests {
 
     #[test]
     fn having_flow_equivalent_across_backends() {
-        let entries: Vec<(u64, u64)> = (0..2_000)
-            .map(|i| (i % 37, (i * 13) % 100))
-            .collect();
+        let entries: Vec<(u64, u64)> = (0..2_000).map(|i| (i % 37, (i * 13) % 100)).collect();
         let run = |backend| {
             let cfg = PrunerConfig {
                 backend,

@@ -23,6 +23,7 @@ use cheetah_core::join::Side;
 
 use crate::backend::{self, HavingFlow, JoinFlow, SwitchBackend};
 use crate::cost::{master_rate, CostModel, TimingBreakdown};
+use crate::executor::ExecutionReport;
 use crate::query::{pair_checksum, Agg, Query, QueryResult};
 use crate::reference::skyline_of;
 use crate::table::{Database, Table};
@@ -95,21 +96,6 @@ pub struct CheetahExecutor {
     pub config: PrunerConfig,
 }
 
-/// Result, pruning statistics and modeled timing of one Cheetah run.
-#[derive(Debug, Clone)]
-pub struct CheetahReport {
-    /// The (real) query result.
-    pub result: QueryResult,
-    /// Modeled completion breakdown.
-    pub timing: TimingBreakdown,
-    /// Switch pruning statistics (per-entry decisions).
-    pub prune: PruneStats,
-    /// Streaming passes the query needed (JOIN/HAVING take two).
-    pub passes: u32,
-    /// Rows fetched in late materialization.
-    pub fetch_rows: u64,
-}
-
 /// An entry flowing through the switch: source row id + metadata values.
 type StreamEntry = (u64, Vec<u64>);
 
@@ -141,14 +127,13 @@ impl CheetahExecutor {
     }
 
     /// Run the query through the switch; real results, modeled timing.
-    pub fn execute(&self, db: &Database, query: &Query) -> CheetahReport {
+    pub fn execute(&self, db: &Database, query: &Query) -> ExecutionReport {
         let workers = self.model.workers;
         let cfg = &self.config;
         match query {
             Query::FilterCount { table, predicate } => {
                 let t = db.table(table);
-                let cols: Vec<usize> =
-                    predicate.columns.iter().map(|c| t.col_index(c)).collect();
+                let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
                 let stream = interleave(t, &cols, workers);
                 let mut pruner = backend::filter(cfg, predicate);
                 let mut stats = PruneStats::default();
@@ -161,12 +146,18 @@ impl CheetahExecutor {
                         count += 1;
                     }
                 }
-                self.report(query, t.rows() as u64, stats, 1, 0, QueryResult::Count(count))
+                self.report(
+                    query,
+                    t.rows() as u64,
+                    stats,
+                    1,
+                    0,
+                    QueryResult::Count(count),
+                )
             }
             Query::Filter { table, predicate } => {
                 let t = db.table(table);
-                let cols: Vec<usize> =
-                    predicate.columns.iter().map(|c| t.col_index(c)).collect();
+                let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
                 let stream = interleave(t, &cols, workers);
                 let mut pruner = backend::filter(cfg, predicate);
                 let mut stats = PruneStats::default();
@@ -260,9 +251,11 @@ impl CheetahExecutor {
                             let d = pruner.process_row(vals);
                             stats.record(d);
                             if d.is_forward() {
-                                let e = groups
-                                    .entry(vals[0])
-                                    .or_insert(if ext == Extremum::Max { 0 } else { u64::MAX });
+                                let e = groups.entry(vals[0]).or_insert(if ext == Extremum::Max {
+                                    0
+                                } else {
+                                    u64::MAX
+                                });
                                 *e = if ext == Extremum::Max {
                                     (*e).max(vals[1])
                                 } else {
@@ -404,7 +397,7 @@ impl CheetahExecutor {
         }
     }
 
-    /// Execute with real worker/switch/master threads (crossbeam channels;
+    /// Execute with real worker/switch/master threads (bounded channels;
     /// wall-clock timing, nondeterministic interleaving). Supported for
     /// the single-pass row-pruned queries — Distinct, TopN, GroupBy
     /// MAX/MIN, FilterCount, Skyline; returns `None` for the multi-pass
@@ -462,9 +455,11 @@ impl CheetahExecutor {
                 let run = crate::threaded::run_stream(parts, backend::groupby(cfg, ext));
                 let mut groups = std::collections::BTreeMap::new();
                 for r in &run.forwarded {
-                    let e = groups
-                        .entry(r[0])
-                        .or_insert(if ext == Extremum::Max { 0 } else { u64::MAX });
+                    let e = groups.entry(r[0]).or_insert(if ext == Extremum::Max {
+                        0
+                    } else {
+                        u64::MAX
+                    });
                     *e = if ext == Extremum::Max {
                         (*e).max(r[1])
                     } else {
@@ -475,15 +470,10 @@ impl CheetahExecutor {
             }
             Query::FilterCount { table, predicate } => {
                 let t = db.table(table);
-                let cols: Vec<usize> =
-                    predicate.columns.iter().map(|c| t.col_index(c)).collect();
+                let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
                 let parts = partition(t, &cols);
                 let run = crate::threaded::run_stream(parts, backend::filter(cfg, predicate));
-                let count = run
-                    .forwarded
-                    .iter()
-                    .filter(|r| predicate.eval(r))
-                    .count() as u64;
+                let count = run.forwarded.iter().filter(|r| predicate.eval(r)).count() as u64;
                 (QueryResult::Count(count), run.stats)
             }
             Query::Skyline { table, columns } => {
@@ -502,7 +492,7 @@ impl CheetahExecutor {
     /// Assemble the report: `streamed_rows` is the total entries sent over
     /// all passes; the stream, serialization and master completion overlap
     /// (pipelining), so the streaming phase costs their maximum.
-    fn report(
+    pub(crate) fn report(
         &self,
         query: &Query,
         streamed_rows: u64,
@@ -510,7 +500,7 @@ impl CheetahExecutor {
         passes: u32,
         fetch_rows: u64,
         result: QueryResult,
-    ) -> CheetahReport {
+    ) -> ExecutionReport {
         let m = &self.model;
         let kind = query.kind();
         let per_worker = streamed_rows.div_ceil(m.workers as u64);
@@ -527,12 +517,16 @@ impl CheetahExecutor {
             network_s: serialize_s.max(network_s),
             other_s: m.cheetah_setup_s + m.rule_install_s + fetch_s,
         };
-        CheetahReport {
+        ExecutionReport {
+            executor: "cheetah",
             result,
             timing,
-            prune: stats,
+            first_run: None,
+            prune: Some(stats),
             passes,
             fetch_rows,
+            shuffle_entries: stats.forwarded(),
+            wall: None,
         }
     }
 }
@@ -553,15 +547,24 @@ mod tests {
             "t",
             vec![
                 ("k", (0..rows).map(|_| rng.gen_range(1..80u64)).collect()),
-                ("v", (0..rows).map(|_| rng.gen_range(1..10_000u64)).collect()),
+                (
+                    "v",
+                    (0..rows).map(|_| rng.gen_range(1..10_000u64)).collect(),
+                ),
                 ("w", (0..rows).map(|_| rng.gen_range(1..500u64)).collect()),
             ],
         ));
         db.add(Table::new(
             "s",
             vec![
-                ("k", (0..rows / 2).map(|_| rng.gen_range(40..120u64)).collect()),
-                ("x", (0..rows / 2).map(|_| rng.gen_range(1..100u64)).collect()),
+                (
+                    "k",
+                    (0..rows / 2).map(|_| rng.gen_range(40..120u64)).collect(),
+                ),
+                (
+                    "x",
+                    (0..rows / 2).map(|_| rng.gen_range(1..100u64)).collect(),
+                ),
             ],
         ));
         db
@@ -664,9 +667,9 @@ mod tests {
             },
         );
         assert!(
-            r.prune.pruned_fraction() > 0.95,
+            r.prune_stats().pruned_fraction() > 0.95,
             "expected heavy pruning, got {:.4}",
-            r.prune.pruned_fraction()
+            r.prune_stats().pruned_fraction()
         );
     }
 

@@ -93,7 +93,8 @@ impl Default for CostModel {
 impl CostModel {
     /// Entry send rate per worker: min(CPU serialization, NIC pps).
     pub fn worker_pps(&self) -> f64 {
-        self.serialize_cpu_pps.min(self.pps_per_gbps * self.nic_gbps)
+        self.serialize_cpu_pps
+            .min(self.pps_per_gbps * self.nic_gbps)
     }
 
     /// Time to move `bytes` over the NIC.

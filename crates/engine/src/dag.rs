@@ -84,8 +84,7 @@ impl DagPipeline {
 
     /// Verify all edge programs pack onto one switch (§9 → §6).
     pub fn check_packing(&self, model: &SwitchModel) -> Result<Packing, DoesNotFit> {
-        let usages: Vec<ResourceUsage> =
-            self.stages.iter().map(|s| s.edge_resources).collect();
+        let usages: Vec<ResourceUsage> = self.stages.iter().map(|s| s.edge_resources).collect();
         pack(model, &usages)
     }
 
@@ -151,10 +150,7 @@ mod tests {
         assert!(dag.edge_stats[0].pruned > 0, "edge 1 idle");
         assert!(dag.edge_stats[1].pruned > 0, "edge 2 idle");
         // And the second edge sees only the first edge's survivors.
-        assert_eq!(
-            dag.edge_stats[1].processed,
-            dag.edge_stats[0].forwarded()
-        );
+        assert_eq!(dag.edge_stats[1].processed, dag.edge_stats[0].forwarded());
     }
 
     #[test]

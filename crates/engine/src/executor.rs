@@ -1,0 +1,341 @@
+//! The shared executor seam: one trait, one report type, generic drivers.
+//!
+//! Every way of completing a query in this engine — the Spark-style
+//! baseline ([`SparkExecutor`]), the switch-pruning pipeline
+//! ([`CheetahExecutor`]), the real-threads cluster
+//! ([`ThreadedExecutor`]) and the NetAccel lower-bound comparator
+//! ([`NetAccelExecutor`]) — implements [`Executor`] and returns the same
+//! [`ExecutionReport`]. Tests, benches and the experiment harness drive
+//! all of them through [`run_all`] / [`divergences`] instead of keeping a
+//! hand-rolled loop per executor, and later backends (sharded, async,
+//! multi-switch) plug into the same seam.
+
+use std::time::Duration;
+
+use cheetah_core::decision::PruneStats;
+
+use crate::cheetah::CheetahExecutor;
+use crate::cost::TimingBreakdown;
+use crate::netaccel::NetAccelModel;
+use crate::query::{Query, QueryResult};
+use crate::reference;
+use crate::spark::SparkExecutor;
+use crate::table::Database;
+
+/// Uniform outcome of running one query through any [`Executor`].
+///
+/// Every executor computes a **real** [`QueryResult`] over real data;
+/// the timing side is modeled (see `cost`). Fields that only some
+/// executors produce are `Option`s with accessors that default sensibly,
+/// so generic drivers never need to know which executor ran.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Name of the executor that produced this report.
+    pub executor: &'static str,
+    /// The (real) query result.
+    pub result: QueryResult,
+    /// Modeled steady-state ("warm") completion breakdown.
+    pub timing: TimingBreakdown,
+    /// Modeled cold-start completion, when the executor distinguishes one
+    /// (Spark's first-run JIT + indexing penalty, §8.2.2).
+    pub first_run: Option<TimingBreakdown>,
+    /// Switch pruning statistics, for executors with a switch in the path.
+    pub prune: Option<PruneStats>,
+    /// Streaming passes over the data (JOIN/HAVING take two on Cheetah).
+    pub passes: u32,
+    /// Rows fetched by late materialization (§7.1).
+    pub fetch_rows: u64,
+    /// Entries shipped to the master: shuffled partials for Spark,
+    /// switch-forwarded entries for Cheetah-style executors.
+    pub shuffle_entries: u64,
+    /// Measured wall-clock time, for executors that really ran threads.
+    pub wall: Option<Duration>,
+}
+
+impl ExecutionReport {
+    /// Cold-start completion time, falling back to the warm timing for
+    /// executors without a distinct first run.
+    pub fn first_run_total_s(&self) -> f64 {
+        self.first_run.unwrap_or(self.timing).total_s()
+    }
+
+    /// Pruning statistics, zeroed for executors without a switch.
+    pub fn prune_stats(&self) -> PruneStats {
+        self.prune.unwrap_or_default()
+    }
+}
+
+/// A query completion strategy over the shared columnar [`Database`].
+pub trait Executor {
+    /// Short name for harness output and report labeling.
+    fn name(&self) -> &'static str;
+
+    /// Run `query` against `db`: real result, modeled timing.
+    fn execute(&self, db: &Database, query: &Query) -> ExecutionReport;
+}
+
+impl Executor for SparkExecutor {
+    fn name(&self) -> &'static str {
+        "spark"
+    }
+
+    fn execute(&self, db: &Database, query: &Query) -> ExecutionReport {
+        SparkExecutor::execute(self, db, query)
+    }
+}
+
+impl Executor for CheetahExecutor {
+    fn name(&self) -> &'static str {
+        "cheetah"
+    }
+
+    fn execute(&self, db: &Database, query: &Query) -> ExecutionReport {
+        CheetahExecutor::execute(self, db, query)
+    }
+}
+
+/// The real-threads cluster behind the [`Executor`] seam.
+///
+/// Single-pass row-pruned queries run on genuine worker/switch/master
+/// threads ([`crate::threaded`]) and report measured wall-clock in
+/// [`ExecutionReport::wall`]; the multi-pass flows (JOIN, HAVING,
+/// Filter's fetch path, fingerprinted DistinctMulti) and the
+/// register-aggregating GROUP BY SUM/COUNT have no threaded dataflow yet
+/// and fall back to the deterministic executor (`wall` stays `None`), so
+/// the executor is total over every query shape.
+#[derive(Debug, Clone)]
+pub struct ThreadedExecutor {
+    /// Configuration shared with the deterministic executor.
+    pub inner: CheetahExecutor,
+}
+
+impl ThreadedExecutor {
+    /// Wrap a configured Cheetah executor.
+    pub fn new(inner: CheetahExecutor) -> Self {
+        ThreadedExecutor { inner }
+    }
+}
+
+impl Executor for ThreadedExecutor {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn execute(&self, db: &Database, query: &Query) -> ExecutionReport {
+        match self.inner.execute_threaded(db, query) {
+            Some((result, stats, wall)) => {
+                // `timing` keeps the modeled breakdown (same cost model
+                // as the deterministic path, fed the measured pruning
+                // stats) so it stays comparable across executors; the
+                // measured wall-clock of the in-process run lives in
+                // `wall`. Single-pass flows stream each entry once, so
+                // `stats.processed` is the streamed-row count.
+                let mut report = self
+                    .inner
+                    .report(query, stats.processed, stats, 1, 0, result);
+                report.executor = self.name();
+                report.wall = Some(wall);
+                report
+            }
+            None => ExecutionReport {
+                executor: self.name(),
+                ..CheetahExecutor::execute(&self.inner, db, query)
+            },
+        }
+    }
+}
+
+/// The §8.2.4 NetAccel lower-bound comparator behind the seam.
+///
+/// NetAccel computes queries *on* the switch, so its result must be
+/// **drained** from dataplane registers through the control plane before
+/// anything downstream can use it (Figure 7's dominant cost). As in the
+/// paper, pruning is generously assumed identical to Cheetah's; only the
+/// mandatory drain replaces the master-completion phase, making every
+/// reported time a lower bound on the real system.
+#[derive(Debug, Clone)]
+pub struct NetAccelExecutor {
+    /// The Cheetah pipeline whose pruning NetAccel is assumed to match.
+    pub cheetah: CheetahExecutor,
+    /// Drain/CPU rate model.
+    pub model: NetAccelModel,
+}
+
+impl NetAccelExecutor {
+    /// Comparator over the given pipeline and rate model.
+    pub fn new(cheetah: CheetahExecutor, model: NetAccelModel) -> Self {
+        NetAccelExecutor { cheetah, model }
+    }
+}
+
+impl Executor for NetAccelExecutor {
+    fn name(&self) -> &'static str {
+        "netaccel"
+    }
+
+    fn execute(&self, db: &Database, query: &Query) -> ExecutionReport {
+        let mut report = CheetahExecutor::execute(&self.cheetah, db, query);
+        report.executor = self.name();
+        // Same streaming-in cost, but the completion work becomes the
+        // result drain out of the dataplane registers.
+        report.timing.computation_s = self.model.drain_s(report.result.output_size());
+        report
+    }
+}
+
+/// Run one query through every executor, in input order. Each report
+/// carries its producer in [`ExecutionReport::executor`].
+pub fn run_all(executors: &[&dyn Executor], db: &Database, query: &Query) -> Vec<ExecutionReport> {
+    executors.iter().map(|e| e.execute(db, query)).collect()
+}
+
+/// Drive every executor over every query and compare each result against
+/// the `reference` oracle. Returns one human-readable line per
+/// divergence — empty means the paper's equation `Q(A_Q(D)) = Q(D)` held
+/// across the whole matrix.
+pub fn divergences(
+    executors: &[&dyn Executor],
+    db: &Database,
+    queries: &[(&str, Query)],
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for (label, query) in queries {
+        let truth = reference::evaluate(db, query);
+        for report in run_all(executors, db, query) {
+            if report.result != truth {
+                out.push(format!("[{label}] {} != reference", report.executor));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cheetah::PrunerConfig;
+    use crate::cost::CostModel;
+    use crate::table::Table;
+
+    fn tiny_db() -> Database {
+        let mut db = Database::new();
+        db.add(Table::new(
+            "t",
+            vec![
+                ("k", (0..4_000u64).map(|i| i % 37 + 1).collect()),
+                ("v", (0..4_000u64).map(|i| i * 31 % 9_973).collect()),
+            ],
+        ));
+        db
+    }
+
+    fn executors() -> (
+        SparkExecutor,
+        CheetahExecutor,
+        ThreadedExecutor,
+        NetAccelExecutor,
+    ) {
+        let model = CostModel::default();
+        let cheetah = CheetahExecutor::new(model, PrunerConfig::default());
+        (
+            SparkExecutor::new(model),
+            cheetah.clone(),
+            ThreadedExecutor::new(cheetah.clone()),
+            NetAccelExecutor::new(cheetah, NetAccelModel::default()),
+        )
+    }
+
+    #[test]
+    fn all_executors_agree_through_the_trait() {
+        let db = tiny_db();
+        let (spark, cheetah, threaded, netaccel) = executors();
+        let all: Vec<&dyn Executor> = vec![&spark, &cheetah, &threaded, &netaccel];
+        let queries = vec![
+            (
+                "distinct",
+                Query::Distinct {
+                    table: "t".into(),
+                    column: "k".into(),
+                },
+            ),
+            (
+                "groupby-sum",
+                Query::GroupBy {
+                    table: "t".into(),
+                    key: "k".into(),
+                    val: "v".into(),
+                    agg: crate::query::Agg::Sum,
+                },
+            ),
+        ];
+        assert_eq!(divergences(&all, &db, &queries), Vec::<String>::new());
+    }
+
+    #[test]
+    fn report_accessors_default_sensibly() {
+        let db = tiny_db();
+        let (spark, cheetah, threaded, _) = executors();
+        let q = Query::Distinct {
+            table: "t".into(),
+            column: "k".into(),
+        };
+        let s = Executor::execute(&spark, &db, &q);
+        assert!(s.first_run.is_some(), "spark models a cold start");
+        assert!(s.first_run_total_s() > s.timing.total_s());
+        assert_eq!(s.prune_stats(), PruneStats::default());
+        let c = Executor::execute(&cheetah, &db, &q);
+        assert!(c.first_run.is_none());
+        assert_eq!(c.first_run_total_s(), c.timing.total_s());
+        assert!(c.prune_stats().pruned > 0);
+        let t = Executor::execute(&threaded, &db, &q);
+        assert!(t.wall.is_some(), "distinct runs on real threads");
+        assert_eq!(t.executor, "threaded");
+    }
+
+    #[test]
+    fn threaded_fallback_is_total_over_multipass_queries() {
+        let db = tiny_db();
+        let (_, _, threaded, _) = executors();
+        let q = Query::Having {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            threshold: 100_000,
+        };
+        let r = Executor::execute(&threaded, &db, &q);
+        assert!(
+            r.wall.is_none(),
+            "multi-pass flows fall back to deterministic"
+        );
+        assert_eq!(r.result, reference::evaluate(&db, &q));
+        assert_eq!(r.executor, "threaded");
+    }
+
+    #[test]
+    fn netaccel_drain_dominates_cheetah_completion_on_large_results() {
+        let db = tiny_db();
+        let (_, cheetah, _, netaccel) = executors();
+        // Filter with a wide-open predicate → large result to drain.
+        let q = Query::Filter {
+            table: "t".into(),
+            predicate: crate::query::Predicate {
+                columns: vec!["v".into()],
+                atoms: vec![cheetah_core::filter::Atom::cmp(
+                    0,
+                    cheetah_core::filter::CmpOp::Lt,
+                    u64::MAX,
+                )],
+                formula: cheetah_core::filter::Formula::Atom(0),
+            },
+        };
+        let c = Executor::execute(&cheetah, &db, &q);
+        let n = Executor::execute(&netaccel, &db, &q);
+        assert_eq!(c.result, n.result, "lower bound assumes identical pruning");
+        assert!(
+            n.timing.computation_s > c.timing.computation_s,
+            "register drain ({:.4}s) must cost more than streamed completion ({:.4}s)",
+            n.timing.computation_s,
+            c.timing.computation_s
+        );
+    }
+}

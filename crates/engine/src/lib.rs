@@ -9,6 +9,8 @@
 //! This crate rebuilds that pipeline at library scale:
 //!
 //! * [`table`] — columnar tables, hash/range partitioning;
+//! * [`executor`] — the shared [`Executor`] trait + [`ExecutionReport`]
+//!   every completion strategy below implements and returns;
 //! * [`query`] — the query specs of Appendix B + canonical results;
 //! * [`mod@reference`] — single-node ground-truth evaluator (test oracle);
 //! * [`spark`] — the baseline executor: per-partition worker tasks,
@@ -17,7 +19,7 @@
 //! * [`cheetah`] — the Cheetah executor: CWorker serialization → switch
 //!   pruning ([`cheetah-core`] pruners) → CMaster completion, plus late
 //!   materialization and the 10G/20G network model;
-//! * [`threaded`] — a crossbeam-channel cluster running real worker/
+//! * [`threaded`] — a bounded-channel cluster running real worker/
 //!   switch/master threads (wall-clock, non-deterministic interleaving);
 //! * [`netaccel`] — the §8.2.4 NetAccel lower-bound comparator (result
 //!   drain from switch registers; switch-CPU offload model of App. F);
@@ -37,6 +39,7 @@ pub mod backend;
 pub mod cheetah;
 pub mod cost;
 pub mod dag;
+pub mod executor;
 pub mod netaccel;
 pub mod q3;
 pub mod query;
@@ -45,8 +48,9 @@ pub mod spark;
 pub mod table;
 pub mod threaded;
 
-pub use cheetah::{CheetahExecutor, CheetahReport};
+pub use cheetah::CheetahExecutor;
 pub use cost::{CostModel, TimingBreakdown};
+pub use executor::{ExecutionReport, Executor, NetAccelExecutor, ThreadedExecutor};
 pub use query::{Agg, Predicate, Query, QueryResult};
-pub use spark::{SparkExecutor, SparkReport};
+pub use spark::SparkExecutor;
 pub use table::{Database, Table};

@@ -111,7 +111,11 @@ pub fn spark(data: &TpchData, model: &CostModel, first_run: bool) -> Q3Report {
     let shuffle_entries = (data.orders.orderkey.len() + data.lineitem.orderkey.len()) as u64;
     let network_s = model.transfer_s(model.scaled(shuffle_entries) * model.shuffle_bytes_per_entry);
     let merge_s = model.scaled(shuffle_entries / 4) / master_rate("join");
-    let factor = if first_run { model.first_run_factor } else { 1.0 };
+    let factor = if first_run {
+        model.first_run_factor
+    } else {
+        1.0
+    };
     Q3Report {
         result,
         timing: TimingBreakdown {

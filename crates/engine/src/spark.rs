@@ -10,6 +10,7 @@
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use crate::cost::{master_rate, spark_task_rate, CostModel, TimingBreakdown};
+use crate::executor::ExecutionReport;
 use crate::query::{pair_checksum, Agg, Query, QueryResult};
 use crate::reference::skyline_of;
 use crate::table::Database;
@@ -21,21 +22,6 @@ pub struct SparkExecutor {
     pub model: CostModel,
 }
 
-/// Result + modeled timings of one Spark run.
-#[derive(Debug, Clone)]
-pub struct SparkReport {
-    /// The (real) query result.
-    pub result: QueryResult,
-    /// Modeled first-run completion (JIT + indexing penalty).
-    pub first_run: TimingBreakdown,
-    /// Modeled subsequent-run completion.
-    pub later_run: TimingBreakdown,
-    /// Rows scanned by the largest worker task (drives task time).
-    pub max_partition_rows: u64,
-    /// Partial entries shuffled to the master.
-    pub shuffle_entries: u64,
-}
-
 impl SparkExecutor {
     /// An executor over the given model.
     pub fn new(model: CostModel) -> Self {
@@ -43,8 +29,9 @@ impl SparkExecutor {
     }
 
     /// Run the query: real partial computation per partition, real merge,
-    /// modeled timing.
-    pub fn execute(&self, db: &Database, query: &Query) -> SparkReport {
+    /// modeled timing. [`ExecutionReport::timing`] is the warm run;
+    /// [`ExecutionReport::first_run`] carries the JIT/indexing penalty.
+    pub fn execute(&self, db: &Database, query: &Query) -> ExecutionReport {
         let p = self.model.workers;
         match query {
             Query::FilterCount { table, predicate } => {
@@ -259,8 +246,9 @@ impl SparkExecutor {
                 let mut merged: Vec<Vec<u64>> = Vec::new();
                 let mut shuffle = 0u64;
                 for (s, e) in t.partition_bounds(p) {
-                    let points: Vec<Vec<u64>> =
-                        (s..e).map(|r| cols.iter().map(|c| c[r]).collect()).collect();
+                    let points: Vec<Vec<u64>> = (s..e)
+                        .map(|r| cols.iter().map(|c| c[r]).collect())
+                        .collect();
                     let partial = skyline_of(&points);
                     shuffle += partial.len() as u64;
                     merged.extend(partial);
@@ -283,7 +271,7 @@ impl SparkExecutor {
         shuffle_entries: u64,
         fetch_rows: u64,
         result: QueryResult,
-    ) -> SparkReport {
+    ) -> ExecutionReport {
         let m = &self.model;
         let kind = query.kind();
         let max_partition_rows = rows.div_ceil(m.workers as u64);
@@ -302,12 +290,16 @@ impl SparkExecutor {
             network_s,
             other_s: m.spark_overhead_s,
         };
-        SparkReport {
+        ExecutionReport {
+            executor: "spark",
             result,
-            first_run,
-            later_run,
-            max_partition_rows,
+            timing: later_run,
+            first_run: Some(first_run),
+            prune: None,
+            passes: 1,
+            fetch_rows,
             shuffle_entries,
+            wall: None,
         }
     }
 }
@@ -328,15 +320,24 @@ mod tests {
             "t",
             vec![
                 ("k", (0..rows).map(|_| rng.gen_range(1..100u64)).collect()),
-                ("v", (0..rows).map(|_| rng.gen_range(1..10_000u64)).collect()),
+                (
+                    "v",
+                    (0..rows).map(|_| rng.gen_range(1..10_000u64)).collect(),
+                ),
                 ("w", (0..rows).map(|_| rng.gen_range(1..500u64)).collect()),
             ],
         ));
         db.add(Table::new(
             "s",
             vec![
-                ("k", (0..rows / 2).map(|_| rng.gen_range(50..150u64)).collect()),
-                ("x", (0..rows / 2).map(|_| rng.gen_range(1..100u64)).collect()),
+                (
+                    "k",
+                    (0..rows / 2).map(|_| rng.gen_range(50..150u64)).collect(),
+                ),
+                (
+                    "x",
+                    (0..rows / 2).map(|_| rng.gen_range(1..100u64)).collect(),
+                ),
             ],
         ));
         db
@@ -422,7 +423,7 @@ mod tests {
                 column: "k".into(),
             },
         );
-        assert!(r.first_run.total_s() > r.later_run.total_s());
+        assert!(r.first_run_total_s() > r.timing.total_s());
     }
 
     #[test]
@@ -438,7 +439,7 @@ mod tests {
         })
         .execute(&db, &q);
         let t5 = SparkExecutor::new(CostModel::default()).execute(&db, &q);
-        assert!(t1.later_run.computation_s > t5.later_run.computation_s * 3.0);
+        assert!(t1.timing.computation_s > t5.timing.computation_s * 3.0);
         assert_eq!(t1.result, t5.result, "parallelism must not change results");
     }
 

@@ -22,10 +22,7 @@ impl Table {
     pub fn new(name: impl Into<String>, cols: Vec<(&str, Vec<u64>)>) -> Self {
         assert!(!cols.is_empty(), "a table needs at least one column");
         let rows = cols[0].1.len();
-        assert!(
-            cols.iter().all(|(_, c)| c.len() == rows),
-            "ragged columns"
-        );
+        assert!(cols.iter().all(|(_, c)| c.len() == rows), "ragged columns");
         Table {
             name: name.into(),
             schema: cols.iter().map(|(n, _)| (*n).to_string()).collect(),

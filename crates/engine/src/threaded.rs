@@ -1,5 +1,5 @@
 //! Real-threads cluster: workers, switch and master as OS threads wired
-//! with crossbeam channels.
+//! with bounded channels.
 //!
 //! The deterministic executor interleaves partitions round-robin; this
 //! module runs the same dataflow with genuine concurrency — worker threads
@@ -10,8 +10,7 @@
 //! completed result must always equal the reference — which is exactly
 //! what the integration tests assert.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use std::sync::mpsc;
 
 use cheetah_core::decision::{PruneStats, RowPruner};
 
@@ -29,11 +28,12 @@ pub struct ThreadedRun {
 
 /// Stream `partitions` through `pruner` with one thread per worker, one
 /// switch thread, and the calling thread as master.
-pub fn run_stream(partitions: Vec<Partition>, pruner: Box<dyn RowPruner + Send>) -> ThreadedRun {
-    let (entry_tx, entry_rx) = channel::bounded::<Vec<u64>>(1024);
-    let (fwd_tx, fwd_rx) = channel::bounded::<Vec<u64>>(1024);
-    let pruner = Mutex::new(pruner);
-    let stats = Mutex::new(PruneStats::default());
+pub fn run_stream(
+    partitions: Vec<Partition>,
+    mut pruner: Box<dyn RowPruner + Send>,
+) -> ThreadedRun {
+    let (entry_tx, entry_rx) = mpsc::sync_channel::<Vec<u64>>(1024);
+    let (fwd_tx, fwd_rx) = mpsc::sync_channel::<Vec<u64>>(1024);
 
     std::thread::scope(|scope| {
         // Workers: serialize their partition into the shared switch queue.
@@ -47,30 +47,25 @@ pub fn run_stream(partitions: Vec<Partition>, pruner: Box<dyn RowPruner + Send>)
         }
         drop(entry_tx);
 
-        // Switch: single consumer — the one pipeline.
-        {
-            let fwd_tx = fwd_tx;
-            let pruner = &pruner;
-            let stats = &stats;
-            scope.spawn(move || {
-                let mut pruner = pruner.lock();
-                let mut local = PruneStats::default();
-                for row in entry_rx {
-                    let d = pruner.process_row(&row);
-                    local.record(d);
-                    if d.is_forward() {
-                        fwd_tx.send(row).expect("master alive");
-                    }
+        // Switch: single consumer — the one pipeline. The pruner moves
+        // into the thread and its counters come back via the join handle.
+        let switch = scope.spawn(move || {
+            let mut local = PruneStats::default();
+            for row in entry_rx {
+                let d = pruner.process_row(&row);
+                local.record(d);
+                if d.is_forward() {
+                    fwd_tx.send(row).expect("master alive");
                 }
-                *stats.lock() = local;
-            });
-        }
+            }
+            local
+        });
 
         // Master: the current thread collects survivors.
         let forwarded: Vec<Vec<u64>> = fwd_rx.into_iter().collect();
         ThreadedRun {
             forwarded,
-            stats: *stats.lock(),
+            stats: switch.join().expect("switch thread panicked"),
         }
     })
 }

@@ -53,7 +53,8 @@ impl MasterRx {
 
     /// All `fids` have delivered their FIN.
     pub fn all_finished(&self, fids: &[u16]) -> bool {
-        fids.iter().all(|f| self.finished.get(f).copied().unwrap_or(false))
+        fids.iter()
+            .all(|f| self.finished.get(f).copied().unwrap_or(false))
     }
 
     /// Entries delivered so far, in arrival order.

@@ -263,7 +263,9 @@ mod tests {
     use std::collections::HashSet;
 
     fn keyed_entries(fid: u16, n: u64) -> Vec<Vec<u64>> {
-        (0..n).map(|i| vec![u64::from(fid) * 1_000_000 + i % 50]).collect()
+        (0..n)
+            .map(|i| vec![u64::from(fid) * 1_000_000 + i % 50])
+            .collect()
     }
 
     fn drop_even_switch() -> SwitchNode {
@@ -406,7 +408,9 @@ mod tests {
                 ..SimulationConfig::default()
             };
             let workers = vec![WorkerTx::new(1, keyed_entries(1, 400), 16, 200)];
-            Simulation::new(cfg).run(workers, SwitchNode::transparent()).1
+            Simulation::new(cfg)
+                .run(workers, SwitchNode::transparent())
+                .1
         };
         let clean = run(0.0);
         let lossy = run(0.2);

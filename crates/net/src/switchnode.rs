@@ -251,7 +251,7 @@ mod tests {
     fn retransmission_passes_without_processing() {
         let mut s = drop_even();
         s.on_data(data(1, 0, 2)); // pruned, X = 0
-        // The pruned packet's ACK was lost; worker retransmits seq 0.
+                                  // The pruned packet's ACK was lost; worker retransmits seq 0.
         let out = s.on_data(data(1, 0, 2));
         // Forwarded to the master unprocessed — NOT pruned again.
         assert!(matches!(out.to_master, Some(Message::Data(_))));

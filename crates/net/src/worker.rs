@@ -101,8 +101,7 @@ impl WorkerTx {
             return out;
         }
         // Retransmit expired in-flight packets.
-        let window_end =
-            (self.base + self.window).min(self.entries.len() as u32);
+        let window_end = (self.base + self.window).min(self.entries.len() as u32);
         for seq in self.base..window_end {
             let i = seq as usize;
             if self.acked[i] {
@@ -142,15 +141,18 @@ impl WorkerTx {
         if self.all_data_acked() {
             return Some(self.fin_deadline);
         }
-        let window_end =
-            (self.base + self.window).min(self.entries.len() as u32);
+        let window_end = (self.base + self.window).min(self.entries.len() as u32);
         let mut earliest = None;
         for seq in self.base..window_end {
             let i = seq as usize;
             if self.acked[i] {
                 continue;
             }
-            let t = if seq < self.next_new { self.deadlines[i] } else { 0 };
+            let t = if seq < self.next_new {
+                self.deadlines[i]
+            } else {
+                0
+            };
             earliest = Some(earliest.map_or(t, |e: u64| e.min(t)));
         }
         earliest

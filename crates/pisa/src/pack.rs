@@ -41,7 +41,11 @@ pub struct DoesNotFit {
 
 impl std::fmt::Display for DoesNotFit {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "query #{} does not fit the remaining pipeline", self.query)
+        write!(
+            f,
+            "query #{} does not fit the remaining pipeline",
+            self.query
+        )
     }
 }
 

@@ -95,7 +95,10 @@ pub enum PipelineViolation {
 impl std::fmt::Display for PipelineViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PipelineViolation::StageOverflow { requested, available } => {
+            PipelineViolation::StageOverflow {
+                requested,
+                available,
+            } => {
                 write!(f, "stage {requested} requested but switch has {available}")
             }
             PipelineViolation::BackwardsTraversal { current, requested } => {
@@ -115,7 +118,10 @@ impl std::fmt::Display for PipelineViolation {
                 f,
                 "stage {stage} SRAM exhausted: need {requested_bits}b, have {remaining_bits}b"
             ),
-            PipelineViolation::TcamBudget { requested, remaining } => {
+            PipelineViolation::TcamBudget {
+                requested,
+                remaining,
+            } => {
                 write!(f, "TCAM exhausted: need {requested}, have {remaining}")
             }
             PipelineViolation::PhvBudget { bits, budget } => {
@@ -124,7 +130,11 @@ impl std::fmt::Display for PipelineViolation {
             PipelineViolation::MetadataBudget { bits, budget } => {
                 write!(f, "metadata {bits}b exceeds budget {budget}b")
             }
-            PipelineViolation::RegisterIndex { register, index, len } => {
+            PipelineViolation::RegisterIndex {
+                register,
+                index,
+                len,
+            } => {
                 write!(f, "register '{register}' index {index} out of range {len}")
             }
         }
@@ -275,7 +285,10 @@ impl SwitchPipeline {
             });
         }
         *used += bits;
-        self.tables.push(ExactTable { stage, entries: map });
+        self.tables.push(ExactTable {
+            stage,
+            entries: map,
+        });
         Ok(TableId(self.tables.len() - 1))
     }
 
@@ -312,10 +325,7 @@ impl SwitchPipeline {
 
     /// Start a metered packet traversal carrying `header_words` 64-bit
     /// query values (Figure 4's value fields).
-    pub fn begin_packet(
-        &mut self,
-        header_words: u32,
-    ) -> Result<PacketCtx<'_>, PipelineViolation> {
+    pub fn begin_packet(&mut self, header_words: u32) -> Result<PacketCtx<'_>, PipelineViolation> {
         let bits = header_words * 64;
         if bits > self.spec.phv_bits {
             return Err(PipelineViolation::PhvBudget {
@@ -346,7 +356,12 @@ impl SwitchPipeline {
     /// Highest stage index any resource is pinned to, plus one (the number
     /// of stages the program occupies).
     pub fn stages_occupied(&self) -> u32 {
-        let r = self.registers.iter().map(|r| r.stage + 1).max().unwrap_or(0);
+        let r = self
+            .registers
+            .iter()
+            .map(|r| r.stage + 1)
+            .max()
+            .unwrap_or(0);
         let t = self.tables.iter().map(|t| t.stage + 1).max().unwrap_or(0);
         r.max(t)
     }
@@ -513,7 +528,11 @@ impl PacketCtx<'_> {
     }
 
     /// Exact-match table lookup in the table's stage.
-    pub fn table_lookup(&mut self, table: TableId, key: u64) -> Result<Option<u64>, PipelineViolation> {
+    pub fn table_lookup(
+        &mut self,
+        table: TableId,
+        key: u64,
+    ) -> Result<Option<u64>, PipelineViolation> {
         let stage = self.pipe.tables[table.0].stage;
         self.goto_stage(stage)?;
         Ok(self.pipe.tables[table.0].entries.get(&key).copied())

@@ -145,7 +145,11 @@ impl SwitchProgram for DistinctFifoProgram {
                 }
             }
         })?;
-        Ok(if pruned { Decision::Prune } else { Decision::Forward })
+        Ok(if pruned {
+            Decision::Prune
+        } else {
+            Decision::Forward
+        })
     }
 
     fn reset(&mut self) {

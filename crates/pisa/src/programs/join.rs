@@ -259,8 +259,7 @@ mod tests {
 
     #[test]
     fn bloom_two_pass_prunes_non_matches() {
-        let mut p =
-            BloomJoinProgram::new(SwitchModel::tofino_like(), 1 << 14, 3, 0, 1).unwrap();
+        let mut p = BloomJoinProgram::new(SwitchModel::tofino_like(), 1 << 14, 3, 0, 1).unwrap();
         // Build: A has 0..100, B has 50..150.
         p.set_mode(JoinMode::BuildA);
         for k in 0..100u64 {

@@ -114,7 +114,11 @@ mod tests {
         assert_eq!(p.on_packet(1, 0).unwrap(), SeqAction::Process);
         assert_eq!(p.on_packet(1, 2).unwrap(), SeqAction::Drop, "gap (Y > X+1)");
         assert_eq!(p.on_packet(1, 0).unwrap(), SeqAction::PassThrough, "Y ≤ X");
-        assert_eq!(p.on_packet(1, 1).unwrap(), SeqAction::Process, "retransmit fills gap");
+        assert_eq!(
+            p.on_packet(1, 1).unwrap(),
+            SeqAction::Process,
+            "retransmit fills gap"
+        );
         assert_eq!(p.on_packet(1, 2).unwrap(), SeqAction::Process);
     }
 

@@ -67,8 +67,7 @@ impl SkylineProgram {
                     }
                 }
                 let msb = pipe.install_tcam(0, msb_tcam)?;
-                let entries =
-                    (1u64..1 << 16).map(|a| (a, approx.log2_fixed(a)));
+                let entries = (1u64..1 << 16).map(|a| (a, approx.log2_fixed(a)));
                 let table = pipe.install_table(0, entries, 32)?;
                 (Some(msb), Some(table), Some(approx))
             }
@@ -96,7 +95,6 @@ impl SkylineProgram {
             w,
         })
     }
-
 }
 
 /// Score a point exactly as the core heuristic does, but through the
@@ -178,14 +176,22 @@ impl SwitchProgram for SkylineProgram {
         for i in 0..w {
             let cs = carry_score;
             let dom = dominated;
+            let ins = inserted;
+            // The new point takes the first slot it strictly beats (it
+            // slots in *after* equal scores, like the reference's
+            // partition_point). Once it is in, the displaced point must
+            // shift down unconditionally — score ties are common under
+            // APH's rounded logs, and a strict compare here would drop
+            // the carried point instead of rotating it, diverging from
+            // the reference's stored set.
             let old_score = ctx.reg_rmw(score_regs[i], 0, move |s| {
-                if !dom && cs > s {
+                if !dom && (ins || cs > s) {
                     cs
                 } else {
                     s
                 }
             })?;
-            let swap = !dominated && carry_score > old_score;
+            let swap = !dominated && (inserted || carry_score > old_score);
             let mut old_point = Vec::with_capacity(dims);
             for (j, &reg) in dim_regs[i].iter().enumerate() {
                 let cj = carry_point[j];
@@ -246,7 +252,11 @@ mod tests {
         assert_eq!(p.process(&[8, 6]).unwrap(), Decision::Forward);
         assert_eq!(p.process(&[9, 4]).unwrap(), Decision::Forward);
         assert_eq!(p.process(&[5, 7]).unwrap(), Decision::Forward);
-        assert_eq!(p.process(&[3, 3]).unwrap(), Decision::Prune, "Fries dominated");
+        assert_eq!(
+            p.process(&[3, 3]).unwrap(),
+            Decision::Prune,
+            "Fries dominated"
+        );
     }
 
     #[test]

@@ -150,8 +150,7 @@ impl SwitchProgram for DetTopNProgram {
         let mut active = t0;
         for (i, &reg) in self.counters.iter().enumerate() {
             let t_i = base.saturating_mul(1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX));
-            let new_count = ctx
-                .reg_rmw(reg, 0, move |c| if value > t_i { c + 1 } else { c })?
+            let new_count = ctx.reg_rmw(reg, 0, move |c| if value > t_i { c + 1 } else { c })?
                 + u64::from(value > t_i);
             if new_count >= n {
                 active = active.max(t_i);

@@ -31,7 +31,11 @@ impl Tcam {
     /// Append a rule (earlier rules have higher priority).
     pub fn push(&mut self, value: u64, mask: u64, action: u64) {
         debug_assert_eq!(value & !mask, 0, "pattern bits outside the mask");
-        self.entries.push(TcamEntry { value, mask, action });
+        self.entries.push(TcamEntry {
+            value,
+            mask,
+            action,
+        });
     }
 
     /// Number of installed rules.
@@ -74,7 +78,11 @@ impl Tcam {
     pub fn push_range(&mut self, lo: u64, hi: u64, bits: u32, action: u64) {
         assert!(lo <= hi, "empty range");
         assert!(bits <= 64);
-        let limit = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let limit = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         assert!(hi <= limit, "range exceeds key width");
         for (value, prefix_len) in range_to_prefixes(lo, hi, bits) {
             let mask = if prefix_len == 0 {
@@ -97,7 +105,11 @@ pub fn range_to_prefixes(lo: u64, hi: u64, bits: u32) -> Vec<(u64, u32)> {
     let hi = u128::from(hi);
     while lo <= hi {
         // Largest block size aligned at `lo` that fits within [lo, hi].
-        let max_align = if lo == 0 { bits } else { lo.trailing_zeros().min(bits) };
+        let max_align = if lo == 0 {
+            bits
+        } else {
+            lo.trailing_zeros().min(bits)
+        };
         let mut size_log = max_align;
         while size_log > 0 && lo + (1u128 << size_log) - 1 > hi {
             size_log -= 1;

@@ -156,7 +156,11 @@ impl UserVisits {
 /// Render a user-agent rank as a plausible string (for examples/display
 /// and for exercising byte-wise fingerprints).
 pub fn user_agent_string(rank: u64) -> String {
-    format!("Mozilla/5.0 (Agent-{rank}; rv:{}.0) Cheetah/{}", rank % 90, rank % 7)
+    format!(
+        "Mozilla/5.0 (Agent-{rank}; rv:{}.0) Cheetah/{}",
+        rank % 90,
+        rank % 7
+    )
 }
 
 /// Render a language-code rank as an ISO-ish code.
@@ -180,11 +184,7 @@ mod tests {
         let urls: HashSet<u64> = r.page_url.iter().copied().collect();
         assert_eq!(urls.len(), 10_000);
         // Roughly sorted: global trend upward, local inversions allowed.
-        let inversions = r
-            .page_rank
-            .windows(2)
-            .filter(|w| w[0] > w[1])
-            .count();
+        let inversions = r.page_rank.windows(2).filter(|w| w[0] > w[1]).count();
         assert!(inversions > 0, "should not be perfectly sorted");
         assert!(
             inversions < 5_000,

@@ -137,10 +137,10 @@ fn main() {
         println!(
             "{:<26} {:>10.2} s {:>10.2} s {:>10.2} s {:>9.1}%",
             name,
-            s.first_run.total_s(),
-            s.later_run.total_s(),
+            s.first_run_total_s(),
+            s.timing.total_s(),
             c.timing.total_s(),
-            100.0 * c.prune.pruned_fraction(),
+            100.0 * c.prune_stats().pruned_fraction(),
         );
     }
     println!("\nall Cheetah results verified equal to the Spark baseline ✓");

@@ -23,8 +23,7 @@ fn main() {
     println!("— §9: packing multiple entries per packet —");
     let stream: Vec<u64> = (0..80_000).map(|_| rng.gen_range(1..800u64)).collect();
     for per_packet in [1usize, 2, 4, 8] {
-        let inner =
-            DistinctBatchAccess::new(DistinctPruner::new(256, 2, EvictionPolicy::Lru, 1));
+        let inner = DistinctBatchAccess::new(DistinctPruner::new(256, 2, EvictionPolicy::Lru, 1));
         let mut b = BatchedPruner::new(inner);
         for chunk in stream.chunks(per_packet) {
             let entries: Vec<Vec<u64>> = chunk.iter().map(|&k| vec![k]).collect();
@@ -65,7 +64,9 @@ fn main() {
         BloomFilter::new(1 << 16, 3, 1),
     );
     let left: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..50_000u64)).collect();
-    let right: Vec<u64> = (0..20_000).map(|_| rng.gen_range(40_000..90_000u64)).collect();
+    let right: Vec<u64> = (0..20_000)
+        .map(|_| rng.gen_range(40_000..90_000u64))
+        .collect();
     for &k in &left {
         jp.observe(Side::Left, k);
     }

@@ -10,13 +10,16 @@
 
 use cheetah::core::distinct::{DistinctPruner, EvictionPolicy};
 use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah::engine::executor::run_all;
 use cheetah::engine::spark::SparkExecutor;
-use cheetah::engine::{CostModel, Database, Query, Table};
+use cheetah::engine::{CostModel, Database, Executor, Query, Table};
 
 fn main() {
     // A products table: 200k rows, only 1000 distinct sellers.
     let rows = 200_000usize;
-    let sellers: Vec<u64> = (0..rows).map(|i| (i as u64 * 2_654_435_761) % 1_000 + 1).collect();
+    let sellers: Vec<u64> = (0..rows)
+        .map(|i| (i as u64 * 2_654_435_761) % 1_000 + 1)
+        .collect();
     let prices: Vec<u64> = (0..rows).map(|i| (i as u64 * 97) % 10_000).collect();
     let mut db = Database::new();
     db.add(Table::new(
@@ -45,28 +48,30 @@ fn main() {
         100.0 * (1.0 - forwarded as f64 / rows as f64)
     );
 
-    // 2. The full pipeline: Spark baseline vs Cheetah executor.
+    // 2. The full pipeline: both executors behind the shared `Executor`
+    //    trait, one generic driver loop.
     let model = CostModel::default();
-    let spark = SparkExecutor::new(model).execute(&db, &query);
-    let cheetah = CheetahExecutor::new(model, PrunerConfig::default()).execute(&db, &query);
+    let spark_exec = SparkExecutor::new(model);
+    let cheetah_exec = CheetahExecutor::new(model, PrunerConfig::default());
+    let executors: Vec<&dyn Executor> = vec![&spark_exec, &cheetah_exec];
+    let reports = run_all(&executors, &db, &query);
+    let spark = &reports[0];
+    let cheetah = &reports[1];
 
     assert_eq!(
         spark.result, cheetah.result,
         "the pruned run must produce the identical answer"
     );
-    println!("\n— completion time (modeled, {} workers, 10G) —", model.workers);
     println!(
-        "Spark (1st run)  : {:>7.3} s",
-        spark.first_run.total_s()
+        "\n— completion time (modeled, {} workers, 10G) —",
+        model.workers
     );
-    println!(
-        "Spark (warm)     : {:>7.3} s",
-        spark.later_run.total_s()
-    );
+    println!("Spark (1st run)  : {:>7.3} s", spark.first_run_total_s());
+    println!("Spark (warm)     : {:>7.3} s", spark.timing.total_s());
     println!(
         "Cheetah          : {:>7.3} s   (pruned {:.1}% at the switch)",
         cheetah.timing.total_s(),
-        100.0 * cheetah.prune.pruned_fraction()
+        100.0 * cheetah.prune_stats().pruned_fraction()
     );
     let distinct_count = match &cheetah.result {
         cheetah::engine::QueryResult::Values(v) => v.len(),

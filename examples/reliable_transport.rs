@@ -45,8 +45,7 @@ fn main() {
             .enumerate()
             .map(|(i, p)| WorkerTx::new(i as u16 + 1, p.clone(), 32, 300))
             .collect();
-        let pruner =
-            std::sync::Mutex::new(DistinctPruner::new(256, 2, EvictionPolicy::Lru, 11));
+        let pruner = std::sync::Mutex::new(DistinctPruner::new(256, 2, EvictionPolicy::Lru, 11));
         let switch = SwitchNode::new(Box::new(move |_fid, row| {
             pruner.lock().expect("no poisoning").process_row(row)
         }));

@@ -28,8 +28,14 @@ fn main() {
     // Table 2 at the paper's default parameters.
     let a = model.alus_per_stage;
     let rows = [
-        ("DISTINCT (FIFO, w=2, d=4096)", table2::distinct_fifo(2, 4096, a)),
-        ("DISTINCT (LRU,  w=2, d=4096)", table2::distinct_lru(2, 4096)),
+        (
+            "DISTINCT (FIFO, w=2, d=4096)",
+            table2::distinct_fifo(2, 4096, a),
+        ),
+        (
+            "DISTINCT (LRU,  w=2, d=4096)",
+            table2::distinct_lru(2, 4096),
+        ),
         ("SKYLINE (SUM, D=2, w=10)", table2::skyline_sum(2, 10)),
         ("SKYLINE (APH, D=2, w=10)", table2::skyline_aph(2, 10)),
         ("TOP N (det, w=4)", table2::topn_det(4)),
@@ -46,7 +52,11 @@ fn main() {
     for (name, u) in &rows {
         println!(
             "{:<32} {:>7} {:>6} {:>12.1} {:>8}",
-            name, u.stages, u.alus, u.sram_kb(), u.tcam_entries
+            name,
+            u.stages,
+            u.alus,
+            u.sram_kb(),
+            u.tcam_entries
         );
     }
 
@@ -63,7 +73,10 @@ fn main() {
         assert_eq!(a, b, "divergence at entry {i}");
         agree += 1;
     }
-    println!("{agree}/{total} decisions identical ✓ (layout: {:?})", program.layout());
+    println!(
+        "{agree}/{total} decisions identical ✓ (layout: {:?})",
+        program.layout()
+    );
 
     // §6: pack three live queries onto one pipeline.
     println!("\n— multi-query packing (§6) —");

@@ -54,7 +54,6 @@ fn main() {
         cheetah.timing.total_s(),
         100.0 * cheetah.prune.pruned_fraction()
     );
-    let reduction =
-        (1.0 - cheetah.timing.total_s() / spark_first.timing.total_s()) * 100.0;
+    let reduction = (1.0 - cheetah.timing.total_s() / spark_first.timing.total_s()) * 100.0;
     println!("reduction       : {reduction:.0}% vs first run (paper band: 64–75%)");
 }

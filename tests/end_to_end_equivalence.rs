@@ -1,15 +1,17 @@
 //! The paper's defining equation, end to end: `Q(A_Q(D)) = Q(D)`.
 //!
 //! Generates the Big Data benchmark tables and TPC-H data, runs every
-//! Appendix B query through the Spark baseline, the Cheetah executor and
-//! the reference evaluator, and requires all three to agree exactly.
+//! Appendix B query through each [`Executor`] implementation and the
+//! reference evaluator, and requires all of them to agree exactly. The
+//! executors are driven generically through the trait —
+//! `executor::divergences` is the single driver loop.
 
 use cheetah::core::filter::{Atom, CmpOp, Formula};
 use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah::engine::executor::divergences;
 use cheetah::engine::q3;
-use cheetah::engine::reference;
 use cheetah::engine::spark::SparkExecutor;
-use cheetah::engine::{Agg, CostModel, Database, Predicate, Query, Table};
+use cheetah::engine::{Agg, CostModel, Database, Executor, Predicate, Query, Table};
 use cheetah::workloads::bigdata::{Rankings, UserVisits, UserVisitsConfig};
 use cheetah::workloads::stream::shuffled;
 use cheetah::workloads::tpch::TpchData;
@@ -136,41 +138,52 @@ fn benchmark_queries() -> Vec<(&'static str, Query)> {
 }
 
 #[test]
-fn spark_cheetah_reference_agree_on_benchmark() {
+fn all_executors_and_reference_agree_on_benchmark() {
     let db = bigdata_db(30_000, 10_000, 11);
     let model = CostModel::default();
     let spark = SparkExecutor::new(model);
     let cheetah = CheetahExecutor::new(model, PrunerConfig::default());
-    for (name, q) in benchmark_queries() {
-        let truth = reference::evaluate(&db, &q);
-        let s = spark.execute(&db, &q);
-        assert_eq!(s.result, truth, "[{name}] spark != reference");
-        let c = cheetah.execute(&db, &q);
-        assert_eq!(c.result, truth, "[{name}] cheetah != reference");
-    }
+    let threaded = cheetah::engine::ThreadedExecutor::new(cheetah.clone());
+    let netaccel = cheetah::engine::NetAccelExecutor::new(
+        cheetah.clone(),
+        cheetah::engine::netaccel::NetAccelModel::default(),
+    );
+    let executors: Vec<&dyn Executor> = vec![&spark, &cheetah, &threaded, &netaccel];
+    let queries = benchmark_queries();
+    assert_eq!(
+        divergences(&executors, &db, &queries),
+        Vec::<String>::new(),
+        "every executor must reproduce the reference result"
+    );
 }
 
 #[test]
 fn equivalence_across_worker_counts() {
     // Figure 6b varies the partition count: results must be invariant.
     let db = bigdata_db(12_000, 6_000, 13);
+    let queries = benchmark_queries();
     for workers in [1usize, 2, 3, 5] {
         let model = CostModel {
             workers,
             ..CostModel::default()
         };
         let cheetah = CheetahExecutor::new(model, PrunerConfig::default());
-        for (name, q) in benchmark_queries() {
-            let truth = reference::evaluate(&db, &q);
-            let c = cheetah.execute(&db, &q);
-            assert_eq!(c.result, truth, "[{name}] diverged at {workers} workers");
-        }
+        let executors: Vec<&dyn Executor> = vec![&cheetah];
+        assert_eq!(
+            divergences(&executors, &db, &queries),
+            Vec::<String>::new(),
+            "diverged at {workers} workers"
+        );
     }
 }
 
 #[test]
 fn equivalence_across_seeds_and_scales() {
-    for (seed, uv, rk) in [(1u64, 5_000usize, 2_000usize), (2, 20_000, 8_000), (3, 9_999, 4_001)] {
+    for (seed, uv, rk) in [
+        (1u64, 5_000usize, 2_000usize),
+        (2, 20_000, 8_000),
+        (3, 9_999, 4_001),
+    ] {
         let db = bigdata_db(uv, rk, seed);
         let model = CostModel::default();
         let cheetah = CheetahExecutor::new(
@@ -180,11 +193,12 @@ fn equivalence_across_seeds_and_scales() {
                 ..PrunerConfig::default()
             },
         );
-        for (name, q) in benchmark_queries() {
-            let truth = reference::evaluate(&db, &q);
-            let c = cheetah.execute(&db, &q);
-            assert_eq!(c.result, truth, "[{name}] diverged at seed {seed}");
-        }
+        let executors: Vec<&dyn Executor> = vec![&cheetah];
+        assert_eq!(
+            divergences(&executors, &db, &benchmark_queries()),
+            Vec::<String>::new(),
+            "diverged at seed {seed}"
+        );
     }
 }
 
@@ -209,19 +223,19 @@ fn cheetah_beats_spark_on_compute_heavy_queries() {
     let spark = SparkExecutor::new(model);
     let cheetah = CheetahExecutor::new(model, PrunerConfig::default());
     for (name, q) in benchmark_queries() {
-        let s = spark.execute(&db, &q);
-        let c = cheetah.execute(&db, &q);
+        let s = Executor::execute(&spark, &db, &q);
+        let c = Executor::execute(&cheetah, &db, &q);
         if name == "q1-bigdata-a-filter" {
             assert!(
-                c.timing.total_s() < s.first_run.total_s() * 1.3,
+                c.timing.total_s() < s.first_run_total_s() * 1.3,
                 "[{name}] Cheetah should be comparable to Spark's first run"
             );
         } else {
             assert!(
-                c.timing.total_s() < s.first_run.total_s(),
+                c.timing.total_s() < s.first_run_total_s(),
                 "[{name}] Cheetah {:.4}s should beat Spark 1st {:.4}s",
                 c.timing.total_s(),
-                s.first_run.total_s()
+                s.first_run_total_s()
             );
         }
     }

@@ -1,0 +1,269 @@
+//! The `Executor` seam, exercised as a matrix: every implementation ×
+//! the full Appendix-B query set, through one generic helper, against
+//! the `reference` oracle. This is the contract later backends (sharded,
+//! async, multi-switch) must keep satisfying to plug into the engine.
+
+use cheetah::core::filter::{Atom, CmpOp, Formula};
+use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah::engine::executor::{divergences, run_all};
+use cheetah::engine::netaccel::NetAccelModel;
+use cheetah::engine::reference;
+use cheetah::engine::spark::SparkExecutor;
+use cheetah::engine::{
+    Agg, CostModel, Database, Executor, NetAccelExecutor, Predicate, Query, Table, ThreadedExecutor,
+};
+
+/// A database hitting every query shape: skewed keys for the aggregates,
+/// a second table for the join, multiple value columns for skyline and
+/// multi-column distinct.
+fn appendix_b_db(rows: usize, seed: u64) -> Database {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.add(Table::new(
+        "t",
+        vec![
+            ("k", (0..rows).map(|_| rng.gen_range(1..100u64)).collect()),
+            (
+                "v",
+                (0..rows).map(|_| rng.gen_range(1..10_000u64)).collect(),
+            ),
+            ("w", (0..rows).map(|_| rng.gen_range(1..500u64)).collect()),
+        ],
+    ));
+    db.add(Table::new(
+        "s",
+        vec![
+            (
+                "k",
+                (0..rows / 2).map(|_| rng.gen_range(50..150u64)).collect(),
+            ),
+            (
+                "x",
+                (0..rows / 2).map(|_| rng.gen_range(1..100u64)).collect(),
+            ),
+        ],
+    ));
+    db
+}
+
+/// Appendix B queries (1)–(7) plus the extra shapes the engine supports
+/// (multi-column distinct, full-row filter, every GROUP BY aggregate).
+fn appendix_b_queries() -> Vec<(&'static str, Query)> {
+    vec![
+        (
+            "q1-filter-count",
+            Query::FilterCount {
+                table: "t".into(),
+                predicate: Predicate {
+                    columns: vec!["v".into()],
+                    atoms: vec![Atom::cmp(0, CmpOp::Lt, 5000)],
+                    formula: Formula::Atom(0),
+                },
+            },
+        ),
+        (
+            "q1b-filter-rows",
+            Query::Filter {
+                table: "t".into(),
+                predicate: Predicate {
+                    columns: vec!["v".into(), "w".into()],
+                    atoms: vec![Atom::cmp(0, CmpOp::Lt, 500), Atom::cmp(1, CmpOp::Gt, 400)],
+                    formula: Formula::Or(vec![Formula::Atom(0), Formula::Atom(1)]),
+                },
+            },
+        ),
+        (
+            "q2-distinct",
+            Query::Distinct {
+                table: "t".into(),
+                column: "k".into(),
+            },
+        ),
+        (
+            "q2b-distinct-multi",
+            Query::DistinctMulti {
+                table: "t".into(),
+                columns: vec!["k".into(), "w".into()],
+            },
+        ),
+        (
+            "q3-skyline",
+            Query::Skyline {
+                table: "t".into(),
+                columns: vec!["v".into(), "w".into()],
+            },
+        ),
+        (
+            "q4-topn",
+            Query::TopN {
+                table: "t".into(),
+                order_by: "v".into(),
+                n: 25,
+            },
+        ),
+        (
+            "q5-groupby-max",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Max,
+            },
+        ),
+        (
+            "q5b-groupby-min",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Min,
+            },
+        ),
+        (
+            "q5c-groupby-sum",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Sum,
+            },
+        ),
+        (
+            "q5d-groupby-count",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Count,
+            },
+        ),
+        (
+            "q6-join",
+            Query::Join {
+                left: "t".into(),
+                right: "s".into(),
+                left_col: "k".into(),
+                right_col: "k".into(),
+            },
+        ),
+        (
+            "q7-having",
+            Query::Having {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                threshold: 200_000,
+            },
+        ),
+    ]
+}
+
+struct Fleet {
+    spark: SparkExecutor,
+    cheetah: CheetahExecutor,
+    threaded: ThreadedExecutor,
+    netaccel: NetAccelExecutor,
+}
+
+impl Fleet {
+    fn new() -> Self {
+        let model = CostModel::default();
+        let cheetah = CheetahExecutor::new(model, PrunerConfig::default());
+        Fleet {
+            spark: SparkExecutor::new(model),
+            cheetah: cheetah.clone(),
+            threaded: ThreadedExecutor::new(cheetah.clone()),
+            netaccel: NetAccelExecutor::new(cheetah, NetAccelModel::default()),
+        }
+    }
+
+    fn all(&self) -> Vec<&dyn Executor> {
+        vec![&self.spark, &self.cheetah, &self.threaded, &self.netaccel]
+    }
+}
+
+#[test]
+fn every_executor_matches_reference_over_appendix_b() {
+    let db = appendix_b_db(6_000, 21);
+    let fleet = Fleet::new();
+    assert_eq!(
+        divergences(&fleet.all(), &db, &appendix_b_queries()),
+        Vec::<String>::new(),
+        "Q(A_Q(D)) = Q(D) must hold for every executor × query"
+    );
+}
+
+#[test]
+fn reports_are_complete_and_labeled() {
+    let db = appendix_b_db(3_000, 22);
+    let fleet = Fleet::new();
+    for (label, q) in appendix_b_queries() {
+        let truth = reference::evaluate(&db, &q);
+        let reports = run_all(&fleet.all(), &db, &q);
+        let labels: Vec<&str> = reports.iter().map(|r| r.executor).collect();
+        assert_eq!(
+            labels,
+            ["spark", "cheetah", "threaded", "netaccel"],
+            "[{label}] reports must arrive labeled, in input order"
+        );
+        for report in reports {
+            let name = report.executor;
+            assert_eq!(report.result, truth, "[{label}] {name} wrong result");
+            assert!(report.passes >= 1, "[{label}] {name} reported zero passes");
+            assert!(
+                report.timing.total_s() > 0.0,
+                "[{label}] {name} reported zero completion time"
+            );
+            if let Some(p) = report.prune {
+                assert_eq!(
+                    p.processed,
+                    p.pruned + p.forwarded(),
+                    "[{label}] {name} inconsistent prune counters"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn trait_objects_are_boxable_and_send() {
+    // The seam later backends rely on: executors as owned trait objects
+    // crossing thread boundaries.
+    let model = CostModel::default();
+    let boxed: Vec<Box<dyn Executor + Send + Sync>> = vec![
+        Box::new(SparkExecutor::new(model)),
+        Box::new(CheetahExecutor::new(model, PrunerConfig::default())),
+    ];
+    let db = appendix_b_db(1_000, 23);
+    let q = Query::Distinct {
+        table: "t".into(),
+        column: "k".into(),
+    };
+    let truth = reference::evaluate(&db, &q);
+    std::thread::scope(|scope| {
+        for e in &boxed {
+            let db = &db;
+            let q = &q;
+            let truth = &truth;
+            scope.spawn(move || {
+                assert_eq!(&e.execute(db, q).result, truth, "{} diverged", e.name());
+            });
+        }
+    });
+}
+
+#[test]
+fn two_pass_flows_report_their_passes_through_the_trait() {
+    let db = appendix_b_db(2_000, 24);
+    let fleet = Fleet::new();
+    for (label, q) in appendix_b_queries() {
+        let expected = match q {
+            Query::Join { .. } | Query::Having { .. } => 2,
+            _ => 1,
+        };
+        let r = Executor::execute(&fleet.cheetah, &db, &q);
+        assert_eq!(r.passes, expected, "[{label}] wrong pass count");
+    }
+}

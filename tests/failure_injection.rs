@@ -8,7 +8,7 @@
 use std::collections::{HashMap, HashSet};
 
 use cheetah::core::distinct::{DistinctPruner, EvictionPolicy};
-use cheetah::core::filter::{Atom, CmpOp, Formula, FilterPruner};
+use cheetah::core::filter::{Atom, CmpOp, FilterPruner, Formula};
 use cheetah::core::groupby::{Extremum, GroupByPruner, GroupBySumPruner, SumAction};
 use cheetah::core::skyline::{Heuristic, SkylinePruner};
 use cheetah::core::topn::DeterministicTopN;
@@ -65,7 +65,9 @@ fn groupby_max_survives_mid_stream_reboots() {
 #[test]
 fn det_topn_survives_mid_stream_reboots() {
     let mut rng = StdRng::seed_from_u64(3);
-    let stream: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..1_000_000u64)).collect();
+    let stream: Vec<u64> = (0..20_000)
+        .map(|_| rng.gen_range(0..1_000_000u64))
+        .collect();
     let n = 100usize;
     let mut p = DeterministicTopN::new(n as u64, 4);
     let mut forwarded: Vec<u64> = Vec::new();
@@ -113,11 +115,7 @@ fn skyline_survives_mid_stream_reboots() {
 
 #[test]
 fn filter_is_stateless_reboot_is_free() {
-    let p = FilterPruner::new(
-        vec![Atom::cmp(0, CmpOp::Gt, 100)],
-        Formula::Atom(0),
-    )
-    .unwrap();
+    let p = FilterPruner::new(vec![Atom::cmp(0, CmpOp::Gt, 100)], Formula::Atom(0)).unwrap();
     // Stateless: identical decisions forever, nothing to lose.
     assert!(p.process(&[200]).is_forward());
     assert!(p.process(&[50]).is_prune());
@@ -151,7 +149,10 @@ fn groupby_sum_requires_drain_before_reboot() {
     for (key, partial) in careless.drain() {
         *lost.entry(key).or_insert(0) += partial;
     }
-    assert_ne!(lost, truth, "dropping accumulators must visibly corrupt sums");
+    assert_ne!(
+        lost, truth,
+        "dropping accumulators must visibly corrupt sums"
+    );
 
     // Drain-then-reboot: exact.
     let mut careful = GroupBySumPruner::new(16, 2, 1);
@@ -170,7 +171,10 @@ fn groupby_sum_requires_drain_before_reboot() {
     for (key, partial) in careful.drain() {
         *master.entry(key).or_insert(0) += partial;
     }
-    assert_eq!(master, truth, "drain-before-reboot must preserve exact sums");
+    assert_eq!(
+        master, truth,
+        "drain-before-reboot must preserve exact sums"
+    );
 }
 
 /// Reboots under the reliability protocol: workers re-synchronize via

@@ -3,7 +3,7 @@
 //! feasibility verdicts for the paper's co-residency examples.
 
 use cheetah::core::distinct::{DistinctPruner, EvictionPolicy};
-use cheetah::core::filter::{Atom, CmpOp, Formula, FilterPruner};
+use cheetah::core::filter::{Atom, CmpOp, FilterPruner, Formula};
 use cheetah::core::groupby::{Extremum, GroupByPruner};
 use cheetah::core::multiquery::{CombinedPruner, MultiQueryPruner};
 use cheetah::core::resources::table2;
@@ -20,11 +20,8 @@ fn packed_queries_prune_independently_and_correctly() {
     let mut mq = MultiQueryPruner::new();
 
     // Query A (fid 1): filtering uservisits-style rows on col0 < 100.
-    let filter = FilterPruner::new(
-        vec![Atom::cmp(0, CmpOp::Lt, 100)],
-        Formula::Atom(0),
-    )
-    .expect("compiles");
+    let filter =
+        FilterPruner::new(vec![Atom::cmp(0, CmpOp::Lt, 100)], Formula::Atom(0)).expect("compiles");
     let fr = filter.resources();
     mq.add(1, Box::new(filter), fr);
 
@@ -92,11 +89,8 @@ fn packed_queries_prune_independently_and_correctly() {
 fn combined_query_on_one_stream() {
     // Fig 5's A+B: one uservisits stream serving filter A and group-by B.
     // A packet survives if either query needs it; both masters stay exact.
-    let filter = FilterPruner::new(
-        vec![Atom::cmp(1, CmpOp::Gt, 9_000)],
-        Formula::Atom(0),
-    )
-    .expect("compiles");
+    let filter = FilterPruner::new(vec![Atom::cmp(1, CmpOp::Gt, 9_000)], Formula::Atom(0))
+        .expect("compiles");
     let gb = GroupByPruner::new(256, 4, Extremum::Max, 5);
     let mut combined = CombinedPruner::new(vec![Box::new(filter), Box::new(gb)]);
 

@@ -19,15 +19,24 @@ fn db(rows: usize, seed: u64) -> Database {
         "t",
         vec![
             ("k", (0..rows).map(|_| rng.gen_range(0..120u64)).collect()),
-            ("v", (0..rows).map(|_| rng.gen_range(1..50_000u64)).collect()),
+            (
+                "v",
+                (0..rows).map(|_| rng.gen_range(1..50_000u64)).collect(),
+            ),
             ("w", (0..rows).map(|_| rng.gen_range(1..900u64)).collect()),
         ],
     ));
     db.add(Table::new(
         "s",
         vec![
-            ("k", (0..rows / 2).map(|_| rng.gen_range(60..200u64)).collect()),
-            ("x", (0..rows / 2).map(|_| rng.gen_range(1..100u64)).collect()),
+            (
+                "k",
+                (0..rows / 2).map(|_| rng.gen_range(60..200u64)).collect(),
+            ),
+            (
+                "x",
+                (0..rows / 2).map(|_| rng.gen_range(1..100u64)).collect(),
+            ),
         ],
     ));
     db
@@ -108,12 +117,18 @@ fn pisa_backend_matches_reference_backend_and_oracle() {
         let truth = reference::evaluate(&db, &q);
         let a = reference_exec.execute(&db, &q);
         let b = pisa_exec.execute(&db, &q);
-        assert_eq!(a.result, truth, "[{}] reference backend != oracle", q.kind());
+        assert_eq!(
+            a.result,
+            truth,
+            "[{}] reference backend != oracle",
+            q.kind()
+        );
         assert_eq!(b.result, truth, "[{}] pisa backend != oracle", q.kind());
         // The decisions are differential-tested elsewhere; here the
         // aggregate counts must agree too (same pruning happened).
         assert_eq!(
-            a.prune.processed, b.prune.processed,
+            a.prune_stats().processed,
+            b.prune_stats().processed,
             "[{}] processed diverged",
             q.kind()
         );
@@ -143,8 +158,8 @@ fn distinct_multi_uses_fingerprints_correctly() {
     let r = exec.execute(&db, &q);
     assert_eq!(r.result, truth);
     assert!(
-        r.prune.pruned_fraction() > 0.9,
+        r.prune_stats().pruned_fraction() > 0.9,
         "≤1000 combinations over 20k rows should prune >90%, got {:.3}",
-        r.prune.pruned_fraction()
+        r.prune_stats().pruned_fraction()
     );
 }

@@ -97,8 +97,7 @@ fn groupby_program_equals_core() {
     let vs = keys(N, 100_000, 6);
     for ext in [Extremum::Max, Extremum::Min] {
         let mut core = GroupByPruner::new(64, 4, ext, SEED);
-        let mut prog =
-            GroupByProgram::new(SwitchModel::tofino_like(), 64, 4, ext, SEED).unwrap();
+        let mut prog = GroupByProgram::new(SwitchModel::tofino_like(), 64, 4, ext, SEED).unwrap();
         for i in 0..N {
             assert_eq!(
                 core.process(ks[i], vs[i]),
@@ -181,8 +180,7 @@ fn having_program_equals_core() {
     let vs = keys(N, 50, 12);
     let threshold = 2_000;
     let mut core = HavingPruner::new(3, 256, threshold, SEED);
-    let mut prog =
-        HavingProgram::new(SwitchModel::tofino_like(), 3, 256, threshold, SEED).unwrap();
+    let mut prog = HavingProgram::new(SwitchModel::tofino_like(), 3, 256, threshold, SEED).unwrap();
     for i in 0..N {
         assert_eq!(
             core.pass_one(ks[i], vs[i]),
@@ -227,8 +225,7 @@ fn skyline_aph_program_equals_core() {
         ..SwitchModel::tofino2_like()
     };
     let mut core = SkylinePruner::new(3, 6, Heuristic::aph_default());
-    let mut prog =
-        SkylineProgram::new(spec, 3, 6, SkylineScoring::Aph { frac_bits: 8 }).unwrap();
+    let mut prog = SkylineProgram::new(spec, 3, 6, SkylineScoring::Aph { frac_bits: 8 }).unwrap();
     for i in 0..10_000 {
         // Mix narrow and wide magnitudes to hit both APH paths.
         let p = [

@@ -6,7 +6,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use cheetah::core::distinct::{CacheMatrix, EvictionPolicy};
-use cheetah::core::filter::{Atom, CmpOp, Formula, FilterPruner};
+use cheetah::core::filter::{Atom, CmpOp, FilterPruner, Formula};
 use cheetah::core::groupby::{Extremum, GroupByPruner, GroupBySumPruner, SumAction};
 use cheetah::core::having::HavingPruner;
 use cheetah::core::join::{BloomFilter, KeyFilter, RegisterBloomFilter};

@@ -14,9 +14,11 @@ use rand::{Rng, SeedableRng};
 
 fn random_db(rows: usize, key_domain: u64, extreme_values: bool, seed: u64) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut gen_val = |rng: &mut StdRng| -> u64 {
+    let gen_val = |rng: &mut StdRng| -> u64 {
         if extreme_values && rng.gen_bool(0.05) {
-            *[0u64, 1, u64::MAX - 1, u64::MAX / 2].get(rng.gen_range(0..4)).unwrap()
+            *[0u64, 1, u64::MAX - 1, u64::MAX / 2]
+                .get(rng.gen_range(0..4usize))
+                .unwrap()
         } else {
             rng.gen_range(0..100_000u64)
         }
@@ -27,7 +29,9 @@ fn random_db(rows: usize, key_domain: u64, extreme_values: bool, seed: u64) -> D
         vec![
             (
                 "k",
-                (0..rows).map(|_| rng.gen_range(0..key_domain.max(1))).collect(),
+                (0..rows)
+                    .map(|_| rng.gen_range(0..key_domain.max(1)))
+                    .collect(),
             ),
             ("v", (0..rows).map(|_| gen_val(&mut rng)).collect()),
             ("w", (0..rows).map(|_| rng.gen_range(1..1_000u64)).collect()),
@@ -42,7 +46,10 @@ fn random_db(rows: usize, key_domain: u64, extreme_values: bool, seed: u64) -> D
                     .map(|_| rng.gen_range(0..key_domain.max(1) * 2))
                     .collect(),
             ),
-            ("x", (0..rows / 2).map(|_| rng.gen_range(0..50u64)).collect()),
+            (
+                "x",
+                (0..rows / 2).map(|_| rng.gen_range(0..50u64)).collect(),
+            ),
         ],
     ));
     db
@@ -109,12 +116,12 @@ fn query_matrix() -> Vec<Query> {
 fn soak_across_shapes_and_seeds() {
     // (rows, key_domain, extreme_values)
     let shapes = [
-        (0usize, 10u64, false),  // empty tables
-        (1, 1, false),           // single row, single key
-        (2, 1, true),            // duplicate key, extreme values
-        (500, 3, true),          // tiny key domain
-        (3_000, 5_000, false),   // keys mostly unique
-        (4_000, 64, true),       // mid-skew with extremes
+        (0usize, 10u64, false), // empty tables
+        (1, 1, false),          // single row, single key
+        (2, 1, true),           // duplicate key, extreme values
+        (500, 3, true),         // tiny key domain
+        (3_000, 5_000, false),  // keys mostly unique
+        (4_000, 64, true),      // mid-skew with extremes
     ];
     let model = CostModel::default();
     let spark = SparkExecutor::new(model);
@@ -132,13 +139,15 @@ fn soak_across_shapes_and_seeds() {
                 let truth = reference::evaluate(&db, &q);
                 let s = spark.execute(&db, &q);
                 assert_eq!(
-                    s.result, truth,
+                    s.result,
+                    truth,
                     "spark diverged: shape {si}, seed {seed}, query {}",
                     q.kind()
                 );
                 let c = cheetah.execute(&db, &q);
                 assert_eq!(
-                    c.result, truth,
+                    c.result,
+                    truth,
                     "cheetah diverged: shape {si}, seed {seed}, query {}",
                     q.kind()
                 );

@@ -86,7 +86,11 @@ fn monotone_stream_forwards_everything() {
 /// duplicates on random-order streams.
 #[test]
 fn theorem1_distinct_prune_fraction() {
-    for (d, w, distinct) in [(200usize, 2usize, 3_000u64), (500, 4, 10_000), (1000, 2, 8_000)] {
+    for (d, w, distinct) in [
+        (200usize, 2usize, 3_000u64),
+        (500, 4, 10_000),
+        (1000, 2, 8_000),
+    ] {
         let bound = distinct_expected_prune_fraction(distinct, d, w);
         let mut matrix = CacheMatrix::new(d, w, EvictionPolicy::Lru, 17);
         let mut rng = StdRng::seed_from_u64(23);
@@ -150,14 +154,20 @@ fn lambert_w_shape_is_near_optimal() {
     let forwarded = |d: usize, w: usize, seed: u64| -> u64 {
         let stream = shuffled(&(1..=m).collect::<Vec<_>>(), seed);
         let mut p = RandomizedTopN::new(d, w, seed);
-        stream.iter().filter(|&&v| p.process(v).is_forward()).count() as u64
+        stream
+            .iter()
+            .filter(|&&v| p.process(v).is_forward())
+            .count() as u64
     };
     let opt = forwarded(d_star, w_star, 5);
     // Compare against a much wider and a much narrower shape with the
     // same cell budget that still satisfy Theorem 2 at this δ … the wide
     // shape wastes rows, the narrow shape risks correctness; both should
     // forward at least about as much as the optimum.
-    for (d_alt, label) in [(budget / (w_star * 3), "3x fewer rows"), (budget, "w=1-ish")] {
+    for (d_alt, label) in [
+        (budget / (w_star * 3), "3x fewer rows"),
+        (budget, "w=1-ish"),
+    ] {
         let d_alt = d_alt.max(1);
         let w_alt = (budget / d_alt).max(1);
         let alt = forwarded(d_alt, w_alt, 5);

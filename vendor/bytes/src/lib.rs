@@ -1,0 +1,240 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the wire-format code uses: [`BytesMut`] as an
+//! append buffer with the big-endian `put_*` family, frozen into a
+//! cheaply cloneable, sliceable [`Bytes`] handle (`Arc<[u8]>` + range),
+//! and the [`Buf`] cursor reads (`get_*`/`remaining`). Network byte
+//! order matches upstream `bytes`.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+/// Cursor-style reads over a byte source, big-endian like upstream.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read `n` bytes, advancing the cursor. Panics when short.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+/// Append-style writes, big-endian like upstream.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// A cheaply cloneable, immutable byte buffer (shared storage + range).
+///
+/// Reading through [`Buf`] advances an internal cursor without touching
+/// the shared storage, so clones read independently.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wrap a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end: data.len(),
+        }
+    }
+
+    /// Length of the (unread remainder of the) buffer.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A zero-copy sub-range of this buffer.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && self.start + range.end <= self.end);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// View the remaining bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "buffer underflow");
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// A growable byte buffer, frozen into [`Bytes`] when complete.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(0xab);
+        b.put_u16(0x1234);
+        b.put_u32(0xdead_beef);
+        b.put_u64(0x0102_0304_0506_0708);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 15);
+        assert_eq!(frozen.get_u8(), 0xab);
+        assert_eq!(frozen.get_u16(), 0x1234);
+        assert_eq!(frozen.get_u32(), 0xdead_beef);
+        assert_eq!(frozen.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(frozen.remaining(), 0);
+    }
+
+    #[test]
+    fn big_endian_wire_order() {
+        let mut b = BytesMut::with_capacity(2);
+        b.put_u16(0x0102);
+        assert_eq!(b.freeze().as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn slices_share_storage_and_clone_reads_independently() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_u32(0x0a0b_0c0d);
+        let frozen = b.freeze();
+        let mut head = frozen.slice(0..2);
+        assert_eq!(head.get_u16(), 0x0a0b);
+        let mut again = frozen.clone();
+        assert_eq!(again.get_u32(), 0x0a0b_0c0d);
+        assert_eq!(frozen.len(), 4, "clone reads must not advance the original");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(&[1]);
+        b.get_u16();
+    }
+}
