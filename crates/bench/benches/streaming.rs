@@ -1,0 +1,44 @@
+//! Row-at-a-time vs block streaming: criterion comparison of the legacy
+//! per-row-`Vec` interleave + `process_row` loop against the flat
+//! [`cheetah_engine::stream::EntryStream`] + `process_block` hot path,
+//! per pruning operator. The `--json` experiments mode records the same
+//! comparison into `BENCH_streaming.json`; the acceptance bar is ≥2×
+//! rows/sec on the filter, topn and groupby microbenches.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cheetah_bench::streaming::{block_path, micro_columns, micro_pruner, micro_table, MICRO_OPS};
+
+const ROWS: usize = 100_000;
+const WORKERS: usize = 5;
+
+fn bench_streaming(c: &mut Criterion) {
+    let table = micro_table(ROWS, 1);
+    for op in MICRO_OPS {
+        let cols = micro_columns(op);
+        let mut g = c.benchmark_group(format!("streaming_{op}"));
+        g.throughput(Throughput::Elements(ROWS as u64));
+        g.sample_size(10);
+        g.bench_function("row_at_a_time", |b| {
+            b.iter(|| {
+                let mut p = micro_pruner(op);
+                black_box(cheetah_bench::streaming::row_path(
+                    &table,
+                    &cols,
+                    WORKERS,
+                    p.as_mut(),
+                ))
+            })
+        });
+        g.bench_function("block_stream", |b| {
+            b.iter(|| {
+                let mut p = micro_pruner(op);
+                black_box(block_path(&table, &cols, WORKERS, p.as_mut()))
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -7,15 +7,41 @@
 
 use cheetah_bench::experiments as exp;
 
-const USAGE: &str = "usage: experiments <id>… | all\n\
+const USAGE: &str = "usage: experiments <id>… | all | --json [path]\n\
      ids: table2 table3 fig5 fig6a fig6b fig7 fig8 fig9 \
      fig10a fig10b fig10c fig10d fig10e fig10f \
-     fig11a fig11b fig11c fig11d fig11e fig11f fig12 fig13 ext";
+     fig11a fig11b fig11c fig11d fig11e fig11f fig12 fig13 ext\n\
+     --json: run the streaming benchmark (row vs block layouts + \
+     per-query rows/sec, prune rate, wall clock) and write \
+     BENCH_streaming.json (or the given path)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
+        return;
+    }
+    if args.iter().any(|a| a == "--json") {
+        // `--json [path]` is a standalone mode: refuse mixtures like
+        // `fig5 --json` instead of silently dropping the experiment ids.
+        if args[0] != "--json" || args.len() > 2 {
+            eprintln!("--json takes only an optional output path\n{USAGE}");
+            std::process::exit(2);
+        }
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_streaming.json");
+        match cheetah_bench::streaming::write_bench_json(path) {
+            Ok(json) => {
+                print!("{json}");
+                eprintln!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
         return;
     }
     if args.is_empty() {

@@ -3,6 +3,7 @@
 //! [`experiments`]; `src/bin/experiments.rs` is a thin CLI over it.
 
 pub mod experiments;
+pub mod streaming;
 
 use cheetah_engine::{Database, Table};
 use cheetah_workloads::bigdata::{Rankings, UserVisits, UserVisitsConfig};

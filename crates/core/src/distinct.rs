@@ -218,6 +218,13 @@ impl RowPruner for DistinctPruner {
         self.process(row[0])
     }
 
+    fn process_block(&mut self, cols: &[&[u64]], out: &mut [Decision]) {
+        // The key lane is the only column the switch reads.
+        for (d, &k) in out.iter_mut().zip(cols[0]) {
+            *d = self.process(k);
+        }
+    }
+
     fn reset(&mut self) {
         self.matrix.clear();
     }

@@ -283,6 +283,20 @@ impl TruthTable {
         self.table[v / 64] & (1u64 << (v % 64)) != 0
     }
 
+    /// Evaluate entry `i` of a column-major block (`cols[atom.col][i]`)
+    /// without materializing the row — the block-streaming fast path.
+    #[inline]
+    pub fn eval_entry(&self, atoms: &[Atom], cols: &[&[u64]], i: usize) -> bool {
+        let mut v = 0usize;
+        for (j, &id) in self.atom_ids.iter().enumerate() {
+            let a = &atoms[id];
+            if a.op.eval(cols[a.col][i], a.constant) {
+                v |= 1 << j;
+            }
+        }
+        self.table[v / 64] & (1u64 << (v % 64)) != 0
+    }
+
     /// Number of atoms (bit-vector width).
     pub fn arity(&self) -> usize {
         self.atom_ids.len()
@@ -348,6 +362,16 @@ impl FilterPruner {
 impl RowPruner for FilterPruner {
     fn process_row(&mut self, row: &[u64]) -> Decision {
         self.process(row)
+    }
+
+    fn process_block(&mut self, cols: &[&[u64]], out: &mut [Decision]) {
+        for (i, d) in out.iter_mut().enumerate() {
+            *d = if self.table.eval_entry(&self.atoms, cols, i) {
+                Decision::Forward
+            } else {
+                Decision::Prune
+            };
+        }
     }
 
     fn reset(&mut self) {}

@@ -119,6 +119,13 @@ impl RowPruner for GroupByPruner {
         self.process(row[0], row[1])
     }
 
+    fn process_block(&mut self, cols: &[&[u64]], out: &mut [Decision]) {
+        // Read the key/value lanes directly; no per-row gather.
+        for ((d, &k), &v) in out.iter_mut().zip(cols[0]).zip(cols[1]) {
+            *d = self.process(k, v);
+        }
+    }
+
     fn reset(&mut self) {
         self.lens.fill(0);
         self.cursors.fill(0);
@@ -227,6 +234,29 @@ impl GroupBySumPruner {
         SumAction::EvictAndForward {
             key: evicted_key,
             partial: evicted_sum,
+        }
+    }
+
+    /// Batched variant of [`GroupBySumPruner::process`] over key/value
+    /// lanes: `out[i]` is `Forward` iff entry `i` evicted an accumulator
+    /// (the eviction rides out via `on_evict(key, partial)`), `Prune` for
+    /// absorbed/started entries — the same decision stream the per-entry
+    /// path produces.
+    pub fn process_block(
+        &mut self,
+        keys: &[u64],
+        vals: &[u64],
+        out: &mut [Decision],
+        mut on_evict: impl FnMut(u64, u64),
+    ) {
+        for ((d, &k), &v) in out.iter_mut().zip(keys).zip(vals) {
+            *d = match self.process(k, v) {
+                SumAction::EvictAndForward { key, partial } => {
+                    on_evict(key, partial);
+                    Decision::Forward
+                }
+                SumAction::Absorb | SumAction::Start => Decision::Prune,
+            };
         }
     }
 

@@ -290,6 +290,27 @@ impl RowPruner for SkylinePruner {
         self.process(&row[..self.dims])
     }
 
+    fn process_block(&mut self, cols: &[&[u64]], out: &mut [Decision]) {
+        // Gather each point into a stack buffer (skylines are low-D; the
+        // heap-gathering default only runs for >16 dimensions).
+        if self.dims > 16 {
+            let mut row = Vec::with_capacity(self.dims);
+            for (i, d) in out.iter_mut().enumerate() {
+                row.clear();
+                row.extend(cols[..self.dims].iter().map(|c| c[i]));
+                *d = self.process(&row);
+            }
+            return;
+        }
+        let mut point = [0u64; 16];
+        for (i, d) in out.iter_mut().enumerate() {
+            for (p, c) in point[..self.dims].iter_mut().zip(cols) {
+                *p = c[i];
+            }
+            *d = self.process(&point[..self.dims]);
+        }
+    }
+
     fn reset(&mut self) {
         self.len = 0;
     }

@@ -37,6 +37,11 @@ pub struct DeterministicTopN {
     counters: Vec<u64>,
     /// Currently active pruning threshold (entries `<` it are pruned).
     active: u64,
+    /// Ladder prefix already activated: `counters[..active_idx]` all
+    /// reached `n`. Counters are nonincreasing in the ladder index (the
+    /// thresholds ascend), so the activated set is always a prefix and
+    /// only its frontier needs checking — no rescan of all `w`.
+    active_idx: usize,
 }
 
 impl DeterministicTopN {
@@ -52,6 +57,7 @@ impl DeterministicTopN {
             thresholds: Vec::with_capacity(w),
             counters: vec![0; w],
             active: 0,
+            active_idx: 0,
         }
     }
 
@@ -79,19 +85,32 @@ impl DeterministicTopN {
             return Decision::Prune;
         }
         // Forwarded: credit every armed threshold strictly below the value.
+        // The ladder ascends, so stop at the first threshold ≥ value
+        // instead of scanning all w counters.
         for (t, c) in self.thresholds.iter().zip(self.counters.iter_mut()) {
             if value > *t {
                 *c += 1;
-            }
-        }
-        // Activate the highest threshold with n forwarded entries above it.
-        for i in (0..self.w).rev() {
-            if self.counters[i] >= self.n {
-                self.active = self.active.max(self.thresholds[i]);
+            } else {
                 break;
             }
         }
+        // Activate the highest threshold with n forwarded entries above
+        // it. Counters are nonincreasing along the ladder, so the
+        // activated set is a prefix: advance its frontier instead of
+        // rescanning all w thresholds per entry.
+        while self.active_idx < self.thresholds.len() && self.counters[self.active_idx] >= self.n {
+            self.active = self.active.max(self.thresholds[self.active_idx]);
+            self.active_idx += 1;
+        }
         Decision::Forward
+    }
+
+    /// Block loop: hoists the self-dispatch and reads the ORDER BY lane
+    /// directly (decisions identical to per-row processing).
+    fn process_values(&mut self, values: &[u64], out: &mut [Decision]) {
+        for (d, &v) in out.iter_mut().zip(values) {
+            *d = self.process(v);
+        }
     }
 
     /// The threshold below which entries are currently pruned.
@@ -108,6 +127,10 @@ impl DeterministicTopN {
 impl RowPruner for DeterministicTopN {
     fn process_row(&mut self, row: &[u64]) -> Decision {
         self.process(row[0])
+    }
+
+    fn process_block(&mut self, cols: &[&[u64]], out: &mut [Decision]) {
+        self.process_values(cols[0], out);
     }
 
     fn reset(&mut self) {
@@ -224,6 +247,14 @@ impl RandomizedTopN {
 impl RowPruner for RandomizedTopN {
     fn process_row(&mut self, row: &[u64]) -> Decision {
         self.process(row[0])
+    }
+
+    fn process_block(&mut self, cols: &[&[u64]], out: &mut [Decision]) {
+        // One virtual call per block; the sequential row draw inside
+        // `process` keeps decisions identical to the per-row path.
+        for (d, &v) in out.iter_mut().zip(cols[0]) {
+            *d = self.process(v);
+        }
     }
 
     fn reset(&mut self) {

@@ -51,21 +51,47 @@ fn skyline_spec() -> SwitchModel {
 /// Wrapper mapping the key through a nonzero-preserving encoding before a
 /// pisa program (0 is the hardware empty-cell sentinel; the CWorker
 /// applies the same shift on the wire).
-struct NonzeroKey<P>(P);
+struct NonzeroKey<P> {
+    inner: P,
+    /// Scratch lane holding the current block's shifted keys, reused
+    /// across blocks so the shift costs no steady-state allocation.
+    shifted: Vec<u64>,
+}
+
+impl<P> NonzeroKey<P> {
+    fn new(inner: P) -> Self {
+        NonzeroKey {
+            inner,
+            shifted: Vec::new(),
+        }
+    }
+}
 
 impl<P: RowPruner> RowPruner for NonzeroKey<P> {
     fn process_row(&mut self, row: &[u64]) -> Decision {
-        let mut shifted = row.to_vec();
-        shifted[0] = shifted[0].wrapping_add(1);
-        self.0.process_row(&shifted)
+        self.shifted.clear();
+        self.shifted.extend_from_slice(row);
+        self.shifted[0] = self.shifted[0].wrapping_add(1);
+        let NonzeroKey { inner, shifted } = self;
+        inner.process_row(shifted)
+    }
+
+    fn process_block(&mut self, cols: &[&[u64]], out: &mut [Decision]) {
+        let NonzeroKey { inner, shifted } = self;
+        shifted.clear();
+        shifted.extend(cols[0].iter().map(|k| k.wrapping_add(1)));
+        let mut swapped: Vec<&[u64]> = Vec::with_capacity(cols.len());
+        swapped.push(shifted.as_slice());
+        swapped.extend_from_slice(&cols[1..]);
+        inner.process_block(&swapped, out);
     }
 
     fn reset(&mut self) {
-        self.0.reset();
+        self.inner.reset();
     }
 
     fn name(&self) -> &'static str {
-        self.0.name()
+        self.inner.name()
     }
 }
 
@@ -78,7 +104,7 @@ pub fn distinct(cfg: &PrunerConfig) -> Box<dyn RowPruner + Send> {
             cfg.distinct_policy,
             cfg.seed,
         )),
-        SwitchBackend::Pisa => Box::new(NonzeroKey(ProgramPruner::new(
+        SwitchBackend::Pisa => Box::new(NonzeroKey::new(ProgramPruner::new(
             DistinctLruProgram::new(spec(), cfg.distinct_d, cfg.distinct_w, cfg.seed)
                 .expect("distinct program fits"),
         ))),
@@ -119,7 +145,7 @@ pub fn groupby(cfg: &PrunerConfig, ext: Extremum) -> Box<dyn RowPruner + Send> {
                 alus_per_stage: (2 * cfg.groupby_w as u32 + 1).max(spec().alus_per_stage),
                 ..spec()
             };
-            Box::new(NonzeroKey(ProgramPruner::new(
+            Box::new(NonzeroKey::new(ProgramPruner::new(
                 GroupByProgram::new(wide, cfg.groupby_d, cfg.groupby_w, ext, cfg.seed)
                     .expect("groupby program fits"),
             )))

@@ -18,14 +18,15 @@ use std::collections::HashMap;
 use cheetah_core::decision::PruneStats;
 use cheetah_core::distinct::EvictionPolicy;
 use cheetah_core::fingerprint::Fingerprinter;
-use cheetah_core::groupby::{Extremum, GroupBySumPruner, SumAction};
+use cheetah_core::groupby::{Extremum, GroupBySumPruner};
 use cheetah_core::join::Side;
 
 use crate::backend::{self, HavingFlow, JoinFlow, SwitchBackend};
 use crate::cost::{master_rate, CostModel, TimingBreakdown};
 use crate::executor::ExecutionReport;
-use crate::query::{pair_checksum, Agg, Query, QueryResult};
+use crate::query::{fetch_checksum, pair_checksum, Agg, Query, QueryResult};
 use crate::reference::skyline_of;
+use crate::stream::{EntryStream, BLOCK_ENTRIES};
 use crate::table::{Database, Table};
 
 /// Switch-side algorithm configuration (the Table 2 knobs).
@@ -96,28 +97,11 @@ pub struct CheetahExecutor {
     pub config: PrunerConfig,
 }
 
-/// An entry flowing through the switch: source row id + metadata values.
-type StreamEntry = (u64, Vec<u64>);
-
-/// Interleave partition streams round-robin — the deterministic model of
-/// several workers feeding one switch port-by-port.
-fn interleave(table: &Table, columns: &[usize], workers: usize) -> Vec<StreamEntry> {
-    let bounds = table.partition_bounds(workers);
-    let mut cursors: Vec<usize> = bounds.iter().map(|(s, _)| *s).collect();
-    let mut out = Vec::with_capacity(table.rows());
-    let mut remaining = table.rows();
-    while remaining > 0 {
-        for (w, &(_, end)) in bounds.iter().enumerate() {
-            if cursors[w] < end {
-                let r = cursors[w];
-                cursors[w] += 1;
-                remaining -= 1;
-                let vals = columns.iter().map(|&c| table.col_at(c)[r]).collect();
-                out.push((r as u64, vals));
-            }
-        }
-    }
-    out
+/// Interleave partition streams round-robin into a flat column-major
+/// [`EntryStream`] — the deterministic model of several workers feeding
+/// one switch port-by-port, with zero per-row allocation.
+fn interleave(table: &Table, columns: &[usize], workers: usize) -> EntryStream {
+    EntryStream::interleaved(table, columns, workers)
 }
 
 impl CheetahExecutor {
@@ -138,14 +122,14 @@ impl CheetahExecutor {
                 let mut pruner = backend::filter(cfg, predicate);
                 let mut stats = PruneStats::default();
                 let mut count = 0u64;
-                for (_, vals) in &stream {
-                    let d = pruner.process_row(vals);
-                    stats.record(d);
+                let mut row = Vec::with_capacity(cols.len());
+                stream.prune(pruner.as_mut(), &mut stats, |_, entry| {
                     // Master re-checks the full predicate on survivors.
-                    if d.is_forward() && predicate.eval(vals) {
+                    entry.gather_into(&mut row);
+                    if predicate.eval(&row) {
                         count += 1;
                     }
-                }
+                });
                 self.report(
                     query,
                     t.rows() as u64,
@@ -162,16 +146,26 @@ impl CheetahExecutor {
                 let mut pruner = backend::filter(cfg, predicate);
                 let mut stats = PruneStats::default();
                 let mut ids = Vec::new();
-                for (rid, vals) in &stream {
-                    let d = pruner.process_row(vals);
-                    stats.record(d);
-                    if d.is_forward() && predicate.eval(vals) {
-                        ids.push(*rid);
+                let mut row = Vec::with_capacity(cols.len());
+                stream.prune(pruner.as_mut(), &mut stats, |rid, entry| {
+                    entry.gather_into(&mut row);
+                    if predicate.eval(&row) {
+                        ids.push(rid);
                     }
-                }
+                });
+                // §7.1 late materialization: fetch the surviving rows into
+                // one reused buffer and checksum them order-independently.
                 let fetch = ids.len() as u64;
+                let mut buf = Vec::with_capacity(t.width());
+                let mut checksum = 0u64;
+                for &rid in &ids {
+                    t.row_into(rid as usize, &mut buf);
+                    checksum = fetch_checksum(checksum, rid, &buf);
+                }
                 let result = QueryResult::row_ids(ids);
-                self.report(query, t.rows() as u64, stats, 1, fetch, result)
+                let mut report = self.report(query, t.rows() as u64, stats, 1, fetch, result);
+                report.fetch_checksum = Some(checksum);
+                report
             }
             Query::Distinct { table, column } => {
                 let t = db.table(table);
@@ -179,13 +173,9 @@ impl CheetahExecutor {
                 let mut pruner = backend::distinct(cfg);
                 let mut stats = PruneStats::default();
                 let mut survivors = Vec::new();
-                for (_, vals) in &stream {
-                    let d = pruner.process_row(vals);
-                    stats.record(d);
-                    if d.is_forward() {
-                        survivors.push(vals[0]);
-                    }
-                }
+                stream.prune(pruner.as_mut(), &mut stats, |_, entry| {
+                    survivors.push(entry.get(0));
+                });
                 let result = QueryResult::values(survivors);
                 self.report(query, t.rows() as u64, stats, 1, 0, result)
             }
@@ -197,18 +187,14 @@ impl CheetahExecutor {
                 // a harmful collision vanishingly unlikely here).
                 let t = db.table(table);
                 let cols: Vec<usize> = columns.iter().map(|c| t.col_index(c)).collect();
-                let stream = interleave(t, &cols, workers);
-                let fp = Fingerprinter::new(cfg.seed ^ 0xf1f1, 64);
+                let mut stream = interleave(t, &cols, workers);
+                stream.fingerprint_lane(&Fingerprinter::new(cfg.seed ^ 0xf1f1, 64));
                 let mut pruner = backend::distinct(cfg);
                 let mut stats = PruneStats::default();
                 let mut survivors: Vec<Vec<u64>> = Vec::new();
-                for (_, vals) in &stream {
-                    let d = pruner.process_row(&[fp.fp_words(vals)]);
-                    stats.record(d);
-                    if d.is_forward() {
-                        survivors.push(vals.clone());
-                    }
-                }
+                stream.prune(pruner.as_mut(), &mut stats, |_, entry| {
+                    survivors.push(entry.to_vec());
+                });
                 let result = QueryResult::points(survivors);
                 self.report(query, t.rows() as u64, stats, 1, 0, result)
             }
@@ -218,13 +204,9 @@ impl CheetahExecutor {
                 let mut stats = PruneStats::default();
                 let mut survivors = Vec::new();
                 let mut pruner = backend::topn(cfg, *n);
-                for (_, vals) in &stream {
-                    let d = pruner.process_row(vals);
-                    stats.record(d);
-                    if d.is_forward() {
-                        survivors.push(vals[0]);
-                    }
-                }
+                stream.prune(pruner.as_mut(), &mut stats, |_, entry| {
+                    survivors.push(entry.get(0));
+                });
                 let result = QueryResult::top_values(survivors, *n);
                 self.report(query, t.rows() as u64, stats, 1, *n as u64, result)
             }
@@ -247,22 +229,16 @@ impl CheetahExecutor {
                         let mut pruner = backend::groupby(cfg, ext);
                         let mut stats = PruneStats::default();
                         let mut groups = std::collections::BTreeMap::new();
-                        for (_, vals) in &stream {
-                            let d = pruner.process_row(vals);
-                            stats.record(d);
-                            if d.is_forward() {
-                                let e = groups.entry(vals[0]).or_insert(if ext == Extremum::Max {
-                                    0
-                                } else {
-                                    u64::MAX
-                                });
-                                *e = if ext == Extremum::Max {
-                                    (*e).max(vals[1])
-                                } else {
-                                    (*e).min(vals[1])
-                                };
-                            }
-                        }
+                        stream.prune(pruner.as_mut(), &mut stats, |_, entry| {
+                            let e = groups
+                                .entry(entry.get(0))
+                                .or_insert(if ext == Extremum::Max { 0 } else { u64::MAX });
+                            *e = if ext == Extremum::Max {
+                                (*e).max(entry.get(1))
+                            } else {
+                                (*e).min(entry.get(1))
+                            };
+                        });
                         let result = QueryResult::Groups(groups);
                         self.report(query, t.rows() as u64, stats, 1, 0, result)
                     }
@@ -273,17 +249,30 @@ impl CheetahExecutor {
                             GroupBySumPruner::new(cfg.groupby_d, cfg.groupby_w, cfg.seed);
                         let mut stats = PruneStats::default();
                         let mut groups = std::collections::BTreeMap::new();
-                        for (_, vals) in &stream {
-                            let v = if *agg == Agg::Sum { vals[1] } else { 1 };
-                            match pruner.process(vals[0], v) {
-                                SumAction::EvictAndForward { key, partial } => {
-                                    stats.record(cheetah_core::Decision::Forward);
-                                    *groups.entry(key).or_insert(0) += partial;
-                                }
-                                SumAction::Absorb | SumAction::Start => {
-                                    stats.record(cheetah_core::Decision::Prune);
-                                }
-                            }
+                        let keys = stream.col(0);
+                        // COUNT folds 1 per entry: blocks never exceed
+                        // BLOCK_ENTRIES, so one static lane of 1s serves
+                        // every block of every query.
+                        static ONES: [u64; BLOCK_ENTRIES] = [1; BLOCK_ENTRIES];
+                        let mut decisions =
+                            [cheetah_core::Decision::Prune; crate::stream::BLOCK_ENTRIES];
+                        let mut start = 0;
+                        while start < stream.len() {
+                            let len = (stream.len() - start).min(BLOCK_ENTRIES);
+                            let vals = if *agg == Agg::Sum {
+                                &stream.col(1)[start..start + len]
+                            } else {
+                                &ONES[..len]
+                            };
+                            let out = &mut decisions[..len];
+                            pruner.process_block(
+                                &keys[start..start + len],
+                                vals,
+                                out,
+                                |key, partial| *groups.entry(key).or_insert(0) += partial,
+                            );
+                            stats.record_block(out);
+                            start += len;
                         }
                         for (key, partial) in pruner.drain() {
                             *groups.entry(key).or_insert(0) += partial;
@@ -304,18 +293,20 @@ impl CheetahExecutor {
                 let stream = interleave(t, &cols, workers);
                 let mut flow = HavingFlow::new(cfg, *threshold);
                 let mut stats = PruneStats::default();
-                // Pass 1: sketch + candidate announcements.
-                for (_, vals) in &stream {
-                    stats.record(flow.pass_one(vals[0], vals[1]));
+                let (keys, vals) = (stream.col(0), stream.col(1));
+                // Pass 1: sketch + candidate announcements (straight off
+                // the column lanes — no per-row materialization).
+                for (&k, &v) in keys.iter().zip(vals) {
+                    stats.record(flow.pass_one(k, v));
                 }
                 // Pass 2: candidate entries to the master.
                 flow.begin_pass_two();
                 let mut sums: HashMap<u64, u64> = HashMap::new();
-                for (_, vals) in &stream {
-                    let d = flow.pass_two(vals[0], vals[1]);
+                for (&k, &v) in keys.iter().zip(vals) {
+                    let d = flow.pass_two(k, v);
                     stats.record(d);
                     if d.is_forward() {
-                        *sums.entry(vals[0]).or_insert(0) += vals[1];
+                        *sums.entry(k).or_insert(0) += v;
                     }
                 }
                 let result = QueryResult::keys(
@@ -338,28 +329,28 @@ impl CheetahExecutor {
                 let rstream = interleave(r, &[r.col_index(right_col)], workers);
                 let mut flow = JoinFlow::new(cfg);
                 // Pass 1: build both filters (input-column stream, §4.3).
-                for (_, vals) in &lstream {
-                    flow.observe(Side::Left, vals[0]);
+                for &k in lstream.col(0) {
+                    flow.observe(Side::Left, k);
                 }
-                for (_, vals) in &rstream {
-                    flow.observe(Side::Right, vals[0]);
+                for &k in rstream.col(0) {
+                    flow.observe(Side::Right, k);
                 }
                 // Pass 2: prune each side against the other's filter.
                 let mut stats = PruneStats::default();
                 let mut left_fwd: Vec<(u64, u64)> = Vec::new();
-                for (rid, vals) in &lstream {
-                    let d = flow.probe(Side::Left, vals[0]);
+                for (&rid, &k) in lstream.row_ids().iter().zip(lstream.col(0)) {
+                    let d = flow.probe(Side::Left, k);
                     stats.record(d);
                     if d.is_forward() {
-                        left_fwd.push((*rid, vals[0]));
+                        left_fwd.push((rid, k));
                     }
                 }
                 let mut right_build: HashMap<u64, Vec<u64>> = HashMap::new();
-                for (rid, vals) in &rstream {
-                    let d = flow.probe(Side::Right, vals[0]);
+                for (&rid, &k) in rstream.row_ids().iter().zip(rstream.col(0)) {
+                    let d = flow.probe(Side::Right, k);
                     stats.record(d);
                     if d.is_forward() {
-                        right_build.entry(vals[0]).or_default().push(*rid);
+                        right_build.entry(k).or_default().push(rid);
                     }
                 }
                 // CMaster joins the survivors.
@@ -384,13 +375,9 @@ impl CheetahExecutor {
                 let mut pruner = backend::skyline(cfg, cols.len());
                 let mut stats = PruneStats::default();
                 let mut survivors = Vec::new();
-                for (_, vals) in &stream {
-                    let d = pruner.process_row(vals);
-                    stats.record(d);
-                    if d.is_forward() {
-                        survivors.push(vals.clone());
-                    }
-                }
+                stream.prune(pruner.as_mut(), &mut stats, |_, entry| {
+                    survivors.push(entry.to_vec());
+                });
                 let result = QueryResult::points(skyline_of(&survivors));
                 self.report(query, t.rows() as u64, stats, 1, 0, result)
             }
@@ -412,14 +399,13 @@ impl CheetahExecutor {
     ) -> Option<(QueryResult, PruneStats, std::time::Duration)> {
         let workers = self.model.workers;
         let cfg = &self.config;
-        // Build per-worker partitions of the metadata columns.
+        // Build per-worker columnar partitions of the metadata columns —
+        // contiguous lane copies, no per-row gather.
         let partition = |t: &Table, cols: &[usize]| -> Vec<crate::threaded::Partition> {
             t.partition_bounds(workers)
                 .into_iter()
-                .map(|(s, e)| {
-                    (s..e)
-                        .map(|r| cols.iter().map(|&c| t.col_at(c)[r]).collect())
-                        .collect()
+                .map(|(s, e)| crate::threaded::ColumnChunk {
+                    cols: cols.iter().map(|&c| t.col_at(c)[s..e].to_vec()).collect(),
                 })
                 .collect()
         };
@@ -429,15 +415,19 @@ impl CheetahExecutor {
                 let t = db.table(table);
                 let parts = partition(t, &[t.col_index(column)]);
                 let run = crate::threaded::run_stream(parts, backend::distinct(cfg));
-                let vals = run.forwarded.iter().map(|r| r[0]).collect();
-                (QueryResult::values(vals), run.stats)
+                (
+                    QueryResult::values(run.forwarded.cols[0].clone()),
+                    run.stats,
+                )
             }
             Query::TopN { table, order_by, n } => {
                 let t = db.table(table);
                 let parts = partition(t, &[t.col_index(order_by)]);
                 let run = crate::threaded::run_stream(parts, backend::topn(cfg, *n));
-                let vals = run.forwarded.iter().map(|r| r[0]).collect();
-                (QueryResult::top_values(vals, *n), run.stats)
+                (
+                    QueryResult::top_values(run.forwarded.cols[0].clone(), *n),
+                    run.stats,
+                )
             }
             Query::GroupBy {
                 table,
@@ -454,16 +444,15 @@ impl CheetahExecutor {
                 };
                 let run = crate::threaded::run_stream(parts, backend::groupby(cfg, ext));
                 let mut groups = std::collections::BTreeMap::new();
-                for r in &run.forwarded {
-                    let e = groups.entry(r[0]).or_insert(if ext == Extremum::Max {
-                        0
-                    } else {
-                        u64::MAX
-                    });
+                for (&k, &v) in run.forwarded.cols[0].iter().zip(&run.forwarded.cols[1]) {
+                    let e =
+                        groups
+                            .entry(k)
+                            .or_insert(if ext == Extremum::Max { 0 } else { u64::MAX });
                     *e = if ext == Extremum::Max {
-                        (*e).max(r[1])
+                        (*e).max(v)
                     } else {
-                        (*e).min(r[1])
+                        (*e).min(v)
                     };
                 }
                 (QueryResult::Groups(groups), run.stats)
@@ -473,7 +462,11 @@ impl CheetahExecutor {
                 let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
                 let parts = partition(t, &cols);
                 let run = crate::threaded::run_stream(parts, backend::filter(cfg, predicate));
-                let count = run.forwarded.iter().filter(|r| predicate.eval(r)).count() as u64;
+                let fwd_cols: Vec<&[u64]> =
+                    run.forwarded.cols.iter().map(|c| c.as_slice()).collect();
+                let count = (0..run.forwarded.rows())
+                    .filter(|&i| predicate.eval_at(&fwd_cols, i))
+                    .count() as u64;
                 (QueryResult::Count(count), run.stats)
             }
             Query::Skyline { table, columns } => {
@@ -482,7 +475,10 @@ impl CheetahExecutor {
                 let dims = cols.len();
                 let parts = partition(t, &cols);
                 let run = crate::threaded::run_stream(parts, backend::skyline(cfg, dims));
-                (QueryResult::points(skyline_of(&run.forwarded)), run.stats)
+                (
+                    QueryResult::points(skyline_of(&run.forwarded.to_rows())),
+                    run.stats,
+                )
             }
             _ => return None,
         };
@@ -525,6 +521,7 @@ impl CheetahExecutor {
             prune: Some(stats),
             passes,
             fetch_rows,
+            fetch_checksum: None,
             shuffle_entries: stats.forwarded(),
             wall: None,
         }

@@ -45,6 +45,11 @@ pub struct ExecutionReport {
     pub passes: u32,
     /// Rows fetched by late materialization (§7.1).
     pub fetch_rows: u64,
+    /// Order-independent checksum over the late-materialized rows, for
+    /// executors that really fetch them (`Filter`): every executor
+    /// fetching the same row set reports the same value, whatever the
+    /// fetch order.
+    pub fetch_checksum: Option<u64>,
     /// Entries shipped to the master: shuffled partials for Spark,
     /// switch-forwarded entries for Cheetah-style executors.
     pub shuffle_entries: u64,
@@ -309,6 +314,50 @@ mod tests {
         );
         assert_eq!(r.result, reference::evaluate(&db, &q));
         assert_eq!(r.executor, "threaded");
+    }
+
+    #[test]
+    fn late_materialization_fetch_agrees_across_executors() {
+        // The checksum is order-independent, so Spark's partition-order
+        // fetch and Cheetah's interleaved-stream fetch must agree iff
+        // they materialized the same row set.
+        let db = tiny_db();
+        let (spark, cheetah, threaded, netaccel) = executors();
+        let q = Query::Filter {
+            table: "t".into(),
+            predicate: crate::query::Predicate {
+                columns: vec!["v".into()],
+                atoms: vec![cheetah_core::filter::Atom::cmp(
+                    0,
+                    cheetah_core::filter::CmpOp::Lt,
+                    4_000,
+                )],
+                formula: cheetah_core::filter::Formula::Atom(0),
+            },
+        };
+        let reports = run_all(&[&spark, &cheetah, &threaded, &netaccel], &db, &q);
+        let sums: Vec<u64> = reports
+            .iter()
+            .map(|r| {
+                r.fetch_checksum
+                    .unwrap_or_else(|| panic!("{} fetched no rows", r.executor))
+            })
+            .collect();
+        assert!(
+            sums.windows(2).all(|w| w[0] == w[1]),
+            "executors materialized different row sets: {sums:?}"
+        );
+        assert!(sums[0] != 0, "non-empty fetch must checksum nonzero");
+        // Queries without a fetch phase report no checksum.
+        let d = Executor::execute(
+            &cheetah,
+            &db,
+            &Query::Distinct {
+                table: "t".into(),
+                column: "k".into(),
+            },
+        );
+        assert_eq!(d.fetch_checksum, None);
     }
 
     #[test]

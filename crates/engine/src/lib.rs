@@ -9,6 +9,8 @@
 //! This crate rebuilds that pipeline at library scale:
 //!
 //! * [`table`] — columnar tables, hash/range partitioning;
+//! * [`stream`] — flat structure-of-arrays entry streams + the
+//!   zero-allocation block-pruning driver every executor feeds through;
 //! * [`executor`] — the shared [`Executor`] trait + [`ExecutionReport`]
 //!   every completion strategy below implements and returns;
 //! * [`query`] — the query specs of Appendix B + canonical results;
@@ -45,6 +47,7 @@ pub mod q3;
 pub mod query;
 pub mod reference;
 pub mod spark;
+pub mod stream;
 pub mod table;
 pub mod threaded;
 
@@ -53,4 +56,5 @@ pub use cost::{CostModel, TimingBreakdown};
 pub use executor::{ExecutionReport, Executor, NetAccelExecutor, ThreadedExecutor};
 pub use query::{Agg, Predicate, Query, QueryResult};
 pub use spark::SparkExecutor;
+pub use stream::{EntryRef, EntryStream, BLOCK_ENTRIES};
 pub use table::{Database, Table};

@@ -42,6 +42,17 @@ impl Predicate {
     pub fn eval(&self, row: &[u64]) -> bool {
         self.formula.eval(&self.atoms, row)
     }
+
+    /// Evaluate entry `i` of a column-major layout (`cols[atom.col][i]`)
+    /// without materializing the row — the worker-task/master-recheck
+    /// counterpart of the switch's block evaluation.
+    #[inline]
+    pub fn eval_at(&self, cols: &[&[u64]], i: usize) -> bool {
+        self.formula.eval_with(&|a| {
+            let atom = &self.atoms[a];
+            atom.op.eval(cols[atom.col][i], atom.constant)
+        })
+    }
 }
 
 /// One query over a [`crate::table::Database`].
@@ -231,6 +242,17 @@ pub fn pair_checksum(acc: u64, key: u64, left_row: u64, right_row: u64) -> u64 {
     ))
 }
 
+/// Order-independent checksum over late-materialized rows: every executor
+/// that fetches the same row set (whatever the fetch order) reports the
+/// same value in [`crate::executor::ExecutionReport::fetch_checksum`].
+pub fn fetch_checksum(acc: u64, row_id: u64, row: &[u64]) -> u64 {
+    let mut h = cheetah_core::hash::mix64(row_id.wrapping_add(0x9e37_79b9_7f4a_7c15));
+    for &v in row {
+        h = cheetah_core::hash::mix64(h ^ v);
+    }
+    acc.wrapping_add(h)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +297,30 @@ mod tests {
         let a = pair_checksum(pair_checksum(0, 1, 2, 3), 4, 5, 6);
         let b = pair_checksum(pair_checksum(0, 4, 5, 6), 1, 2, 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fetch_checksum_is_commutative_and_row_sensitive() {
+        let a = fetch_checksum(fetch_checksum(0, 1, &[10, 20]), 2, &[30, 40]);
+        let b = fetch_checksum(fetch_checksum(0, 2, &[30, 40]), 1, &[10, 20]);
+        assert_eq!(a, b);
+        let c = fetch_checksum(fetch_checksum(0, 1, &[10, 21]), 2, &[30, 40]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn predicate_eval_at_matches_row_eval() {
+        let p = Predicate {
+            columns: vec!["x".into(), "y".into()],
+            atoms: vec![Atom::cmp(0, CmpOp::Lt, 10), Atom::cmp(1, CmpOp::Ge, 5)],
+            formula: Formula::And(vec![Formula::Atom(0), Formula::Atom(1)]),
+        };
+        let xs = [3u64, 12, 9];
+        let ys = [7u64, 7, 2];
+        let cols: Vec<&[u64]> = vec![&xs, &ys];
+        for i in 0..3 {
+            assert_eq!(p.eval_at(&cols, i), p.eval(&[xs[i], ys[i]]), "entry {i}");
+        }
     }
 
     #[test]

@@ -39,16 +39,9 @@ impl SparkExecutor {
                 let cols: Vec<&[u64]> = predicate.columns.iter().map(|c| t.col(c)).collect();
                 let mut partials = Vec::with_capacity(p);
                 for (s, e) in t.partition_bounds(p) {
-                    let mut row = vec![0u64; cols.len()];
-                    let mut count = 0u64;
-                    for r in s..e {
-                        for (i, c) in cols.iter().enumerate() {
-                            row[i] = c[r];
-                        }
-                        if predicate.eval(&row) {
-                            count += 1;
-                        }
-                    }
+                    // Worker task straight over the column lanes — no
+                    // per-row scratch fill.
+                    let count = (s..e).filter(|&r| predicate.eval_at(&cols, r)).count() as u64;
                     partials.push(count);
                 }
                 let result = QueryResult::Count(partials.iter().sum());
@@ -59,19 +52,26 @@ impl SparkExecutor {
                 let cols: Vec<&[u64]> = predicate.columns.iter().map(|c| t.col(c)).collect();
                 let mut ids = Vec::new();
                 for (s, e) in t.partition_bounds(p) {
-                    let mut row = vec![0u64; cols.len()];
-                    for r in s..e {
-                        for (i, c) in cols.iter().enumerate() {
-                            row[i] = c[r];
-                        }
-                        if predicate.eval(&row) {
-                            ids.push(r as u64);
-                        }
-                    }
+                    ids.extend(
+                        (s..e)
+                            .filter(|&r| predicate.eval_at(&cols, r))
+                            .map(|r| r as u64),
+                    );
+                }
+                // Late materialization: fetch matching rows through one
+                // reused buffer, checksummed order-independently so every
+                // executor's fetch can be cross-checked.
+                let mut buf = Vec::with_capacity(t.width());
+                let mut checksum = 0u64;
+                for &rid in &ids {
+                    t.row_into(rid as usize, &mut buf);
+                    checksum = crate::query::fetch_checksum(checksum, rid, &buf);
                 }
                 let shuffle = ids.len() as u64;
                 let result = QueryResult::row_ids(ids);
-                self.report(query, t.rows() as u64, shuffle, shuffle, result)
+                let mut report = self.report(query, t.rows() as u64, shuffle, shuffle, result);
+                report.fetch_checksum = Some(checksum);
+                report
             }
             Query::Distinct { table, column } => {
                 let t = db.table(table);
@@ -298,6 +298,7 @@ impl SparkExecutor {
             prune: None,
             passes: 1,
             fetch_rows,
+            fetch_checksum: None,
             shuffle_entries,
             wall: None,
         }

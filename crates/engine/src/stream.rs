@@ -1,0 +1,316 @@
+//! Flat, structure-of-arrays entry streams — the zero-allocation switch
+//! hot path.
+//!
+//! The CWorker-side serialization used to materialize one heap
+//! `Vec<u64>` per table row. [`EntryStream`] instead gathers each
+//! metadata column once per query into its own contiguous lane (plus a
+//! row-id lane), applying the round-robin interleave permutation during
+//! the gather — the deterministic stand-in for several worker NICs
+//! feeding one switch port-by-port. Pruners then consume the stream in
+//! cache-friendly blocks through [`cheetah_core::RowPruner::process_block`],
+//! so the steady-state loop performs no heap allocation at all: the
+//! decision scratch lives on the stack and the per-block column slices
+//! reuse one spare vector.
+
+use cheetah_core::decision::{Decision, PruneStats, RowPruner};
+use cheetah_core::fingerprint::Fingerprinter;
+
+use crate::table::Table;
+
+/// Entries per [`RowPruner::process_block`] call. 1024 entries × 8 bytes
+/// keeps a block's column lanes inside L1/L2 while amortizing the virtual
+/// dispatch to nothing.
+pub const BLOCK_ENTRIES: usize = 1024;
+
+/// A query's switch-bound entries in column-major layout: one `u64` lane
+/// per metadata column plus a row-id lane, all in stream (interleaved)
+/// order.
+#[derive(Debug, Clone)]
+pub struct EntryStream {
+    row_ids: Vec<u64>,
+    cols: Vec<Vec<u64>>,
+    /// When set, the pruner sees only this derived single-column lane
+    /// (e.g. the DistinctMulti fingerprint); consumers still read the
+    /// original columns.
+    key_lane: Option<Vec<u64>>,
+}
+
+impl EntryStream {
+    /// Gather `columns` of `table` through the round-robin interleave of
+    /// `workers` partition streams (same permutation the old per-row
+    /// interleave produced, one contiguous lane per column).
+    pub fn interleaved(table: &Table, columns: &[usize], workers: usize) -> Self {
+        let rows = table.rows();
+        let bounds = table.partition_bounds(workers);
+        let mut row_ids = Vec::with_capacity(rows);
+        let mut cursors: Vec<usize> = bounds.iter().map(|(s, _)| *s).collect();
+        let mut remaining = rows;
+        while remaining > 0 {
+            for (w, &(_, end)) in bounds.iter().enumerate() {
+                if cursors[w] < end {
+                    row_ids.push(cursors[w] as u64);
+                    cursors[w] += 1;
+                    remaining -= 1;
+                }
+            }
+        }
+        let cols = columns
+            .iter()
+            .map(|&c| {
+                let src = table.col_at(c);
+                row_ids.iter().map(|&r| src[r as usize]).collect()
+            })
+            .collect();
+        EntryStream {
+            row_ids,
+            cols,
+            key_lane: None,
+        }
+    }
+
+    /// Number of entries in the stream.
+    pub fn len(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// `true` if the stream has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.row_ids.is_empty()
+    }
+
+    /// Number of metadata columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The row-id lane, in stream order.
+    pub fn row_ids(&self) -> &[u64] {
+        &self.row_ids
+    }
+
+    /// One metadata column's lane, in stream order.
+    pub fn col(&self, c: usize) -> &[u64] {
+        &self.cols[c]
+    }
+
+    /// Derive the single-column lane the pruner will see from a
+    /// fingerprint over all metadata columns (§5, Example 8: wide keys
+    /// travel as fingerprints; the master still dedups the real tuples).
+    pub fn fingerprint_lane(&mut self, fp: &Fingerprinter) {
+        let mut row = Vec::with_capacity(self.cols.len());
+        let lane = (0..self.len())
+            .map(|i| {
+                row.clear();
+                row.extend(self.cols.iter().map(|c| c[i]));
+                fp.fp_words(&row)
+            })
+            .collect();
+        self.key_lane = Some(lane);
+    }
+
+    /// Stream every entry through `pruner` in [`BLOCK_ENTRIES`]-sized
+    /// blocks, recording each decision into `stats` and calling
+    /// `on_forward(row_id, entry)` for every survivor. The loop body is
+    /// allocation-free: decisions live in a stack scratch and the block's
+    /// column slices reuse one spare vector across blocks.
+    pub fn prune<F>(&self, pruner: &mut dyn RowPruner, stats: &mut PruneStats, mut on_forward: F)
+    where
+        F: FnMut(u64, EntryRef<'_>),
+    {
+        let n = self.len();
+        let mut decisions = [Decision::Prune; BLOCK_ENTRIES];
+        let mut colrefs: Vec<&[u64]> = Vec::with_capacity(self.cols.len().max(1));
+        let mut start = 0;
+        while start < n {
+            let len = (n - start).min(BLOCK_ENTRIES);
+            colrefs.clear();
+            match &self.key_lane {
+                Some(lane) => colrefs.push(&lane[start..start + len]),
+                None => colrefs.extend(self.cols.iter().map(|c| &c[start..start + len])),
+            }
+            let out = &mut decisions[..len];
+            pruner.process_block(&colrefs, out);
+            stats.record_block(out);
+            for (i, d) in out.iter().enumerate() {
+                if d.is_forward() {
+                    let idx = start + i;
+                    on_forward(
+                        self.row_ids[idx],
+                        EntryRef {
+                            cols: &self.cols,
+                            idx,
+                        },
+                    );
+                }
+            }
+            start += len;
+        }
+    }
+}
+
+/// A zero-copy view of one forwarded entry's metadata columns.
+#[derive(Debug, Clone, Copy)]
+pub struct EntryRef<'a> {
+    cols: &'a [Vec<u64>],
+    idx: usize,
+}
+
+impl EntryRef<'_> {
+    /// The entry's value in metadata column `c`.
+    #[inline]
+    pub fn get(&self, c: usize) -> u64 {
+        self.cols[c][self.idx]
+    }
+
+    /// Number of metadata columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Copy the entry's values into `buf`, reusing its capacity.
+    pub fn gather_into(&self, buf: &mut Vec<u64>) {
+        buf.clear();
+        buf.extend(self.cols.iter().map(|c| c[self.idx]));
+    }
+
+    /// The entry's values as an owned row (for survivors that must be
+    /// materialized anyway).
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.cols.iter().map(|c| c[self.idx]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_core::distinct::{DistinctPruner, EvictionPolicy};
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                ("a", (0..103u64).collect()),
+                ("b", (0..103u64).map(|i| i * 7 % 13).collect()),
+            ],
+        )
+    }
+
+    /// The legacy per-row interleave, kept as the permutation oracle.
+    fn legacy_interleave(t: &Table, columns: &[usize], workers: usize) -> Vec<(u64, Vec<u64>)> {
+        let bounds = t.partition_bounds(workers);
+        let mut cursors: Vec<usize> = bounds.iter().map(|(s, _)| *s).collect();
+        let mut out = Vec::with_capacity(t.rows());
+        let mut remaining = t.rows();
+        while remaining > 0 {
+            for (w, &(_, end)) in bounds.iter().enumerate() {
+                if cursors[w] < end {
+                    let r = cursors[w];
+                    cursors[w] += 1;
+                    remaining -= 1;
+                    let vals = columns.iter().map(|&c| t.col_at(c)[r]).collect();
+                    out.push((r as u64, vals));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn interleave_permutation_matches_legacy_layout() {
+        let t = table();
+        for workers in [1usize, 2, 5, 7] {
+            let stream = EntryStream::interleaved(&t, &[0, 1], workers);
+            let legacy = legacy_interleave(&t, &[0, 1], workers);
+            assert_eq!(stream.len(), legacy.len());
+            for (i, (rid, vals)) in legacy.iter().enumerate() {
+                assert_eq!(
+                    stream.row_ids()[i],
+                    *rid,
+                    "row id at {i}, {workers} workers"
+                );
+                assert_eq!(stream.col(0)[i], vals[0]);
+                assert_eq!(stream.col(1)[i], vals[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn prune_visits_every_entry_and_reports_survivors() {
+        let t = Table::new("t", vec![("k", (0..5000u64).map(|i| i % 40).collect())]);
+        let stream = EntryStream::interleaved(&t, &[0], 3);
+        let mut pruner = DistinctPruner::new(64, 2, EvictionPolicy::Lru, 1);
+        let mut stats = PruneStats::default();
+        let mut survivors = Vec::new();
+        stream.prune(&mut pruner, &mut stats, |rid, e| {
+            survivors.push((rid, e.get(0)));
+        });
+        assert_eq!(stats.processed, 5000);
+        let distinct: std::collections::HashSet<u64> = survivors.iter().map(|&(_, v)| v).collect();
+        assert_eq!(distinct.len(), 40, "every key must survive at least once");
+        for &(rid, v) in &survivors {
+            assert_eq!(t.col_at(0)[rid as usize], v, "row id / value mismatch");
+        }
+    }
+
+    #[test]
+    fn entry_ref_accessors_agree() {
+        let t = table();
+        let stream = EntryStream::interleaved(&t, &[1, 0], 2);
+        let mut pruner = cheetah_core::filter::FilterPruner::new(
+            vec![cheetah_core::filter::Atom::cmp(
+                0,
+                cheetah_core::filter::CmpOp::Ge,
+                0,
+            )],
+            cheetah_core::filter::Formula::Atom(0),
+        )
+        .unwrap();
+        let mut stats = PruneStats::default();
+        let mut buf = Vec::new();
+        stream.prune(&mut pruner, &mut stats, |_, e| {
+            assert_eq!(e.width(), 2);
+            e.gather_into(&mut buf);
+            assert_eq!(buf, e.to_vec());
+            assert_eq!(buf[0], e.get(0));
+            assert_eq!(buf[1], e.get(1));
+        });
+        assert_eq!(stats.processed, t.rows() as u64);
+        assert_eq!(stats.pruned, 0);
+    }
+
+    #[test]
+    fn fingerprint_lane_drives_the_pruner_not_the_consumer() {
+        // Two columns that collide pairwise only when both match.
+        let t = Table::new(
+            "t",
+            vec![
+                ("a", vec![1, 1, 2, 1]),
+                ("b", vec![9, 9, 9, 8]), // rows 0,1 identical; 2,3 novel
+            ],
+        );
+        let mut stream = EntryStream::interleaved(&t, &[0, 1], 1);
+        let fp = Fingerprinter::new(7, 64);
+        stream.fingerprint_lane(&fp);
+        let mut pruner = DistinctPruner::new(16, 2, EvictionPolicy::Lru, 3);
+        let mut stats = PruneStats::default();
+        let mut survivors: Vec<Vec<u64>> = Vec::new();
+        stream.prune(&mut pruner, &mut stats, |_, e| survivors.push(e.to_vec()));
+        assert_eq!(stats.processed, 4);
+        assert_eq!(stats.pruned, 1, "only the exact duplicate row collides");
+        // Survivors carry the original columns, not fingerprints.
+        assert!(survivors.contains(&vec![1, 9]));
+        assert!(survivors.contains(&vec![2, 9]));
+        assert!(survivors.contains(&vec![1, 8]));
+    }
+
+    #[test]
+    fn empty_table_streams_cleanly() {
+        let t = Table::new("t", vec![("a", Vec::new())]);
+        let stream = EntryStream::interleaved(&t, &[0], 5);
+        assert!(stream.is_empty());
+        let mut pruner = DistinctPruner::new(4, 1, EvictionPolicy::Fifo, 0);
+        let mut stats = PruneStats::default();
+        stream.prune(&mut pruner, &mut stats, |_, _| panic!("no entries"));
+        assert_eq!(stats.processed, 0);
+    }
+}

@@ -71,7 +71,17 @@ impl Table {
 
     /// One full row (across all columns) — used by late materialization.
     pub fn row(&self, r: usize) -> Vec<u64> {
-        self.columns.iter().map(|c| c[r]).collect()
+        let mut buf = Vec::new();
+        self.row_into(r, &mut buf);
+        buf
+    }
+
+    /// Fill `buf` with row `r` across all columns, reusing its capacity —
+    /// what the late-materialization fetch loops use so a fetch of `k`
+    /// rows costs one buffer, not `k` allocations.
+    pub fn row_into(&self, r: usize, buf: &mut Vec<u64>) {
+        buf.clear();
+        buf.extend(self.columns.iter().map(|c| c[r]));
     }
 
     /// Append a derived column (e.g. the `sourceIP` prefix of Big Data B).
@@ -155,6 +165,9 @@ mod tests {
         assert_eq!(t.col("b")[2], 30);
         assert_eq!(t.row(1), vec![2, 20]);
         assert_eq!(t.col_index("a"), 0);
+        let mut buf = vec![99; 7];
+        t.row_into(3, &mut buf);
+        assert_eq!(buf, vec![4, 40], "row_into must clear and refill");
     }
 
     #[test]

@@ -5,23 +5,64 @@
 //! module runs the same dataflow with genuine concurrency — worker threads
 //! race into one switch thread (the pruner runs serialized there, as the
 //! single ASIC pipeline would), and the master thread accumulates
-//! survivors. Entry arrival order is nondeterministic, so pruning *rates*
-//! vary run to run, but Cheetah's guarantee is order-independent: the
-//! completed result must always equal the reference — which is exactly
-//! what the integration tests assert.
+//! survivors. Entries travel in column-major **blocks** (§9's
+//! multi-entry-packet shape): each worker slices its columnar partition
+//! into [`BLOCK_ENTRIES`]-sized chunks, the switch prunes a whole block
+//! per [`RowPruner::process_block`] call, and only compacted survivor
+//! blocks continue to the master — no per-row `Vec` anywhere in the
+//! steady state. Block arrival order is nondeterministic, so pruning
+//! *rates* vary run to run, but Cheetah's guarantee is order-independent:
+//! the completed result must always equal the reference — which is
+//! exactly what the integration tests assert.
 
 use std::sync::mpsc;
 
-use cheetah_core::decision::{PruneStats, RowPruner};
+use cheetah_core::decision::{Decision, PruneStats, RowPruner};
 
-/// One worker's partition: the rows (metadata values) it streams.
-pub type Partition = Vec<Vec<u64>>;
+use crate::stream::BLOCK_ENTRIES;
+
+/// One worker's partition (or a block in flight, or the master's
+/// accumulated survivors): column-major lanes of equal length.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnChunk {
+    /// One lane per metadata column.
+    pub cols: Vec<Vec<u64>>,
+}
+
+impl ColumnChunk {
+    /// A chunk with `width` empty lanes.
+    pub fn with_width(width: usize) -> Self {
+        ColumnChunk {
+            cols: vec![Vec::new(); width],
+        }
+    }
+
+    /// Number of entries.
+    pub fn rows(&self) -> usize {
+        self.cols.first().map_or(0, Vec::len)
+    }
+
+    /// Materialize entry `i` as an owned row.
+    pub fn row(&self, i: usize) -> Vec<u64> {
+        self.cols.iter().map(|c| c[i]).collect()
+    }
+
+    /// Materialize every entry (for consumers that need owned points,
+    /// e.g. the skyline frontier).
+    pub fn to_rows(&self) -> Vec<Vec<u64>> {
+        (0..self.rows()).map(|i| self.row(i)).collect()
+    }
+}
+
+/// One worker's partition of the metadata columns.
+pub type Partition = ColumnChunk;
 
 /// Outcome of a threaded streaming run.
 #[derive(Debug)]
 pub struct ThreadedRun {
-    /// Entries the switch forwarded, in master arrival order.
-    pub forwarded: Vec<Vec<u64>>,
+    /// Entries the switch forwarded, compacted into flat column lanes in
+    /// master arrival order.
+    pub forwarded: ColumnChunk,
     /// Switch pruning counters.
     pub stats: PruneStats,
 }
@@ -32,16 +73,29 @@ pub fn run_stream(
     partitions: Vec<Partition>,
     mut pruner: Box<dyn RowPruner + Send>,
 ) -> ThreadedRun {
-    let (entry_tx, entry_rx) = mpsc::sync_channel::<Vec<u64>>(1024);
-    let (fwd_tx, fwd_rx) = mpsc::sync_channel::<Vec<u64>>(1024);
+    let width = partitions.iter().map(|p| p.cols.len()).max().unwrap_or(0);
+    let (entry_tx, entry_rx) = mpsc::sync_channel::<ColumnChunk>(64);
+    let (fwd_tx, fwd_rx) = mpsc::sync_channel::<ColumnChunk>(64);
 
     std::thread::scope(|scope| {
-        // Workers: serialize their partition into the shared switch queue.
+        // Workers: serialize their partition into the shared switch queue,
+        // one block (≤ BLOCK_ENTRIES entries) per send.
         for part in partitions {
             let tx = entry_tx.clone();
             scope.spawn(move || {
-                for row in part {
-                    tx.send(row).expect("switch alive");
+                let rows = part.rows();
+                let mut start = 0;
+                while start < rows {
+                    let len = (rows - start).min(BLOCK_ENTRIES);
+                    let block = ColumnChunk {
+                        cols: part
+                            .cols
+                            .iter()
+                            .map(|c| c[start..start + len].to_vec())
+                            .collect(),
+                    };
+                    tx.send(block).expect("switch alive");
+                    start += len;
                 }
             });
         }
@@ -51,18 +105,37 @@ pub fn run_stream(
         // into the thread and its counters come back via the join handle.
         let switch = scope.spawn(move || {
             let mut local = PruneStats::default();
-            for row in entry_rx {
-                let d = pruner.process_row(&row);
-                local.record(d);
-                if d.is_forward() {
-                    fwd_tx.send(row).expect("master alive");
+            let mut decisions = [Decision::Prune; BLOCK_ENTRIES];
+            for block in entry_rx {
+                let n = block.rows();
+                let colrefs: Vec<&[u64]> = block.cols.iter().map(|c| c.as_slice()).collect();
+                let out = &mut decisions[..n];
+                pruner.process_block(&colrefs, out);
+                local.record_block(out);
+                // Compact survivors; empty blocks never ship.
+                let mut fwd = ColumnChunk::with_width(block.cols.len());
+                for (i, d) in out.iter().enumerate() {
+                    if d.is_forward() {
+                        for (fc, bc) in fwd.cols.iter_mut().zip(&block.cols) {
+                            fc.push(bc[i]);
+                        }
+                    }
+                }
+                if fwd.rows() > 0 {
+                    fwd_tx.send(fwd).expect("master alive");
                 }
             }
             local
         });
 
-        // Master: the current thread collects survivors.
-        let forwarded: Vec<Vec<u64>> = fwd_rx.into_iter().collect();
+        // Master: the current thread appends survivor blocks into flat
+        // column lanes.
+        let mut forwarded = ColumnChunk::with_width(width);
+        for block in fwd_rx {
+            for (fc, bc) in forwarded.cols.iter_mut().zip(&block.cols) {
+                fc.extend_from_slice(bc);
+            }
+        }
         ThreadedRun {
             forwarded,
             stats: switch.join().expect("switch thread panicked"),
@@ -80,12 +153,11 @@ mod tests {
     fn partitions(workers: usize, rows: usize, keys: u64) -> Vec<Partition> {
         (0..workers)
             .map(|w| {
-                (0..rows)
-                    .map(|i| {
-                        let k = (w * rows + i) as u64 % keys + 1;
-                        vec![k, (i as u64 * 13) % 1000]
-                    })
-                    .collect()
+                let k: Vec<u64> = (0..rows)
+                    .map(|i| (w * rows + i) as u64 % keys + 1)
+                    .collect();
+                let v: Vec<u64> = (0..rows).map(|i| (i as u64 * 13) % 1000).collect();
+                ColumnChunk { cols: vec![k, v] }
             })
             .collect()
     }
@@ -94,10 +166,10 @@ mod tests {
     fn distinct_result_correct_under_races() {
         for trial in 0..5 {
             let parts = partitions(4, 2_000, 97);
-            let truth: HashSet<u64> = parts.iter().flatten().map(|r| r[0]).collect();
+            let truth: HashSet<u64> = parts.iter().flat_map(|p| p.cols[0].clone()).collect();
             let pruner = Box::new(DistinctPruner::new(256, 2, EvictionPolicy::Lru, trial));
             let run = run_stream(parts, pruner);
-            let got: HashSet<u64> = run.forwarded.iter().map(|r| r[0]).collect();
+            let got: HashSet<u64> = run.forwarded.cols[0].iter().copied().collect();
             assert_eq!(got, truth, "trial {trial}: distinct set diverged");
             assert_eq!(run.stats.processed, 8_000);
             assert!(run.stats.pruned > 0, "should prune duplicates");
@@ -108,16 +180,18 @@ mod tests {
     fn groupby_max_correct_under_races() {
         let parts = partitions(3, 3_000, 50);
         let mut truth: HashMap<u64, u64> = HashMap::new();
-        for r in parts.iter().flatten() {
-            let e = truth.entry(r[0]).or_insert(0);
-            *e = (*e).max(r[1]);
+        for p in &parts {
+            for (&k, &v) in p.cols[0].iter().zip(&p.cols[1]) {
+                let e = truth.entry(k).or_insert(0);
+                *e = (*e).max(v);
+            }
         }
         let pruner = Box::new(GroupByPruner::new(64, 4, Extremum::Max, 9));
         let run = run_stream(parts, pruner);
         let mut got: HashMap<u64, u64> = HashMap::new();
-        for r in &run.forwarded {
-            let e = got.entry(r[0]).or_insert(0);
-            *e = (*e).max(r[1]);
+        for (&k, &v) in run.forwarded.cols[0].iter().zip(&run.forwarded.cols[1]) {
+            let e = got.entry(k).or_insert(0);
+            *e = (*e).max(v);
         }
         assert_eq!(got, truth);
     }
@@ -125,8 +199,21 @@ mod tests {
     #[test]
     fn empty_partitions_complete() {
         let pruner = Box::new(DistinctPruner::new(4, 1, EvictionPolicy::Fifo, 0));
-        let run = run_stream(vec![vec![], vec![]], pruner);
-        assert!(run.forwarded.is_empty());
+        let run = run_stream(
+            vec![ColumnChunk::with_width(1), ColumnChunk::with_width(1)],
+            pruner,
+        );
+        assert_eq!(run.forwarded.rows(), 0);
         assert_eq!(run.stats.processed, 0);
+    }
+
+    #[test]
+    fn column_chunk_row_accessors() {
+        let c = ColumnChunk {
+            cols: vec![vec![1, 2], vec![10, 20]],
+        };
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.row(1), vec![2, 20]);
+        assert_eq!(c.to_rows(), vec![vec![1, 10], vec![2, 20]]);
     }
 }

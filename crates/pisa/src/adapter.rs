@@ -44,6 +44,21 @@ impl<P: SwitchProgram> RowPruner for ProgramPruner<P> {
             .unwrap_or_else(|v| panic!("pipeline violation in {}: {v}", self.name))
     }
 
+    fn process_block(&mut self, cols: &[&[u64]], out: &mut [Decision]) {
+        // Metered programs still see one packet per entry (the pipeline is
+        // per-packet by construction), but the feed reuses one scratch row
+        // across the whole block instead of allocating per entry.
+        let mut row = Vec::with_capacity(cols.len());
+        for (i, d) in out.iter_mut().enumerate() {
+            row.clear();
+            row.extend(cols.iter().map(|c| c[i]));
+            *d = self
+                .program
+                .process(&row)
+                .unwrap_or_else(|v| panic!("pipeline violation in {}: {v}", self.name));
+        }
+    }
+
     fn reset(&mut self) {
         self.program.reset();
     }

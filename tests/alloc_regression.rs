@@ -1,0 +1,126 @@
+//! Allocation-count regression pin for the switch hot path.
+//!
+//! The block-streaming refactor's contract: a warm `CheetahExecutor`
+//! query performs O(1) heap allocations — the `EntryStream` lanes, the
+//! pruner state, and O(output) bookkeeping — never O(rows). Before the
+//! refactor the interleave built one `Vec<u64>` per table row, so a
+//! 60 000-row query cost >60 000 allocations; this test fails loudly if
+//! any per-row allocation sneaks back into the loop.
+//!
+//! The counting allocator is process-global, so this file holds exactly
+//! one #[test] (integration tests in one binary run concurrently and
+//! would cross-pollute the counter).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cheetah::core::filter::{Atom, CmpOp, Formula};
+use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah::engine::{Agg, CostModel, Database, Predicate, Query, Table};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during<F: FnMut()>(mut f: F) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+const ROWS: usize = 60_000;
+
+fn db() -> Database {
+    // Deterministic arithmetic data — no RNG allocations to account for.
+    let mut db = Database::new();
+    db.add(Table::new(
+        "t",
+        vec![
+            ("k", (0..ROWS as u64).map(|i| i * 7 % 83 + 1).collect()),
+            ("v", (0..ROWS as u64).map(|i| i * 31 % 9_973).collect()),
+            ("w", (0..ROWS as u64).map(|i| i * 13 % 499 + 1).collect()),
+        ],
+    ));
+    db
+}
+
+fn queries() -> Vec<(&'static str, Query)> {
+    vec![
+        (
+            "filter-count",
+            Query::FilterCount {
+                table: "t".into(),
+                predicate: Predicate {
+                    columns: vec!["v".into(), "w".into()],
+                    atoms: vec![Atom::cmp(0, CmpOp::Lt, 5_000), Atom::cmp(1, CmpOp::Gt, 450)],
+                    formula: Formula::Or(vec![Formula::Atom(0), Formula::Atom(1)]),
+                },
+            },
+        ),
+        (
+            "topn",
+            Query::TopN {
+                table: "t".into(),
+                order_by: "v".into(),
+                n: 100,
+            },
+        ),
+        (
+            "groupby-max",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Max,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn warm_queries_allocate_o1_not_o_rows() {
+    let db = db();
+    let exec = CheetahExecutor::new(CostModel::default(), PrunerConfig::default());
+    // The old per-row layout cost ≥1 allocation per row; the flat layout
+    // needs a few dozen (lanes, pruner state, survivors, result). The
+    // bound leaves room for O(groups + log survivors) bookkeeping while
+    // staying two orders of magnitude under O(rows).
+    let budget = (ROWS / 100) as u64;
+    for (name, q) in queries() {
+        // Warm run: faults in lazy table state and the allocator itself.
+        let warm = exec.execute(&db, &q);
+        let mut result = None;
+        let allocs = allocs_during(|| {
+            result = Some(exec.execute(&db, &q));
+        });
+        assert_eq!(
+            result.expect("ran").result,
+            warm.result,
+            "[{name}] warm rerun changed the result"
+        );
+        assert!(
+            allocs < budget,
+            "[{name}] warm query made {allocs} allocations over {ROWS} rows \
+             (budget {budget}); a per-row allocation is back in the hot path"
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! `process_block` ≡ `process_row`, bit for bit, for every pruner.
+//!
+//! The block API is a data-layout optimization: feeding the same entries
+//! through `process_block` (at any block size) must produce exactly the
+//! decision sequence the sequential `process_row` path produces, because
+//! both advance the same stateful switch structures in stream order.
+//! Property-tested over random streams, shapes and seeds for every core
+//! pruner, and spot-checked through the engine's backend factories under
+//! both the reference and the metered pisa backends.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use cheetah::core::decision::{Decision, RowPruner};
+use cheetah::core::distinct::{DistinctPruner, EvictionPolicy};
+use cheetah::core::filter::{Atom, CmpOp, FilterPruner, Formula};
+use cheetah::core::groupby::{Extremum, GroupByPruner, GroupBySumPruner, SumAction};
+use cheetah::core::skyline::{Heuristic, SkylinePruner};
+use cheetah::core::topn::{DeterministicTopN, RandomizedTopN};
+use cheetah::engine::backend::{self, SwitchBackend};
+use cheetah::engine::cheetah::PrunerConfig;
+use cheetah::engine::Predicate;
+
+/// Row-path decisions for a column-major stream.
+fn row_decisions(p: &mut dyn RowPruner, cols: &[Vec<u64>], n: usize) -> Vec<Decision> {
+    let mut row = Vec::with_capacity(cols.len());
+    (0..n)
+        .map(|i| {
+            row.clear();
+            row.extend(cols.iter().map(|c| c[i]));
+            p.process_row(&row)
+        })
+        .collect()
+}
+
+/// Block-path decisions for the same stream, cut into `chunk`-sized blocks.
+fn block_decisions(
+    p: &mut dyn RowPruner,
+    cols: &[Vec<u64>],
+    n: usize,
+    chunk: usize,
+) -> Vec<Decision> {
+    let mut out = vec![Decision::Prune; n];
+    let mut start = 0;
+    while start < n {
+        let len = (n - start).min(chunk);
+        let colrefs: Vec<&[u64]> = cols.iter().map(|c| &c[start..start + len]).collect();
+        p.process_block(&colrefs, &mut out[start..start + len]);
+        start += len;
+    }
+    out
+}
+
+/// Assert both paths agree at several block sizes (including a size that
+/// never divides the stream evenly).
+fn assert_equivalent(mut mk: impl FnMut() -> Box<dyn RowPruner + Send>, cols: &[Vec<u64>]) {
+    let n = cols.first().map_or(0, Vec::len);
+    let reference = row_decisions(mk().as_mut(), cols, n);
+    for chunk in [1usize, 7, 64, 1024] {
+        let got = block_decisions(mk().as_mut(), cols, n, chunk);
+        assert_eq!(
+            got,
+            reference,
+            "block size {chunk} diverged from the row path ({})",
+            mk().name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distinct_block_equivalence(
+        stream in vec(0u64..400, 1..1500),
+        d in 1usize..64,
+        w in 1usize..4,
+        lru in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let policy = if lru { EvictionPolicy::Lru } else { EvictionPolicy::Fifo };
+        assert_equivalent(
+            || Box::new(DistinctPruner::new(d, w, policy, seed)),
+            std::slice::from_ref(&stream),
+        );
+    }
+
+    #[test]
+    fn randomized_topn_block_equivalence(
+        stream in vec(0u64..1_000_000, 1..1500),
+        d in 1usize..64,
+        w in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        assert_equivalent(|| Box::new(RandomizedTopN::new(d, w, seed)), std::slice::from_ref(&stream));
+    }
+
+    #[test]
+    fn deterministic_topn_block_equivalence(
+        stream in vec(0u64..100_000, 1..1500),
+        n in 1u64..60,
+        w in 1usize..8,
+    ) {
+        assert_equivalent(|| Box::new(DeterministicTopN::new(n, w)), std::slice::from_ref(&stream));
+    }
+
+    #[test]
+    fn groupby_block_equivalence(
+        keys in vec(0u64..80, 1..1500),
+        vals in vec(0u64..10_000, 1500..1501),
+        d in 1usize..32,
+        w in 1usize..4,
+        maximize in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let ext = if maximize { Extremum::Max } else { Extremum::Min };
+        let n = keys.len();
+        assert_equivalent(
+            || Box::new(GroupByPruner::new(d, w, ext, seed)),
+            &[keys.clone(), vals[..n].to_vec()],
+        );
+    }
+
+    #[test]
+    fn filter_block_equivalence(
+        xs in vec(0u64..1000, 1..1500),
+        ys in vec(0u64..1000, 1500..1501),
+        c1 in 0u64..1000,
+        c2 in 0u64..1000,
+    ) {
+        let n = xs.len();
+        let atoms = vec![
+            Atom::cmp(0, CmpOp::Lt, c1),
+            Atom::cmp(1, CmpOp::Ge, c2),
+            Atom::unsupported(1, CmpOp::Ne, 7),
+        ];
+        let formula = Formula::Or(vec![
+            Formula::Atom(0),
+            Formula::And(vec![Formula::Atom(1), Formula::Atom(2)]),
+        ]);
+        assert_equivalent(
+            || Box::new(FilterPruner::new(atoms.clone(), formula.clone()).unwrap()),
+            &[xs.clone(), ys[..n].to_vec()],
+        );
+    }
+
+    #[test]
+    fn skyline_block_equivalence(
+        xs in vec(1u64..4000, 1..800),
+        ys in vec(1u64..4000, 800..801),
+        w in 1usize..12,
+    ) {
+        let n = xs.len();
+        assert_equivalent(
+            || Box::new(SkylinePruner::new(2, w, Heuristic::aph_default())),
+            &[xs.clone(), ys[..n].to_vec()],
+        );
+    }
+
+    /// GROUP BY SUM/COUNT: the block loop must emit the same
+    /// Forward/Prune stream *and* the same eviction sequence.
+    #[test]
+    fn groupby_sum_block_equivalence(
+        keys in vec(0u64..120, 1..1500),
+        vals in vec(0u64..1000, 1500..1501),
+        d in 1usize..32,
+        w in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let n = keys.len();
+        let vals = &vals[..n];
+        let mut a = GroupBySumPruner::new(d, w, seed);
+        let mut row_dec = Vec::with_capacity(n);
+        let mut row_evict = Vec::new();
+        for (&k, &v) in keys.iter().zip(vals) {
+            row_dec.push(match a.process(k, v) {
+                SumAction::EvictAndForward { key, partial } => {
+                    row_evict.push((key, partial));
+                    Decision::Forward
+                }
+                SumAction::Absorb | SumAction::Start => Decision::Prune,
+            });
+        }
+        for chunk in [1usize, 7, 64] {
+            let mut b = GroupBySumPruner::new(d, w, seed);
+            let mut blk_dec = vec![Decision::Prune; n];
+            let mut blk_evict = Vec::new();
+            let mut start = 0;
+            while start < n {
+                let len = (n - start).min(chunk);
+                b.process_block(
+                    &keys[start..start + len],
+                    &vals[start..start + len],
+                    &mut blk_dec[start..start + len],
+                    |k, p| blk_evict.push((k, p)),
+                );
+                start += len;
+            }
+            prop_assert_eq!(&blk_dec, &row_dec, "decisions diverged at chunk {}", chunk);
+            prop_assert_eq!(&blk_evict, &row_evict, "evictions diverged at chunk {}", chunk);
+            prop_assert_eq!(b.drain(), a.clone().drain(), "residuals diverged");
+        }
+    }
+}
+
+/// The engine's backend factories under BOTH backends: the boxed pruners
+/// the executors actually stream through must keep the equivalence too
+/// (this covers the pisa `ProgramPruner` feed and the `NonzeroKey` shift).
+#[test]
+fn backend_factories_block_equivalence_both_backends() {
+    let keys: Vec<u64> = (0..4000u64).map(|i| i * 31 % 257).collect();
+    let vals: Vec<u64> = (0..4000u64).map(|i| i * 13 % 10_007).collect();
+    for backend in [SwitchBackend::Reference, SwitchBackend::Pisa] {
+        let cfg = PrunerConfig {
+            backend,
+            // Small matrices keep the metered programs inside the
+            // single-pipeline envelope while still exercising evictions.
+            distinct_d: 64,
+            topn_d: 64,
+            groupby_d: 64,
+            groupby_w: 4,
+            ..PrunerConfig::default()
+        };
+        assert_equivalent(|| backend::distinct(&cfg), std::slice::from_ref(&keys));
+        assert_equivalent(|| backend::topn(&cfg, 50), std::slice::from_ref(&vals));
+        assert_equivalent(
+            || backend::groupby(&cfg, Extremum::Max),
+            &[keys.clone(), vals.clone()],
+        );
+        let predicate = Predicate {
+            columns: vec!["a".into(), "b".into()],
+            atoms: vec![Atom::cmp(0, CmpOp::Lt, 100), Atom::cmp(1, CmpOp::Gt, 5_000)],
+            formula: Formula::Or(vec![Formula::Atom(0), Formula::Atom(1)]),
+        };
+        assert_equivalent(
+            || backend::filter(&cfg, &predicate),
+            &[keys.clone(), vals.clone()],
+        );
+        assert_equivalent(|| backend::skyline(&cfg, 2), &[keys.clone(), vals.clone()]);
+    }
+}
