@@ -14,7 +14,7 @@ use cheetah_core::topn::RandomizedTopN;
 
 use cheetah_engine::cheetah::{CheetahExecutor, PrunerConfig};
 use cheetah_engine::stream::EntryStream;
-use cheetah_engine::{Agg, CostModel, Predicate, Query, Table};
+use cheetah_engine::{Agg, CostModel, Executor, Predicate, Query, Table, ThreadedExecutor};
 
 use cheetah_workloads::dist::rng_for;
 use rand::Rng;
@@ -297,9 +297,112 @@ pub fn run_queries(uv_rows: usize, reps: usize) -> Vec<QueryBench> {
         .collect()
 }
 
+/// One threaded multi-pass query's measured dataflow: real worker/
+/// switch/master threads, staged pruners, inter-pass barriers.
+#[derive(Debug, Clone)]
+pub struct MultipassBench {
+    /// Query label.
+    pub name: String,
+    /// Streaming passes over the data (JOIN/HAVING take two).
+    pub passes: u32,
+    /// Entries the switch decided (HAVING counts both passes; JOIN's
+    /// build pass makes no decisions, so only the probe pass counts).
+    pub entries: u64,
+    /// Entries per second of measured wall clock (best of reps).
+    pub rows_per_sec: f64,
+    /// Measured wall-clock seconds of the whole threaded run.
+    pub wall_s: f64,
+}
+
+/// The threaded multi-pass benchmark: the shapes that used to fall back
+/// to the deterministic path (JOIN, HAVING, Filter fetch, DistinctMulti,
+/// GROUP BY SUM), now on real threads with measured wall clock.
+pub fn run_threaded_multipass(uv_rows: usize, reps: usize) -> Vec<MultipassBench> {
+    let db = bigdata_db(uv_rows, uv_rows / 5, 2_000, 0.5, 42);
+    let exec = ThreadedExecutor::new(CheetahExecutor::new(
+        CostModel::default(),
+        PrunerConfig::default(),
+    ));
+    let queries: Vec<(&str, Query)> = vec![
+        (
+            "join",
+            Query::Join {
+                left: "uservisits".into(),
+                right: "rankings".into(),
+                left_col: "destURL".into(),
+                right_col: "pageURL".into(),
+            },
+        ),
+        (
+            "having",
+            Query::Having {
+                table: "uservisits".into(),
+                key: "languageCode".into(),
+                val: "adRevenue".into(),
+                threshold: 2_000_000,
+            },
+        ),
+        (
+            "filter_fetch",
+            Query::Filter {
+                table: "uservisits".into(),
+                predicate: Predicate {
+                    columns: vec!["adRevenue".into()],
+                    atoms: vec![Atom::cmp(0, CmpOp::Lt, 100)],
+                    formula: Formula::Atom(0),
+                },
+            },
+        ),
+        (
+            "distinct_multi",
+            Query::DistinctMulti {
+                table: "uservisits".into(),
+                columns: vec!["userAgent".into(), "languageCode".into()],
+            },
+        ),
+        (
+            "groupby_sum",
+            Query::GroupBy {
+                table: "uservisits".into(),
+                key: "sourcePrefix".into(),
+                val: "adRevenue".into(),
+                agg: Agg::Sum,
+            },
+        ),
+    ];
+    queries
+        .into_iter()
+        .map(|(name, q)| {
+            let mut report = exec.execute(&db, &q);
+            let mut best = report.wall.expect("threaded measures wall").as_secs_f64();
+            for _ in 0..reps {
+                let r = std::hint::black_box(exec.execute(&db, &q));
+                let wall = r.wall.expect("threaded measures wall").as_secs_f64();
+                if wall < best {
+                    best = wall;
+                }
+                report = r;
+            }
+            let stats = report.prune_stats();
+            MultipassBench {
+                name: name.to_string(),
+                passes: report.passes,
+                entries: stats.processed,
+                rows_per_sec: stats.processed as f64 / best,
+                wall_s: best,
+            }
+        })
+        .collect()
+}
+
 /// Render the benchmark snapshot as JSON (no external deps: the format is
 /// flat enough to emit by hand).
-pub fn to_json(rows: usize, micro: &[MicroResult], queries: &[QueryBench]) -> String {
+pub fn to_json(
+    rows: usize,
+    micro: &[MicroResult],
+    queries: &[QueryBench],
+    multipass: &[MultipassBench],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"streaming\",\n");
@@ -328,18 +431,33 @@ pub fn to_json(rows: usize, micro: &[MicroResult], queries: &[QueryBench]) -> St
             if i + 1 < queries.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"threaded_multipass\": [\n");
+    for (i, q) in multipass.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"passes\": {}, \"entries\": {}, \"rows_per_sec\": {:.0}, \"wall_s\": {:.6}}}{}\n",
+            q.name,
+            q.passes,
+            q.entries,
+            q.rows_per_sec,
+            q.wall_s,
+            if i + 1 < multipass.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ]\n");
     out.push_str("}\n");
     out
 }
 
 /// Run the full streaming benchmark and write `path` (the `--json` mode).
-/// Returns the rendered JSON for display.
+/// Returns the rendered JSON for display. The schema is documented in
+/// `docs/BENCHMARKS.md`.
 pub fn write_bench_json(path: &str) -> std::io::Result<String> {
     let micro_rows = 400_000;
     let micro = run_micro(micro_rows, 3);
     let queries = run_queries(200_000, 3);
-    let json = to_json(micro_rows, &micro, &queries);
+    let multipass = run_threaded_multipass(200_000, 3);
+    let json = to_json(micro_rows, &micro, &queries, &multipass);
     std::fs::write(path, &json)?;
     Ok(json)
 }
@@ -367,15 +485,43 @@ mod tests {
     fn json_snapshot_is_well_formed() {
         let micro = run_micro(5_000, 1);
         let queries = run_queries(5_000, 1);
-        let json = to_json(5_000, &micro, &queries);
+        let multipass = run_threaded_multipass(5_000, 1);
+        let json = to_json(5_000, &micro, &queries, &multipass);
         assert!(json.contains("\"microbench\""));
         assert!(json.contains("\"queries\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"threaded_multipass\""));
         // Balanced braces/brackets — cheap structural sanity.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for op in MICRO_OPS {
             assert!(json.contains(&format!("\"op\": \"{op}\"")));
+        }
+        for name in [
+            "join",
+            "having",
+            "filter_fetch",
+            "distinct_multi",
+            "groupby_sum",
+        ] {
+            assert!(
+                json.contains(&format!("\"name\": \"{name}\", \"passes\"")),
+                "missing threaded multipass row for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_multipass_bench_measures_real_walls() {
+        for b in run_threaded_multipass(4_000, 1) {
+            assert!(b.wall_s > 0.0, "{}: wall clock must be measured", b.name);
+            assert!(b.entries > 0, "{}: switch must process entries", b.name);
+            let expected_passes = if b.name == "join" || b.name == "having" {
+                2
+            } else {
+                1
+            };
+            assert_eq!(b.passes, expected_passes, "{}: pass count", b.name);
         }
     }
 }

@@ -115,6 +115,23 @@ pub trait RowPruner {
     /// The default implementation gathers each row into a scratch buffer
     /// and loops `process_row`; stateful pruners override it with loops
     /// that read the column lanes directly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cheetah_core::decision::{Decision, RowPruner};
+    /// use cheetah_core::distinct::{DistinctPruner, EvictionPolicy};
+    ///
+    /// let mut pruner = DistinctPruner::new(16, 2, EvictionPolicy::Lru, 0);
+    /// let keys = [5u64, 5, 9]; // one column lane, three entries
+    /// let mut out = [Decision::Prune; 3];
+    /// pruner.process_block(&[&keys], &mut out);
+    /// assert_eq!(
+    ///     out,
+    ///     [Decision::Forward, Decision::Prune, Decision::Forward],
+    ///     "first occurrences forward, the duplicate 5 is pruned"
+    /// );
+    /// ```
     fn process_block(&mut self, cols: &[&[u64]], out: &mut [Decision]) {
         debug_assert!(cols.iter().all(|c| c.len() == out.len()));
         let mut row = Vec::with_capacity(cols.len());

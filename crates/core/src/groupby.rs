@@ -260,6 +260,14 @@ impl GroupBySumPruner {
         }
     }
 
+    /// Clear all accumulators without emitting them — the control-plane
+    /// reinstall before a fresh query run (use [`GroupBySumPruner::drain`]
+    /// at FIN when the residual partials must reach the master).
+    pub fn reset(&mut self) {
+        self.lens.fill(0);
+        self.cursors.fill(0);
+    }
+
     /// Flush all residual accumulators (the FIN-triggered final pass).
     pub fn drain(&mut self) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
@@ -270,8 +278,7 @@ impl GroupBySumPruner {
                 out.push((self.keys[base + i], self.sums[base + i]));
             }
         }
-        self.lens.fill(0);
-        self.cursors.fill(0);
+        self.reset();
         out
     }
 
@@ -397,6 +404,18 @@ mod tests {
         p.process(2, 2);
         assert_eq!(p.drain().len(), 2);
         assert!(p.drain().is_empty());
+    }
+
+    #[test]
+    fn sum_reset_discards_residuals() {
+        let mut p = GroupBySumPruner::new(8, 2, 0);
+        p.process(1, 10);
+        p.process(2, 20);
+        p.reset();
+        assert!(p.drain().is_empty(), "reset drops partials unemitted");
+        // Fresh accumulation starts from zero, not the stale cells.
+        p.process(1, 5);
+        assert_eq!(p.drain(), vec![(1, 5)]);
     }
 
     #[test]

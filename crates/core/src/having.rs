@@ -233,6 +233,12 @@ impl HavingPassOne {
     pub fn into_inner(self) -> HavingPruner {
         self.inner
     }
+
+    /// The typed phase transition: re-arm the populated sketch as the
+    /// pass-2 pruner (the control-plane rule flip between streams).
+    pub fn begin_pass_two(self) -> HavingPassTwo {
+        HavingPassTwo { inner: self.inner }
+    }
 }
 
 impl RowPruner for HavingPassOne {
@@ -246,6 +252,36 @@ impl RowPruner for HavingPassOne {
 
     fn name(&self) -> &'static str {
         "having"
+    }
+}
+
+/// [`RowPruner`] adapter running pass 2 semantics on `(key, value)` rows:
+/// forwards entries of candidate keys out of a pass-1-populated sketch.
+/// Constructed through [`HavingPassOne::begin_pass_two`], so the phase
+/// order is enforced by the types.
+#[derive(Debug, Clone)]
+pub struct HavingPassTwo {
+    inner: HavingPruner,
+}
+
+impl HavingPassTwo {
+    /// Unwrap the underlying pruner (e.g. for resource accounting).
+    pub fn into_inner(self) -> HavingPruner {
+        self.inner
+    }
+}
+
+impl RowPruner for HavingPassTwo {
+    fn process_row(&mut self, row: &[u64]) -> Decision {
+        self.inner.pass_two(row[0])
+    }
+
+    fn reset(&mut self) {
+        self.inner.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        "having-pass2"
     }
 }
 
@@ -423,6 +459,24 @@ mod tests {
         assert!(p.process_row(&[5, 1]).is_prune());
         p.reset();
         assert!(p.process_row(&[5, 11]).is_forward());
+    }
+
+    #[test]
+    fn pass_two_adapter_continues_from_pass_one_state() {
+        let mut p1 = HavingPassOne::new(HavingPruner::new(3, 64, 10, 0));
+        p1.process_row(&[5, 11]); // key 5 crosses the threshold
+        p1.process_row(&[6, 3]); // key 6 stays below
+        let mut p2 = p1.begin_pass_two();
+        assert_eq!(p2.name(), "having-pass2");
+        assert!(p2.process_row(&[5, 11]).is_forward(), "candidate key");
+        assert!(p2.process_row(&[6, 3]).is_prune(), "loser key");
+        p2.reset();
+        assert!(
+            p2.process_row(&[5, 11]).is_prune(),
+            "reset clears the sketch"
+        );
+        let inner = p2.into_inner();
+        assert_eq!(inner.sketch().estimate(5), 0);
     }
 
     #[test]

@@ -104,6 +104,37 @@ fn interleave(table: &Table, columns: &[usize], workers: usize) -> EntryStream {
     EntryStream::interleaved(table, columns, workers)
 }
 
+/// §7.1 late materialization, shared by the deterministic and threaded
+/// Filter arms: fetch `ids` through one reused buffer and fold the
+/// order-independent checksum.
+fn fetch_and_checksum(t: &Table, ids: &[u64]) -> u64 {
+    let mut buf = Vec::with_capacity(t.width());
+    let mut checksum = 0u64;
+    for &rid in ids {
+        t.row_into(rid as usize, &mut buf);
+        checksum = fetch_checksum(checksum, rid, &buf);
+    }
+    checksum
+}
+
+/// CMaster join completion, shared by the deterministic and threaded
+/// JOIN arms: pair every forwarded left `(row, key)` against the
+/// forwarded right rows of its key, counting pairs and folding the
+/// order-independent checksum.
+fn join_survivors(left_fwd: &[(u64, u64)], right_build: &HashMap<u64, Vec<u64>>) -> (u64, u64) {
+    let mut pairs = 0u64;
+    let mut checksum = 0u64;
+    for (lrow, k) in left_fwd {
+        if let Some(rrows) = right_build.get(k) {
+            for &rrow in rrows {
+                pairs += 1;
+                checksum = pair_checksum(checksum, *k, *lrow, rrow);
+            }
+        }
+    }
+    (pairs, checksum)
+}
+
 impl CheetahExecutor {
     /// An executor with the given model and switch configuration.
     pub fn new(model: CostModel, config: PrunerConfig) -> Self {
@@ -153,15 +184,8 @@ impl CheetahExecutor {
                         ids.push(rid);
                     }
                 });
-                // §7.1 late materialization: fetch the surviving rows into
-                // one reused buffer and checksum them order-independently.
                 let fetch = ids.len() as u64;
-                let mut buf = Vec::with_capacity(t.width());
-                let mut checksum = 0u64;
-                for &rid in &ids {
-                    t.row_into(rid as usize, &mut buf);
-                    checksum = fetch_checksum(checksum, rid, &buf);
-                }
+                let checksum = fetch_and_checksum(t, &ids);
                 let result = QueryResult::row_ids(ids);
                 let mut report = self.report(query, t.rows() as u64, stats, 1, fetch, result);
                 report.fetch_checksum = Some(checksum);
@@ -353,17 +377,7 @@ impl CheetahExecutor {
                         right_build.entry(k).or_default().push(rid);
                     }
                 }
-                // CMaster joins the survivors.
-                let mut pairs = 0u64;
-                let mut checksum = 0u64;
-                for (lrow, k) in &left_fwd {
-                    if let Some(rrows) = right_build.get(k) {
-                        for &rrow in rrows {
-                            pairs += 1;
-                            checksum = pair_checksum(checksum, *k, *lrow, rrow);
-                        }
-                    }
-                }
+                let (pairs, checksum) = join_survivors(&left_fwd, &right_build);
                 let rows = (l.rows() + r.rows()) as u64;
                 let result = QueryResult::JoinSummary { pairs, checksum };
                 self.report(query, 2 * rows, stats, 2, pairs, result)
@@ -385,49 +399,96 @@ impl CheetahExecutor {
     }
 
     /// Execute with real worker/switch/master threads (bounded channels;
-    /// wall-clock timing, nondeterministic interleaving). Supported for
-    /// the single-pass row-pruned queries — Distinct, TopN, GroupBy
-    /// MAX/MIN, FilterCount, Skyline; returns `None` for the multi-pass
-    /// flows (JOIN, HAVING) and register-aggregating GROUP BY SUM/COUNT.
+    /// wall-clock timing, nondeterministic interleaving). **Total over
+    /// every query shape**: single-pass row-pruned queries stream once
+    /// through [`crate::threaded::run_stream`]; the multi-pass flows —
+    /// JOIN's build/probe exchange, HAVING's two-phase group scan,
+    /// Filter's late-materialization fetch, fingerprinted DistinctMulti
+    /// and the register-aggregating GROUP BY SUM/COUNT — run their staged
+    /// programs ([`crate::multipass`]) through
+    /// [`crate::threaded::run_phases`]. The returned report always has
+    /// [`ExecutionReport::wall`] set to the measured wall clock.
     ///
     /// Pruning *rates* vary run to run (arrival races), but the result is
     /// order-independent and must equal [`Self::execute`]'s.
-    pub fn execute_threaded(
-        &self,
-        db: &Database,
-        query: &Query,
-    ) -> Option<(QueryResult, PruneStats, std::time::Duration)> {
+    pub fn execute_threaded(&self, db: &Database, query: &Query) -> ExecutionReport {
+        use crate::multipass::{GroupBySumStage, HavingPhases, JoinPhases, SIDE_LEFT, SIDE_RIGHT};
+        use crate::threaded::{
+            run_phases, run_phases_with, run_stream, ColumnChunk, Partition, PhaseInput,
+        };
+
         let workers = self.model.workers;
         let cfg = &self.config;
         // Build per-worker columnar partitions of the metadata columns —
         // contiguous lane copies, no per-row gather.
-        let partition = |t: &Table, cols: &[usize]| -> Vec<crate::threaded::Partition> {
+        let partition = |t: &Table, cols: &[usize]| -> Vec<Partition> {
             t.partition_bounds(workers)
                 .into_iter()
-                .map(|(s, e)| crate::threaded::ColumnChunk {
+                .map(|(s, e)| ColumnChunk {
                     cols: cols.iter().map(|&c| t.col_at(c)[s..e].to_vec()).collect(),
                 })
                 .collect()
         };
+        // Same, plus a trailing switch-blind row-id lane for flows whose
+        // master needs to address table rows (fetch, join pairing).
+        let partition_with_rids = |t: &Table, cols: &[usize]| -> Vec<Partition> {
+            let mut parts = partition(t, cols);
+            for (part, (s, e)) in parts.iter_mut().zip(t.partition_bounds(workers)) {
+                part.cols.push((s as u64..e as u64).collect());
+            }
+            parts
+        };
         let started = std::time::Instant::now();
-        let (result, stats) = match query {
+        let mut report = match query {
             Query::Distinct { table, column } => {
                 let t = db.table(table);
                 let parts = partition(t, &[t.col_index(column)]);
-                let run = crate::threaded::run_stream(parts, backend::distinct(cfg));
-                (
-                    QueryResult::values(run.forwarded.cols[0].clone()),
-                    run.stats,
+                let run = run_stream(parts, backend::distinct(cfg));
+                let result = QueryResult::values(run.forwarded.cols[0].clone());
+                self.report(query, t.rows() as u64, run.stats, 1, 0, result)
+            }
+            Query::DistinctMulti { table, columns } => {
+                // §5, Example 8: the CWorker serializes a fingerprint of
+                // the combination; the switch dedups fingerprints, the
+                // master dedups the surviving real tuples. The fingerprint
+                // lane leads each partition; the original columns ride
+                // through switch-blind.
+                let t = db.table(table);
+                let cols: Vec<usize> = columns.iter().map(|c| t.col_index(c)).collect();
+                let fp = Fingerprinter::new(cfg.seed ^ 0xf1f1, 64);
+                let mut parts = partition(t, &cols);
+                for part in &mut parts {
+                    let mut row = Vec::with_capacity(cols.len());
+                    let lane = (0..part.rows())
+                        .map(|i| {
+                            row.clear();
+                            row.extend(part.cols.iter().map(|c| c[i]));
+                            fp.fp_words(&row)
+                        })
+                        .collect();
+                    part.cols.insert(0, lane);
+                }
+                let run = run_phases(
+                    vec![PhaseInput {
+                        partitions: parts,
+                        visible_cols: 1,
+                    }],
+                    &mut crate::threaded::PrunerStage::new(backend::distinct(cfg)),
                 )
+                .pop()
+                .expect("one phase");
+                let survivors: Vec<Vec<u64>> = (0..run.forwarded.rows())
+                    .map(|i| run.forwarded.cols[1..].iter().map(|c| c[i]).collect())
+                    .collect();
+                let result = QueryResult::points(survivors);
+                self.report(query, t.rows() as u64, run.stats, 1, 0, result)
             }
             Query::TopN { table, order_by, n } => {
                 let t = db.table(table);
                 let parts = partition(t, &[t.col_index(order_by)]);
-                let run = crate::threaded::run_stream(parts, backend::topn(cfg, *n));
-                (
-                    QueryResult::top_values(run.forwarded.cols[0].clone(), *n),
-                    run.stats,
-                )
+                let run = run_stream(parts, backend::topn(cfg, *n));
+                let result = QueryResult::top_values(run.forwarded.cols[0].clone(), *n);
+                self.report(query, t.rows() as u64, run.stats, 1, *n as u64, result)
             }
             Query::GroupBy {
                 table,
@@ -442,7 +503,7 @@ impl CheetahExecutor {
                 } else {
                     Extremum::Min
                 };
-                let run = crate::threaded::run_stream(parts, backend::groupby(cfg, ext));
+                let run = run_stream(parts, backend::groupby(cfg, ext));
                 let mut groups = std::collections::BTreeMap::new();
                 for (&k, &v) in run.forwarded.cols[0].iter().zip(&run.forwarded.cols[1]) {
                     let e =
@@ -455,34 +516,230 @@ impl CheetahExecutor {
                         (*e).min(v)
                     };
                 }
-                (QueryResult::Groups(groups), run.stats)
+                self.report(
+                    query,
+                    t.rows() as u64,
+                    run.stats,
+                    1,
+                    0,
+                    QueryResult::Groups(groups),
+                )
+            }
+            Query::GroupBy {
+                table,
+                key,
+                val,
+                agg: agg @ (Agg::Sum | Agg::Count),
+            } => {
+                // §6: partial aggregation in switch registers — hits
+                // absorb (pruned), evictions ride the evicting packet,
+                // the FIN drains residuals; the master sums partials.
+                let t = db.table(table);
+                let parts = if *agg == Agg::Sum {
+                    partition(t, &[t.col_index(key), t.col_index(val)])
+                } else {
+                    // COUNT folds 1 per entry. Unlike the deterministic
+                    // path's static ONES lane, the value lane is
+                    // materialized here: eviction rewrites need a mutable
+                    // in-flight lane for the displaced partial to ride
+                    // out on, and the CWorker really would serialize the
+                    // constant onto the wire.
+                    let mut parts = partition(t, &[t.col_index(key)]);
+                    for part in &mut parts {
+                        let ones = vec![1; part.rows()];
+                        part.cols.push(ones);
+                    }
+                    parts
+                };
+                let mut stage = GroupBySumStage::new(GroupBySumPruner::new(
+                    cfg.groupby_d,
+                    cfg.groupby_w,
+                    cfg.seed,
+                ));
+                let run = run_phases(
+                    vec![PhaseInput {
+                        partitions: parts,
+                        visible_cols: 2,
+                    }],
+                    &mut stage,
+                )
+                .pop()
+                .expect("one phase");
+                let mut groups = std::collections::BTreeMap::new();
+                for (&k, &p) in run.forwarded.cols[0].iter().zip(&run.forwarded.cols[1]) {
+                    *groups.entry(k).or_insert(0) += p;
+                }
+                self.report(
+                    query,
+                    t.rows() as u64,
+                    run.stats,
+                    1,
+                    0,
+                    QueryResult::Groups(groups),
+                )
             }
             Query::FilterCount { table, predicate } => {
                 let t = db.table(table);
                 let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
                 let parts = partition(t, &cols);
-                let run = crate::threaded::run_stream(parts, backend::filter(cfg, predicate));
+                let run = run_stream(parts, backend::filter(cfg, predicate));
                 let fwd_cols: Vec<&[u64]> =
                     run.forwarded.cols.iter().map(|c| c.as_slice()).collect();
                 let count = (0..run.forwarded.rows())
                     .filter(|&i| predicate.eval_at(&fwd_cols, i))
                     .count() as u64;
-                (QueryResult::Count(count), run.stats)
+                self.report(
+                    query,
+                    t.rows() as u64,
+                    run.stats,
+                    1,
+                    0,
+                    QueryResult::Count(count),
+                )
+            }
+            Query::Filter { table, predicate } => {
+                // Switch pass over the predicate lanes (row ids ride
+                // switch-blind), then the §7.1 late-materialization fetch
+                // of the surviving row ids through [`Table::row_into`].
+                let t = db.table(table);
+                let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
+                let parts = partition_with_rids(t, &cols);
+                let run = run_phases(
+                    vec![PhaseInput {
+                        partitions: parts,
+                        visible_cols: cols.len(),
+                    }],
+                    &mut crate::threaded::PrunerStage::new(backend::filter(cfg, predicate)),
+                )
+                .pop()
+                .expect("one phase");
+                let fwd_cols: Vec<&[u64]> = run.forwarded.cols[..cols.len()]
+                    .iter()
+                    .map(|c| c.as_slice())
+                    .collect();
+                let rids = run.forwarded.cols.last().expect("row-id lane");
+                // Master re-checks the full predicate on survivors.
+                let ids: Vec<u64> = (0..run.forwarded.rows())
+                    .filter(|&i| predicate.eval_at(&fwd_cols, i))
+                    .map(|i| rids[i])
+                    .collect();
+                let fetch = ids.len() as u64;
+                let checksum = fetch_and_checksum(t, &ids);
+                let result = QueryResult::row_ids(ids);
+                let mut report = self.report(query, t.rows() as u64, run.stats, 1, fetch, result);
+                report.fetch_checksum = Some(checksum);
+                report
+            }
+            Query::Having {
+                table,
+                key,
+                val,
+                threshold,
+            } => {
+                let t = db.table(table);
+                let cols = [t.col_index(key), t.col_index(val)];
+                let mut program = HavingPhases::new(HavingFlow::new(cfg, *threshold));
+                // Lazy per-pass partitioning: the workers re-serialize
+                // the columns for pass 2 instead of holding both passes'
+                // copies across the barrier.
+                let mut runs = run_phases_with(
+                    2,
+                    |_| PhaseInput {
+                        partitions: partition(t, &cols),
+                        visible_cols: 2,
+                    },
+                    &mut program,
+                );
+                let pass2 = runs.pop().expect("pass 2");
+                let pass1 = runs.pop().expect("pass 1");
+                let mut stats = pass1.stats;
+                stats.merge(pass2.stats);
+                let mut sums: HashMap<u64, u64> = HashMap::new();
+                for (&k, &v) in pass2.forwarded.cols[0].iter().zip(&pass2.forwarded.cols[1]) {
+                    *sums.entry(k).or_insert(0) += v;
+                }
+                let result = QueryResult::keys(
+                    sums.into_iter()
+                        .filter(|&(_, s)| s > *threshold)
+                        .map(|(k, _)| k)
+                        .collect(),
+                );
+                self.report(query, 2 * t.rows() as u64, stats, 2, 0, result)
+            }
+            Query::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => {
+                let l = db.table(left);
+                let r = db.table(right);
+                // Both sides stream in both passes, tagged with the §7.2
+                // flow-id lane; the probe pass adds row ids so the master
+                // can pair survivors.
+                let two_sided = |with_rids: bool| -> Vec<Partition> {
+                    let mut parts = Vec::with_capacity(2 * workers);
+                    for (tag, t, c) in [
+                        (SIDE_LEFT, l, l.col_index(left_col)),
+                        (SIDE_RIGHT, r, r.col_index(right_col)),
+                    ] {
+                        let side_parts = if with_rids {
+                            partition_with_rids(t, &[c])
+                        } else {
+                            partition(t, &[c])
+                        };
+                        for mut part in side_parts {
+                            part.cols.insert(0, vec![tag; part.rows()]);
+                            parts.push(part);
+                        }
+                    }
+                    parts
+                };
+                let mut program = JoinPhases::new(JoinFlow::new(cfg));
+                // Lazy per-pass partitioning: the probe pass's copies
+                // (with row-id lanes) are built only after the build
+                // pass's barrier, not held alongside them.
+                let mut runs = run_phases_with(
+                    2,
+                    |phase| PhaseInput {
+                        partitions: two_sided(phase == 1),
+                        visible_cols: 2,
+                    },
+                    &mut program,
+                );
+                let probe = runs.pop().expect("probe pass");
+                // Build-pass decisions are not probe decisions; only the
+                // probe pass counts toward pruning stats (as in the
+                // deterministic flow).
+                let stats = probe.stats;
+                let mut left_fwd: Vec<(u64, u64)> = Vec::new();
+                let mut right_build: HashMap<u64, Vec<u64>> = HashMap::new();
+                let fwd = &probe.forwarded;
+                for i in 0..fwd.rows() {
+                    let (side, k, rid) = (fwd.cols[0][i], fwd.cols[1][i], fwd.cols[2][i]);
+                    if side == SIDE_LEFT {
+                        left_fwd.push((rid, k));
+                    } else {
+                        right_build.entry(k).or_default().push(rid);
+                    }
+                }
+                let (pairs, checksum) = join_survivors(&left_fwd, &right_build);
+                let rows = (l.rows() + r.rows()) as u64;
+                let result = QueryResult::JoinSummary { pairs, checksum };
+                self.report(query, 2 * rows, stats, 2, pairs, result)
             }
             Query::Skyline { table, columns } => {
                 let t = db.table(table);
                 let cols: Vec<usize> = columns.iter().map(|c| t.col_index(c)).collect();
                 let dims = cols.len();
                 let parts = partition(t, &cols);
-                let run = crate::threaded::run_stream(parts, backend::skyline(cfg, dims));
-                (
-                    QueryResult::points(skyline_of(&run.forwarded.to_rows())),
-                    run.stats,
-                )
+                let run = run_stream(parts, backend::skyline(cfg, dims));
+                let result = QueryResult::points(skyline_of(&run.forwarded.to_rows()));
+                self.report(query, t.rows() as u64, run.stats, 1, 0, result)
             }
-            _ => return None,
         };
-        Some((result, stats, started.elapsed()))
+        report.wall = Some(started.elapsed());
+        report
     }
 
     /// Assemble the report: `streamed_rows` is the total entries sent over
@@ -772,31 +1029,43 @@ mod tests {
         let exec = CheetahExecutor::new(CostModel::default(), PrunerConfig::default());
         for q in all_queries() {
             let truth = reference::evaluate(&db, &q);
-            match exec.execute_threaded(&db, &q) {
-                Some((result, stats, wall)) => {
-                    assert_eq!(result, truth, "threaded {} diverged", q.kind());
-                    assert!(stats.processed > 0);
-                    assert!(wall.as_nanos() > 0);
-                }
-                None => {
-                    // Multi-pass flows are deterministic-only; make sure
-                    // that's exactly the documented set.
-                    assert!(
-                        matches!(
-                            q,
-                            Query::Join { .. }
-                                | Query::Having { .. }
-                                | Query::Filter { .. }
-                                | Query::DistinctMulti { .. }
-                                | Query::GroupBy {
-                                    agg: Agg::Sum | Agg::Count,
-                                    ..
-                                }
-                        ),
-                        "unexpectedly unsupported threaded query: {}",
-                        q.kind()
-                    );
-                }
+            let report = exec.execute_threaded(&db, &q);
+            assert_eq!(report.result, truth, "threaded {} diverged", q.kind());
+            assert!(report.prune_stats().processed > 0);
+            let wall = report.wall.expect("threaded runs measure wall clock");
+            assert!(wall.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn threaded_multipass_reports_match_deterministic_shape() {
+        // Pass counts, streamed-entry totals and fetch metadata must line
+        // up with the deterministic executor's, so the cost model prices
+        // both paths identically.
+        let db = random_db(4_000, 12);
+        let exec = CheetahExecutor::new(CostModel::default(), PrunerConfig::default());
+        for q in all_queries() {
+            let det = exec.execute(&db, &q);
+            let thr = exec.execute_threaded(&db, &q);
+            assert_eq!(thr.passes, det.passes, "{} pass count", q.kind());
+            assert_eq!(
+                thr.prune_stats().processed,
+                det.prune_stats().processed,
+                "{} processed-entry total",
+                q.kind()
+            );
+            assert_eq!(
+                thr.fetch_checksum.is_some(),
+                det.fetch_checksum.is_some(),
+                "{} fetch checksum presence",
+                q.kind()
+            );
+            if matches!(q, Query::Filter { .. }) {
+                assert_eq!(thr.fetch_rows, det.fetch_rows, "filter fetch rows");
+                assert_eq!(
+                    thr.fetch_checksum, det.fetch_checksum,
+                    "filter fetch checksum"
+                );
             }
         }
     }

@@ -76,6 +76,30 @@ pub trait Executor {
     fn name(&self) -> &'static str;
 
     /// Run `query` against `db`: real result, modeled timing.
+    ///
+    /// # Examples
+    ///
+    /// Every executor returns the same result for the same query — the
+    /// paper's `Q(A_Q(D)) = Q(D)` behind one trait:
+    ///
+    /// ```
+    /// use cheetah_engine::cheetah::PrunerConfig;
+    /// use cheetah_engine::{
+    ///     CheetahExecutor, CostModel, Database, Executor, Query, QueryResult, Table,
+    ///     ThreadedExecutor,
+    /// };
+    ///
+    /// let mut db = Database::new();
+    /// db.add(Table::new("t", vec![("k", vec![1, 1, 2, 3, 3])]));
+    /// let q = Query::Distinct { table: "t".into(), column: "k".into() };
+    ///
+    /// let cheetah = CheetahExecutor::new(CostModel::default(), PrunerConfig::default());
+    /// let threaded = ThreadedExecutor::new(cheetah.clone());
+    /// for exec in [&cheetah as &dyn Executor, &threaded] {
+    ///     let report = exec.execute(&db, &q);
+    ///     assert_eq!(report.result, QueryResult::Values(vec![1, 2, 3]));
+    /// }
+    /// ```
     fn execute(&self, db: &Database, query: &Query) -> ExecutionReport;
 }
 
@@ -101,13 +125,19 @@ impl Executor for CheetahExecutor {
 
 /// The real-threads cluster behind the [`Executor`] seam.
 ///
-/// Single-pass row-pruned queries run on genuine worker/switch/master
-/// threads ([`crate::threaded`]) and report measured wall-clock in
-/// [`ExecutionReport::wall`]; the multi-pass flows (JOIN, HAVING,
-/// Filter's fetch path, fingerprinted DistinctMulti) and the
-/// register-aggregating GROUP BY SUM/COUNT have no threaded dataflow yet
-/// and fall back to the deterministic executor (`wall` stays `None`), so
-/// the executor is total over every query shape.
+/// **Every** query shape runs on genuine worker/switch/master threads
+/// and reports measured wall-clock in [`ExecutionReport::wall`]:
+/// single-pass row-pruned queries stream once through
+/// [`crate::threaded::run_stream`], and the multi-pass flows (JOIN's
+/// build/probe exchange, HAVING's two-phase group scan, Filter's
+/// late-materialization fetch, fingerprinted DistinctMulti, and the
+/// register-aggregating GROUP BY SUM/COUNT) run staged switch programs
+/// ([`crate::multipass`]) through [`crate::threaded::run_phases`], with
+/// the inter-pass barrier re-arming the switch between streams.
+/// `timing` keeps the modeled breakdown (same cost model as the
+/// deterministic path, fed the measured pruning stats) so reports stay
+/// comparable across executors; the measured wall clock of the
+/// in-process run lives in `wall`.
 #[derive(Debug, Clone)]
 pub struct ThreadedExecutor {
     /// Configuration shared with the deterministic executor.
@@ -127,26 +157,9 @@ impl Executor for ThreadedExecutor {
     }
 
     fn execute(&self, db: &Database, query: &Query) -> ExecutionReport {
-        match self.inner.execute_threaded(db, query) {
-            Some((result, stats, wall)) => {
-                // `timing` keeps the modeled breakdown (same cost model
-                // as the deterministic path, fed the measured pruning
-                // stats) so it stays comparable across executors; the
-                // measured wall-clock of the in-process run lives in
-                // `wall`. Single-pass flows stream each entry once, so
-                // `stats.processed` is the streamed-row count.
-                let mut report = self
-                    .inner
-                    .report(query, stats.processed, stats, 1, 0, result);
-                report.executor = self.name();
-                report.wall = Some(wall);
-                report
-            }
-            None => ExecutionReport {
-                executor: self.name(),
-                ..CheetahExecutor::execute(&self.inner, db, query)
-            },
-        }
+        let mut report = self.inner.execute_threaded(db, query);
+        report.executor = self.name();
+        report
     }
 }
 
@@ -298,7 +311,7 @@ mod tests {
     }
 
     #[test]
-    fn threaded_fallback_is_total_over_multipass_queries() {
+    fn threaded_is_total_over_multipass_queries() {
         let db = tiny_db();
         let (_, _, threaded, _) = executors();
         let q = Query::Having {
@@ -308,10 +321,8 @@ mod tests {
             threshold: 100_000,
         };
         let r = Executor::execute(&threaded, &db, &q);
-        assert!(
-            r.wall.is_none(),
-            "multi-pass flows fall back to deterministic"
-        );
+        assert!(r.wall.is_some(), "multi-pass flows run on real threads now");
+        assert_eq!(r.passes, 2, "HAVING streams twice");
         assert_eq!(r.result, reference::evaluate(&db, &q));
         assert_eq!(r.executor, "threaded");
     }

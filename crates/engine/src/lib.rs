@@ -42,6 +42,7 @@ pub mod cheetah;
 pub mod cost;
 pub mod dag;
 pub mod executor;
+pub mod multipass;
 pub mod netaccel;
 pub mod q3;
 pub mod query;

@@ -1,0 +1,301 @@
+//! Staged switch programs for the multi-pass dataflows (§4.3, §6, §7.1).
+//!
+//! Each type here implements [`SwitchPhases`] and carries its switch
+//! state (Bloom filters, Count-Min sketch, SUM registers) across the
+//! inter-pass barrier of [`crate::threaded::run_phases`], so the
+//! threaded cluster runs the same two-pass flows the deterministic
+//! executor models:
+//!
+//! * [`JoinPhases`] — pass 1 builds `F_A`/`F_B` from both sides' join
+//!   keys, pass 2 probes each side against the *other* side's filter
+//!   (Example 4). Entries are `[side, key, …]`, matching how the switch
+//!   demultiplexes streams by flow id (§7.2).
+//! * [`HavingPhases`] — pass 1 folds `(key, value)` into the Count-Min
+//!   sketch and forwards threshold-crossing announcements, pass 2
+//!   re-streams and forwards candidate-key entries for exact master sums
+//!   (Example 5).
+//! * [`GroupBySumStage`] — a single pass with in-flight rewrites: a hit
+//!   absorbs into a register accumulator (pruned), an eviction rides out
+//!   **on the evicting packet** as a `(key, partial)` rewrite, and the
+//!   FIN drains the residual accumulators (§6).
+//!
+//! All of them work over either switch backend (`cheetah-core`
+//! references or metered `cheetah-pisa` programs) because they wrap the
+//! backend-dispatching flows from [`crate::backend`].
+
+use cheetah_core::decision::Decision;
+use cheetah_core::groupby::{GroupBySumPruner, SumAction};
+use cheetah_core::join::Side;
+
+use crate::backend::{HavingFlow, JoinFlow};
+use crate::threaded::{ColumnChunk, SwitchPhases};
+
+/// Flow-id value tagging left-side (build A / probe A) join entries.
+pub const SIDE_LEFT: u64 = 0;
+/// Flow-id value tagging right-side (build B / probe B) join entries.
+pub const SIDE_RIGHT: u64 = 1;
+
+#[inline]
+fn side_of(tag: u64) -> Side {
+    if tag == SIDE_LEFT {
+        Side::Left
+    } else {
+        Side::Right
+    }
+}
+
+/// Two-pass JOIN program: build both Bloom filters, then probe.
+pub struct JoinPhases {
+    flow: JoinFlow,
+}
+
+impl JoinPhases {
+    /// Wrap a fresh (empty-filter) join flow.
+    pub fn new(flow: JoinFlow) -> Self {
+        JoinPhases { flow }
+    }
+}
+
+impl SwitchPhases for JoinPhases {
+    fn process_chunk(
+        &mut self,
+        phase: usize,
+        chunk: &mut ColumnChunk,
+        _visible_cols: usize,
+        out: &mut [Decision],
+    ) {
+        let (sides, keys) = (&chunk.cols[0], &chunk.cols[1]);
+        for (i, d) in out.iter_mut().enumerate() {
+            let side = side_of(sides[i]);
+            *d = if phase == 0 {
+                // Build pass: the input-column stream populates the
+                // filters; nothing continues to the master.
+                self.flow.observe(side, keys[i]);
+                Decision::Prune
+            } else {
+                self.flow.probe(side, keys[i])
+            };
+        }
+    }
+}
+
+/// Two-pass HAVING program: sketch + announcements, then candidate scan.
+pub struct HavingPhases {
+    flow: HavingFlow,
+}
+
+impl HavingPhases {
+    /// Wrap a fresh (zeroed-sketch) HAVING flow.
+    pub fn new(flow: HavingFlow) -> Self {
+        HavingPhases { flow }
+    }
+}
+
+impl SwitchPhases for HavingPhases {
+    fn begin_phase(&mut self, phase: usize) {
+        if phase == 1 {
+            self.flow.begin_pass_two();
+        }
+    }
+
+    fn process_chunk(
+        &mut self,
+        phase: usize,
+        chunk: &mut ColumnChunk,
+        _visible_cols: usize,
+        out: &mut [Decision],
+    ) {
+        let (keys, vals) = (&chunk.cols[0], &chunk.cols[1]);
+        for (i, d) in out.iter_mut().enumerate() {
+            *d = if phase == 0 {
+                self.flow.pass_one(keys[i], vals[i])
+            } else {
+                self.flow.pass_two(keys[i], vals[i])
+            };
+        }
+    }
+}
+
+/// Single-pass GROUP BY SUM/COUNT program over register accumulators.
+///
+/// Entries are `[key, value]` (`value = 1` for COUNT). Forwarded entries
+/// carry an **evicted** `(key, partial)` pair — not the triggering
+/// entry's own columns — and the FIN flushes whatever still sits in the
+/// registers, so the master reconstructs exact totals by summing every
+/// pair it receives.
+pub struct GroupBySumStage {
+    pruner: GroupBySumPruner,
+}
+
+impl GroupBySumStage {
+    /// Wrap a fresh accumulator matrix.
+    pub fn new(pruner: GroupBySumPruner) -> Self {
+        GroupBySumStage { pruner }
+    }
+}
+
+impl SwitchPhases for GroupBySumStage {
+    fn process_chunk(
+        &mut self,
+        _phase: usize,
+        chunk: &mut ColumnChunk,
+        _visible_cols: usize,
+        out: &mut [Decision],
+    ) {
+        for (i, d) in out.iter_mut().enumerate() {
+            let (k, v) = (chunk.cols[0][i], chunk.cols[1][i]);
+            *d = match self.pruner.process(k, v) {
+                SumAction::EvictAndForward { key, partial } => {
+                    // The displaced accumulator rides out on this packet.
+                    chunk.cols[0][i] = key;
+                    chunk.cols[1][i] = partial;
+                    Decision::Forward
+                }
+                SumAction::Absorb | SumAction::Start => Decision::Prune,
+            };
+        }
+    }
+
+    fn fin(&mut self, _phase: usize) -> Option<ColumnChunk> {
+        let (keys, sums) = self.pruner.drain().into_iter().unzip();
+        Some(ColumnChunk {
+            cols: vec![keys, sums],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cheetah::PrunerConfig;
+    use crate::threaded::{run_phases, PhaseInput};
+    use std::collections::{HashMap, HashSet};
+
+    fn two_sided_parts(with_rids: bool) -> Vec<ColumnChunk> {
+        // Left keys 0..60, right keys 40..100 → overlap 40..60.
+        let left: Vec<u64> = (0..60).collect();
+        let right: Vec<u64> = (40..100).collect();
+        let mut parts = Vec::new();
+        for (tag, keys) in [(SIDE_LEFT, left), (SIDE_RIGHT, right)] {
+            let mut cols = vec![vec![tag; keys.len()], keys.clone()];
+            if with_rids {
+                cols.push((0..keys.len() as u64).collect());
+            }
+            parts.push(ColumnChunk { cols });
+        }
+        parts
+    }
+
+    #[test]
+    fn join_phases_build_then_probe() {
+        let cfg = PrunerConfig::default();
+        let mut program = JoinPhases::new(JoinFlow::new(&cfg));
+        let runs = run_phases(
+            vec![
+                PhaseInput {
+                    partitions: two_sided_parts(false),
+                    visible_cols: 2,
+                },
+                PhaseInput {
+                    partitions: two_sided_parts(true),
+                    visible_cols: 2,
+                },
+            ],
+            &mut program,
+        );
+        assert_eq!(runs[0].forwarded.rows(), 0, "build pass ships nothing");
+        // Probe pass: every matching key must survive (no false negatives).
+        let survivors: HashSet<(u64, u64)> = runs[1].forwarded.cols[0]
+            .iter()
+            .zip(&runs[1].forwarded.cols[1])
+            .map(|(&s, &k)| (s, k))
+            .collect();
+        for k in 40..60u64 {
+            assert!(survivors.contains(&(SIDE_LEFT, k)), "lost left match {k}");
+            assert!(survivors.contains(&(SIDE_RIGHT, k)), "lost right match {k}");
+        }
+        assert_eq!(runs[1].stats.processed, 120);
+        assert!(runs[1].stats.pruned > 0, "disjoint keys should prune");
+        // Hidden row-id lane compacted in sync.
+        assert_eq!(runs[1].forwarded.cols[2].len(), runs[1].forwarded.rows());
+    }
+
+    #[test]
+    fn having_phases_never_lose_an_output_key() {
+        let cfg = PrunerConfig::default();
+        let keys: Vec<u64> = (0..4_000u64).map(|i| i % 37).collect();
+        let vals: Vec<u64> = (0..4_000u64).map(|i| i * 7 % 120).collect();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for (&k, &v) in keys.iter().zip(&vals) {
+            *truth.entry(k).or_insert(0) += v;
+        }
+        let threshold = 6_000u64;
+        let winners: HashSet<u64> = truth
+            .iter()
+            .filter(|&(_, &s)| s > threshold)
+            .map(|(&k, _)| k)
+            .collect();
+        assert!(!winners.is_empty());
+        let part = || {
+            vec![ColumnChunk {
+                cols: vec![keys.clone(), vals.clone()],
+            }]
+        };
+        let mut program = HavingPhases::new(HavingFlow::new(&cfg, threshold));
+        let runs = run_phases(
+            vec![
+                PhaseInput {
+                    partitions: part(),
+                    visible_cols: 2,
+                },
+                PhaseInput {
+                    partitions: part(),
+                    visible_cols: 2,
+                },
+            ],
+            &mut program,
+        );
+        let mut sums: HashMap<u64, u64> = HashMap::new();
+        for (&k, &v) in runs[1].forwarded.cols[0]
+            .iter()
+            .zip(&runs[1].forwarded.cols[1])
+        {
+            *sums.entry(k).or_insert(0) += v;
+        }
+        let got: HashSet<u64> = sums
+            .into_iter()
+            .filter(|&(_, s)| s > threshold)
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(got, winners, "master output diverged");
+    }
+
+    #[test]
+    fn groupby_sum_stage_reconstructs_exact_totals() {
+        let keys: Vec<u64> = (0..5_000u64).map(|i| i * 31 % 97).collect();
+        let vals: Vec<u64> = (0..5_000u64).map(|i| i % 50).collect();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for (&k, &v) in keys.iter().zip(&vals) {
+            *truth.entry(k).or_insert(0) += v;
+        }
+        // Starved matrix → constant evictions; totals must still be exact.
+        let mut program = GroupBySumStage::new(GroupBySumPruner::new(4, 2, 7));
+        let run = run_phases(
+            vec![PhaseInput {
+                partitions: vec![ColumnChunk {
+                    cols: vec![keys, vals],
+                }],
+                visible_cols: 2,
+            }],
+            &mut program,
+        )
+        .pop()
+        .unwrap();
+        let mut got: HashMap<u64, u64> = HashMap::new();
+        for (&k, &p) in run.forwarded.cols[0].iter().zip(&run.forwarded.cols[1]) {
+            *got.entry(k).or_insert(0) += p;
+        }
+        assert_eq!(got, truth, "evictions + drain must sum exactly");
+        assert_eq!(run.stats.processed, 5_000);
+    }
+}

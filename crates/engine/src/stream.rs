@@ -113,6 +113,27 @@ impl EntryStream {
     /// `on_forward(row_id, entry)` for every survivor. The loop body is
     /// allocation-free: decisions live in a stack scratch and the block's
     /// column slices reuse one spare vector across blocks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cheetah_core::decision::PruneStats;
+    /// use cheetah_core::distinct::{DistinctPruner, EvictionPolicy};
+    /// use cheetah_engine::{EntryStream, Table};
+    ///
+    /// let t = Table::new("t", vec![("k", vec![7, 7, 8])]);
+    /// let stream = EntryStream::interleaved(&t, &[0], 2);
+    /// let mut pruner = DistinctPruner::new(16, 2, EvictionPolicy::Lru, 0);
+    /// let mut stats = PruneStats::default();
+    /// let mut survivors = Vec::new();
+    /// stream.prune(&mut pruner, &mut stats, |_row_id, entry| {
+    ///     survivors.push(entry.get(0));
+    /// });
+    /// assert_eq!(stats.processed, 3);
+    /// assert_eq!(stats.pruned, 1, "the duplicate 7 is dropped at the switch");
+    /// survivors.sort_unstable();
+    /// assert_eq!(survivors, vec![7, 8]);
+    /// ```
     pub fn prune<F>(&self, pruner: &mut dyn RowPruner, stats: &mut PruneStats, mut on_forward: F)
     where
         F: FnMut(u64, EntryRef<'_>),

@@ -77,8 +77,23 @@ impl Table {
     }
 
     /// Fill `buf` with row `r` across all columns, reusing its capacity —
-    /// what the late-materialization fetch loops use so a fetch of `k`
+    /// what the late-materialization fetch loops (§7.1) use, on both the
+    /// deterministic and the threaded Filter path, so a fetch of `k`
     /// rows costs one buffer, not `k` allocations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cheetah_engine::Table;
+    ///
+    /// let t = Table::new("t", vec![("a", vec![1, 2]), ("b", vec![10, 20])]);
+    /// let mut buf = Vec::new();
+    /// for rid in [1usize, 0] {
+    ///     t.row_into(rid, &mut buf); // clears and refills, no realloc churn
+    ///     assert_eq!(buf.len(), t.width());
+    /// }
+    /// assert_eq!(buf, vec![1, 10]);
+    /// ```
     pub fn row_into(&self, r: usize, buf: &mut Vec<u64>) {
         buf.clear();
         buf.extend(self.columns.iter().map(|c| c[r]));

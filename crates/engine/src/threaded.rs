@@ -1,19 +1,33 @@
 //! Real-threads cluster: workers, switch and master as OS threads wired
-//! with bounded channels.
+//! with bounded channels, generalized to **multi-phase** dataflows.
 //!
 //! The deterministic executor interleaves partitions round-robin; this
 //! module runs the same dataflow with genuine concurrency — worker threads
-//! race into one switch thread (the pruner runs serialized there, as the
-//! single ASIC pipeline would), and the master thread accumulates
+//! race into one switch thread (the pruning program runs serialized there,
+//! as the single ASIC pipeline would), and the master thread accumulates
 //! survivors. Entries travel in column-major **blocks** (§9's
 //! multi-entry-packet shape): each worker slices its columnar partition
-//! into [`BLOCK_ENTRIES`]-sized chunks, the switch prunes a whole block
-//! per [`RowPruner::process_block`] call, and only compacted survivor
+//! into [`BLOCK_ENTRIES`]-sized chunks, the switch decides a whole block
+//! per [`SwitchPhases::process_chunk`] call, and only compacted survivor
 //! blocks continue to the master — no per-row `Vec` anywhere in the
-//! steady state. Block arrival order is nondeterministic, so pruning
-//! *rates* vary run to run, but Cheetah's guarantee is order-independent:
-//! the completed result must always equal the reference — which is
-//! exactly what the integration tests assert.
+//! steady state.
+//!
+//! Multi-pass queries (§6–§7: JOIN's partition exchange, HAVING's
+//! two-phase group scan, GROUP BY SUM's register aggregation) run through
+//! [`run_phases`]: each [`PhaseInput`] streams once through the
+//! worker→switch→master topology, the end of the phase's thread scope is
+//! the **barrier**, and [`SwitchPhases::begin_phase`] re-arms the switch
+//! program (the control-plane rule flip of §4.3) before the next phase's
+//! workers start re-streaming. The staged programs themselves live in
+//! [`crate::multipass`]; single-pass queries keep the [`run_stream`]
+//! convenience wrapper, which adapts any [`RowPruner`] via
+//! [`PrunerStage`].
+//!
+//! Block arrival order is nondeterministic, so pruning *rates* vary run
+//! to run, but Cheetah's guarantee is order-independent: the completed
+//! result must always equal the reference — which is exactly what the
+//! integration tests (`tests/threaded_multipass.rs`,
+//! `tests/executor_trait.rs`) assert.
 
 use std::sync::mpsc;
 
@@ -57,30 +71,164 @@ impl ColumnChunk {
 /// One worker's partition of the metadata columns.
 pub type Partition = ColumnChunk;
 
-/// Outcome of a threaded streaming run.
+/// One streaming pass of a multi-phase dataflow: what each worker sends,
+/// and how much of it the switch program may look at.
+#[derive(Debug, Clone)]
+pub struct PhaseInput {
+    /// Per-worker column-major partitions for this pass.
+    pub partitions: Vec<Partition>,
+    /// The leading lanes the switch program sees. Trailing lanes (e.g.
+    /// the row-id lane of a fetch flow) ride through switch-blind, like
+    /// the packet payload bytes the parser never extracts.
+    pub visible_cols: usize,
+}
+
+/// A (possibly stateful, possibly multi-phase) switch program for the
+/// threaded pipeline — the generalization of [`RowPruner`] that the
+/// multi-pass dataflows need.
+///
+/// One value of this trait lives on the switch thread across **all**
+/// phases of a [`run_phases`] call, so phase-1 state (a join Bloom
+/// filter, a HAVING sketch, GROUP BY SUM registers) is visible to
+/// phase 2, exactly as the ASIC's register arrays persist between the
+/// control plane's rule flips.
+pub trait SwitchPhases: Send {
+    /// Re-arm for `phase` (the control-plane barrier action). Called
+    /// before the phase's workers start, including `phase == 0`.
+    fn begin_phase(&mut self, phase: usize) {
+        let _ = phase;
+    }
+
+    /// Decide one block: `chunk.cols[..visible_cols]` are the
+    /// switch-visible lanes, `out[i]` receives entry `i`'s decision.
+    /// Forwarded entries may be rewritten in place — how a GROUP BY SUM
+    /// eviction rides out on the evicting packet (§6).
+    fn process_chunk(
+        &mut self,
+        phase: usize,
+        chunk: &mut ColumnChunk,
+        visible_cols: usize,
+        out: &mut [Decision],
+    );
+
+    /// FIN hook: residual entries to ship to the master after `phase`'s
+    /// stream drains (e.g. the GROUP BY SUM register drain). Residuals
+    /// are forwarded verbatim and are *not* counted in [`PruneStats`].
+    fn fin(&mut self, phase: usize) -> Option<ColumnChunk> {
+        let _ = phase;
+        None
+    }
+}
+
+/// Adapter running a plain [`RowPruner`] as a one-phase switch program.
+pub struct PrunerStage {
+    pruner: Box<dyn RowPruner + Send>,
+}
+
+impl PrunerStage {
+    /// Wrap a pruner.
+    pub fn new(pruner: Box<dyn RowPruner + Send>) -> Self {
+        PrunerStage { pruner }
+    }
+}
+
+impl SwitchPhases for PrunerStage {
+    fn process_chunk(
+        &mut self,
+        _phase: usize,
+        chunk: &mut ColumnChunk,
+        visible_cols: usize,
+        out: &mut [Decision],
+    ) {
+        let colrefs: Vec<&[u64]> = chunk.cols[..visible_cols]
+            .iter()
+            .map(|c| c.as_slice())
+            .collect();
+        self.pruner.process_block(&colrefs, out);
+    }
+}
+
+/// Outcome of one threaded streaming phase.
 #[derive(Debug)]
 pub struct ThreadedRun {
     /// Entries the switch forwarded, compacted into flat column lanes in
     /// master arrival order.
     pub forwarded: ColumnChunk,
-    /// Switch pruning counters.
+    /// Switch pruning counters for this phase.
     pub stats: PruneStats,
 }
 
 /// Stream `partitions` through `pruner` with one thread per worker, one
-/// switch thread, and the calling thread as master.
-pub fn run_stream(
-    partitions: Vec<Partition>,
-    mut pruner: Box<dyn RowPruner + Send>,
+/// switch thread, and the calling thread as master — the single-phase
+/// convenience over [`run_phases`].
+pub fn run_stream(partitions: Vec<Partition>, pruner: Box<dyn RowPruner + Send>) -> ThreadedRun {
+    let visible_cols = partitions.iter().map(|p| p.cols.len()).max().unwrap_or(0);
+    let mut stage = PrunerStage::new(pruner);
+    run_phases(
+        vec![PhaseInput {
+            partitions,
+            visible_cols,
+        }],
+        &mut stage,
+    )
+    .pop()
+    .expect("one phase in, one run out")
+}
+
+/// Run a staged switch program over a sequence of streaming phases.
+///
+/// Each phase spawns one worker thread per partition plus the switch
+/// thread; the calling thread is the master. The end of a phase's thread
+/// scope is the inter-pass barrier, after which
+/// [`SwitchPhases::begin_phase`] re-arms the program and the next phase
+/// re-streams. Returns one [`ThreadedRun`] per phase, in phase order —
+/// callers pick which phases' survivors and counters matter (a JOIN
+/// build pass forwards nothing; its stats are discarded).
+pub fn run_phases(phases: Vec<PhaseInput>, switch: &mut dyn SwitchPhases) -> Vec<ThreadedRun> {
+    let n = phases.len();
+    let mut it = phases.into_iter();
+    run_phases_with(n, |_| it.next().expect("one input per phase"), switch)
+}
+
+/// Lazy variant of [`run_phases`]: `phase_input(p)` is called only when
+/// phase `p`'s barrier opens, so two-pass flows re-partition per pass
+/// instead of holding both passes' partition copies in memory at once
+/// (the workers re-serialize from the tables between passes, as real
+/// CWorkers would).
+pub fn run_phases_with(
+    n_phases: usize,
+    mut phase_input: impl FnMut(usize) -> PhaseInput,
+    switch: &mut dyn SwitchPhases,
+) -> Vec<ThreadedRun> {
+    let mut runs = Vec::with_capacity(n_phases);
+    for phase_idx in 0..n_phases {
+        switch.begin_phase(phase_idx);
+        runs.push(run_one_phase(phase_idx, phase_input(phase_idx), switch));
+    }
+    runs
+}
+
+/// One worker→switch→master pass with the program borrowed into the
+/// switch thread (scoped threads make the borrow the barrier).
+fn run_one_phase(
+    phase_idx: usize,
+    phase: PhaseInput,
+    switch: &mut dyn SwitchPhases,
 ) -> ThreadedRun {
-    let width = partitions.iter().map(|p| p.cols.len()).max().unwrap_or(0);
+    let width = phase
+        .partitions
+        .iter()
+        .map(|p| p.cols.len())
+        .max()
+        .unwrap_or(0);
+    let visible = phase.visible_cols.min(width);
     let (entry_tx, entry_rx) = mpsc::sync_channel::<ColumnChunk>(64);
     let (fwd_tx, fwd_rx) = mpsc::sync_channel::<ColumnChunk>(64);
 
     std::thread::scope(|scope| {
         // Workers: serialize their partition into the shared switch queue,
         // one block (≤ BLOCK_ENTRIES entries) per send.
-        for part in partitions {
+        for part in phase.partitions {
             let tx = entry_tx.clone();
             scope.spawn(move || {
                 let rows = part.rows();
@@ -101,16 +249,16 @@ pub fn run_stream(
         }
         drop(entry_tx);
 
-        // Switch: single consumer — the one pipeline. The pruner moves
-        // into the thread and its counters come back via the join handle.
-        let switch = scope.spawn(move || {
+        // Switch: single consumer — the one pipeline. The program is
+        // borrowed into the thread; its counters come back via the join
+        // handle.
+        let switch_thread = scope.spawn(move || {
             let mut local = PruneStats::default();
             let mut decisions = [Decision::Prune; BLOCK_ENTRIES];
-            for block in entry_rx {
+            for mut block in entry_rx {
                 let n = block.rows();
-                let colrefs: Vec<&[u64]> = block.cols.iter().map(|c| c.as_slice()).collect();
                 let out = &mut decisions[..n];
-                pruner.process_block(&colrefs, out);
+                switch.process_chunk(phase_idx, &mut block, visible, out);
                 local.record_block(out);
                 // Compact survivors; empty blocks never ship.
                 let mut fwd = ColumnChunk::with_width(block.cols.len());
@@ -123,6 +271,12 @@ pub fn run_stream(
                 }
                 if fwd.rows() > 0 {
                     fwd_tx.send(fwd).expect("master alive");
+                }
+            }
+            // Stream drained: flush residual switch state (FIN packet).
+            if let Some(residual) = switch.fin(phase_idx) {
+                if residual.rows() > 0 {
+                    fwd_tx.send(residual).expect("master alive");
                 }
             }
             local
@@ -138,7 +292,7 @@ pub fn run_stream(
         }
         ThreadedRun {
             forwarded,
-            stats: switch.join().expect("switch thread panicked"),
+            stats: switch_thread.join().expect("switch thread panicked"),
         }
     })
 }
@@ -215,5 +369,146 @@ mod tests {
         assert_eq!(c.rows(), 2);
         assert_eq!(c.row(1), vec![2, 20]);
         assert_eq!(c.to_rows(), vec![vec![1, 10], vec![2, 20]]);
+    }
+
+    /// A two-phase program: phase 0 records the maximum it saw (no
+    /// forwards), phase 1 forwards entries equal to that maximum — a toy
+    /// shape of every build-then-probe flow.
+    struct MaxThenMatch {
+        max: u64,
+        phases_armed: Vec<usize>,
+    }
+
+    impl SwitchPhases for MaxThenMatch {
+        fn begin_phase(&mut self, phase: usize) {
+            self.phases_armed.push(phase);
+        }
+
+        fn process_chunk(
+            &mut self,
+            phase: usize,
+            chunk: &mut ColumnChunk,
+            visible_cols: usize,
+            out: &mut [Decision],
+        ) {
+            assert_eq!(visible_cols, 1);
+            for (i, d) in out.iter_mut().enumerate() {
+                let v = chunk.cols[0][i];
+                *d = if phase == 0 {
+                    self.max = self.max.max(v);
+                    Decision::Prune
+                } else if v == self.max {
+                    Decision::Forward
+                } else {
+                    Decision::Prune
+                };
+            }
+        }
+    }
+
+    #[test]
+    fn two_phase_state_survives_the_barrier() {
+        let mk = || {
+            vec![
+                ColumnChunk {
+                    cols: vec![vec![3, 9, 1]],
+                },
+                ColumnChunk {
+                    cols: vec![vec![7, 9, 2]],
+                },
+            ]
+        };
+        let mut program = MaxThenMatch {
+            max: 0,
+            phases_armed: Vec::new(),
+        };
+        let runs = run_phases(
+            vec![
+                PhaseInput {
+                    partitions: mk(),
+                    visible_cols: 1,
+                },
+                PhaseInput {
+                    partitions: mk(),
+                    visible_cols: 1,
+                },
+            ],
+            &mut program,
+        );
+        assert_eq!(program.phases_armed, vec![0, 1]);
+        assert_eq!(runs[0].forwarded.rows(), 0, "build pass forwards nothing");
+        assert_eq!(runs[0].stats.processed, 6);
+        assert_eq!(
+            runs[1].forwarded.cols[0],
+            vec![9, 9],
+            "both maxima probe out"
+        );
+        assert_eq!(runs[1].stats.forwarded(), 2);
+    }
+
+    /// FIN residuals ship after the stream drains, uncounted in stats.
+    struct HoldAll {
+        seen: Vec<u64>,
+    }
+
+    impl SwitchPhases for HoldAll {
+        fn process_chunk(
+            &mut self,
+            _phase: usize,
+            chunk: &mut ColumnChunk,
+            _visible_cols: usize,
+            out: &mut [Decision],
+        ) {
+            self.seen.extend_from_slice(&chunk.cols[0]);
+            out.fill(Decision::Prune);
+        }
+
+        fn fin(&mut self, _phase: usize) -> Option<ColumnChunk> {
+            let mut lane = std::mem::take(&mut self.seen);
+            lane.sort_unstable();
+            Some(ColumnChunk { cols: vec![lane] })
+        }
+    }
+
+    #[test]
+    fn fin_residuals_reach_the_master_uncounted() {
+        let parts = vec![ColumnChunk {
+            cols: vec![vec![5, 1, 4]],
+        }];
+        let mut program = HoldAll { seen: Vec::new() };
+        let run = run_phases(
+            vec![PhaseInput {
+                partitions: parts,
+                visible_cols: 1,
+            }],
+            &mut program,
+        )
+        .pop()
+        .unwrap();
+        assert_eq!(run.forwarded.cols[0], vec![1, 4, 5]);
+        assert_eq!(run.stats.processed, 3);
+        assert_eq!(run.stats.forwarded(), 0, "drain entries are not decisions");
+    }
+
+    /// Lanes past `visible_cols` must ride through untouched and
+    /// compacted in sync with the visible ones.
+    #[test]
+    fn hidden_lanes_ride_through_compaction() {
+        let parts = vec![ColumnChunk {
+            cols: vec![vec![10, 20, 10, 30], vec![100, 101, 102, 103]],
+        }];
+        let pruner = Box::new(DistinctPruner::new(16, 2, EvictionPolicy::Lru, 0));
+        let run = run_phases(
+            vec![PhaseInput {
+                partitions: parts,
+                visible_cols: 1,
+            }],
+            &mut PrunerStage::new(pruner),
+        )
+        .pop()
+        .unwrap();
+        // The duplicate 10 is pruned; its hidden 102 is dropped with it.
+        assert_eq!(run.forwarded.cols[0], vec![10, 20, 30]);
+        assert_eq!(run.forwarded.cols[1], vec![100, 101, 103]);
     }
 }

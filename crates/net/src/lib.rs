@@ -19,6 +19,25 @@
 //! protocol state machines ([`worker`], [`switchnode`], [`master`]) and a
 //! seeded discrete-event simulation of the lossy fabric ([`sim`]) used by
 //! the correctness property tests and the protocol micro-benchmarks.
+//!
+//! # Examples
+//!
+//! One worker flow through a forward-everything switch over a lossy
+//! fabric — every entry still arrives exactly once:
+//!
+//! ```
+//! use cheetah_net::sim::{Simulation, SimulationConfig};
+//! use cheetah_net::switchnode::SwitchNode;
+//! use cheetah_net::worker::WorkerTx;
+//!
+//! let entries: Vec<Vec<u64>> = (0..50u64).map(|i| vec![i]).collect();
+//! let workers = vec![WorkerTx::new(1, entries, 8, 500)];
+//! let switch = SwitchNode::new(Box::new(|_, _| cheetah_core::Decision::Forward));
+//! let cfg = SimulationConfig { loss_rate: 0.1, seed: 3, ..Default::default() };
+//! let (master, stats) = Simulation::new(cfg).run(workers, switch);
+//! assert!(stats.completed);
+//! assert_eq!(master.into_delivered().len(), 50, "loss never loses entries");
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

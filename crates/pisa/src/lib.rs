@@ -24,6 +24,22 @@
 //! workspace `tests/`) check each one produces byte-identical decisions to
 //! its unconstrained `cheetah-core` reference. [`pack`] implements the §6
 //! multi-query stage packer.
+//!
+//! # Examples
+//!
+//! A metered DISTINCT program behind the ordinary pruner interface:
+//!
+//! ```
+//! use cheetah_core::{RowPruner, SwitchModel};
+//! use cheetah_pisa::programs::DistinctLruProgram;
+//! use cheetah_pisa::ProgramPruner;
+//!
+//! let program = DistinctLruProgram::new(SwitchModel::tofino_like(), 64, 2, 7)
+//!     .expect("fits the single-pipeline envelope");
+//! let mut pruner = ProgramPruner::new(program);
+//! assert!(pruner.process_row(&[5]).is_forward(), "first occurrence");
+//! assert!(pruner.process_row(&[5]).is_prune(), "duplicate");
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

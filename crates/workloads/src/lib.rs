@@ -15,6 +15,20 @@
 //! cardinalities, skew and orderings at any row count, so the *fractional*
 //! metrics (pruning rates, relative completion times) transfer (see
 //! DESIGN.md on substitutions).
+//!
+//! # Examples
+//!
+//! Generators are seeded and reproducible:
+//!
+//! ```
+//! use cheetah_workloads::bigdata::{UserVisits, UserVisitsConfig};
+//!
+//! let cfg = UserVisitsConfig { rows: 1_000, ua_distinct: 50, url_distinct: 100, seed: 7 };
+//! let a = UserVisits::generate(cfg);
+//! let b = UserVisits::generate(cfg);
+//! assert_eq!(a.len(), 1_000);
+//! assert_eq!(a.user_agent, b.user_agent, "same seed, same data");
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

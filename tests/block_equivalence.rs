@@ -203,6 +203,100 @@ proptest! {
     }
 }
 
+/// Threaded multi-pass flows vs the reference oracle, under real
+/// block-arrival races: whatever interleaving the worker threads
+/// produce (and however blocks land between the two passes), the staged
+/// switch programs must complete to exactly the reference result. This
+/// is the concurrent counterpart of the block≡row property above — the
+/// dataflow may reorder, the completed result may not.
+#[test]
+fn threaded_multipass_equals_reference_under_block_races() {
+    use cheetah::engine::cheetah::CheetahExecutor;
+    use cheetah::engine::reference;
+    use cheetah::engine::{Agg, CostModel, Database, Query, Table};
+
+    let mk_db = |rows: usize, keys: u64, seed: u64| -> Database {
+        let mut db = Database::new();
+        db.add(Table::new(
+            "t",
+            vec![
+                (
+                    "k",
+                    (0..rows)
+                        .map(|i| (i as u64 * 131 + seed) % keys + 1)
+                        .collect(),
+                ),
+                (
+                    "v",
+                    (0..rows)
+                        .map(|i| (i as u64 * 197 + seed * 7) % 5_000)
+                        .collect(),
+                ),
+            ],
+        ));
+        db.add(Table::new(
+            "s",
+            vec![(
+                "k",
+                (0..rows / 2)
+                    .map(|i| (i as u64 * 89 + seed) % (keys * 2) + 1)
+                    .collect(),
+            )],
+        ));
+        db
+    };
+    let queries = [
+        Query::Join {
+            left: "t".into(),
+            right: "s".into(),
+            left_col: "k".into(),
+            right_col: "k".into(),
+        },
+        Query::Having {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            threshold: 60_000,
+        },
+        Query::GroupBy {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            agg: Agg::Sum,
+        },
+        Query::DistinctMulti {
+            table: "t".into(),
+            columns: vec!["k".into(), "v".into()],
+        },
+    ];
+    for (trial, &(rows, keys)) in [(1_500usize, 40u64), (3_000, 70), (2_200, 55)]
+        .iter()
+        .enumerate()
+    {
+        let db = mk_db(rows, keys, trial as u64);
+        for workers in [2usize, 4] {
+            let exec = CheetahExecutor::new(
+                CostModel {
+                    workers,
+                    ..CostModel::default()
+                },
+                PrunerConfig::default(),
+            );
+            for q in &queries {
+                let truth = reference::evaluate(&db, q);
+                let report = exec.execute_threaded(&db, q);
+                assert_eq!(
+                    report.result,
+                    truth,
+                    "trial {trial}, {workers} workers: threaded {} raced to a wrong result",
+                    q.kind()
+                );
+                assert!(report.wall.is_some());
+            }
+        }
+    }
+}
+
 /// The engine's backend factories under BOTH backends: the boxed pruners
 /// the executors actually stream through must keep the equivalence too
 /// (this covers the pisa `ProgramPruner` feed and the `NonzeroKey` shift).

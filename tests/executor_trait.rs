@@ -255,6 +255,29 @@ fn trait_objects_are_boxable_and_send() {
 }
 
 #[test]
+fn threaded_covers_every_query_shape_with_measured_wall_clock() {
+    // No query shape falls back to the deterministic path: JOIN, HAVING,
+    // Filter-with-fetch, DistinctMulti and GROUP BY SUM/COUNT all run
+    // their staged dataflow on real threads and report a wall clock,
+    // with results equal to the reference under block-arrival races.
+    let db = appendix_b_db(4_000, 25);
+    let fleet = Fleet::new();
+    for (label, q) in appendix_b_queries() {
+        let truth = reference::evaluate(&db, &q);
+        let r = Executor::execute(&fleet.threaded, &db, &q);
+        assert_eq!(r.result, truth, "[{label}] threaded diverged");
+        assert!(
+            r.wall.is_some(),
+            "[{label}] threaded must measure wall clock (no fallback arm)"
+        );
+        assert!(
+            r.wall.unwrap().as_nanos() > 0,
+            "[{label}] wall clock must be a real measurement"
+        );
+    }
+}
+
+#[test]
 fn two_pass_flows_report_their_passes_through_the_trait() {
     let db = appendix_b_db(2_000, 24);
     let fleet = Fleet::new();
@@ -263,7 +286,15 @@ fn two_pass_flows_report_their_passes_through_the_trait() {
             Query::Join { .. } | Query::Having { .. } => 2,
             _ => 1,
         };
-        let r = Executor::execute(&fleet.cheetah, &db, &q);
-        assert_eq!(r.passes, expected, "[{label}] wrong pass count");
+        // Both the deterministic and the threaded path model the same
+        // streaming structure, so their pass counts must agree.
+        for exec in [&fleet.cheetah as &dyn Executor, &fleet.threaded] {
+            let r = exec.execute(&db, &q);
+            assert_eq!(
+                r.passes, expected,
+                "[{label}] wrong pass count from {}",
+                r.executor
+            );
+        }
     }
 }

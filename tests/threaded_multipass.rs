@@ -1,0 +1,188 @@
+//! Soak for the threaded multi-pass dataflows: each multi-pass query
+//! shape (JOIN, HAVING, Filter-with-fetch, DistinctMulti, GROUP BY
+//! SUM/COUNT) runs repeatedly across worker counts, and every run must
+//! equal the reference oracle with a measured wall clock — Cheetah's
+//! order-independence guarantee under genuine block-arrival races and
+//! repeated inter-pass barriers.
+
+use cheetah::core::filter::{Atom, CmpOp, Formula};
+use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah::engine::reference;
+use cheetah::engine::{
+    Agg, CostModel, Database, Executor, Predicate, Query, Table, ThreadedExecutor,
+};
+
+const TRIALS: usize = 8;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn soak_db(rows: usize, seed: u64) -> Database {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.add(Table::new(
+        "t",
+        vec![
+            ("k", (0..rows).map(|_| rng.gen_range(1..90u64)).collect()),
+            ("v", (0..rows).map(|_| rng.gen_range(1..8_000u64)).collect()),
+            ("w", (0..rows).map(|_| rng.gen_range(1..400u64)).collect()),
+        ],
+    ));
+    db.add(Table::new(
+        "s",
+        vec![
+            (
+                "k",
+                (0..rows / 2).map(|_| rng.gen_range(45..140u64)).collect(),
+            ),
+            (
+                "x",
+                (0..rows / 2).map(|_| rng.gen_range(1..100u64)).collect(),
+            ),
+        ],
+    ));
+    db
+}
+
+fn multipass_queries() -> Vec<(&'static str, Query)> {
+    vec![
+        (
+            "join",
+            Query::Join {
+                left: "t".into(),
+                right: "s".into(),
+                left_col: "k".into(),
+                right_col: "k".into(),
+            },
+        ),
+        (
+            "having",
+            Query::Having {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                threshold: 120_000,
+            },
+        ),
+        (
+            "filter-fetch",
+            Query::Filter {
+                table: "t".into(),
+                predicate: Predicate {
+                    columns: vec!["v".into(), "w".into()],
+                    atoms: vec![Atom::cmp(0, CmpOp::Lt, 400), Atom::cmp(1, CmpOp::Gt, 350)],
+                    formula: Formula::Or(vec![Formula::Atom(0), Formula::Atom(1)]),
+                },
+            },
+        ),
+        (
+            "distinct-multi",
+            Query::DistinctMulti {
+                table: "t".into(),
+                columns: vec!["k".into(), "w".into()],
+            },
+        ),
+        (
+            "groupby-sum",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Sum,
+            },
+        ),
+        (
+            "groupby-count",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Count,
+            },
+        ),
+    ]
+}
+
+/// 8 trials × {1, 2, 4} workers × every multi-pass shape: result equals
+/// the reference oracle every time, and the wall clock is measured.
+#[test]
+fn threaded_multipass_soak() {
+    let db = soak_db(3_000, 31);
+    for workers in WORKER_COUNTS {
+        let exec = ThreadedExecutor::new(CheetahExecutor::new(
+            CostModel {
+                workers,
+                ..CostModel::default()
+            },
+            PrunerConfig::default(),
+        ));
+        for (label, q) in multipass_queries() {
+            let truth = reference::evaluate(&db, &q);
+            for trial in 0..TRIALS {
+                let report = exec.execute(&db, &q);
+                assert_eq!(
+                    report.result, truth,
+                    "[{label}] workers={workers} trial={trial}: threaded diverged"
+                );
+                assert!(
+                    report.wall.is_some(),
+                    "[{label}] workers={workers}: multi-pass must measure wall clock"
+                );
+                assert_eq!(report.executor, "threaded");
+            }
+        }
+    }
+}
+
+/// The two-pass flows report two passes and twice-streamed totals even
+/// on the threaded path, so cost-model comparisons stay apples-to-apples.
+#[test]
+fn threaded_multipass_pass_accounting() {
+    let db = soak_db(2_000, 32);
+    let exec = ThreadedExecutor::new(CheetahExecutor::new(
+        CostModel::default(),
+        PrunerConfig::default(),
+    ));
+    for (label, q) in multipass_queries() {
+        let report = exec.execute(&db, &q);
+        let expected_passes = match q {
+            Query::Join { .. } | Query::Having { .. } => 2,
+            _ => 1,
+        };
+        assert_eq!(report.passes, expected_passes, "[{label}] pass count");
+        if let Query::Having { .. } = q {
+            assert_eq!(
+                report.prune_stats().processed,
+                2 * db.table("t").rows() as u64,
+                "[{label}] HAVING streams every entry twice"
+            );
+        }
+    }
+}
+
+/// Filter's fetch phase must materialize exactly the deterministic
+/// executor's row set regardless of arrival order: the order-independent
+/// checksum pins it.
+#[test]
+fn threaded_fetch_checksum_stable_under_races() {
+    let db = soak_db(4_000, 33);
+    let cheetah = CheetahExecutor::new(CostModel::default(), PrunerConfig::default());
+    let threaded = ThreadedExecutor::new(cheetah.clone());
+    let q = multipass_queries()
+        .into_iter()
+        .find(|(l, _)| *l == "filter-fetch")
+        .map(|(_, q)| q)
+        .unwrap();
+    let det = Executor::execute(&cheetah, &db, &q);
+    let det_sum = det.fetch_checksum.expect("deterministic fetch");
+    assert_ne!(det_sum, 0, "non-empty fetch must checksum nonzero");
+    for trial in 0..TRIALS {
+        let thr = Executor::execute(&threaded, &db, &q);
+        assert_eq!(
+            thr.fetch_checksum,
+            Some(det_sum),
+            "trial {trial}: threaded fetch materialized a different row set"
+        );
+        assert_eq!(thr.fetch_rows, det.fetch_rows);
+    }
+}

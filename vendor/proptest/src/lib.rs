@@ -121,7 +121,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Strategy for `Vec<T>` with a random length (see [`vec`]).
+    /// Strategy for `Vec<T>` with a random length (see [`fn@vec`]).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
