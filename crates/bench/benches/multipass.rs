@@ -1,0 +1,82 @@
+//! Multi-pass dataflow benchmarks: the threaded JOIN build/probe
+//! exchange and the DistinctMulti fingerprint merge — the two shapes the
+//! persistent-pool/pipelined-handoff redesign targets — plus the
+//! isolated core-level join block loops. Engine cases run the full
+//! `ThreadedExecutor` (pool workers, switch thread, master completion);
+//! their deterministic twins run the same queries through
+//! `CheetahExecutor::execute` for a like-for-like wall comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cheetah_bench::bigdata_db;
+use cheetah_core::decision::Decision;
+use cheetah_core::join::{BloomFilter, JoinPruner};
+use cheetah_engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah_engine::{CostModel, Executor, Query, ThreadedExecutor};
+
+const UV_ROWS: usize = 50_000;
+
+fn bench_multipass(c: &mut Criterion) {
+    let db = bigdata_db(UV_ROWS, UV_ROWS / 5, 2_000, 0.5, 42);
+    let cheetah = CheetahExecutor::new(CostModel::default(), PrunerConfig::default());
+    let threaded = ThreadedExecutor::new(cheetah.clone());
+    let cases = [
+        (
+            "join_build_probe",
+            Query::Join {
+                left: "uservisits".into(),
+                right: "rankings".into(),
+                left_col: "destURL".into(),
+                right_col: "pageURL".into(),
+            },
+            // Probe-pass entries (the build pass makes no decisions).
+            (UV_ROWS + UV_ROWS / 5) as u64,
+        ),
+        (
+            "distinct_multi_merge",
+            Query::DistinctMulti {
+                table: "uservisits".into(),
+                columns: vec!["userAgent".into(), "languageCode".into()],
+            },
+            UV_ROWS as u64,
+        ),
+    ];
+    for (name, query, entries) in cases {
+        let mut g = c.benchmark_group(format!("multipass_{name}"));
+        g.throughput(Throughput::Elements(entries));
+        g.sample_size(10);
+        g.bench_function("threaded_pool", |b| {
+            b.iter(|| black_box(threaded.execute(&db, &query)))
+        });
+        g.bench_function("deterministic", |b| {
+            b.iter(|| black_box(cheetah.execute(&db, &query)))
+        });
+        g.finish();
+    }
+
+    // The isolated switch-side join loops: build both Bloom filters from
+    // a two-sided key stream, then probe it — no threads, no channels.
+    let sides: Vec<u64> = (0..2 * UV_ROWS).map(|i| u64::from(i >= UV_ROWS)).collect();
+    let keys: Vec<u64> = (0..2 * UV_ROWS)
+        .map(|i| (i as u64 * 2_654_435_761) % 60_000)
+        .collect();
+    let mut g = c.benchmark_group("multipass_join_block_loops");
+    g.throughput(Throughput::Elements(2 * UV_ROWS as u64));
+    g.sample_size(10);
+    g.bench_function("observe_then_probe", |b| {
+        b.iter(|| {
+            let mut jp = JoinPruner::new(
+                BloomFilter::new(1 << 22, 3, 0),
+                BloomFilter::new(1 << 22, 3, 1),
+            );
+            jp.observe_block(&sides, &keys);
+            let mut out = vec![Decision::Prune; keys.len()];
+            jp.probe_block(&sides, &keys, &mut out);
+            black_box(out.iter().filter(|d| d.is_forward()).count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_multipass);
+criterion_main!(benches);

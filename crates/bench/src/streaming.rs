@@ -223,6 +223,16 @@ pub fn run_queries(uv_rows: usize, reps: usize) -> Vec<QueryBench> {
             },
         ),
         (
+            // The deterministic counterpart of the threaded
+            // `distinct_multi` row: serial fingerprint lane + switch
+            // dedup + master tuple dedup on one thread.
+            "distinct_multi",
+            Query::DistinctMulti {
+                table: "uservisits".into(),
+                columns: vec!["userAgent".into(), "languageCode".into()],
+            },
+        ),
+        (
             "topn",
             Query::TopN {
                 table: "uservisits".into(),
@@ -297,8 +307,8 @@ pub fn run_queries(uv_rows: usize, reps: usize) -> Vec<QueryBench> {
         .collect()
 }
 
-/// One threaded multi-pass query's measured dataflow: real worker/
-/// switch/master threads, staged pruners, inter-pass barriers.
+/// One threaded multi-pass query's measured dataflow: the persistent
+/// worker pool, staged pruners, watermark-driven phase flips.
 #[derive(Debug, Clone)]
 pub struct MultipassBench {
     /// Query label.
@@ -312,18 +322,14 @@ pub struct MultipassBench {
     pub rows_per_sec: f64,
     /// Measured wall-clock seconds of the whole threaded run.
     pub wall_s: f64,
+    /// Per-pass switch spans (seconds) of the best run, from
+    /// `ExecutionReport::pass_walls`.
+    pub pass_walls: Vec<f64>,
 }
 
-/// The threaded multi-pass benchmark: the shapes that used to fall back
-/// to the deterministic path (JOIN, HAVING, Filter fetch, DistinctMulti,
-/// GROUP BY SUM), now on real threads with measured wall clock.
-pub fn run_threaded_multipass(uv_rows: usize, reps: usize) -> Vec<MultipassBench> {
-    let db = bigdata_db(uv_rows, uv_rows / 5, 2_000, 0.5, 42);
-    let exec = ThreadedExecutor::new(CheetahExecutor::new(
-        CostModel::default(),
-        PrunerConfig::default(),
-    ));
-    let queries: Vec<(&str, Query)> = vec![
+/// The multi-pass query set for threaded measurements.
+fn multipass_queries() -> Vec<(&'static str, Query)> {
+    vec![
         (
             "join",
             Query::Join {
@@ -369,20 +375,44 @@ pub fn run_threaded_multipass(uv_rows: usize, reps: usize) -> Vec<MultipassBench
                 agg: Agg::Sum,
             },
         ),
-    ];
-    queries
+    ]
+}
+
+/// Run `query` once warm plus `reps` more times through the threaded
+/// executor, returning the report with the smallest measured wall and
+/// that wall in seconds.
+fn best_threaded_run(
+    exec: &ThreadedExecutor,
+    db: &cheetah_engine::Database,
+    query: &Query,
+    reps: usize,
+) -> (cheetah_engine::ExecutionReport, f64) {
+    let mut report = exec.execute(db, query);
+    let mut best = report.wall.expect("threaded measures wall").as_secs_f64();
+    for _ in 0..reps {
+        let r = std::hint::black_box(exec.execute(db, query));
+        let wall = r.wall.expect("threaded measures wall").as_secs_f64();
+        if wall < best {
+            best = wall;
+            report = r;
+        }
+    }
+    (report, best)
+}
+
+/// The threaded multi-pass benchmark: JOIN, HAVING, Filter fetch,
+/// DistinctMulti and GROUP BY SUM on the persistent worker pool, with
+/// measured wall clock and per-pass switch spans.
+pub fn run_threaded_multipass(uv_rows: usize, reps: usize) -> Vec<MultipassBench> {
+    let db = bigdata_db(uv_rows, uv_rows / 5, 2_000, 0.5, 42);
+    let exec = ThreadedExecutor::new(CheetahExecutor::new(
+        CostModel::default(),
+        PrunerConfig::default(),
+    ));
+    multipass_queries()
         .into_iter()
         .map(|(name, q)| {
-            let mut report = exec.execute(&db, &q);
-            let mut best = report.wall.expect("threaded measures wall").as_secs_f64();
-            for _ in 0..reps {
-                let r = std::hint::black_box(exec.execute(&db, &q));
-                let wall = r.wall.expect("threaded measures wall").as_secs_f64();
-                if wall < best {
-                    best = wall;
-                }
-                report = r;
-            }
+            let (report, best) = best_threaded_run(&exec, &db, &q, reps);
             let stats = report.prune_stats();
             MultipassBench {
                 name: name.to_string(),
@@ -390,9 +420,54 @@ pub fn run_threaded_multipass(uv_rows: usize, reps: usize) -> Vec<MultipassBench
                 entries: stats.processed,
                 rows_per_sec: stats.processed as f64 / best,
                 wall_s: best,
+                pass_walls: report.pass_walls.iter().map(|w| w.as_secs_f64()).collect(),
             }
         })
         .collect()
+}
+
+/// One cell of the worker-count sweep.
+#[derive(Debug, Clone)]
+pub struct WorkerScaling {
+    /// Query label (`join`, `having`, `distinct_multi`).
+    pub name: String,
+    /// Pool size this cell ran with.
+    pub workers: usize,
+    /// Entries per second of measured wall clock (best of reps).
+    pub rows_per_sec: f64,
+    /// Measured wall-clock seconds, best of reps.
+    pub wall_s: f64,
+}
+
+/// Sweep the threaded pool size over {1, 2, 4} workers for the
+/// pruning-heavy multi-pass shapes — the measured basis for the adaptive
+/// worker-count knob (`ThreadedExecutor::with_adaptive_workers`).
+pub fn run_worker_scaling(uv_rows: usize, reps: usize) -> Vec<WorkerScaling> {
+    let db = bigdata_db(uv_rows, uv_rows / 5, 2_000, 0.5, 42);
+    let sweep_queries: Vec<(&str, Query)> = multipass_queries()
+        .into_iter()
+        .filter(|(n, _)| matches!(*n, "join" | "having" | "distinct_multi"))
+        .collect();
+    let mut out = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let exec = ThreadedExecutor::new(CheetahExecutor::new(
+            CostModel {
+                workers,
+                ..CostModel::default()
+            },
+            PrunerConfig::default(),
+        ));
+        for (name, q) in &sweep_queries {
+            let (report, best) = best_threaded_run(&exec, &db, q, reps);
+            out.push(WorkerScaling {
+                name: (*name).to_string(),
+                workers,
+                rows_per_sec: report.prune_stats().processed as f64 / best,
+                wall_s: best,
+            });
+        }
+    }
+    out
 }
 
 /// Render the benchmark snapshot as JSON (no external deps: the format is
@@ -402,6 +477,7 @@ pub fn to_json(
     micro: &[MicroResult],
     queries: &[QueryBench],
     multipass: &[MultipassBench],
+    scaling: &[WorkerScaling],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -434,14 +510,33 @@ pub fn to_json(
     out.push_str("  ],\n");
     out.push_str("  \"threaded_multipass\": [\n");
     for (i, q) in multipass.iter().enumerate() {
+        let walls = q
+            .pass_walls
+            .iter()
+            .map(|w| format!("{w:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"passes\": {}, \"entries\": {}, \"rows_per_sec\": {:.0}, \"wall_s\": {:.6}}}{}\n",
+            "    {{\"name\": \"{}\", \"passes\": {}, \"entries\": {}, \"rows_per_sec\": {:.0}, \"wall_s\": {:.6}, \"pass_walls\": [{}]}}{}\n",
             q.name,
             q.passes,
             q.entries,
             q.rows_per_sec,
             q.wall_s,
+            walls,
             if i + 1 < multipass.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"worker_scaling\": [\n");
+    for (i, c) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"workers\": {}, \"rows_per_sec\": {:.0}, \"wall_s\": {:.6}}}{}\n",
+            c.name,
+            c.workers,
+            c.rows_per_sec,
+            c.wall_s,
+            if i + 1 < scaling.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n");
@@ -457,7 +552,8 @@ pub fn write_bench_json(path: &str) -> std::io::Result<String> {
     let micro = run_micro(micro_rows, 3);
     let queries = run_queries(200_000, 3);
     let multipass = run_threaded_multipass(200_000, 3);
-    let json = to_json(micro_rows, &micro, &queries, &multipass);
+    let scaling = run_worker_scaling(200_000, 3);
+    let json = to_json(micro_rows, &micro, &queries, &multipass, &scaling);
     std::fs::write(path, &json)?;
     Ok(json)
 }
@@ -486,17 +582,24 @@ mod tests {
         let micro = run_micro(5_000, 1);
         let queries = run_queries(5_000, 1);
         let multipass = run_threaded_multipass(5_000, 1);
-        let json = to_json(5_000, &micro, &queries, &multipass);
+        let scaling = run_worker_scaling(5_000, 1);
+        let json = to_json(5_000, &micro, &queries, &multipass, &scaling);
         assert!(json.contains("\"microbench\""));
         assert!(json.contains("\"queries\""));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"threaded_multipass\""));
+        assert!(json.contains("\"worker_scaling\""));
+        assert!(json.contains("\"pass_walls\""));
         // Balanced braces/brackets — cheap structural sanity.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for op in MICRO_OPS {
             assert!(json.contains(&format!("\"op\": \"{op}\"")));
         }
+        assert!(
+            json.contains("\"name\": \"distinct_multi\", \"entries\""),
+            "deterministic queries[] must carry the distinct_multi counterpart"
+        );
         for name in [
             "join",
             "having",
@@ -522,6 +625,32 @@ mod tests {
                 1
             };
             assert_eq!(b.passes, expected_passes, "{}: pass count", b.name);
+            assert_eq!(
+                b.pass_walls.len(),
+                b.passes as usize,
+                "{}: one switch span per pass",
+                b.name
+            );
+            assert!(
+                b.pass_walls.iter().all(|&w| w > 0.0),
+                "{}: pass spans must be measured",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn worker_scaling_sweeps_the_advertised_grid() {
+        let cells = run_worker_scaling(3_000, 1);
+        assert_eq!(cells.len(), 9, "3 worker counts × 3 queries");
+        for cell in &cells {
+            assert!([1, 2, 4].contains(&cell.workers));
+            assert!(
+                matches!(cell.name.as_str(), "join" | "having" | "distinct_multi"),
+                "unexpected sweep query {}",
+                cell.name
+            );
+            assert!(cell.wall_s > 0.0 && cell.rows_per_sec > 0.0);
         }
     }
 }

@@ -207,6 +207,27 @@ impl DistinctPruner {
         self.matrix.process_in_row(row, stored)
     }
 
+    /// Key-lane block loop: identical decisions to per-entry
+    /// [`Self::process`] calls, with the fingerprint branch hoisted out
+    /// of the loop — the switch hot path for DISTINCT / DistinctMulti
+    /// blocks.
+    pub fn process_keys(&mut self, keys: &[u64], out: &mut [Decision]) {
+        match &self.fingerprinter {
+            None => {
+                for (d, &k) in out.iter_mut().zip(keys) {
+                    let row = self.row_hash.bucket(k, self.matrix.rows());
+                    *d = self.matrix.process_in_row(row, k);
+                }
+            }
+            Some(f) => {
+                for (d, &k) in out.iter_mut().zip(keys) {
+                    let row = self.row_hash.bucket(k, self.matrix.rows());
+                    *d = self.matrix.process_in_row(row, f.fp(k));
+                }
+            }
+        }
+    }
+
     /// Access the underlying matrix (for resource accounting).
     pub fn matrix(&self) -> &CacheMatrix {
         &self.matrix
@@ -220,9 +241,7 @@ impl RowPruner for DistinctPruner {
 
     fn process_block(&mut self, cols: &[&[u64]], out: &mut [Decision]) {
         // The key lane is the only column the switch reads.
-        for (d, &k) in out.iter_mut().zip(cols[0]) {
-            *d = self.process(k);
-        }
+        self.process_keys(cols[0], out);
     }
 
     fn reset(&mut self) {
@@ -423,6 +442,27 @@ mod tests {
             }
         }
         assert!(false_prunes > 0, "6-bit fingerprints should collide");
+    }
+
+    #[test]
+    fn key_block_loop_matches_per_entry_decisions() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let keys: Vec<u64> = (0..8_000).map(|_| rng.gen_range(0..700u64)).collect();
+        for fingerprinted in [false, true] {
+            let mk = || {
+                if fingerprinted {
+                    DistinctPruner::with_fingerprints(64, 2, EvictionPolicy::Lru, 1, 32)
+                } else {
+                    DistinctPruner::new(64, 2, EvictionPolicy::Lru, 1)
+                }
+            };
+            let mut a = mk();
+            let expected: Vec<Decision> = keys.iter().map(|&k| a.process(k)).collect();
+            let mut b = mk();
+            let mut got = vec![Decision::Prune; keys.len()];
+            b.process_keys(&keys, &mut got);
+            assert_eq!(got, expected, "fingerprinted={fingerprinted}");
+        }
     }
 
     #[test]

@@ -125,6 +125,23 @@ impl HavingPruner {
         }
     }
 
+    /// Pass-1 block loop: fold a `(keys, vals)` block into the sketch,
+    /// writing each entry's announcement decision into `out` —
+    /// bit-identical to per-entry [`Self::pass_one`] calls.
+    pub fn pass_one_block(&mut self, keys: &[u64], vals: &[u64], out: &mut [Decision]) {
+        for ((d, &k), &v) in out.iter_mut().zip(keys).zip(vals) {
+            *d = self.pass_one(k, v);
+        }
+    }
+
+    /// Pass-2 block loop: candidate-key decisions for a key block —
+    /// bit-identical to per-entry [`Self::pass_two`] calls.
+    pub fn pass_two_block(&self, keys: &[u64], out: &mut [Decision]) {
+        for (d, &k) in out.iter_mut().zip(keys) {
+            *d = self.pass_two(k);
+        }
+    }
+
     /// The HAVING threshold `c`.
     pub fn threshold(&self) -> u64 {
         self.threshold
@@ -431,6 +448,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn block_loops_match_per_entry_decisions() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let keys: Vec<u64> = (0..6_000).map(|_| rng.gen_range(0..150u64)).collect();
+        let vals: Vec<u64> = (0..6_000).map(|_| rng.gen_range(0..50u64)).collect();
+        let threshold = 700u64;
+        let mut a = HavingPruner::new(3, 256, threshold, 4);
+        let mut b = a.clone();
+        let expected1: Vec<Decision> = keys
+            .iter()
+            .zip(&vals)
+            .map(|(&k, &v)| a.pass_one(k, v))
+            .collect();
+        let mut got1 = vec![Decision::Prune; keys.len()];
+        b.pass_one_block(&keys, &vals, &mut got1);
+        assert_eq!(got1, expected1, "pass-1 block loop diverged");
+        let expected2: Vec<Decision> = keys.iter().map(|&k| a.pass_two(k)).collect();
+        let mut got2 = vec![Decision::Prune; keys.len()];
+        b.pass_two_block(&keys, &mut got2);
+        assert_eq!(got2, expected2, "pass-2 block loop diverged");
     }
 
     #[test]

@@ -276,6 +276,57 @@ impl<F: KeyFilter> JoinPruner<F> {
         }
     }
 
+    /// Pass-1 block loop over parallel `(flow id, key)` lanes
+    /// (`sides[i]`: 0 = A, 1 = B — [`JoinPassTwo`]'s §7.2 convention).
+    /// Join partitions are single-sided, so the loop walks runs of equal
+    /// flow id and hoists the side dispatch out of the per-entry path.
+    pub fn observe_block(&mut self, sides: &[u64], keys: &[u64]) {
+        let mut i = 0;
+        while i < keys.len() {
+            let side = sides[i];
+            let mut j = i + 1;
+            while j < keys.len() && sides[j] == side {
+                j += 1;
+            }
+            let filter = if side == 0 {
+                &mut self.filter_a
+            } else {
+                &mut self.filter_b
+            };
+            for &k in &keys[i..j] {
+                filter.insert(k);
+            }
+            i = j;
+        }
+    }
+
+    /// Pass-2 block loop: decide every `(flow id, key)` entry against the
+    /// opposite side's filter (INNER semantics), writing `out[i]` —
+    /// bit-identical to per-entry [`Self::prune_decision`] calls.
+    pub fn probe_block(&self, sides: &[u64], keys: &[u64], out: &mut [Decision]) {
+        let mut i = 0;
+        while i < keys.len() {
+            let side = sides[i];
+            let mut j = i + 1;
+            while j < keys.len() && sides[j] == side {
+                j += 1;
+            }
+            let other = if side == 0 {
+                &self.filter_b
+            } else {
+                &self.filter_a
+            };
+            for (d, &k) in out[i..j].iter_mut().zip(&keys[i..j]) {
+                *d = if other.contains(k) {
+                    Decision::Forward
+                } else {
+                    Decision::Prune
+                };
+            }
+            i = j;
+        }
+    }
+
     /// Reset both filters.
     pub fn clear(&mut self) {
         self.filter_a.clear();
@@ -487,6 +538,35 @@ mod tests {
             .filter(|&k| aj.prune_big(k).is_prune())
             .count();
         assert!(pruned > 9_900, "low-FPR filter should prune ~all: {pruned}");
+    }
+
+    #[test]
+    fn block_loops_match_per_entry_decisions() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let sides: Vec<u64> = (0..4_000).map(|i| u64::from(i >= 2_000)).collect();
+        let keys: Vec<u64> = (0..4_000).map(|_| rng.gen_range(0..3_000)).collect();
+        let mk = || {
+            JoinPruner::new(
+                BloomFilter::new(1 << 14, 3, 5),
+                BloomFilter::new(1 << 14, 3, 6),
+            )
+        };
+        // Per-entry oracle.
+        let mut a = mk();
+        for (&s, &k) in sides.iter().zip(&keys) {
+            a.observe(if s == 0 { Side::Left } else { Side::Right }, k);
+        }
+        let expected: Vec<Decision> = sides
+            .iter()
+            .zip(&keys)
+            .map(|(&s, &k)| a.prune_decision(if s == 0 { Side::Left } else { Side::Right }, k))
+            .collect();
+        // Block path over the same lanes (mixed-side block included).
+        let mut b = mk();
+        b.observe_block(&sides, &keys);
+        let mut out = vec![Decision::Prune; keys.len()];
+        b.probe_block(&sides, &keys, &mut out);
+        assert_eq!(out, expected, "block loops must be bit-identical");
     }
 
     #[test]

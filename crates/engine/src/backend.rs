@@ -234,6 +234,32 @@ impl HavingFlow {
             HavingFlow::Pisa(p) => p.process(&[key, value]).expect("no violations"),
         }
     }
+
+    /// Pass-1 block loop: the backend dispatch happens once per block
+    /// instead of once per entry. Bit-identical to per-entry
+    /// [`Self::pass_one`] calls.
+    pub fn pass_one_block(&mut self, keys: &[u64], vals: &[u64], out: &mut [Decision]) {
+        match self {
+            HavingFlow::Core(p) => p.pass_one_block(keys, vals, out),
+            HavingFlow::Pisa(p) => {
+                for ((d, &k), &v) in out.iter_mut().zip(keys).zip(vals) {
+                    *d = p.process(&[k, v]).expect("no violations");
+                }
+            }
+        }
+    }
+
+    /// Pass-2 block loop, bit-identical to per-entry [`Self::pass_two`].
+    pub fn pass_two_block(&mut self, keys: &[u64], vals: &[u64], out: &mut [Decision]) {
+        match self {
+            HavingFlow::Core(p) => p.pass_two_block(keys, out),
+            HavingFlow::Pisa(p) => {
+                for ((d, &k), &v) in out.iter_mut().zip(keys).zip(vals) {
+                    *d = p.process(&[k, v]).expect("no violations");
+                }
+            }
+        }
+    }
 }
 
 /// Two-pass JOIN flow under either backend.
@@ -283,6 +309,43 @@ impl JoinFlow {
                     Side::Right => JoinMode::ProbeB,
                 });
                 p.process(&[key]).expect("no violations")
+            }
+        }
+    }
+
+    /// Pass-1 block loop over `(flow id, key)` lanes (`sides[i]`: 0 = A,
+    /// 1 = B): the backend dispatch happens once per block, and the core
+    /// path inserts by runs of equal flow id. Bit-identical to per-entry
+    /// [`Self::observe`] calls.
+    pub fn observe_block(&mut self, sides: &[u64], keys: &[u64]) {
+        match self {
+            JoinFlow::Core(p) => p.observe_block(sides, keys),
+            JoinFlow::Pisa(p) => {
+                for (&s, &k) in sides.iter().zip(keys) {
+                    p.set_mode(if s == 0 {
+                        JoinMode::BuildA
+                    } else {
+                        JoinMode::BuildB
+                    });
+                    p.process(&[k]).expect("no violations");
+                }
+            }
+        }
+    }
+
+    /// Pass-2 block loop, bit-identical to per-entry [`Self::probe`].
+    pub fn probe_block(&mut self, sides: &[u64], keys: &[u64], out: &mut [Decision]) {
+        match self {
+            JoinFlow::Core(p) => p.probe_block(sides, keys, out),
+            JoinFlow::Pisa(p) => {
+                for ((d, &s), &k) in out.iter_mut().zip(sides).zip(keys) {
+                    p.set_mode(if s == 0 {
+                        JoinMode::ProbeA
+                    } else {
+                        JoinMode::ProbeB
+                    });
+                    *d = p.process(&[k]).expect("no violations");
+                }
             }
         }
     }

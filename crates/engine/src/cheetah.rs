@@ -14,20 +14,28 @@
 //! materialization fetch (§7.1) that the switch does not touch.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
-use cheetah_core::decision::PruneStats;
+use cheetah_core::decision::{Decision, PruneStats, RowPruner};
 use cheetah_core::distinct::EvictionPolicy;
 use cheetah_core::fingerprint::Fingerprinter;
 use cheetah_core::groupby::{Extremum, GroupBySumPruner};
-use cheetah_core::join::Side;
+use cheetah_core::having::{HavingPassOne, HavingPruner};
+use cheetah_core::join::{BloomFilter, JoinPassTwo, JoinPruner, Side};
 
 use crate::backend::{self, HavingFlow, JoinFlow, SwitchBackend};
 use crate::cost::{master_rate, CostModel, TimingBreakdown};
 use crate::executor::ExecutionReport;
+use crate::multipass::{
+    AsymJoinPhases, GroupBySumStage, HavingPhases, JoinPhases, SIDE_LEFT, SIDE_RIGHT,
+};
 use crate::query::{fetch_checksum, pair_checksum, Agg, Query, QueryResult};
 use crate::reference::skyline_of;
 use crate::stream::{EntryStream, BLOCK_ENTRIES};
 use crate::table::{Database, Table};
+use crate::threaded::{
+    run_phases, run_phases_each, run_stream, Lane, LanePartition, PhaseInput, PrunerStage,
+};
 
 /// Switch-side algorithm configuration (the Table 2 knobs).
 #[derive(Debug, Clone)]
@@ -118,21 +126,102 @@ fn fetch_and_checksum(t: &Table, ids: &[u64]) -> u64 {
 }
 
 /// CMaster join completion, shared by the deterministic and threaded
-/// JOIN arms: pair every forwarded left `(row, key)` against the
-/// forwarded right rows of its key, counting pairs and folding the
-/// order-independent checksum.
-fn join_survivors(left_fwd: &[(u64, u64)], right_build: &HashMap<u64, Vec<u64>>) -> (u64, u64) {
-    let mut pairs = 0u64;
-    let mut checksum = 0u64;
-    for (lrow, k) in left_fwd {
-        if let Some(rrows) = right_build.get(k) {
-            for &rrow in rrows {
-                pairs += 1;
-                checksum = pair_checksum(checksum, *k, *lrow, rrow);
+/// JOIN arms: sort both sides' forwarded `(key, row)` pairs and pair
+/// matching key runs in one batched merge sweep — no per-entry hash-map
+/// probes — counting pairs and folding the order-independent checksum.
+fn join_survivors(mut left: Vec<(u64, u64)>, mut right: Vec<(u64, u64)>) -> (u64, u64) {
+    left.sort_unstable();
+    right.sort_unstable();
+    let (mut pairs, mut checksum) = (0u64, 0u64);
+    let (mut li, mut ri) = (0usize, 0usize);
+    while li < left.len() && ri < right.len() {
+        let k = left[li].0;
+        match k.cmp(&right[ri].0) {
+            std::cmp::Ordering::Less => li += 1,
+            std::cmp::Ordering::Greater => ri += 1,
+            std::cmp::Ordering::Equal => {
+                let le = li + left[li..].iter().take_while(|p| p.0 == k).count();
+                let re = ri + right[ri..].iter().take_while(|p| p.0 == k).count();
+                for &(_, lrow) in &left[li..le] {
+                    for &(_, rrow) in &right[ri..re] {
+                        pairs += 1;
+                        checksum = pair_checksum(checksum, k, lrow, rrow);
+                    }
+                }
+                li = le;
+                ri = re;
             }
         }
     }
     (pairs, checksum)
+}
+
+/// Per-worker partition **views** of `columns`: borrowed lane slices, no
+/// copies — the pool workers serialize blocks straight out of the
+/// table's column storage.
+fn lane_parts<'a>(t: &'a Table, columns: &[usize], workers: usize) -> Vec<LanePartition<'a>> {
+    t.partition_bounds(workers)
+        .into_iter()
+        .map(|(s, e)| LanePartition {
+            rows: e - s,
+            lanes: columns
+                .iter()
+                .map(|&c| Lane::Slice(&t.col_at(c)[s..e]))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Same views, plus a trailing switch-blind synthesized row-id lane for
+/// flows whose master must address table rows (fetch, join pairing).
+fn lane_parts_with_rids<'a>(
+    t: &'a Table,
+    columns: &[usize],
+    workers: usize,
+) -> Vec<LanePartition<'a>> {
+    let mut parts = lane_parts(t, columns, workers);
+    for (part, (s, _)) in parts.iter_mut().zip(t.partition_bounds(workers)) {
+        part.lanes.push(Lane::Iota(s as u64));
+    }
+    parts
+}
+
+/// Both join sides' partitions for one pass: a synthesized §7.2 flow-id
+/// lane, the borrowed key column, and (on the probe pass) synthesized
+/// row ids for master pairing. Everything is a view or generated on the
+/// fly — no per-pass partition copies.
+fn join_parts<'a>(
+    l: &'a Table,
+    r: &'a Table,
+    lc: usize,
+    rc: usize,
+    workers: usize,
+    with_rids: bool,
+) -> Vec<LanePartition<'a>> {
+    let mut parts = side_parts(SIDE_LEFT, l, lc, workers, with_rids);
+    parts.extend(side_parts(SIDE_RIGHT, r, rc, workers, with_rids));
+    parts
+}
+
+/// One join side's partitions: flow-id tag, borrowed key column, and
+/// optionally synthesized row ids.
+fn side_parts(
+    tag: u64,
+    t: &Table,
+    c: usize,
+    workers: usize,
+    with_rids: bool,
+) -> Vec<LanePartition<'_>> {
+    t.partition_bounds(workers)
+        .into_iter()
+        .map(|(s, e)| {
+            let mut lanes = vec![Lane::Const(tag), Lane::Slice(&t.col_at(c)[s..e])];
+            if with_rids {
+                lanes.push(Lane::Iota(s as u64));
+            }
+            LanePartition { rows: e - s, lanes }
+        })
+        .collect()
 }
 
 impl CheetahExecutor {
@@ -366,18 +455,18 @@ impl CheetahExecutor {
                     let d = flow.probe(Side::Left, k);
                     stats.record(d);
                     if d.is_forward() {
-                        left_fwd.push((rid, k));
+                        left_fwd.push((k, rid));
                     }
                 }
-                let mut right_build: HashMap<u64, Vec<u64>> = HashMap::new();
+                let mut right_fwd: Vec<(u64, u64)> = Vec::new();
                 for (&rid, &k) in rstream.row_ids().iter().zip(rstream.col(0)) {
                     let d = flow.probe(Side::Right, k);
                     stats.record(d);
                     if d.is_forward() {
-                        right_build.entry(k).or_default().push(rid);
+                        right_fwd.push((k, rid));
                     }
                 }
-                let (pairs, checksum) = join_survivors(&left_fwd, &right_build);
+                let (pairs, checksum) = join_survivors(left_fwd, right_fwd);
                 let rows = (l.rows() + r.rows()) as u64;
                 let result = QueryResult::JoinSummary { pairs, checksum };
                 self.report(query, 2 * rows, stats, 2, pairs, result)
@@ -398,97 +487,97 @@ impl CheetahExecutor {
         }
     }
 
-    /// Execute with real worker/switch/master threads (bounded channels;
-    /// wall-clock timing, nondeterministic interleaving). **Total over
-    /// every query shape**: single-pass row-pruned queries stream once
-    /// through [`crate::threaded::run_stream`]; the multi-pass flows —
-    /// JOIN's build/probe exchange, HAVING's two-phase group scan,
-    /// Filter's late-materialization fetch, fingerprinted DistinctMulti
-    /// and the register-aggregating GROUP BY SUM/COUNT — run their staged
+    /// Execute on the real-threads pipeline: a persistent worker pool,
+    /// one switch thread and the calling thread as master (wall-clock
+    /// timing, nondeterministic interleaving). **Total over every query
+    /// shape**: single-pass row-pruned queries stream once through
+    /// [`crate::threaded::run_stream`]; the multi-pass flows — JOIN's
+    /// build/probe exchange, HAVING's two-phase group scan, Filter's
+    /// late-materialization fetch, fingerprinted DistinctMulti and the
+    /// register-aggregating GROUP BY SUM/COUNT — run their staged
     /// programs ([`crate::multipass`]) through
-    /// [`crate::threaded::run_phases`]. The returned report always has
-    /// [`ExecutionReport::wall`] set to the measured wall clock.
+    /// [`crate::threaded::run_phases`], whose watermark handoff lets
+    /// pass 2 serialization overlap pass 1 pruning. Workers stream
+    /// borrowed [`Lane`] views of the table columns, so no partition is
+    /// ever copied. The returned report always has
+    /// [`ExecutionReport::wall`] set to the measured wall clock and
+    /// [`ExecutionReport::pass_walls`] to the per-pass switch spans.
     ///
     /// Pruning *rates* vary run to run (arrival races), but the result is
     /// order-independent and must equal [`Self::execute`]'s.
     pub fn execute_threaded(&self, db: &Database, query: &Query) -> ExecutionReport {
-        use crate::multipass::{GroupBySumStage, HavingPhases, JoinPhases, SIDE_LEFT, SIDE_RIGHT};
-        use crate::threaded::{
-            run_phases, run_phases_with, run_stream, ColumnChunk, Partition, PhaseInput,
-        };
-
         let workers = self.model.workers;
         let cfg = &self.config;
-        // Build per-worker columnar partitions of the metadata columns —
-        // contiguous lane copies, no per-row gather.
-        let partition = |t: &Table, cols: &[usize]| -> Vec<Partition> {
-            t.partition_bounds(workers)
-                .into_iter()
-                .map(|(s, e)| ColumnChunk {
-                    cols: cols.iter().map(|&c| t.col_at(c)[s..e].to_vec()).collect(),
-                })
-                .collect()
-        };
-        // Same, plus a trailing switch-blind row-id lane for flows whose
-        // master needs to address table rows (fetch, join pairing).
-        let partition_with_rids = |t: &Table, cols: &[usize]| -> Vec<Partition> {
-            let mut parts = partition(t, cols);
-            for (part, (s, e)) in parts.iter_mut().zip(t.partition_bounds(workers)) {
-                part.cols.push((s as u64..e as u64).collect());
-            }
-            parts
-        };
-        let started = std::time::Instant::now();
+        let started = Instant::now();
         let mut report = match query {
             Query::Distinct { table, column } => {
                 let t = db.table(table);
-                let parts = partition(t, &[t.col_index(column)]);
-                let run = run_stream(parts, backend::distinct(cfg));
-                let result = QueryResult::values(run.forwarded.cols[0].clone());
-                self.report(query, t.rows() as u64, run.stats, 1, 0, result)
+                let mut run = run_stream(
+                    lane_parts(t, &[t.col_index(column)], workers),
+                    backend::distinct(cfg),
+                );
+                let result = QueryResult::values(std::mem::take(&mut run.forwarded.cols[0]));
+                let mut report = self.report(query, t.rows() as u64, run.stats, 1, 0, result);
+                report.pass_walls = vec![run.wall];
+                report
             }
             Query::DistinctMulti { table, columns } => {
-                // §5, Example 8: the CWorker serializes a fingerprint of
-                // the combination; the switch dedups fingerprints, the
-                // master dedups the surviving real tuples. The fingerprint
-                // lane leads each partition; the original columns ride
-                // through switch-blind.
+                // §5, Example 8: each worker serializes the fingerprint
+                // of its rows' column combination on the fly
+                // ([`Lane::Fingerprint`] — the hashing runs in the pool),
+                // the switch dedups fingerprints, and the master dedups
+                // the surviving real tuples. The original columns ride
+                // switch-blind behind the fingerprint lane.
                 let t = db.table(table);
                 let cols: Vec<usize> = columns.iter().map(|c| t.col_index(c)).collect();
                 let fp = Fingerprinter::new(cfg.seed ^ 0xf1f1, 64);
-                let mut parts = partition(t, &cols);
-                for part in &mut parts {
-                    let mut row = Vec::with_capacity(cols.len());
-                    let lane = (0..part.rows())
-                        .map(|i| {
-                            row.clear();
-                            row.extend(part.cols.iter().map(|c| c[i]));
-                            fp.fp_words(&row)
-                        })
-                        .collect();
-                    part.cols.insert(0, lane);
-                }
-                let run = run_phases(
+                let partitions = t
+                    .partition_bounds(workers)
+                    .into_iter()
+                    .map(|(s, e)| {
+                        let slices: Vec<&[u64]> =
+                            cols.iter().map(|&c| &t.col_at(c)[s..e]).collect();
+                        let mut lanes = vec![Lane::Fingerprint {
+                            cols: slices.clone(),
+                            fp: &fp,
+                        }];
+                        lanes.extend(slices.into_iter().map(Lane::Slice));
+                        LanePartition { rows: e - s, lanes }
+                    })
+                    .collect();
+                // Streaming master: materialize each survivor block's
+                // real tuples as it arrives (batched per-block loops —
+                // no accumulate-then-rescan); QueryResult::points dedups.
+                let mut survivors: Vec<Vec<u64>> = Vec::new();
+                let run = run_phases_each(
                     vec![PhaseInput {
-                        partitions: parts,
+                        partitions,
                         visible_cols: 1,
                     }],
-                    &mut crate::threaded::PrunerStage::new(backend::distinct(cfg)),
+                    &mut PrunerStage::new(backend::distinct(cfg)),
+                    |_, _, block| {
+                        block.for_each_row(|row| survivors.push(row[1..].to_vec()));
+                    },
                 )
                 .pop()
                 .expect("one phase");
-                let survivors: Vec<Vec<u64>> = (0..run.forwarded.rows())
-                    .map(|i| run.forwarded.cols[1..].iter().map(|c| c[i]).collect())
-                    .collect();
                 let result = QueryResult::points(survivors);
-                self.report(query, t.rows() as u64, run.stats, 1, 0, result)
+                let mut report = self.report(query, t.rows() as u64, run.stats, 1, 0, result);
+                report.pass_walls = vec![run.wall];
+                report
             }
             Query::TopN { table, order_by, n } => {
                 let t = db.table(table);
-                let parts = partition(t, &[t.col_index(order_by)]);
-                let run = run_stream(parts, backend::topn(cfg, *n));
-                let result = QueryResult::top_values(run.forwarded.cols[0].clone(), *n);
-                self.report(query, t.rows() as u64, run.stats, 1, *n as u64, result)
+                let mut run = run_stream(
+                    lane_parts(t, &[t.col_index(order_by)], workers),
+                    backend::topn(cfg, *n),
+                );
+                let result =
+                    QueryResult::top_values(std::mem::take(&mut run.forwarded.cols[0]), *n);
+                let mut report =
+                    self.report(query, t.rows() as u64, run.stats, 1, *n as u64, result);
+                report.pass_walls = vec![run.wall];
+                report
             }
             Query::GroupBy {
                 table,
@@ -497,7 +586,7 @@ impl CheetahExecutor {
                 agg: agg @ (Agg::Max | Agg::Min),
             } => {
                 let t = db.table(table);
-                let parts = partition(t, &[t.col_index(key), t.col_index(val)]);
+                let parts = lane_parts(t, &[t.col_index(key), t.col_index(val)], workers);
                 let ext = if *agg == Agg::Max {
                     Extremum::Max
                 } else {
@@ -516,14 +605,16 @@ impl CheetahExecutor {
                         (*e).min(v)
                     };
                 }
-                self.report(
+                let mut report = self.report(
                     query,
                     t.rows() as u64,
                     run.stats,
                     1,
                     0,
                     QueryResult::Groups(groups),
-                )
+                );
+                report.pass_walls = vec![run.wall];
+                report
             }
             Query::GroupBy {
                 table,
@@ -534,23 +625,28 @@ impl CheetahExecutor {
                 // §6: partial aggregation in switch registers — hits
                 // absorb (pruned), evictions ride the evicting packet,
                 // the FIN drains residuals; the master sums partials.
+                // COUNT's ones lane is synthesized by the workers
+                // ([`Lane::Const`]) but still materialized in flight:
+                // eviction rewrites need a mutable lane for the displaced
+                // partial to ride out on.
                 let t = db.table(table);
-                let parts = if *agg == Agg::Sum {
-                    partition(t, &[t.col_index(key), t.col_index(val)])
-                } else {
-                    // COUNT folds 1 per entry. Unlike the deterministic
-                    // path's static ONES lane, the value lane is
-                    // materialized here: eviction rewrites need a mutable
-                    // in-flight lane for the displaced partial to ride
-                    // out on, and the CWorker really would serialize the
-                    // constant onto the wire.
-                    let mut parts = partition(t, &[t.col_index(key)]);
-                    for part in &mut parts {
-                        let ones = vec![1; part.rows()];
-                        part.cols.push(ones);
-                    }
-                    parts
-                };
+                let ki = t.col_index(key);
+                let vi = t.col_index(val);
+                let partitions = t
+                    .partition_bounds(workers)
+                    .into_iter()
+                    .map(|(s, e)| LanePartition {
+                        rows: e - s,
+                        lanes: vec![
+                            Lane::Slice(&t.col_at(ki)[s..e]),
+                            if *agg == Agg::Sum {
+                                Lane::Slice(&t.col_at(vi)[s..e])
+                            } else {
+                                Lane::Const(1)
+                            },
+                        ],
+                    })
+                    .collect();
                 let mut stage = GroupBySumStage::new(GroupBySumPruner::new(
                     cfg.groupby_d,
                     cfg.groupby_w,
@@ -558,7 +654,7 @@ impl CheetahExecutor {
                 ));
                 let run = run_phases(
                     vec![PhaseInput {
-                        partitions: parts,
+                        partitions,
                         visible_cols: 2,
                     }],
                     &mut stage,
@@ -569,47 +665,53 @@ impl CheetahExecutor {
                 for (&k, &p) in run.forwarded.cols[0].iter().zip(&run.forwarded.cols[1]) {
                     *groups.entry(k).or_insert(0) += p;
                 }
-                self.report(
+                let mut report = self.report(
                     query,
                     t.rows() as u64,
                     run.stats,
                     1,
                     0,
                     QueryResult::Groups(groups),
-                )
+                );
+                report.pass_walls = vec![run.wall];
+                report
             }
             Query::FilterCount { table, predicate } => {
                 let t = db.table(table);
                 let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
-                let parts = partition(t, &cols);
-                let run = run_stream(parts, backend::filter(cfg, predicate));
+                let run = run_stream(
+                    lane_parts(t, &cols, workers),
+                    backend::filter(cfg, predicate),
+                );
                 let fwd_cols: Vec<&[u64]> =
                     run.forwarded.cols.iter().map(|c| c.as_slice()).collect();
                 let count = (0..run.forwarded.rows())
                     .filter(|&i| predicate.eval_at(&fwd_cols, i))
                     .count() as u64;
-                self.report(
+                let mut report = self.report(
                     query,
                     t.rows() as u64,
                     run.stats,
                     1,
                     0,
                     QueryResult::Count(count),
-                )
+                );
+                report.pass_walls = vec![run.wall];
+                report
             }
             Query::Filter { table, predicate } => {
-                // Switch pass over the predicate lanes (row ids ride
-                // switch-blind), then the §7.1 late-materialization fetch
-                // of the surviving row ids through [`Table::row_into`].
+                // Switch pass over the predicate lanes (synthesized row
+                // ids ride switch-blind), then the §7.1
+                // late-materialization fetch of the surviving row ids
+                // through [`Table::row_into`].
                 let t = db.table(table);
                 let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
-                let parts = partition_with_rids(t, &cols);
                 let run = run_phases(
                     vec![PhaseInput {
-                        partitions: parts,
+                        partitions: lane_parts_with_rids(t, &cols, workers),
                         visible_cols: cols.len(),
                     }],
-                    &mut crate::threaded::PrunerStage::new(backend::filter(cfg, predicate)),
+                    &mut PrunerStage::new(backend::filter(cfg, predicate)),
                 )
                 .pop()
                 .expect("one phase");
@@ -628,6 +730,7 @@ impl CheetahExecutor {
                 let result = QueryResult::row_ids(ids);
                 let mut report = self.report(query, t.rows() as u64, run.stats, 1, fetch, result);
                 report.fetch_checksum = Some(checksum);
+                report.pass_walls = vec![run.wall];
                 report
             }
             Query::Having {
@@ -639,17 +742,15 @@ impl CheetahExecutor {
                 let t = db.table(table);
                 let cols = [t.col_index(key), t.col_index(val)];
                 let mut program = HavingPhases::new(HavingFlow::new(cfg, *threshold));
-                // Lazy per-pass partitioning: the workers re-serialize
-                // the columns for pass 2 instead of holding both passes'
-                // copies across the barrier.
-                let mut runs = run_phases_with(
-                    2,
-                    |_| PhaseInput {
-                        partitions: partition(t, &cols),
-                        visible_cols: 2,
-                    },
-                    &mut program,
-                );
+                // Both passes' inputs are views of the same column lanes:
+                // nothing is re-partitioned or copied at the pass flip,
+                // and the pool starts serializing pass 2 while the switch
+                // still drains pass 1.
+                let phase = || PhaseInput {
+                    partitions: lane_parts(t, &cols, workers),
+                    visible_cols: 2,
+                };
+                let mut runs = run_phases(vec![phase(), phase()], &mut program);
                 let pass2 = runs.pop().expect("pass 2");
                 let pass1 = runs.pop().expect("pass 1");
                 let mut stats = pass1.stats;
@@ -664,7 +765,9 @@ impl CheetahExecutor {
                         .map(|(k, _)| k)
                         .collect(),
                 );
-                self.report(query, 2 * t.rows() as u64, stats, 2, 0, result)
+                let mut report = self.report(query, 2 * t.rows() as u64, stats, 2, 0, result);
+                report.pass_walls = vec![pass1.wall, pass2.wall];
+                report
             }
             Query::Join {
                 left,
@@ -674,72 +777,221 @@ impl CheetahExecutor {
             } => {
                 let l = db.table(left);
                 let r = db.table(right);
-                // Both sides stream in both passes, tagged with the §7.2
-                // flow-id lane; the probe pass adds row ids so the master
-                // can pair survivors.
-                let two_sided = |with_rids: bool| -> Vec<Partition> {
-                    let mut parts = Vec::with_capacity(2 * workers);
-                    for (tag, t, c) in [
-                        (SIDE_LEFT, l, l.col_index(left_col)),
-                        (SIDE_RIGHT, r, r.col_index(right_col)),
-                    ] {
-                        let side_parts = if with_rids {
-                            partition_with_rids(t, &[c])
-                        } else {
-                            partition(t, &[c])
-                        };
-                        for mut part in side_parts {
-                            part.cols.insert(0, vec![tag; part.rows()]);
-                            parts.push(part);
-                        }
-                    }
-                    parts
-                };
-                let mut program = JoinPhases::new(JoinFlow::new(cfg));
-                // Lazy per-pass partitioning: the probe pass's copies
-                // (with row-id lanes) are built only after the build
-                // pass's barrier, not held alongside them.
-                let mut runs = run_phases_with(
-                    2,
-                    |phase| PhaseInput {
-                        partitions: two_sided(phase == 1),
-                        visible_cols: 2,
-                    },
-                    &mut program,
-                );
-                let probe = runs.pop().expect("probe pass");
-                // Build-pass decisions are not probe decisions; only the
-                // probe pass counts toward pruning stats (as in the
-                // deterministic flow).
-                let stats = probe.stats;
-                let mut left_fwd: Vec<(u64, u64)> = Vec::new();
-                let mut right_build: HashMap<u64, Vec<u64>> = HashMap::new();
-                let fwd = &probe.forwarded;
-                for i in 0..fwd.rows() {
-                    let (side, k, rid) = (fwd.cols[0][i], fwd.cols[1][i], fwd.cols[2][i]);
-                    if side == SIDE_LEFT {
-                        left_fwd.push((rid, k));
+                let lc = l.col_index(left_col);
+                let rc = r.col_index(right_col);
+                // Lopsided tables take the §4.3 asymmetric flow: the
+                // small side streams once, unpruned, while building its
+                // filter; the big side streams once, pruned against it.
+                // Each table crosses the switch exactly once (vs twice
+                // in the symmetric build-then-probe flow), the master
+                // pairs the same survivors, and the result is identical.
+                let asymmetric = 2 * l.rows().min(r.rows()) <= l.rows().max(r.rows());
+                let phases = if asymmetric {
+                    let (small, big) = if l.rows() <= r.rows() {
+                        ((SIDE_LEFT, l, lc), (SIDE_RIGHT, r, rc))
                     } else {
-                        right_build.entry(k).or_default().push(rid);
-                    }
+                        ((SIDE_RIGHT, r, rc), (SIDE_LEFT, l, lc))
+                    };
+                    [small, big]
+                        .into_iter()
+                        .map(|(tag, t, c)| PhaseInput {
+                            partitions: side_parts(tag, t, c, workers, true),
+                            visible_cols: 2,
+                        })
+                        .collect()
+                } else {
+                    vec![
+                        PhaseInput {
+                            partitions: join_parts(l, r, lc, rc, workers, false),
+                            visible_cols: 2,
+                        },
+                        PhaseInput {
+                            partitions: join_parts(l, r, lc, rc, workers, true),
+                            visible_cols: 2,
+                        },
+                    ]
+                };
+                let mut sym_program;
+                let mut asym_program;
+                let program: &mut dyn crate::threaded::SwitchPhases = if asymmetric {
+                    asym_program = AsymJoinPhases::new(JoinFlow::new(cfg));
+                    &mut asym_program
+                } else {
+                    sym_program = JoinPhases::new(JoinFlow::new(cfg));
+                    &mut sym_program
+                };
+                // Streaming master: split each survivor block into
+                // per-side (key, row) pairs as it arrives — batched
+                // per-block sweeps, overlapping the switch stream. Join
+                // partitions are single-sided, so the flow id resolves
+                // once per block on the zero-copy path.
+                let mut left_fwd: Vec<(u64, u64)> = Vec::new();
+                let mut right_fwd: Vec<(u64, u64)> = Vec::new();
+                let mut runs =
+                    run_phases_each(phases, program, |_, _, block| match block.const_lane(0) {
+                        Some(tag) => {
+                            let dst = if tag == SIDE_LEFT {
+                                &mut left_fwd
+                            } else {
+                                &mut right_fwd
+                            };
+                            block.extend_pairs_into(1, 2, dst);
+                        }
+                        None => block.for_each_row(|row| {
+                            if row[0] == SIDE_LEFT {
+                                left_fwd.push((row[1], row[2]));
+                            } else {
+                                right_fwd.push((row[1], row[2]));
+                            }
+                        }),
+                    });
+                let pass2 = runs.pop().expect("second pass");
+                let pass1 = runs.pop().expect("first pass");
+                // Symmetric: build-pass decisions are not probe
+                // decisions, so only the probe pass counts (as in the
+                // deterministic flow). Asymmetric: both single-stream
+                // passes make real decisions — together they decide each
+                // entry exactly once, the same total.
+                let mut stats = pass2.stats;
+                if asymmetric {
+                    stats.merge(pass1.stats);
                 }
-                let (pairs, checksum) = join_survivors(&left_fwd, &right_build);
+                let (pairs, checksum) = join_survivors(left_fwd, right_fwd);
                 let rows = (l.rows() + r.rows()) as u64;
+                let streamed = if asymmetric { rows } else { 2 * rows };
                 let result = QueryResult::JoinSummary { pairs, checksum };
-                self.report(query, 2 * rows, stats, 2, pairs, result)
+                let mut report = self.report(query, streamed, stats, 2, pairs, result);
+                report.pass_walls = vec![pass1.wall, pass2.wall];
+                report
             }
             Query::Skyline { table, columns } => {
                 let t = db.table(table);
                 let cols: Vec<usize> = columns.iter().map(|c| t.col_index(c)).collect();
                 let dims = cols.len();
-                let parts = partition(t, &cols);
-                let run = run_stream(parts, backend::skyline(cfg, dims));
+                let run = run_stream(lane_parts(t, &cols, workers), backend::skyline(cfg, dims));
                 let result = QueryResult::points(skyline_of(&run.forwarded.to_rows()));
-                self.report(query, t.rows() as u64, run.stats, 1, 0, result)
+                let mut report = self.report(query, t.rows() as u64, run.stats, 1, 0, result);
+                report.pass_walls = vec![run.wall];
+                report
             }
         };
         report.wall = Some(started.elapsed());
         report
+    }
+
+    /// Pick a per-query worker count ∈ {1, 2, 4, 8} from sampled block
+    /// throughput — the Cuttlefish-style tuning knob behind
+    /// [`crate::executor::ThreadedExecutor::with_adaptive_workers`].
+    ///
+    /// Streams the first few blocks of the query's metadata columns
+    /// through a fresh instance of (a proxy for) the query's switch
+    /// program and times them, then sizes the pool to the estimated
+    /// serialized switch wall: short streams get one worker (thread
+    /// setup would dominate), long streams get the full pool so
+    /// serialization and master completion overlap the pruning.
+    pub fn adaptive_workers(&self, db: &Database, query: &Query) -> usize {
+        const SAMPLE_BLOCKS: usize = 4;
+        let cfg = &self.config;
+        let (t, cols, mut pruner): (&Table, Vec<usize>, Box<dyn RowPruner + Send>) = match query {
+            Query::FilterCount { table, predicate } | Query::Filter { table, predicate } => {
+                let t = db.table(table);
+                (
+                    t,
+                    predicate.columns.iter().map(|c| t.col_index(c)).collect(),
+                    backend::filter(cfg, predicate),
+                )
+            }
+            Query::Distinct { table, column } => {
+                let t = db.table(table);
+                (t, vec![t.col_index(column)], backend::distinct(cfg))
+            }
+            Query::DistinctMulti { table, columns } => {
+                let t = db.table(table);
+                (t, vec![t.col_index(&columns[0])], backend::distinct(cfg))
+            }
+            Query::TopN { table, order_by, n } => {
+                let t = db.table(table);
+                (t, vec![t.col_index(order_by)], backend::topn(cfg, *n))
+            }
+            Query::GroupBy {
+                table, key, val, ..
+            } => {
+                // The MAX register matrix doubles as the SUM/COUNT
+                // accumulator-cost proxy: same row scan, same memory.
+                let t = db.table(table);
+                (
+                    t,
+                    vec![t.col_index(key), t.col_index(val)],
+                    backend::groupby(cfg, Extremum::Max),
+                )
+            }
+            Query::Having {
+                table,
+                key,
+                val,
+                threshold,
+            } => {
+                let t = db.table(table);
+                (
+                    t,
+                    vec![t.col_index(key), t.col_index(val)],
+                    Box::new(HavingPassOne::new(HavingPruner::new(
+                        cfg.having_d,
+                        cfg.having_w,
+                        *threshold,
+                        cfg.seed,
+                    ))),
+                )
+            }
+            Query::Join { left, left_col, .. } => {
+                // Probe an empty filter pair: the Bloom memory traffic is
+                // what the sample needs to see.
+                let t = db.table(left);
+                let c = t.col_index(left_col);
+                (
+                    t,
+                    vec![c, c],
+                    Box::new(JoinPassTwo::new(JoinPruner::new(
+                        BloomFilter::new(cfg.join_m_bits, cfg.join_h, cfg.seed),
+                        BloomFilter::new(cfg.join_m_bits, cfg.join_h, cfg.seed ^ 1),
+                    ))),
+                )
+            }
+            Query::Skyline { table, columns } => {
+                let t = db.table(table);
+                let cols: Vec<usize> = columns.iter().map(|c| t.col_index(c)).collect();
+                let dims = cols.len();
+                (t, cols, backend::skyline(cfg, dims))
+            }
+        };
+        let sample = t.rows().min(SAMPLE_BLOCKS * BLOCK_ENTRIES);
+        if sample == 0 {
+            return 1;
+        }
+        let passes: u64 = if matches!(query, Query::Join { .. } | Query::Having { .. }) {
+            2
+        } else {
+            1
+        };
+        let mut decisions = [Decision::Prune; BLOCK_ENTRIES];
+        let mut colrefs: Vec<&[u64]> = Vec::with_capacity(cols.len());
+        let t0 = Instant::now();
+        let mut start = 0;
+        while start < sample {
+            let len = (sample - start).min(BLOCK_ENTRIES);
+            colrefs.clear();
+            colrefs.extend(cols.iter().map(|&c| &t.col_at(c)[start..start + len]));
+            pruner.process_block(&colrefs, &mut decisions[..len]);
+            start += len;
+        }
+        let per_entry_s = t0.elapsed().as_secs_f64() / sample as f64;
+        let est_switch_s = per_entry_s * (passes * t.rows() as u64) as f64;
+        match est_switch_s {
+            s if s < 0.5e-3 => 1,
+            s if s < 2e-3 => 2,
+            s if s < 8e-3 => 4,
+            _ => 8,
+        }
     }
 
     /// Assemble the report: `streamed_rows` is the total entries sent over
@@ -781,6 +1033,7 @@ impl CheetahExecutor {
             fetch_checksum: None,
             shuffle_entries: stats.forwarded(),
             wall: None,
+            pass_walls: Vec::new(),
         }
     }
 }

@@ -55,6 +55,11 @@ pub struct ExecutionReport {
     pub shuffle_entries: u64,
     /// Measured wall-clock time, for executors that really ran threads.
     pub wall: Option<Duration>,
+    /// Measured switch-side span of each streaming pass (phase open →
+    /// FIN flush), for executors that really ran the threaded pipeline.
+    /// Empty for modeled-only executors; its sum is ≤ `wall` (partition
+    /// setup and master completion account for the rest).
+    pub pass_walls: Vec<Duration>,
 }
 
 impl ExecutionReport {
@@ -125,15 +130,17 @@ impl Executor for CheetahExecutor {
 
 /// The real-threads cluster behind the [`Executor`] seam.
 ///
-/// **Every** query shape runs on genuine worker/switch/master threads
-/// and reports measured wall-clock in [`ExecutionReport::wall`]:
-/// single-pass row-pruned queries stream once through
-/// [`crate::threaded::run_stream`], and the multi-pass flows (JOIN's
-/// build/probe exchange, HAVING's two-phase group scan, Filter's
-/// late-materialization fetch, fingerprinted DistinctMulti, and the
-/// register-aggregating GROUP BY SUM/COUNT) run staged switch programs
-/// ([`crate::multipass`]) through [`crate::threaded::run_phases`], with
-/// the inter-pass barrier re-arming the switch between streams.
+/// **Every** query shape runs on a genuine worker-pool/switch/master
+/// thread topology and reports measured wall-clock in
+/// [`ExecutionReport::wall`] (plus per-pass switch spans in
+/// [`ExecutionReport::pass_walls`]): single-pass row-pruned queries
+/// stream once through [`crate::threaded::run_stream`], and the
+/// multi-pass flows (JOIN's build/probe exchange, HAVING's two-phase
+/// group scan, Filter's late-materialization fetch, fingerprinted
+/// DistinctMulti, and the register-aggregating GROUP BY SUM/COUNT) run
+/// staged switch programs ([`crate::multipass`]) through
+/// [`crate::threaded::run_phases`], whose persistent worker pool flips
+/// phases on per-worker watermarks instead of joining at a barrier.
 /// `timing` keeps the modeled breakdown (same cost model as the
 /// deterministic path, fed the measured pruning stats) so reports stay
 /// comparable across executors; the measured wall clock of the
@@ -142,12 +149,36 @@ impl Executor for CheetahExecutor {
 pub struct ThreadedExecutor {
     /// Configuration shared with the deterministic executor.
     pub inner: CheetahExecutor,
+    /// Pick the pool size per query from sampled block throughput
+    /// instead of `inner.model.workers` (off by default).
+    adaptive: bool,
 }
 
 impl ThreadedExecutor {
-    /// Wrap a configured Cheetah executor.
+    /// Wrap a configured Cheetah executor (fixed worker count from its
+    /// cost model).
     pub fn new(inner: CheetahExecutor) -> Self {
-        ThreadedExecutor { inner }
+        ThreadedExecutor {
+            inner,
+            adaptive: false,
+        }
+    }
+
+    /// Cuttlefish-style per-query tuning knob: sample the first few
+    /// blocks' switch throughput and pick the worker count from
+    /// {1, 2, 4, 8} per query (see
+    /// [`CheetahExecutor::adaptive_workers`]), instead of the cost
+    /// model's fixed constant.
+    pub fn with_adaptive_workers(inner: CheetahExecutor) -> Self {
+        ThreadedExecutor {
+            inner,
+            adaptive: true,
+        }
+    }
+
+    /// Whether this executor tunes its pool size per query.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
     }
 }
 
@@ -157,7 +188,19 @@ impl Executor for ThreadedExecutor {
     }
 
     fn execute(&self, db: &Database, query: &Query) -> ExecutionReport {
-        let mut report = self.inner.execute_threaded(db, query);
+        let mut report = if self.adaptive {
+            let workers = self.inner.adaptive_workers(db, query);
+            let tuned = CheetahExecutor {
+                model: crate::cost::CostModel {
+                    workers,
+                    ..self.inner.model
+                },
+                config: self.inner.config.clone(),
+            };
+            tuned.execute_threaded(db, query)
+        } else {
+            self.inner.execute_threaded(db, query)
+        };
         report.executor = self.name();
         report
     }

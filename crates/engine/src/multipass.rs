@@ -2,8 +2,8 @@
 //!
 //! Each type here implements [`SwitchPhases`] and carries its switch
 //! state (Bloom filters, Count-Min sketch, SUM registers) across the
-//! inter-pass barrier of [`crate::threaded::run_phases`], so the
-//! threaded cluster runs the same two-pass flows the deterministic
+//! watermark-driven phase flips of [`crate::threaded::run_phases`], so
+//! the threaded cluster runs the same two-pass flows the deterministic
 //! executor models:
 //!
 //! * [`JoinPhases`] — pass 1 builds `F_A`/`F_B` from both sides' join
@@ -25,7 +25,6 @@
 
 use cheetah_core::decision::Decision;
 use cheetah_core::groupby::{GroupBySumPruner, SumAction};
-use cheetah_core::join::Side;
 
 use crate::backend::{HavingFlow, JoinFlow};
 use crate::threaded::{ColumnChunk, SwitchPhases};
@@ -35,16 +34,10 @@ pub const SIDE_LEFT: u64 = 0;
 /// Flow-id value tagging right-side (build B / probe B) join entries.
 pub const SIDE_RIGHT: u64 = 1;
 
-#[inline]
-fn side_of(tag: u64) -> Side {
-    if tag == SIDE_LEFT {
-        Side::Left
-    } else {
-        Side::Right
-    }
-}
-
-/// Two-pass JOIN program: build both Bloom filters, then probe.
+/// Two-pass JOIN program: build both Bloom filters, then probe — whole
+/// blocks at a time through [`JoinFlow::observe_block`] /
+/// [`JoinFlow::probe_block`], so the backend and flow-id dispatch cost
+/// once per block, not once per entry.
 pub struct JoinPhases {
     flow: JoinFlow,
 }
@@ -57,24 +50,60 @@ impl JoinPhases {
 }
 
 impl SwitchPhases for JoinPhases {
-    fn process_chunk(
+    fn process_cols(
         &mut self,
         phase: usize,
-        chunk: &mut ColumnChunk,
+        cols: &[&[u64]],
         _visible_cols: usize,
         out: &mut [Decision],
     ) {
-        let (sides, keys) = (&chunk.cols[0], &chunk.cols[1]);
-        for (i, d) in out.iter_mut().enumerate() {
-            let side = side_of(sides[i]);
-            *d = if phase == 0 {
-                // Build pass: the input-column stream populates the
-                // filters; nothing continues to the master.
-                self.flow.observe(side, keys[i]);
-                Decision::Prune
-            } else {
-                self.flow.probe(side, keys[i])
-            };
+        let (sides, keys) = (cols[0], cols[1]);
+        if phase == 0 {
+            // Build pass: the input-column stream populates the
+            // filters; nothing continues to the master.
+            self.flow.observe_block(sides, keys);
+            out.fill(Decision::Prune);
+        } else {
+            self.flow.probe_block(sides, keys, out);
+        }
+    }
+}
+
+/// The §4.3 **asymmetric** JOIN program for lopsided table sizes: phase
+/// 0 streams the *small* side once, building its filter while forwarding
+/// every entry unpruned; phase 1 streams the big side once, pruned
+/// against the small side's filter. Each table is streamed exactly once
+/// (vs twice for [`JoinPhases`]), the master pairs the same survivors,
+/// and the result is identical — Bloom filters have no false negatives,
+/// and unpruned small-side rows without a match simply pair with
+/// nothing.
+pub struct AsymJoinPhases {
+    flow: JoinFlow,
+}
+
+impl AsymJoinPhases {
+    /// Wrap a fresh (empty-filter) join flow.
+    pub fn new(flow: JoinFlow) -> Self {
+        AsymJoinPhases { flow }
+    }
+}
+
+impl SwitchPhases for AsymJoinPhases {
+    fn process_cols(
+        &mut self,
+        phase: usize,
+        cols: &[&[u64]],
+        _visible_cols: usize,
+        out: &mut [Decision],
+    ) {
+        let (sides, keys) = (cols[0], cols[1]);
+        if phase == 0 {
+            // Small side: populate its filter, forward everything.
+            self.flow.observe_block(sides, keys);
+            out.fill(Decision::Forward);
+        } else {
+            // Big side: prune against the small side's filter.
+            self.flow.probe_block(sides, keys, out);
         }
     }
 }
@@ -98,20 +127,18 @@ impl SwitchPhases for HavingPhases {
         }
     }
 
-    fn process_chunk(
+    fn process_cols(
         &mut self,
         phase: usize,
-        chunk: &mut ColumnChunk,
+        cols: &[&[u64]],
         _visible_cols: usize,
         out: &mut [Decision],
     ) {
-        let (keys, vals) = (&chunk.cols[0], &chunk.cols[1]);
-        for (i, d) in out.iter_mut().enumerate() {
-            *d = if phase == 0 {
-                self.flow.pass_one(keys[i], vals[i])
-            } else {
-                self.flow.pass_two(keys[i], vals[i])
-            };
+        let (keys, vals) = (cols[0], cols[1]);
+        if phase == 0 {
+            self.flow.pass_one_block(keys, vals, out);
+        } else {
+            self.flow.pass_two_block(keys, vals, out);
         }
     }
 }
@@ -135,6 +162,12 @@ impl GroupBySumStage {
 }
 
 impl SwitchPhases for GroupBySumStage {
+    /// Evictions rewrite the forwarded packet in place, so this program
+    /// requires materialized blocks end to end.
+    fn rewrites_in_flight(&self) -> bool {
+        true
+    }
+
     fn process_chunk(
         &mut self,
         _phase: usize,
@@ -168,10 +201,10 @@ impl SwitchPhases for GroupBySumStage {
 mod tests {
     use super::*;
     use crate::cheetah::PrunerConfig;
-    use crate::threaded::{run_phases, PhaseInput};
+    use crate::threaded::{run_phases, LanePartition, PhaseInput};
     use std::collections::{HashMap, HashSet};
 
-    fn two_sided_parts(with_rids: bool) -> Vec<ColumnChunk> {
+    fn two_sided_parts(with_rids: bool) -> Vec<LanePartition<'static>> {
         // Left keys 0..60, right keys 40..100 → overlap 40..60.
         let left: Vec<u64> = (0..60).collect();
         let right: Vec<u64> = (40..100).collect();
@@ -181,7 +214,7 @@ mod tests {
             if with_rids {
                 cols.push((0..keys.len() as u64).collect());
             }
-            parts.push(ColumnChunk { cols });
+            parts.push(ColumnChunk { cols }.into());
         }
         parts
     }
@@ -221,6 +254,46 @@ mod tests {
     }
 
     #[test]
+    fn asymmetric_join_streams_each_side_once() {
+        let cfg = PrunerConfig::default();
+        let mut program = AsymJoinPhases::new(JoinFlow::new(&cfg));
+        // Phase 0: the small (right) side builds F_B and forwards all;
+        // phase 1: the big (left) side probes F_B.
+        let small: Vec<u64> = (40..100).collect();
+        let big: Vec<u64> = (0..60).collect();
+        let phase = |tag: u64, keys: &[u64]| PhaseInput {
+            partitions: vec![ColumnChunk {
+                cols: vec![
+                    vec![tag; keys.len()],
+                    keys.to_vec(),
+                    (0..keys.len() as u64).collect(),
+                ],
+            }
+            .into()],
+            visible_cols: 2,
+        };
+        let runs = run_phases(
+            vec![phase(SIDE_RIGHT, &small), phase(SIDE_LEFT, &big)],
+            &mut program,
+        );
+        assert_eq!(
+            runs[0].forwarded.rows(),
+            small.len(),
+            "small side ships unpruned"
+        );
+        assert_eq!(runs[0].stats.processed, small.len() as u64);
+        assert_eq!(runs[0].stats.pruned, 0);
+        // Big side: every matching key survives (no false negatives),
+        // and the disjoint prefix prunes.
+        let survivors: HashSet<u64> = runs[1].forwarded.cols[1].iter().copied().collect();
+        for k in 40..60u64 {
+            assert!(survivors.contains(&k), "lost big-side match {k}");
+        }
+        assert_eq!(runs[1].stats.processed, big.len() as u64);
+        assert!(runs[1].stats.pruned > 0, "disjoint big-side keys prune");
+    }
+
+    #[test]
     fn having_phases_never_lose_an_output_key() {
         let cfg = PrunerConfig::default();
         let keys: Vec<u64> = (0..4_000u64).map(|i| i % 37).collect();
@@ -236,10 +309,11 @@ mod tests {
             .map(|(&k, _)| k)
             .collect();
         assert!(!winners.is_empty());
-        let part = || {
+        let part = || -> Vec<LanePartition<'static>> {
             vec![ColumnChunk {
                 cols: vec![keys.clone(), vals.clone()],
-            }]
+            }
+            .into()]
         };
         let mut program = HavingPhases::new(HavingFlow::new(&cfg, threshold));
         let runs = run_phases(
@@ -284,7 +358,8 @@ mod tests {
             vec![PhaseInput {
                 partitions: vec![ColumnChunk {
                     cols: vec![keys, vals],
-                }],
+                }
+                .into()],
                 visible_cols: 2,
             }],
             &mut program,

@@ -301,6 +301,7 @@ impl SparkExecutor {
             fetch_checksum: None,
             shuffle_entries,
             wall: None,
+            pass_walls: Vec::new(),
         }
     }
 }

@@ -97,14 +97,10 @@ impl EntryStream {
     /// fingerprint over all metadata columns (§5, Example 8: wide keys
     /// travel as fingerprints; the master still dedups the real tuples).
     pub fn fingerprint_lane(&mut self, fp: &Fingerprinter) {
-        let mut row = Vec::with_capacity(self.cols.len());
-        let lane = (0..self.len())
-            .map(|i| {
-                row.clear();
-                row.extend(self.cols.iter().map(|c| c[i]));
-                fp.fp_words(&row)
-            })
-            .collect();
+        let cols: Vec<&[u64]> = self.cols.iter().map(Vec::as_slice).collect();
+        let mut lane = Vec::with_capacity(self.len());
+        let mut scratch = Vec::with_capacity(self.cols.len());
+        fingerprint_rows(&cols, 0, self.len(), fp, &mut lane, &mut scratch);
         self.key_lane = Some(lane);
     }
 
@@ -166,6 +162,26 @@ impl EntryStream {
             }
             start += len;
         }
+    }
+}
+
+/// Append the §5 fingerprints of rows `start..start + len` of `cols`
+/// onto `out`, gathering each row across the column slices through one
+/// reused `scratch` buffer — the shared worker-side serialization loop
+/// behind [`EntryStream::fingerprint_lane`] and the threaded pipeline's
+/// fingerprint lanes ([`crate::threaded::Lane::Fingerprint`]).
+pub fn fingerprint_rows(
+    cols: &[&[u64]],
+    start: usize,
+    len: usize,
+    fp: &Fingerprinter,
+    out: &mut Vec<u64>,
+    scratch: &mut Vec<u64>,
+) {
+    for i in start..start + len {
+        scratch.clear();
+        scratch.extend(cols.iter().map(|c| c[i]));
+        out.push(fp.fp_words(scratch));
     }
 }
 

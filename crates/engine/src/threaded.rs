@@ -1,27 +1,41 @@
-//! Real-threads cluster: workers, switch and master as OS threads wired
-//! with bounded channels, generalized to **multi-phase** dataflows.
+//! Real-threads cluster: a **persistent worker pool**, one switch thread
+//! and the master wired with channels, running multi-phase dataflows with
+//! **pipelined phase handoff**.
 //!
 //! The deterministic executor interleaves partitions round-robin; this
 //! module runs the same dataflow with genuine concurrency — worker threads
 //! race into one switch thread (the pruning program runs serialized there,
-//! as the single ASIC pipeline would), and the master thread accumulates
+//! as the single ASIC pipeline would), and the master thread sinks
 //! survivors. Entries travel in column-major **blocks** (§9's
-//! multi-entry-packet shape): each worker slices its columnar partition
-//! into [`BLOCK_ENTRIES`]-sized chunks, the switch decides a whole block
-//! per [`SwitchPhases::process_chunk`] call, and only compacted survivor
-//! blocks continue to the master — no per-row `Vec` anywhere in the
-//! steady state.
+//! multi-entry-packet shape) of [`WIRE_ENTRIES`] entries, serialized
+//! straight from [`Lane`] sources — table column slices, synthesized row
+//! ids, constant flow tags, worker-computed fingerprints. For read-only
+//! programs the blocks are **zero-copy views**: the descriptor references
+//! the shared lanes, the switch decides it via
+//! [`SwitchPhases::process_cols`], and survivors return to the master as
+//! **index masks** over the same views ([`SurvivorBlock`]) — no entry is
+//! copied anywhere on the path. Programs that rewrite forwarded entries
+//! in flight ([`SwitchPhases::rewrites_in_flight`]) get materialized
+//! blocks, decided by [`SwitchPhases::process_chunk`] and compacted in
+//! place. Either way: no per-row `Vec` in the steady state and O(1)
+//! allocations per block.
 //!
 //! Multi-pass queries (§6–§7: JOIN's partition exchange, HAVING's
 //! two-phase group scan, GROUP BY SUM's register aggregation) run through
-//! [`run_phases`]: each [`PhaseInput`] streams once through the
-//! worker→switch→master topology, the end of the phase's thread scope is
-//! the **barrier**, and [`SwitchPhases::begin_phase`] re-arms the switch
-//! program (the control-plane rule flip of §4.3) before the next phase's
-//! workers start re-streaming. The staged programs themselves live in
-//! [`crate::multipass`]; single-pass queries keep the [`run_stream`]
-//! convenience wrapper, which adapts any [`RowPruner`] via
-//! [`PrunerStage`].
+//! [`run_phases`]. Unlike the earlier per-phase `thread::scope` design,
+//! [`run_phases`] spawns each worker **exactly once per query**: a worker
+//! receives its partition for every phase up front and streams them
+//! back-to-back, ending each with a per-worker **watermark** (EOF marker)
+//! instead of joining at a global barrier. The switch opens phase `p+1`
+//! — calling [`SwitchPhases::begin_phase`], the control-plane rule flip
+//! of §4.3 — as soon as all watermarks for phase `p` have arrived and the
+//! [`SwitchPhases::fin`] residuals have flushed; blocks that raced ahead
+//! of the flip are parked and replayed the moment their phase opens. So
+//! pass `p+1` serialization overlaps pass `p` pruning and master
+//! completion, the way the paper's switch pipeline never drains between
+//! stages. The staged programs themselves live in [`crate::multipass`];
+//! single-pass queries keep the [`run_stream`] convenience wrapper, which
+//! adapts any [`RowPruner`] via [`PrunerStage`].
 //!
 //! Block arrival order is nondeterministic, so pruning *rates* vary run
 //! to run, but Cheetah's guarantee is order-independent: the completed
@@ -29,14 +43,25 @@
 //! integration tests (`tests/threaded_multipass.rs`,
 //! `tests/executor_trait.rs`) assert.
 
+use std::cell::Cell;
 use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 use cheetah_core::decision::{Decision, PruneStats, RowPruner};
+use cheetah_core::fingerprint::Fingerprinter;
 
-use crate::stream::BLOCK_ENTRIES;
+use crate::stream::{fingerprint_rows, BLOCK_ENTRIES};
 
-/// One worker's partition (or a block in flight, or the master's
-/// accumulated survivors): column-major lanes of equal length.
+/// Entries per worker→switch message: eight switch blocks ride one
+/// channel send. The switch still decides [`BLOCK_ENTRIES`]-aligned
+/// lanes in one `process_chunk` call (block loops accept any length);
+/// batching the *transport* amortizes the channel wakeups, which
+/// otherwise dominate on small hosts where worker, switch and master
+/// time-share cores.
+pub const WIRE_ENTRIES: usize = 8 * BLOCK_ENTRIES;
+
+/// A block in flight (or the master's accumulated survivors):
+/// column-major lanes of equal length.
 #[derive(Debug, Clone, Default)]
 pub struct ColumnChunk {
     /// One lane per metadata column.
@@ -68,15 +93,82 @@ impl ColumnChunk {
     }
 }
 
-/// One worker's partition of the metadata columns.
-pub type Partition = ColumnChunk;
+/// One lane of a worker's partition: where the worker reads entry values
+/// as it serializes blocks onto the wire. Borrowed variants make the
+/// partition a **view** — building a two-pass query's inputs copies no
+/// column data at all (the per-pass re-partition copies of the old
+/// barrier design are gone).
+#[derive(Debug, Clone)]
+pub enum Lane<'a> {
+    /// A borrowed column slice (normally straight out of a [`crate::table::Table`]).
+    Slice(&'a [u64]),
+    /// Owned backing (tests, pre-materialized lanes).
+    Owned(Vec<u64>),
+    /// Synthesized constant (a §7.2 flow-id tag, COUNT's ones lane).
+    Const(u64),
+    /// Synthesized row ids `start, start+1, …` — the switch-blind fetch
+    /// lane, generated on the fly instead of materialized.
+    Iota(u64),
+    /// Computed per entry by the worker: the §5 fingerprint over the
+    /// given column slices, so multi-column key hashing runs *in the
+    /// workers* (parallel across the pool), not on the master.
+    Fingerprint {
+        /// The key columns, gathered per row.
+        cols: Vec<&'a [u64]>,
+        /// The fingerprinter shared by every worker of the query.
+        fp: &'a Fingerprinter,
+    },
+}
+
+impl Lane<'_> {
+    /// Append entries `start..start + len` of this lane onto `out`.
+    /// `scratch` is the worker's reused row-gather buffer.
+    fn fill(&self, start: usize, len: usize, out: &mut Vec<u64>, scratch: &mut Vec<u64>) {
+        match self {
+            Lane::Slice(s) => out.extend_from_slice(&s[start..start + len]),
+            Lane::Owned(v) => out.extend_from_slice(&v[start..start + len]),
+            Lane::Const(c) => out.extend(std::iter::repeat_n(*c, len)),
+            Lane::Iota(base) => {
+                let lo = base + start as u64;
+                out.extend(lo..lo + len as u64);
+            }
+            Lane::Fingerprint { cols, fp } => fingerprint_rows(cols, start, len, fp, out, scratch),
+        }
+    }
+}
+
+/// One worker's partition for one phase: `rows` entries read from `lanes`.
+#[derive(Debug, Clone, Default)]
+pub struct LanePartition<'a> {
+    /// Entries this worker streams in the phase.
+    pub rows: usize,
+    /// Lane sources, one per column of the in-flight blocks.
+    pub lanes: Vec<Lane<'a>>,
+}
+
+impl LanePartition<'_> {
+    /// Number of lanes (the width of the blocks this partition ships).
+    pub fn width(&self) -> usize {
+        self.lanes.len()
+    }
+}
+
+/// Owned column-major data is a partition of itself (test convenience).
+impl From<ColumnChunk> for LanePartition<'static> {
+    fn from(chunk: ColumnChunk) -> Self {
+        LanePartition {
+            rows: chunk.rows(),
+            lanes: chunk.cols.into_iter().map(Lane::Owned).collect(),
+        }
+    }
+}
 
 /// One streaming pass of a multi-phase dataflow: what each worker sends,
 /// and how much of it the switch program may look at.
-#[derive(Debug, Clone)]
-pub struct PhaseInput {
-    /// Per-worker column-major partitions for this pass.
-    pub partitions: Vec<Partition>,
+#[derive(Debug, Clone, Default)]
+pub struct PhaseInput<'a> {
+    /// Per-worker partitions for this pass.
+    pub partitions: Vec<LanePartition<'a>>,
     /// The leading lanes the switch program sees. Trailing lanes (e.g.
     /// the row-id lane of a fetch flow) ride through switch-blind, like
     /// the packet payload bytes the parser never extracts.
@@ -93,23 +185,64 @@ pub struct PhaseInput {
 /// phase 2, exactly as the ASIC's register arrays persist between the
 /// control plane's rule flips.
 pub trait SwitchPhases: Send {
-    /// Re-arm for `phase` (the control-plane barrier action). Called
-    /// before the phase's workers start, including `phase == 0`.
+    /// Re-arm for `phase` (the control-plane rule flip). Called when the
+    /// phase **opens** — for `phase == 0` before any block, and for later
+    /// phases once every worker's watermark for the previous phase has
+    /// arrived and its residuals have flushed. Blocks that arrive ahead
+    /// of the flip are parked by the switch loop and never reach the
+    /// program early.
     fn begin_phase(&mut self, phase: usize) {
         let _ = phase;
     }
 
-    /// Decide one block: `chunk.cols[..visible_cols]` are the
-    /// switch-visible lanes, `out[i]` receives entry `i`'s decision.
-    /// Forwarded entries may be rewritten in place — how a GROUP BY SUM
-    /// eviction rides out on the evicting packet (§6).
+    /// Decide one block over **borrowed** column lanes:
+    /// `cols[..visible_cols]` are the switch-visible lanes, `out[i]`
+    /// receives entry `i`'s decision. This is the zero-copy hot path —
+    /// read-only programs implement it, and the pipeline then ships
+    /// survivor **index masks** over shared lane views instead of
+    /// materialized blocks. Programs that must rewrite forwarded entries
+    /// in place (GROUP BY SUM's packet-riding evictions) override
+    /// [`SwitchPhases::process_chunk`] and
+    /// [`SwitchPhases::rewrites_in_flight`] instead; the pipeline never
+    /// hands them borrowed blocks, so their `process_cols` is never
+    /// called.
+    fn process_cols(
+        &mut self,
+        phase: usize,
+        cols: &[&[u64]],
+        visible_cols: usize,
+        out: &mut [Decision],
+    ) {
+        let _ = (phase, cols, visible_cols, out);
+        unreachable!("read-only switch programs must implement process_cols");
+    }
+
+    /// Decide one **materialized** block: like
+    /// [`SwitchPhases::process_cols`], but forwarded entries may be
+    /// rewritten in place — how a GROUP BY SUM eviction rides out on the
+    /// evicting packet (§6). Only programs returning `true` from
+    /// [`SwitchPhases::rewrites_in_flight`] (plus blocks whose lanes had
+    /// to be materialized anyway) receive this call; the default
+    /// delegates to `process_cols`.
     fn process_chunk(
         &mut self,
         phase: usize,
         chunk: &mut ColumnChunk,
         visible_cols: usize,
         out: &mut [Decision],
-    );
+    ) {
+        let colrefs: Vec<&[u64]> = chunk.cols.iter().map(|c| c.as_slice()).collect();
+        self.process_cols(phase, &colrefs, visible_cols, out);
+    }
+
+    /// Whether this program rewrites forwarded entries in place. When
+    /// `true`, workers materialize every block (mutable lanes) and the
+    /// switch compacts survivors into the block itself; when `false`
+    /// (default), view-only partitions travel as zero-copy descriptors
+    /// and survivors as index masks.
+    fn rewrites_in_flight(&self) -> bool {
+        false
+    }
 
     /// FIN hook: residual entries to ship to the master after `phase`'s
     /// stream drains (e.g. the GROUP BY SUM register drain). Residuals
@@ -133,36 +266,240 @@ impl PrunerStage {
 }
 
 impl SwitchPhases for PrunerStage {
-    fn process_chunk(
+    fn process_cols(
         &mut self,
         _phase: usize,
-        chunk: &mut ColumnChunk,
+        cols: &[&[u64]],
         visible_cols: usize,
         out: &mut [Decision],
     ) {
-        let colrefs: Vec<&[u64]> = chunk.cols[..visible_cols]
-            .iter()
-            .map(|c| c.as_slice())
-            .collect();
-        self.pruner.process_block(&colrefs, out);
+        self.pruner.process_block(&cols[..visible_cols], out);
     }
 }
 
 /// Outcome of one threaded streaming phase.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct ThreadedRun {
     /// Entries the switch forwarded, compacted into flat column lanes in
     /// master arrival order.
     pub forwarded: ColumnChunk,
     /// Switch pruning counters for this phase.
     pub stats: PruneStats,
+    /// Switch-side span of the phase: from the phase opening
+    /// (`begin_phase`) to its FIN flush. Phases overlap at the workers
+    /// but are sequential at the switch, so these spans partition the
+    /// switch thread's wall clock.
+    pub wall: Duration,
 }
 
-/// Stream `partitions` through `pruner` with one thread per worker, one
-/// switch thread, and the calling thread as master — the single-phase
+thread_local! {
+    static WORKER_SPAWNS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total worker threads spawned by [`run_phases`] calls made **from the
+/// current thread** — a diagnostic counter for tests asserting the pool
+/// spawns each worker exactly once per query (thread-local, so
+/// concurrently running tests never race it).
+pub fn worker_threads_spawned() -> u64 {
+    WORKER_SPAWNS.with(Cell::get)
+}
+
+/// One lane of an in-flight block view: either a direct reference into
+/// the shared partition data or a small generated/owned payload.
+#[derive(Debug)]
+enum LaneView<'a> {
+    /// Borrowed column slice — zero-copy serialization.
+    Slice(&'a [u64]),
+    /// Constant lane, generated on read.
+    Const(u64),
+    /// Row ids `base, base+1, …`, generated on read.
+    Iota(u64),
+    /// Worker-materialized payload (fingerprint lanes, owned test data).
+    Owned(Vec<u64>),
+}
+
+/// A zero-copy block descriptor: `rows` entries over `lanes`.
+#[derive(Debug)]
+struct BlockView<'a> {
+    rows: usize,
+    lanes: Vec<LaneView<'a>>,
+}
+
+/// A block on the worker → switch wire.
+enum BlockMsg<'a> {
+    /// Fully materialized (rewriting programs need mutable lanes).
+    Owned(ColumnChunk),
+    /// View descriptor — the switch reads the shared lanes directly.
+    View(BlockView<'a>),
+}
+
+/// Worker → switch traffic: blocks, then one watermark per phase.
+enum SwitchMsg<'a> {
+    /// A serialized block of `phase`.
+    Block(usize, BlockMsg<'a>),
+    /// Per-worker end-of-phase watermark: this worker has streamed its
+    /// whole `phase` partition (it may already be serializing the next).
+    Eof(usize),
+}
+
+/// Switch → master traffic.
+enum MasterMsg<'a> {
+    /// Survivors of one block of `phase`.
+    Survivors(usize, SurvivorBlock<'a>),
+    /// `phase` fully drained at the switch: its counters and span.
+    PhaseDone(usize, PruneStats, Duration),
+}
+
+/// Read entry `i` of a view lane.
+#[inline]
+fn lane_get(lane: &LaneView<'_>, i: usize) -> u64 {
+    match lane {
+        LaneView::Slice(s) => s[i],
+        LaneView::Owned(v) => v[i],
+        LaneView::Const(v) => *v,
+        LaneView::Iota(base) => base + i as u64,
+    }
+}
+
+/// Visit the index of every set bit in `mask`.
+#[inline]
+fn for_each_set(mask: &[u64], mut f: impl FnMut(usize)) {
+    for (w, &word) in mask.iter().enumerate() {
+        let mut m = word;
+        while m != 0 {
+            f(w * 64 + m.trailing_zeros() as usize);
+            m &= m - 1;
+        }
+    }
+}
+
+/// One block's surviving entries, as delivered to the master sink —
+/// either a compacted materialized block, or a **survivor index mask**
+/// over the shared lane views (the zero-copy path: nothing was copied to
+/// get these entries here).
+#[derive(Debug)]
+pub struct SurvivorBlock<'a> {
+    inner: SurvivorsInner<'a>,
+}
+
+#[derive(Debug)]
+enum SurvivorsInner<'a> {
+    /// In-place-compacted materialized block (rewriting programs, FIN
+    /// residuals).
+    Owned(ColumnChunk),
+    /// Survivor bit-mask over a block view; `kept` bits are set.
+    Masked {
+        view: BlockView<'a>,
+        mask: Vec<u64>,
+        kept: usize,
+    },
+}
+
+impl SurvivorBlock<'_> {
+    fn owned(chunk: ColumnChunk) -> SurvivorBlock<'static> {
+        SurvivorBlock {
+            inner: SurvivorsInner::Owned(chunk),
+        }
+    }
+
+    /// Surviving entries in this block.
+    pub fn rows(&self) -> usize {
+        match &self.inner {
+            SurvivorsInner::Owned(c) => c.rows(),
+            SurvivorsInner::Masked { kept, .. } => *kept,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn width(&self) -> usize {
+        match &self.inner {
+            SurvivorsInner::Owned(c) => c.cols.len(),
+            SurvivorsInner::Masked { view, .. } => view.lanes.len(),
+        }
+    }
+
+    /// Append lane `c`'s surviving values onto `out`.
+    pub fn extend_lane_into(&self, c: usize, out: &mut Vec<u64>) {
+        match &self.inner {
+            SurvivorsInner::Owned(chunk) => out.extend_from_slice(&chunk.cols[c]),
+            SurvivorsInner::Masked { view, mask, kept } => match &view.lanes[c] {
+                LaneView::Slice(s) => for_each_set(mask, |i| out.push(s[i])),
+                LaneView::Owned(v) => for_each_set(mask, |i| out.push(v[i])),
+                LaneView::Const(v) => out.extend(std::iter::repeat_n(*v, *kept)),
+                LaneView::Iota(base) => for_each_set(mask, |i| out.push(base + i as u64)),
+            },
+        }
+    }
+
+    /// The lane's constant value, when this block is a zero-copy view
+    /// over a generated constant lane (a flow-id tag): lets sinks
+    /// resolve per-block invariants (join partitions are single-sided)
+    /// once instead of per entry.
+    pub fn const_lane(&self, c: usize) -> Option<u64> {
+        match &self.inner {
+            SurvivorsInner::Masked { view, .. } => match view.lanes[c] {
+                LaneView::Const(v) => Some(v),
+                _ => None,
+            },
+            SurvivorsInner::Owned(_) => None,
+        }
+    }
+
+    /// Append each surviving entry's `(lane c1, lane c2)` values onto
+    /// `out` — the tight two-lane sweep behind pairing masters.
+    pub fn extend_pairs_into(&self, c1: usize, c2: usize, out: &mut Vec<(u64, u64)>) {
+        match &self.inner {
+            SurvivorsInner::Owned(chunk) => {
+                out.extend(
+                    chunk.cols[c1]
+                        .iter()
+                        .zip(&chunk.cols[c2])
+                        .map(|(&a, &b)| (a, b)),
+                );
+            }
+            SurvivorsInner::Masked { view, mask, .. } => {
+                let (l1, l2) = (&view.lanes[c1], &view.lanes[c2]);
+                for_each_set(mask, |i| out.push((lane_get(l1, i), lane_get(l2, i))));
+            }
+        }
+    }
+
+    /// Visit every surviving entry as a gathered row (one reused scratch
+    /// per call).
+    pub fn for_each_row(&self, mut f: impl FnMut(&[u64])) {
+        let width = self.width();
+        let mut row = vec![0u64; width];
+        match &self.inner {
+            SurvivorsInner::Owned(chunk) => {
+                for i in 0..chunk.rows() {
+                    for (r, c) in row.iter_mut().zip(&chunk.cols) {
+                        *r = c[i];
+                    }
+                    f(&row);
+                }
+            }
+            SurvivorsInner::Masked { view, mask, .. } => for_each_set(mask, |i| {
+                for (r, lane) in row.iter_mut().zip(&view.lanes) {
+                    *r = lane_get(lane, i);
+                }
+                f(&row);
+            }),
+        }
+    }
+}
+
+/// Stream `partitions` through `pruner` with the worker pool, one switch
+/// thread, and the calling thread as master — the single-phase
 /// convenience over [`run_phases`].
-pub fn run_stream(partitions: Vec<Partition>, pruner: Box<dyn RowPruner + Send>) -> ThreadedRun {
-    let visible_cols = partitions.iter().map(|p| p.cols.len()).max().unwrap_or(0);
+pub fn run_stream(
+    partitions: Vec<LanePartition<'_>>,
+    pruner: Box<dyn RowPruner + Send>,
+) -> ThreadedRun {
+    let visible_cols = partitions
+        .iter()
+        .map(LanePartition::width)
+        .max()
+        .unwrap_or(0);
     let mut stage = PrunerStage::new(pruner);
     run_phases(
         vec![PhaseInput {
@@ -175,126 +512,365 @@ pub fn run_stream(partitions: Vec<Partition>, pruner: Box<dyn RowPruner + Send>)
     .expect("one phase in, one run out")
 }
 
-/// Run a staged switch program over a sequence of streaming phases.
+/// Run a staged switch program over a sequence of streaming phases on a
+/// persistent worker pool, accumulating survivors into flat lanes.
 ///
-/// Each phase spawns one worker thread per partition plus the switch
-/// thread; the calling thread is the master. The end of a phase's thread
-/// scope is the inter-pass barrier, after which
-/// [`SwitchPhases::begin_phase`] re-arms the program and the next phase
-/// re-streams. Returns one [`ThreadedRun`] per phase, in phase order —
-/// callers pick which phases' survivors and counters matter (a JOIN
-/// build pass forwards nothing; its stats are discarded).
-pub fn run_phases(phases: Vec<PhaseInput>, switch: &mut dyn SwitchPhases) -> Vec<ThreadedRun> {
-    let n = phases.len();
-    let mut it = phases.into_iter();
-    run_phases_with(n, |_| it.next().expect("one input per phase"), switch)
+/// One thread per worker is spawned **once for the whole query** (plus
+/// the switch thread; the calling thread is the master). Each worker
+/// streams its partition of every phase back-to-back, closing each with
+/// a watermark; the switch opens phase `p+1` (re-arming the program via
+/// [`SwitchPhases::begin_phase`]) once all of phase `p`'s watermarks have
+/// arrived and its [`SwitchPhases::fin`] residuals have flushed, parking
+/// any blocks that raced ahead of the flip. Returns one [`ThreadedRun`]
+/// per phase, in phase order — callers pick which phases' survivors and
+/// counters matter (a JOIN build pass forwards nothing; its stats are
+/// discarded).
+pub fn run_phases(phases: Vec<PhaseInput<'_>>, switch: &mut dyn SwitchPhases) -> Vec<ThreadedRun> {
+    run_phases_each(phases, switch, |_, run, survivors| {
+        for c in 0..survivors.width().min(run.forwarded.cols.len()) {
+            survivors.extend_lane_into(c, &mut run.forwarded.cols[c]);
+        }
+    })
 }
 
-/// Lazy variant of [`run_phases`]: `phase_input(p)` is called only when
-/// phase `p`'s barrier opens, so two-pass flows re-partition per pass
-/// instead of holding both passes' partition copies in memory at once
-/// (the workers re-serialize from the tables between passes, as real
-/// CWorkers would).
-pub fn run_phases_with(
-    n_phases: usize,
-    mut phase_input: impl FnMut(usize) -> PhaseInput,
+/// [`run_phases`] with a **streaming master**: every survivor block is
+/// handed to `sink(phase, &mut runs[phase], survivors)` on the master
+/// thread as it arrives, instead of being appended to the run's flat
+/// `forwarded` lanes. Masters that consume survivors block-wise (the
+/// JOIN pairing split, the DistinctMulti tuple materialization) skip a
+/// whole accumulate-then-rescan pass and overlap their completion work
+/// with the switch's later phases. FIN residual chunks arrive through
+/// the same sink.
+pub fn run_phases_each<'a, F>(
+    phases: Vec<PhaseInput<'a>>,
     switch: &mut dyn SwitchPhases,
-) -> Vec<ThreadedRun> {
-    let mut runs = Vec::with_capacity(n_phases);
-    for phase_idx in 0..n_phases {
-        switch.begin_phase(phase_idx);
-        runs.push(run_one_phase(phase_idx, phase_input(phase_idx), switch));
+    mut sink: F,
+) -> Vec<ThreadedRun>
+where
+    F: FnMut(usize, &mut ThreadedRun, SurvivorBlock<'a>),
+{
+    let n_phases = phases.len();
+    if n_phases == 0 {
+        return Vec::new();
     }
-    runs
-}
+    let n_workers = phases.iter().map(|p| p.partitions.len()).max().unwrap_or(0);
+    let mut widths = Vec::with_capacity(n_phases);
+    let mut visibles = Vec::with_capacity(n_phases);
+    // Distribute every phase's partitions to the pool up front: worker
+    // `w` owns partition `w` of each phase (padded with empty partitions
+    // so every worker watermarks every phase).
+    let mut jobs: Vec<Vec<(usize, LanePartition<'a>)>> = (0..n_workers)
+        .map(|_| Vec::with_capacity(n_phases))
+        .collect();
+    for (p, phase) in phases.into_iter().enumerate() {
+        let width = phase
+            .partitions
+            .iter()
+            .map(LanePartition::width)
+            .max()
+            .unwrap_or(0);
+        widths.push(width);
+        visibles.push(phase.visible_cols.min(width));
+        let mut parts = phase.partitions.into_iter();
+        for worker_jobs in &mut jobs {
+            worker_jobs.push((p, parts.next().unwrap_or_default()));
+        }
+    }
+    // Programs that rewrite entries in flight need every block
+    // materialized (mutable lanes); read-only programs get zero-copy
+    // view descriptors and survivor masks.
+    let materialize_all = switch.rewrites_in_flight();
 
-/// One worker→switch→master pass with the program borrowed into the
-/// switch thread (scoped threads make the borrow the barrier).
-fn run_one_phase(
-    phase_idx: usize,
-    phase: PhaseInput,
-    switch: &mut dyn SwitchPhases,
-) -> ThreadedRun {
-    let width = phase
-        .partitions
-        .iter()
-        .map(|p| p.cols.len())
-        .max()
-        .unwrap_or(0);
-    let visible = phase.visible_cols.min(width);
-    let (entry_tx, entry_rx) = mpsc::sync_channel::<ColumnChunk>(64);
-    let (fwd_tx, fwd_rx) = mpsc::sync_channel::<ColumnChunk>(64);
+    // Bounded channels sized by what a message holds. View descriptors
+    // carry no entry data, so a deep buffer lets workers run far ahead
+    // into later phases (the pipelined handoff) at ~zero memory cost.
+    // Materialized blocks are full lane copies, so the rewriting path
+    // keeps a shallow buffer — peak extra memory stays capped at
+    // `MATERIALIZED_DEPTH` wire blocks instead of a whole table copy.
+    const MATERIALIZED_DEPTH: usize = 64;
+    const VIEW_DEPTH: usize = 4096;
+    let depth = if materialize_all {
+        MATERIALIZED_DEPTH
+    } else {
+        VIEW_DEPTH
+    };
+    let (entry_tx, entry_rx) = mpsc::sync_channel::<SwitchMsg<'a>>(depth);
+    let (fwd_tx, fwd_rx) = mpsc::sync_channel::<MasterMsg<'a>>(depth);
 
     std::thread::scope(|scope| {
-        // Workers: serialize their partition into the shared switch queue,
-        // one block (≤ BLOCK_ENTRIES entries) per send.
-        for part in phase.partitions {
+        // The pool: spawned once per query, never re-spawned per phase.
+        WORKER_SPAWNS.with(|c| c.set(c.get() + n_workers as u64));
+        for worker_jobs in jobs {
             let tx = entry_tx.clone();
-            scope.spawn(move || {
-                let rows = part.rows();
-                let mut start = 0;
-                while start < rows {
-                    let len = (rows - start).min(BLOCK_ENTRIES);
-                    let block = ColumnChunk {
-                        cols: part
-                            .cols
-                            .iter()
-                            .map(|c| c[start..start + len].to_vec())
-                            .collect(),
-                    };
-                    tx.send(block).expect("switch alive");
-                    start += len;
-                }
-            });
+            scope.spawn(move || worker_loop(worker_jobs, &tx, materialize_all));
         }
         drop(entry_tx);
 
         // Switch: single consumer — the one pipeline. The program is
-        // borrowed into the thread; its counters come back via the join
-        // handle.
-        let switch_thread = scope.spawn(move || {
-            let mut local = PruneStats::default();
-            let mut decisions = [Decision::Prune; BLOCK_ENTRIES];
-            for mut block in entry_rx {
-                let n = block.rows();
-                let out = &mut decisions[..n];
-                switch.process_chunk(phase_idx, &mut block, visible, out);
-                local.record_block(out);
-                // Compact survivors; empty blocks never ship.
-                let mut fwd = ColumnChunk::with_width(block.cols.len());
+        // borrowed into the thread for the whole query.
+        let switch_thread =
+            scope.spawn(move || switch_loop(n_workers, &visibles, &entry_rx, &fwd_tx, switch));
+
+        // Master: the current thread sinks survivor blocks as they
+        // arrive, overlapping its completion work with the switch's
+        // later phases.
+        let mut runs: Vec<ThreadedRun> = widths
+            .iter()
+            .map(|&w| ThreadedRun {
+                forwarded: ColumnChunk::with_width(w),
+                ..ThreadedRun::default()
+            })
+            .collect();
+        for msg in fwd_rx {
+            match msg {
+                MasterMsg::Survivors(phase, survivors) => sink(phase, &mut runs[phase], survivors),
+                MasterMsg::PhaseDone(phase, stats, wall) => {
+                    runs[phase].stats = stats;
+                    runs[phase].wall = wall;
+                }
+            }
+        }
+        switch_thread.join().expect("switch thread panicked");
+        runs
+    })
+}
+
+/// One pool worker: serialize each phase's partition into blocks, then
+/// watermark the phase — no joining, no re-spawn between phases.
+///
+/// Pure-view lanes ship as zero-copy descriptors; fingerprint lanes are
+/// computed here (the worker-side hashing of §5) and owned test lanes
+/// are copied per block. Only rewriting programs force fully
+/// materialized blocks.
+fn worker_loop<'a>(
+    jobs: Vec<(usize, LanePartition<'a>)>,
+    tx: &mpsc::SyncSender<SwitchMsg<'a>>,
+    materialize_all: bool,
+) {
+    let mut scratch = Vec::new();
+    for (phase, part) in jobs {
+        let mut start = 0;
+        while start < part.rows {
+            let len = (part.rows - start).min(WIRE_ENTRIES);
+            let block = if materialize_all {
+                let mut chunk = ColumnChunk {
+                    cols: Vec::with_capacity(part.lanes.len()),
+                };
+                for lane in &part.lanes {
+                    let mut col = Vec::with_capacity(len);
+                    lane.fill(start, len, &mut col, &mut scratch);
+                    chunk.cols.push(col);
+                }
+                BlockMsg::Owned(chunk)
+            } else {
+                let lanes = part
+                    .lanes
+                    .iter()
+                    .map(|lane| match lane {
+                        Lane::Slice(s) => LaneView::Slice(&s[start..start + len]),
+                        Lane::Const(v) => LaneView::Const(*v),
+                        Lane::Iota(base) => LaneView::Iota(base + start as u64),
+                        Lane::Owned(_) | Lane::Fingerprint { .. } => {
+                            let mut col = Vec::with_capacity(len);
+                            lane.fill(start, len, &mut col, &mut scratch);
+                            LaneView::Owned(col)
+                        }
+                    })
+                    .collect();
+                BlockMsg::View(BlockView { rows: len, lanes })
+            };
+            if !part.lanes.is_empty() && tx.send(SwitchMsg::Block(phase, block)).is_err() {
+                return; // switch gone (panic teardown)
+            }
+            start += len;
+        }
+        if tx.send(SwitchMsg::Eof(phase)).is_err() {
+            return;
+        }
+    }
+}
+
+/// The switch thread: decide blocks of the open phase, park blocks that
+/// raced ahead, flip phases on full watermarks.
+fn switch_loop<'a>(
+    n_workers: usize,
+    visibles: &[usize],
+    rx: &mpsc::Receiver<SwitchMsg<'a>>,
+    fwd: &mpsc::SyncSender<MasterMsg<'a>>,
+    switch: &mut dyn SwitchPhases,
+) {
+    let n_phases = visibles.len();
+    let mut scratch = Scratch::default();
+    let mut eofs = vec![0usize; n_phases];
+    let mut parked: Vec<Vec<BlockMsg<'a>>> = (0..n_phases).map(|_| Vec::new()).collect();
+    let mut stats = PruneStats::default();
+    let mut current = 0usize;
+    let mut opened_at = Instant::now();
+    switch.begin_phase(0);
+    loop {
+        // Flip every phase whose watermarks are all in (possibly several
+        // at once when the pool ran far ahead).
+        while eofs[current] == n_workers {
+            if let Some(residual) = switch.fin(current) {
+                if residual.rows() > 0 {
+                    let _ = fwd.send(MasterMsg::Survivors(
+                        current,
+                        SurvivorBlock::owned(residual),
+                    ));
+                }
+            }
+            let _ = fwd.send(MasterMsg::PhaseDone(
+                current,
+                std::mem::take(&mut stats),
+                opened_at.elapsed(),
+            ));
+            current += 1;
+            if current == n_phases {
+                return;
+            }
+            opened_at = Instant::now();
+            switch.begin_phase(current);
+            for block in std::mem::take(&mut parked[current]) {
+                decide_block(
+                    switch,
+                    current,
+                    visibles,
+                    block,
+                    &mut scratch,
+                    &mut stats,
+                    fwd,
+                );
+            }
+        }
+        match rx.recv() {
+            Ok(SwitchMsg::Block(phase, block)) => {
+                if phase == current {
+                    decide_block(
+                        switch,
+                        phase,
+                        visibles,
+                        block,
+                        &mut scratch,
+                        &mut stats,
+                        fwd,
+                    );
+                } else {
+                    parked[phase].push(block);
+                }
+            }
+            Ok(SwitchMsg::Eof(phase)) => eofs[phase] += 1,
+            // Workers gone with phases unfinished: only reachable during
+            // a panic teardown — bail rather than hang.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Reusable switch-thread buffers: the decision scratch and the
+/// materialization lanes for generated (`Const`/`Iota`) visible columns.
+#[derive(Default)]
+struct Scratch {
+    decisions: Vec<Decision>,
+    lanes: Vec<Vec<u64>>,
+}
+
+/// Decide one block and forward its survivors. Materialized blocks are
+/// compacted **in place** (the spent block is reused as the survivor
+/// block); view blocks ship back as a **survivor index mask** over the
+/// shared lanes — no survivor value is copied at all.
+fn decide_block<'a>(
+    switch: &mut dyn SwitchPhases,
+    phase: usize,
+    visibles: &[usize],
+    block: BlockMsg<'a>,
+    scratch: &mut Scratch,
+    stats: &mut PruneStats,
+    fwd: &mpsc::SyncSender<MasterMsg<'a>>,
+) {
+    match block {
+        BlockMsg::Owned(mut block) => {
+            let n = block.rows();
+            if n == 0 {
+                return;
+            }
+            scratch
+                .decisions
+                .resize(n.max(scratch.decisions.len()), Decision::Prune);
+            let out = &mut scratch.decisions[..n];
+            switch.process_chunk(phase, &mut block, visibles[phase], out);
+            stats.record_block(out);
+            let mut kept = 0;
+            for col in &mut block.cols {
+                kept = 0;
                 for (i, d) in out.iter().enumerate() {
                     if d.is_forward() {
-                        for (fc, bc) in fwd.cols.iter_mut().zip(&block.cols) {
-                            fc.push(bc[i]);
-                        }
+                        col[kept] = col[i];
+                        kept += 1;
                     }
                 }
-                if fwd.rows() > 0 {
-                    fwd_tx.send(fwd).expect("master alive");
-                }
+                col.truncate(kept);
             }
-            // Stream drained: flush residual switch state (FIN packet).
-            if let Some(residual) = switch.fin(phase_idx) {
-                if residual.rows() > 0 {
-                    fwd_tx.send(residual).expect("master alive");
-                }
-            }
-            local
-        });
-
-        // Master: the current thread appends survivor blocks into flat
-        // column lanes.
-        let mut forwarded = ColumnChunk::with_width(width);
-        for block in fwd_rx {
-            for (fc, bc) in forwarded.cols.iter_mut().zip(&block.cols) {
-                fc.extend_from_slice(bc);
+            if kept > 0 {
+                let _ = fwd.send(MasterMsg::Survivors(phase, SurvivorBlock::owned(block)));
             }
         }
-        ThreadedRun {
-            forwarded,
-            stats: switch_thread.join().expect("switch thread panicked"),
+        BlockMsg::View(view) => {
+            let n = view.rows;
+            if n == 0 || view.lanes.is_empty() {
+                return;
+            }
+            let visible = visibles[phase].min(view.lanes.len());
+            // Materialize generated visible lanes into reused buffers
+            // (borrowed and owned lanes are read straight through).
+            if scratch.lanes.len() < visible {
+                scratch.lanes.resize_with(visible, Vec::new);
+            }
+            for (c, lane) in view.lanes[..visible].iter().enumerate() {
+                match lane {
+                    LaneView::Const(v) => {
+                        scratch.lanes[c].clear();
+                        scratch.lanes[c].resize(n, *v);
+                    }
+                    LaneView::Iota(base) => {
+                        scratch.lanes[c].clear();
+                        scratch.lanes[c].extend(*base..*base + n as u64);
+                    }
+                    LaneView::Slice(_) | LaneView::Owned(_) => {}
+                }
+            }
+            let colrefs: Vec<&[u64]> = view.lanes[..visible]
+                .iter()
+                .enumerate()
+                .map(|(c, lane)| match lane {
+                    LaneView::Slice(s) => *s,
+                    LaneView::Owned(v) => v.as_slice(),
+                    LaneView::Const(_) | LaneView::Iota(_) => scratch.lanes[c].as_slice(),
+                })
+                .collect();
+            scratch
+                .decisions
+                .resize(n.max(scratch.decisions.len()), Decision::Prune);
+            let out = &mut scratch.decisions[..n];
+            switch.process_cols(phase, &colrefs, visible, out);
+            stats.record_block(out);
+            let mut mask = vec![0u64; n.div_ceil(64)];
+            let mut kept = 0usize;
+            for (i, d) in out.iter().enumerate() {
+                if d.is_forward() {
+                    mask[i / 64] |= 1 << (i % 64);
+                    kept += 1;
+                }
+            }
+            if kept > 0 {
+                let _ = fwd.send(MasterMsg::Survivors(
+                    phase,
+                    SurvivorBlock {
+                        inner: SurvivorsInner::Masked { view, mask, kept },
+                    },
+                ));
+            }
         }
-    })
+    }
 }
 
 #[cfg(test)]
@@ -304,14 +880,14 @@ mod tests {
     use cheetah_core::groupby::{Extremum, GroupByPruner};
     use std::collections::{HashMap, HashSet};
 
-    fn partitions(workers: usize, rows: usize, keys: u64) -> Vec<Partition> {
+    fn partitions(workers: usize, rows: usize, keys: u64) -> Vec<LanePartition<'static>> {
         (0..workers)
             .map(|w| {
                 let k: Vec<u64> = (0..rows)
                     .map(|i| (w * rows + i) as u64 % keys + 1)
                     .collect();
                 let v: Vec<u64> = (0..rows).map(|i| (i as u64 * 13) % 1000).collect();
-                ColumnChunk { cols: vec![k, v] }
+                ColumnChunk { cols: vec![k, v] }.into()
             })
             .collect()
     }
@@ -320,7 +896,13 @@ mod tests {
     fn distinct_result_correct_under_races() {
         for trial in 0..5 {
             let parts = partitions(4, 2_000, 97);
-            let truth: HashSet<u64> = parts.iter().flat_map(|p| p.cols[0].clone()).collect();
+            let truth: HashSet<u64> = parts
+                .iter()
+                .flat_map(|p| match &p.lanes[0] {
+                    Lane::Owned(v) => v.clone(),
+                    _ => unreachable!(),
+                })
+                .collect();
             let pruner = Box::new(DistinctPruner::new(256, 2, EvictionPolicy::Lru, trial));
             let run = run_stream(parts, pruner);
             let got: HashSet<u64> = run.forwarded.cols[0].iter().copied().collect();
@@ -332,14 +914,30 @@ mod tests {
 
     #[test]
     fn groupby_max_correct_under_races() {
-        let parts = partitions(3, 3_000, 50);
+        let data: Vec<(Vec<u64>, Vec<u64>)> = (0..3usize)
+            .map(|w| {
+                let k: Vec<u64> = (0..3_000)
+                    .map(|i| (w * 3_000 + i) as u64 % 50 + 1)
+                    .collect();
+                let v: Vec<u64> = (0..3_000).map(|i| (i as u64 * 13) % 1000).collect();
+                (k, v)
+            })
+            .collect();
         let mut truth: HashMap<u64, u64> = HashMap::new();
-        for p in &parts {
-            for (&k, &v) in p.cols[0].iter().zip(&p.cols[1]) {
+        for (k, v) in &data {
+            for (&k, &v) in k.iter().zip(v) {
                 let e = truth.entry(k).or_insert(0);
                 *e = (*e).max(v);
             }
         }
+        // Borrowed lane slices: no copy of the columns.
+        let parts: Vec<LanePartition<'_>> = data
+            .iter()
+            .map(|(k, v)| LanePartition {
+                rows: k.len(),
+                lanes: vec![Lane::Slice(k), Lane::Slice(v)],
+            })
+            .collect();
         let pruner = Box::new(GroupByPruner::new(64, 4, Extremum::Max, 9));
         let run = run_stream(parts, pruner);
         let mut got: HashMap<u64, u64> = HashMap::new();
@@ -354,7 +952,10 @@ mod tests {
     fn empty_partitions_complete() {
         let pruner = Box::new(DistinctPruner::new(4, 1, EvictionPolicy::Fifo, 0));
         let run = run_stream(
-            vec![ColumnChunk::with_width(1), ColumnChunk::with_width(1)],
+            vec![
+                ColumnChunk::with_width(1).into(),
+                ColumnChunk::with_width(1).into(),
+            ],
             pruner,
         );
         assert_eq!(run.forwarded.rows(), 0);
@@ -371,6 +972,46 @@ mod tests {
         assert_eq!(c.to_rows(), vec![vec![1, 10], vec![2, 20]]);
     }
 
+    #[test]
+    fn synthesized_lanes_fill_correctly() {
+        // Const + Iota + Fingerprint lanes, all generated by the worker.
+        let keys: Vec<u64> = (0..2_500).map(|i| i % 7).collect();
+        let fp = Fingerprinter::new(3, 64);
+        let parts = vec![LanePartition {
+            rows: keys.len(),
+            lanes: vec![
+                Lane::Slice(&keys),
+                Lane::Const(42),
+                Lane::Iota(100),
+                Lane::Fingerprint {
+                    cols: vec![&keys],
+                    fp: &fp,
+                },
+            ],
+        }];
+        // Forward everything: a filter with an always-true atom.
+        let pruner = Box::new(
+            cheetah_core::filter::FilterPruner::new(
+                vec![cheetah_core::filter::Atom::cmp(
+                    0,
+                    cheetah_core::filter::CmpOp::Ge,
+                    0,
+                )],
+                cheetah_core::filter::Formula::Atom(0),
+            )
+            .unwrap(),
+        );
+        let run = run_stream(parts, pruner);
+        assert_eq!(run.forwarded.rows(), keys.len());
+        assert!(run.forwarded.cols[1].iter().all(|&c| c == 42));
+        let mut iota = run.forwarded.cols[2].clone();
+        iota.sort_unstable();
+        assert_eq!(iota, (100..100 + keys.len() as u64).collect::<Vec<_>>());
+        for (k, f) in run.forwarded.cols[0].iter().zip(&run.forwarded.cols[3]) {
+            assert_eq!(*f, fp.fp_words(&[*k]), "worker-computed fingerprint");
+        }
+    }
+
     /// A two-phase program: phase 0 records the maximum it saw (no
     /// forwards), phase 1 forwards entries equal to that maximum — a toy
     /// shape of every build-then-probe flow.
@@ -384,16 +1025,16 @@ mod tests {
             self.phases_armed.push(phase);
         }
 
-        fn process_chunk(
+        fn process_cols(
             &mut self,
             phase: usize,
-            chunk: &mut ColumnChunk,
+            cols: &[&[u64]],
             visible_cols: usize,
             out: &mut [Decision],
         ) {
             assert_eq!(visible_cols, 1);
             for (i, d) in out.iter_mut().enumerate() {
-                let v = chunk.cols[0][i];
+                let v = cols[0][i];
                 *d = if phase == 0 {
                     self.max = self.max.max(v);
                     Decision::Prune
@@ -407,15 +1048,17 @@ mod tests {
     }
 
     #[test]
-    fn two_phase_state_survives_the_barrier() {
-        let mk = || {
+    fn two_phase_state_survives_the_phase_flip() {
+        let mk = || -> Vec<LanePartition<'static>> {
             vec![
                 ColumnChunk {
                     cols: vec![vec![3, 9, 1]],
-                },
+                }
+                .into(),
                 ColumnChunk {
                     cols: vec![vec![7, 9, 2]],
-                },
+                }
+                .into(),
             ]
         };
         let mut program = MaxThenMatch {
@@ -452,14 +1095,14 @@ mod tests {
     }
 
     impl SwitchPhases for HoldAll {
-        fn process_chunk(
+        fn process_cols(
             &mut self,
             _phase: usize,
-            chunk: &mut ColumnChunk,
+            cols: &[&[u64]],
             _visible_cols: usize,
             out: &mut [Decision],
         ) {
-            self.seen.extend_from_slice(&chunk.cols[0]);
+            self.seen.extend_from_slice(cols[0]);
             out.fill(Decision::Prune);
         }
 
@@ -474,7 +1117,8 @@ mod tests {
     fn fin_residuals_reach_the_master_uncounted() {
         let parts = vec![ColumnChunk {
             cols: vec![vec![5, 1, 4]],
-        }];
+        }
+        .into()];
         let mut program = HoldAll { seen: Vec::new() };
         let run = run_phases(
             vec![PhaseInput {
@@ -496,7 +1140,8 @@ mod tests {
     fn hidden_lanes_ride_through_compaction() {
         let parts = vec![ColumnChunk {
             cols: vec![vec![10, 20, 10, 30], vec![100, 101, 102, 103]],
-        }];
+        }
+        .into()];
         let pruner = Box::new(DistinctPruner::new(16, 2, EvictionPolicy::Lru, 0));
         let run = run_phases(
             vec![PhaseInput {
@@ -510,5 +1155,68 @@ mod tests {
         // The duplicate 10 is pruned; its hidden 102 is dropped with it.
         assert_eq!(run.forwarded.cols[0], vec![10, 20, 30]);
         assert_eq!(run.forwarded.cols[1], vec![100, 101, 103]);
+    }
+
+    /// The pool contract: one spawn per worker per query, however many
+    /// phases stream, and per-phase walls are measured.
+    #[test]
+    fn pool_spawns_each_worker_once_across_phases() {
+        let mk = || partitions(3, 500, 13);
+        let before = worker_threads_spawned();
+        let mut program = MaxThenMatch {
+            max: 0,
+            phases_armed: Vec::new(),
+        };
+        let runs = run_phases(
+            vec![
+                PhaseInput {
+                    partitions: mk(),
+                    visible_cols: 1,
+                },
+                PhaseInput {
+                    partitions: mk(),
+                    visible_cols: 1,
+                },
+                PhaseInput {
+                    partitions: mk(),
+                    visible_cols: 1,
+                },
+            ],
+            &mut program,
+        );
+        assert_eq!(
+            worker_threads_spawned() - before,
+            3,
+            "three phases must reuse the same three pool workers"
+        );
+        assert_eq!(runs.len(), 3);
+        for run in &runs {
+            assert!(run.wall > Duration::ZERO, "per-phase wall is measured");
+        }
+    }
+
+    /// Phases with differing worker counts: the pool is sized by the
+    /// widest phase and idle workers still watermark.
+    #[test]
+    fn uneven_phase_worker_counts_complete() {
+        let mut program = MaxThenMatch {
+            max: 0,
+            phases_armed: Vec::new(),
+        };
+        let runs = run_phases(
+            vec![
+                PhaseInput {
+                    partitions: partitions(1, 300, 11),
+                    visible_cols: 1,
+                },
+                PhaseInput {
+                    partitions: partitions(4, 300, 11),
+                    visible_cols: 1,
+                },
+            ],
+            &mut program,
+        );
+        assert_eq!(runs[0].stats.processed, 300);
+        assert_eq!(runs[1].stats.processed, 1_200);
     }
 }

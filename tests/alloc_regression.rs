@@ -16,7 +16,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use cheetah::core::filter::{Atom, CmpOp, Formula};
 use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
-use cheetah::engine::{Agg, CostModel, Database, Predicate, Query, Table};
+use cheetah::engine::{
+    Agg, CostModel, Database, Executor, Predicate, Query, Table, ThreadedExecutor, BLOCK_ENTRIES,
+};
 
 struct CountingAlloc;
 
@@ -58,6 +60,16 @@ fn db() -> Database {
             ("k", (0..ROWS as u64).map(|i| i * 7 % 83 + 1).collect()),
             ("v", (0..ROWS as u64).map(|i| i * 31 % 9_973).collect()),
             ("w", (0..ROWS as u64).map(|i| i * 13 % 499 + 1).collect()),
+        ],
+    ));
+    db.add(Table::new(
+        "s",
+        vec![
+            (
+                "k",
+                (0..ROWS as u64 / 2).map(|i| i * 11 % 140 + 40).collect(),
+            ),
+            ("x", (0..ROWS as u64 / 2).map(|i| i * 3 % 97).collect()),
         ],
     ));
     db
@@ -121,6 +133,57 @@ fn warm_queries_allocate_o1_not_o_rows() {
             allocs < budget,
             "[{name}] warm query made {allocs} allocations over {ROWS} rows \
              (budget {budget}); a per-row allocation is back in the hot path"
+        );
+    }
+
+    // The threaded multi-pass path: the persistent pool plus borrowed
+    // lane partitions make warm JOIN/HAVING runs O(1) allocations **per
+    // block** (each in-flight block is one chunk + its lanes; survivor
+    // compaction is in place, partitions are views). The budget charges
+    // a small constant per block plus a fixed pool/channel/result term —
+    // far under the O(rows) a per-entry allocation would cost.
+    let threaded = ThreadedExecutor::new(exec.clone());
+    let threaded_queries = [
+        (
+            "threaded-join",
+            Query::Join {
+                left: "t".into(),
+                right: "s".into(),
+                left_col: "k".into(),
+                right_col: "k".into(),
+            },
+            // Both sides stream in both passes.
+            2 * (ROWS + ROWS / 2),
+        ),
+        (
+            "threaded-having",
+            Query::Having {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                threshold: 100_000,
+            },
+            2 * ROWS,
+        ),
+    ];
+    for (name, q, streamed) in threaded_queries {
+        let warm = threaded.execute(&db, &q);
+        let blocks = (streamed / BLOCK_ENTRIES + 16) as u64;
+        let budget = 16 * blocks + 4096;
+        let mut result = None;
+        let allocs = allocs_during(|| {
+            result = Some(threaded.execute(&db, &q));
+        });
+        assert_eq!(
+            result.expect("ran").result,
+            warm.result,
+            "[{name}] warm rerun changed the result"
+        );
+        assert!(
+            allocs < budget,
+            "[{name}] warm threaded query made {allocs} allocations over \
+             ~{blocks} blocks (budget {budget}); the pool path has lost its \
+             O(1)-per-block guarantee"
         );
     }
 }

@@ -278,6 +278,55 @@ fn threaded_covers_every_query_shape_with_measured_wall_clock() {
 }
 
 #[test]
+fn threaded_reports_one_switch_span_per_pass() {
+    let db = appendix_b_db(3_000, 26);
+    let fleet = Fleet::new();
+    for (label, q) in appendix_b_queries() {
+        let r = Executor::execute(&fleet.threaded, &db, &q);
+        assert_eq!(
+            r.pass_walls.len(),
+            r.passes as usize,
+            "[{label}] one measured switch span per pass"
+        );
+        let spans: std::time::Duration = r.pass_walls.iter().sum();
+        assert!(
+            spans <= r.wall.unwrap(),
+            "[{label}] switch spans cannot exceed the whole-query wall"
+        );
+        // Modeled-only executors carry no measured spans.
+        let det = Executor::execute(&fleet.cheetah, &db, &q);
+        assert!(det.pass_walls.is_empty(), "[{label}] deterministic spans");
+    }
+}
+
+#[test]
+fn adaptive_worker_tuning_stays_correct_and_on_grid() {
+    let db = appendix_b_db(5_000, 27);
+    let model = CostModel::default();
+    let cheetah = CheetahExecutor::new(model, PrunerConfig::default());
+    let adaptive = ThreadedExecutor::with_adaptive_workers(cheetah.clone());
+    assert!(adaptive.is_adaptive());
+    assert!(
+        !ThreadedExecutor::new(cheetah.clone()).is_adaptive(),
+        "tuning must be off by default"
+    );
+    for (label, q) in appendix_b_queries() {
+        let picked = cheetah.adaptive_workers(&db, &q);
+        assert!(
+            [1, 2, 4, 8].contains(&picked),
+            "[{label}] picked {picked} workers, outside the tuning grid"
+        );
+        let r = Executor::execute(&adaptive, &db, &q);
+        assert_eq!(
+            r.result,
+            reference::evaluate(&db, &q),
+            "[{label}] adaptive pool diverged"
+        );
+        assert!(r.wall.is_some(), "[{label}] adaptive run measures wall");
+    }
+}
+
+#[test]
 fn two_pass_flows_report_their_passes_through_the_trait() {
     let db = appendix_b_db(2_000, 24);
     let fleet = Fleet::new();

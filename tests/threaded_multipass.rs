@@ -160,6 +160,107 @@ fn threaded_multipass_pass_accounting() {
     }
 }
 
+/// The pool contract: `run_phases` spawns each worker thread exactly
+/// once per query, however many passes stream — asserted through the
+/// thread-local spawn counter (`threaded::worker_threads_spawned`).
+#[test]
+fn pool_spawns_each_worker_exactly_once_per_query() {
+    use cheetah::engine::threaded::worker_threads_spawned;
+    let db = soak_db(2_000, 35);
+    let workers = 4;
+    let exec = ThreadedExecutor::new(CheetahExecutor::new(
+        CostModel {
+            workers,
+            ..CostModel::default()
+        },
+        PrunerConfig::default(),
+    ));
+    for (label, q) in multipass_queries() {
+        // soak_db's `s` is half of `t`, so JOIN takes the asymmetric
+        // flow: each phase streams one side on `workers` partitions —
+        // like every other shape. Two-pass flows must not double that:
+        // the pool is reused across the pass flip.
+        let expected = workers as u64;
+        let before = worker_threads_spawned();
+        let report = exec.execute(&db, &q);
+        assert_eq!(
+            worker_threads_spawned() - before,
+            expected,
+            "[{label}] worker threads spawned more than once per query"
+        );
+        assert_eq!(
+            report.pass_walls.len(),
+            report.passes as usize,
+            "[{label}] per-pass switch spans"
+        );
+    }
+
+    // A symmetric join (similar-size tables): both sides stream in both
+    // phases on 2 × workers partitions — still spawned exactly once.
+    let mut sym_db = Database::new();
+    sym_db.add(Table::new(
+        "a",
+        vec![("k", (0..1_500u64).map(|i| i % 80).collect())],
+    ));
+    sym_db.add(Table::new(
+        "b",
+        vec![("k", (0..1_000u64).map(|i| i % 120).collect())],
+    ));
+    let q = Query::Join {
+        left: "a".into(),
+        right: "b".into(),
+        left_col: "k".into(),
+        right_col: "k".into(),
+    };
+    let before = worker_threads_spawned();
+    exec.execute(&sym_db, &q);
+    assert_eq!(
+        worker_threads_spawned() - before,
+        2 * workers as u64,
+        "symmetric join pools both sides' workers, spawned once"
+    );
+}
+
+/// Perf-regression guard: with ≥2 workers on the bench-sized JOIN
+/// workload, the pipelined pool must not lose to the deterministic
+/// single-threaded path (generous 1.25× slack to stay CI-safe).
+#[test]
+fn threaded_join_keeps_pace_with_deterministic() {
+    use std::time::Instant;
+    let db = soak_db(100_000, 36);
+    let q = Query::Join {
+        left: "t".into(),
+        right: "s".into(),
+        left_col: "k".into(),
+        right_col: "k".into(),
+    };
+    let cheetah = CheetahExecutor::new(
+        CostModel {
+            workers: 4,
+            ..CostModel::default()
+        },
+        PrunerConfig::default(),
+    );
+    let threaded = ThreadedExecutor::new(cheetah.clone());
+    let mut det_best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        std::hint::black_box(Executor::execute(&cheetah, &db, &q));
+        det_best = det_best.min(t0.elapsed().as_secs_f64());
+    }
+    let mut thr_best = f64::INFINITY;
+    for _ in 0..6 {
+        let r = std::hint::black_box(Executor::execute(&threaded, &db, &q));
+        thr_best = thr_best.min(r.wall.expect("measured wall").as_secs_f64());
+    }
+    assert!(
+        thr_best <= det_best * 1.25,
+        "threaded JOIN regressed: {:.2}ms threaded vs {:.2}ms deterministic",
+        thr_best * 1e3,
+        det_best * 1e3
+    );
+}
+
 /// Filter's fetch phase must materialize exactly the deterministic
 /// executor's row set regardless of arrival order: the order-independent
 /// checksum pins it.
