@@ -14,7 +14,9 @@ use cheetah_core::topn::RandomizedTopN;
 
 use cheetah_engine::cheetah::{CheetahExecutor, PrunerConfig};
 use cheetah_engine::stream::EntryStream;
-use cheetah_engine::{Agg, CostModel, Executor, Predicate, Query, Table, ThreadedExecutor};
+use cheetah_engine::{
+    Agg, CostModel, Executor, Predicate, Query, ShardedExecutor, Table, ThreadedExecutor,
+};
 
 use cheetah_workloads::dist::rng_for;
 use rand::Rng;
@@ -378,20 +380,20 @@ fn multipass_queries() -> Vec<(&'static str, Query)> {
     ]
 }
 
-/// Run `query` once warm plus `reps` more times through the threaded
-/// executor, returning the report with the smallest measured wall and
-/// that wall in seconds.
-fn best_threaded_run(
-    exec: &ThreadedExecutor,
+/// Run `query` once warm plus `reps` more times through a wall-measuring
+/// executor (threaded or sharded), returning the report with the
+/// smallest measured wall and that wall in seconds.
+fn best_measured_run<E: Executor>(
+    exec: &E,
     db: &cheetah_engine::Database,
     query: &Query,
     reps: usize,
 ) -> (cheetah_engine::ExecutionReport, f64) {
     let mut report = exec.execute(db, query);
-    let mut best = report.wall.expect("threaded measures wall").as_secs_f64();
+    let mut best = report.wall.expect("executor measures wall").as_secs_f64();
     for _ in 0..reps {
         let r = std::hint::black_box(exec.execute(db, query));
-        let wall = r.wall.expect("threaded measures wall").as_secs_f64();
+        let wall = r.wall.expect("executor measures wall").as_secs_f64();
         if wall < best {
             best = wall;
             report = r;
@@ -412,7 +414,7 @@ pub fn run_threaded_multipass(uv_rows: usize, reps: usize) -> Vec<MultipassBench
     multipass_queries()
         .into_iter()
         .map(|(name, q)| {
-            let (report, best) = best_threaded_run(&exec, &db, &q, reps);
+            let (report, best) = best_measured_run(&exec, &db, &q, reps);
             let stats = report.prune_stats();
             MultipassBench {
                 name: name.to_string(),
@@ -458,12 +460,71 @@ pub fn run_worker_scaling(uv_rows: usize, reps: usize) -> Vec<WorkerScaling> {
             PrunerConfig::default(),
         ));
         for (name, q) in &sweep_queries {
-            let (report, best) = best_threaded_run(&exec, &db, q, reps);
+            let (report, best) = best_measured_run(&exec, &db, q, reps);
             out.push(WorkerScaling {
                 name: (*name).to_string(),
                 workers,
                 rows_per_sec: report.prune_stats().processed as f64 / best,
                 wall_s: best,
+            });
+        }
+    }
+    out
+}
+
+/// One cell of the shard-count sweep.
+#[derive(Debug, Clone)]
+pub struct ShardScaling {
+    /// Query label (`join`, `groupby_sum`, `distinct_multi`).
+    pub name: String,
+    /// Shard count this cell ran with.
+    pub shards: usize,
+    /// Entries per second of measured wall clock (best of reps).
+    pub rows_per_sec: f64,
+    /// Measured wall-clock seconds, best of reps.
+    pub wall_s: f64,
+    /// Measured master-side combine span (seconds) of the best run, from
+    /// `ExecutionReport::combine_wall` (filter unions, register
+    /// re-aggregation, tuple unions, global pairing).
+    pub combine_wall_s: f64,
+}
+
+/// Sweep the sharded multi-switch executor over {1, 2, 4} shards for the
+/// combine-heavy shapes (`join`, `groupby_sum`, `distinct_multi`) — the
+/// measured basis for shard-count planning (and the adaptive shard knob,
+/// `ShardedExecutor::with_adaptive_shards`).
+pub fn run_shard_scaling(uv_rows: usize, reps: usize) -> Vec<ShardScaling> {
+    let db = bigdata_db(uv_rows, uv_rows / 5, 2_000, 0.5, 42);
+    let sweep_queries: Vec<(&str, Query)> = multipass_queries()
+        .into_iter()
+        .filter(|(n, _)| matches!(*n, "join" | "groupby_sum" | "distinct_multi"))
+        .collect();
+    let mut out = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let exec = ShardedExecutor::with_shards(
+            CheetahExecutor::new(CostModel::default(), PrunerConfig::default()),
+            shards,
+        );
+        for (name, q) in &sweep_queries {
+            let mut report = exec.execute(&db, q);
+            let mut best = report.wall.expect("sharded measures wall").as_secs_f64();
+            for _ in 0..reps {
+                let r = std::hint::black_box(exec.execute(&db, q));
+                let wall = r.wall.expect("sharded measures wall").as_secs_f64();
+                if wall < best {
+                    best = wall;
+                    report = r;
+                }
+            }
+            out.push(ShardScaling {
+                name: (*name).to_string(),
+                shards,
+                rows_per_sec: report.prune_stats().processed as f64 / best,
+                wall_s: best,
+                combine_wall_s: report
+                    .combine_wall
+                    .expect("sharded measures the combine")
+                    .as_secs_f64(),
             });
         }
     }
@@ -478,6 +539,7 @@ pub fn to_json(
     queries: &[QueryBench],
     multipass: &[MultipassBench],
     scaling: &[WorkerScaling],
+    shard_scaling: &[ShardScaling],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -539,6 +601,19 @@ pub fn to_json(
             if i + 1 < scaling.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"shard_scaling\": [\n");
+    for (i, c) in shard_scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"shards\": {}, \"rows_per_sec\": {:.0}, \"wall_s\": {:.6}, \"combine_wall_s\": {:.6}}}{}\n",
+            c.name,
+            c.shards,
+            c.rows_per_sec,
+            c.wall_s,
+            c.combine_wall_s,
+            if i + 1 < shard_scaling.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ]\n");
     out.push_str("}\n");
     out
@@ -553,7 +628,15 @@ pub fn write_bench_json(path: &str) -> std::io::Result<String> {
     let queries = run_queries(200_000, 3);
     let multipass = run_threaded_multipass(200_000, 3);
     let scaling = run_worker_scaling(200_000, 3);
-    let json = to_json(micro_rows, &micro, &queries, &multipass, &scaling);
+    let shard_scaling = run_shard_scaling(200_000, 3);
+    let json = to_json(
+        micro_rows,
+        &micro,
+        &queries,
+        &multipass,
+        &scaling,
+        &shard_scaling,
+    );
     std::fs::write(path, &json)?;
     Ok(json)
 }
@@ -583,12 +666,22 @@ mod tests {
         let queries = run_queries(5_000, 1);
         let multipass = run_threaded_multipass(5_000, 1);
         let scaling = run_worker_scaling(5_000, 1);
-        let json = to_json(5_000, &micro, &queries, &multipass, &scaling);
+        let shard_scaling = run_shard_scaling(5_000, 1);
+        let json = to_json(
+            5_000,
+            &micro,
+            &queries,
+            &multipass,
+            &scaling,
+            &shard_scaling,
+        );
         assert!(json.contains("\"microbench\""));
         assert!(json.contains("\"queries\""));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"threaded_multipass\""));
         assert!(json.contains("\"worker_scaling\""));
+        assert!(json.contains("\"shard_scaling\""));
+        assert!(json.contains("\"combine_wall_s\""));
         assert!(json.contains("\"pass_walls\""));
         // Balanced braces/brackets — cheap structural sanity.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -651,6 +744,31 @@ mod tests {
                 cell.name
             );
             assert!(cell.wall_s > 0.0 && cell.rows_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn shard_scaling_sweeps_the_advertised_grid_with_combine_walls() {
+        let cells = run_shard_scaling(3_000, 1);
+        assert_eq!(cells.len(), 9, "3 shard counts × 3 queries");
+        for cell in &cells {
+            assert!([1, 2, 4].contains(&cell.shards));
+            assert!(
+                matches!(
+                    cell.name.as_str(),
+                    "join" | "groupby_sum" | "distinct_multi"
+                ),
+                "unexpected sweep query {}",
+                cell.name
+            );
+            assert!(cell.wall_s > 0.0 && cell.rows_per_sec > 0.0);
+            assert!(
+                cell.combine_wall_s >= 0.0 && cell.combine_wall_s < cell.wall_s,
+                "{} @ {} shards: combine span must be measured and inside \
+                 the query wall",
+                cell.name,
+                cell.shards
+            );
         }
     }
 }

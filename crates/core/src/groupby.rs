@@ -268,6 +268,21 @@ impl GroupBySumPruner {
         self.cursors.fill(0);
     }
 
+    /// Merge another accumulator matrix into this one: every residual
+    /// `(key, partial)` of `other` is re-aggregated through this matrix
+    /// exactly like a streamed entry, with displaced accumulators riding
+    /// out through `on_evict` — the same packet-riding eviction discipline
+    /// the switch uses (§6), now applied at the cross-shard combine layer.
+    /// `other` is drained empty; exactness is preserved because every
+    /// partial either lands in a cell of `self` or reaches `on_evict`.
+    pub fn merge(&mut self, other: &mut GroupBySumPruner, mut on_evict: impl FnMut(u64, u64)) {
+        for (key, partial) in other.drain() {
+            if let SumAction::EvictAndForward { key, partial } = self.process(key, partial) {
+                on_evict(key, partial);
+            }
+        }
+    }
+
     /// Flush all residual accumulators (the FIN-triggered final pass).
     pub fn drain(&mut self) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
@@ -395,6 +410,38 @@ mod tests {
         }
         let drained = p.drain();
         assert_eq!(drained, vec![(7, 505)]);
+    }
+
+    #[test]
+    fn merging_shard_registers_preserves_exact_totals() {
+        // Shard a stream over four starved matrices, then merge them into
+        // one (collecting merge-time evictions): the combined totals must
+        // equal ground truth exactly, however much eviction churn happens.
+        let mut rng = StdRng::seed_from_u64(17);
+        let entries: Vec<(u64, u64)> = (0..40_000)
+            .map(|_| (rng.gen_range(0..300), rng.gen_range(0..100)))
+            .collect();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut master: HashMap<u64, u64> = HashMap::new();
+        let mut shards: Vec<GroupBySumPruner> =
+            (0..4).map(|_| GroupBySumPruner::new(4, 2, 5)).collect();
+        for (i, &(k, v)) in entries.iter().enumerate() {
+            *truth.entry(k).or_insert(0) += v;
+            if let SumAction::EvictAndForward { key, partial } = shards[i % 4].process(k, v) {
+                *master.entry(key).or_insert(0) += partial;
+            }
+        }
+        let (first, rest) = shards.split_first_mut().unwrap();
+        for shard in rest {
+            first.merge(shard, |key, partial| {
+                *master.entry(key).or_insert(0) += partial;
+            });
+            assert!(shard.drain().is_empty(), "merge must drain the source");
+        }
+        for (key, partial) in first.drain() {
+            *master.entry(key).or_insert(0) += partial;
+        }
+        assert_eq!(master, truth, "merged registers must sum exactly");
     }
 
     #[test]

@@ -81,6 +81,25 @@ impl CountMinSketch {
         self.counters.fill(0);
     }
 
+    /// Merge another sketch into this one by cell-wise addition.
+    ///
+    /// Count-Min updates are per-cell additions, so the sum of two
+    /// sketches over disjoint sub-streams is **exactly** the sketch of the
+    /// concatenated stream — which makes per-shard sketches combinable at
+    /// the master without losing the one-sided guarantee: the merged
+    /// estimate still upper-bounds every key's *global* total. Both
+    /// sketches must share dimensions and seeds.
+    pub fn merge(&mut self, other: &CountMinSketch) {
+        assert_eq!(
+            (self.d, self.w, &self.hashes),
+            (other.d, other.w, &other.hashes),
+            "count-min merge requires identical dimensions and seeds"
+        );
+        for (c, o) in self.counters.iter_mut().zip(&other.counters) {
+            *c = c.saturating_add(*o);
+        }
+    }
+
     /// Table 2 resources: `⌈d/A⌉` stages, `d` ALUs, `(d·w)×64b` SRAM.
     pub fn resources(&self, alus_per_stage: u32) -> ResourceUsage {
         table2::having(self.w as u64, self.d as u32, alus_per_stage)
@@ -155,6 +174,19 @@ impl HavingPruner {
     /// Reset sketch state for a new run.
     pub fn clear(&mut self) {
         self.sketch.clear();
+    }
+
+    /// Merge another pruner's pass-1 sketch into this one (cell-wise
+    /// [`CountMinSketch::merge`]). After merging every shard's sketch,
+    /// [`Self::pass_two`] decides candidates against *global* estimates —
+    /// the sharded flow's "sketch summation before pass 2". Thresholds
+    /// must match: both pruners answer the same query.
+    pub fn merge(&mut self, other: &HavingPruner) {
+        assert_eq!(
+            self.threshold, other.threshold,
+            "merging sketches of different HAVING thresholds"
+        );
+        self.sketch.merge(&other.sketch);
     }
 }
 
@@ -255,6 +287,13 @@ impl HavingPassOne {
     /// pass-2 pruner (the control-plane rule flip between streams).
     pub fn begin_pass_two(self) -> HavingPassTwo {
         HavingPassTwo { inner: self.inner }
+    }
+
+    /// Fold another shard's pass-1 state into this one (see
+    /// [`HavingPruner::merge`]): the cross-shard combine step that must
+    /// run before any shard starts pass 2.
+    pub fn merge(&mut self, other: &HavingPassOne) {
+        self.inner.merge(&other.inner);
     }
 }
 
@@ -470,6 +509,79 @@ mod tests {
         let mut got2 = vec![Decision::Prune; keys.len()];
         b.pass_two_block(&keys, &mut got2);
         assert_eq!(got2, expected2, "pass-2 block loop diverged");
+    }
+
+    #[test]
+    fn merged_shard_sketches_equal_one_global_sketch() {
+        // Split a stream across three "shards", sketch each independently,
+        // merge — every cell (hence every estimate) must equal the sketch
+        // that saw the whole stream.
+        let mut rng = StdRng::seed_from_u64(51);
+        let entries: Vec<(u64, u64)> = (0..9_000)
+            .map(|_| (rng.gen_range(0..400u64), rng.gen_range(0..30u64)))
+            .collect();
+        let mut global = CountMinSketch::new(3, 128, 7);
+        let mut shards: Vec<CountMinSketch> =
+            (0..3).map(|_| CountMinSketch::new(3, 128, 7)).collect();
+        for (i, &(k, v)) in entries.iter().enumerate() {
+            global.update(k, v);
+            shards[i % 3].update(k, v);
+        }
+        let (first, rest) = shards.split_first_mut().unwrap();
+        for s in rest {
+            first.merge(s);
+        }
+        for k in 0..400u64 {
+            assert_eq!(
+                first.estimate(k),
+                global.estimate(k),
+                "merged estimate diverged for key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_pass_one_merge_never_loses_an_output_key() {
+        // Keys whose global sum crosses the threshold only across shard
+        // boundaries: no shard-local sketch would announce them, but the
+        // merged sketch must keep them as pass-2 candidates.
+        let threshold = 1_000u64;
+        let mut shards: Vec<HavingPassOne> = (0..4)
+            .map(|_| HavingPassOne::new(HavingPruner::new(3, 256, threshold, 3)))
+            .collect();
+        for shard in &mut shards {
+            // 300 per shard: below the threshold everywhere locally …
+            shard.process_row(&[42, 300]);
+        }
+        let (first, rest) = shards.split_first_mut().unwrap();
+        for s in rest {
+            assert!(
+                s.inner.pass_two(42).is_prune(),
+                "shard-local estimate must stay below the threshold"
+            );
+            first.merge(s);
+        }
+        // … but 1200 globally: the merged sketch must forward it.
+        assert!(
+            first.inner.pass_two(42).is_forward(),
+            "merged sketch lost a cross-shard output key"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "identical dimensions")]
+    fn sketch_merge_rejects_mismatched_dims() {
+        let mut a = CountMinSketch::new(3, 64, 0);
+        let b = CountMinSketch::new(3, 128, 0);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different HAVING thresholds")]
+    fn pruner_merge_rejects_mismatched_thresholds() {
+        let mut a = HavingPruner::new(3, 64, 10, 0);
+        let b = HavingPruner::new(3, 64, 20, 0);
+        a.merge(&b);
     }
 
     #[test]

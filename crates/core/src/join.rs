@@ -120,6 +120,25 @@ impl BloomFilter {
         BloomFilter::new(m.max(64 * h as u64), h, seed)
     }
 
+    /// Union another filter into this one (bitwise OR of the bit arrays).
+    ///
+    /// This is the multi-switch combine primitive: when each shard builds
+    /// its own filter over its slice of a join side, the union behaves
+    /// exactly like one filter that observed every shard's keys — a key
+    /// inserted on *any* shard is contained in the union, so the merged
+    /// filter keeps the no-false-negative guarantee across shards. Both
+    /// filters must share geometry and seeds (same control-plane install).
+    pub fn union(&mut self, other: &BloomFilter) {
+        assert_eq!(
+            (self.seg_words, &self.hashes),
+            (other.seg_words, &other.hashes),
+            "bloom union requires identical geometry and seeds"
+        );
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
     /// Bit position of `key` within segment `i`: `(word_index, mask)`,
     /// with `word_index` relative to the whole filter.
     #[inline]
@@ -331,6 +350,13 @@ impl<F: KeyFilter> JoinPruner<F> {
     pub fn clear(&mut self) {
         self.filter_a.clear();
         self.filter_b.clear();
+    }
+
+    /// Take the `(F_A, F_B)` pair out of the pruner — how a shard's build
+    /// pass exports its local filters to the cross-shard combine layer
+    /// (see [`BloomFilter::union`]).
+    pub fn into_filters(self) -> (F, F) {
+        (self.filter_a, self.filter_b)
     }
 
     /// Combined switch resources of the two filters.
@@ -592,6 +618,46 @@ mod tests {
         assert_eq!(r.stages, 1);
         assert_eq!(r.alus, 1);
         assert_eq!(r.sram_bits, 4 * 8 * 1024 * 1024 + 22 * 64);
+    }
+
+    #[test]
+    fn union_is_equivalent_to_one_filter_observing_everything() {
+        // Two shards insert disjoint halves; the union must contain every
+        // key either shard saw, bit-for-bit like a single filter would.
+        let mut whole = BloomFilter::new(1 << 12, 3, 9);
+        let mut shard_a = BloomFilter::new(1 << 12, 3, 9);
+        let mut shard_b = BloomFilter::new(1 << 12, 3, 9);
+        for k in 0..500u64 {
+            whole.insert(k);
+            if k % 2 == 0 {
+                shard_a.insert(k);
+            } else {
+                shard_b.insert(k);
+            }
+        }
+        shard_a.union(&shard_b);
+        assert_eq!(shard_a.words, whole.words, "union must equal one filter");
+        for k in 0..500u64 {
+            assert!(shard_a.contains(k), "union lost shard key {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identical geometry")]
+    fn union_rejects_mismatched_seeds() {
+        let mut a = BloomFilter::new(1 << 10, 3, 0);
+        let b = BloomFilter::new(1 << 10, 3, 1);
+        a.union(&b);
+    }
+
+    #[test]
+    fn into_filters_exports_build_state() {
+        let mut jp = JoinPruner::new(BloomFilter::new(256, 2, 0), BloomFilter::new(256, 2, 1));
+        jp.observe(Side::Left, 7);
+        jp.observe(Side::Right, 9);
+        let (fa, fb) = jp.into_filters();
+        assert!(fa.contains(7) && !fa.contains(9));
+        assert!(fb.contains(9) && !fb.contains(7));
     }
 
     #[test]

@@ -238,6 +238,24 @@ impl RandomizedTopN {
         (self.d, self.w)
     }
 
+    /// Export the matrix's resident candidate values, sorted descending —
+    /// the switch-side top-N candidate set a multi-switch combiner (or a
+    /// telemetry probe) can inspect without draining the stream. The
+    /// stream's maximum is always resident (insertions drop only row
+    /// minima), but the *guarantee* still travels with the forwarded
+    /// entries: a value forwarded early and later displaced from its row
+    /// lives only in the master's stream, so re-selection must always run
+    /// over forwarded candidates, with this export as the register view.
+    pub fn export_candidates(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.lens.iter().map(|&l| l as usize).sum());
+        for r in 0..self.d {
+            let len = self.lens[r] as usize;
+            out.extend_from_slice(&self.cells[r * self.w..r * self.w + len]);
+        }
+        out.sort_unstable_by(|a, b| b.cmp(a));
+        out
+    }
+
     /// Table 2 resources: `w` stages, `w` ALUs, `(d·w)×64b` SRAM.
     pub fn resources(&self) -> ResourceUsage {
         table2::topn_rand(self.w as u32, self.d as u64)
@@ -506,6 +524,25 @@ mod tests {
                 "row {r} not sorted desc: {row:?}"
             );
         }
+    }
+
+    #[test]
+    fn export_candidates_holds_the_resident_top_values() {
+        let mut p = RandomizedTopN::new(8, 4, 3);
+        let mut rng = StdRng::seed_from_u64(6);
+        let stream: Vec<u64> = (0..5_000).map(|_| rng.gen_range(1..1_000_000)).collect();
+        for &v in &stream {
+            p.process(v);
+        }
+        let cands = p.export_candidates();
+        assert!(cands.len() <= 8 * 4, "at most d·w resident candidates");
+        assert!(
+            cands.windows(2).all(|w| w[0] >= w[1]),
+            "export must be sorted descending"
+        );
+        let max = stream.iter().copied().max().unwrap();
+        assert_eq!(cands[0], max, "the stream maximum is always resident");
+        assert!(RandomizedTopN::new(4, 2, 0).export_candidates().is_empty());
     }
 
     #[test]

@@ -112,10 +112,10 @@ fn interleave(table: &Table, columns: &[usize], workers: usize) -> EntryStream {
     EntryStream::interleaved(table, columns, workers)
 }
 
-/// §7.1 late materialization, shared by the deterministic and threaded
-/// Filter arms: fetch `ids` through one reused buffer and fold the
-/// order-independent checksum.
-fn fetch_and_checksum(t: &Table, ids: &[u64]) -> u64 {
+/// §7.1 late materialization, shared by the deterministic, threaded and
+/// sharded Filter arms: fetch `ids` through one reused buffer and fold
+/// the order-independent checksum.
+pub(crate) fn fetch_and_checksum(t: &Table, ids: &[u64]) -> u64 {
     let mut buf = Vec::with_capacity(t.width());
     let mut checksum = 0u64;
     for &rid in ids {
@@ -125,11 +125,13 @@ fn fetch_and_checksum(t: &Table, ids: &[u64]) -> u64 {
     checksum
 }
 
-/// CMaster join completion, shared by the deterministic and threaded
-/// JOIN arms: sort both sides' forwarded `(key, row)` pairs and pair
-/// matching key runs in one batched merge sweep — no per-entry hash-map
-/// probes — counting pairs and folding the order-independent checksum.
-fn join_survivors(mut left: Vec<(u64, u64)>, mut right: Vec<(u64, u64)>) -> (u64, u64) {
+/// CMaster join completion, shared by the deterministic, threaded and
+/// sharded JOIN arms: sort both sides' forwarded `(key, row)` pairs and
+/// pair matching key runs in one batched merge sweep — no per-entry
+/// hash-map probes — counting pairs and folding the order-independent
+/// checksum. The sharded combine concatenates every shard's pair streams
+/// before this sweep, so cross-shard matches pair exactly once.
+pub(crate) fn join_survivors(mut left: Vec<(u64, u64)>, mut right: Vec<(u64, u64)>) -> (u64, u64) {
     left.sort_unstable();
     right.sort_unstable();
     let (mut pairs, mut checksum) = (0u64, 0u64);
@@ -1034,6 +1036,7 @@ impl CheetahExecutor {
             shuffle_entries: stats.forwarded(),
             wall: None,
             pass_walls: Vec::new(),
+            combine_wall: None,
         }
     }
 }

@@ -58,8 +58,15 @@ pub struct ExecutionReport {
     /// Measured switch-side span of each streaming pass (phase open →
     /// FIN flush), for executors that really ran the threaded pipeline.
     /// Empty for modeled-only executors; its sum is ≤ `wall` (partition
-    /// setup and master completion account for the rest).
+    /// setup and master completion account for the rest). The sharded
+    /// executor reports one span per shard per pass, shard-major within
+    /// each pass (`shards × passes` entries).
     pub pass_walls: Vec<Duration>,
+    /// Measured master-side combine span, for executors that merge
+    /// per-shard state (filter unions, sketch summation, register
+    /// re-aggregation, global re-selection) before completing the query.
+    /// `None` for single-switch executors.
+    pub combine_wall: Option<Duration>,
 }
 
 impl ExecutionReport {

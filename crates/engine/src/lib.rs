@@ -23,6 +23,10 @@
 //!   materialization and the 10G/20G network model;
 //! * [`threaded`] — a bounded-channel cluster running real worker/
 //!   switch/master threads (wall-clock, non-deterministic interleaving);
+//! * [`sharded`] — the multi-switch executor: N independent pool +
+//!   watermark pipelines over shard-local partition views, merged by a
+//!   per-shape combine layer (filter unions, sketch summation, register
+//!   re-aggregation, global re-selection);
 //! * [`netaccel`] — the §8.2.4 NetAccel lower-bound comparator (result
 //!   drain from switch registers; switch-CPU offload model of App. F);
 //! * [`cost`] — the shared cost model and Table 3's hardware envelopes.
@@ -47,6 +51,7 @@ pub mod netaccel;
 pub mod q3;
 pub mod query;
 pub mod reference;
+pub mod sharded;
 pub mod spark;
 pub mod stream;
 pub mod table;
@@ -56,6 +61,7 @@ pub use cheetah::CheetahExecutor;
 pub use cost::{CostModel, TimingBreakdown};
 pub use executor::{ExecutionReport, Executor, NetAccelExecutor, ThreadedExecutor};
 pub use query::{Agg, Predicate, Query, QueryResult};
+pub use sharded::ShardedExecutor;
 pub use spark::SparkExecutor;
 pub use stream::{EntryRef, EntryStream, BLOCK_ENTRIES};
 pub use table::{Database, Table};

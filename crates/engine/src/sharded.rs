@@ -1,0 +1,1113 @@
+//! Sharded multi-switch execution behind the [`Executor`] seam.
+//!
+//! The paper scales past one switch by partitioning data across workers
+//! that each run the same pruning program, with a final master-side
+//! combine (§7–§8's Spark integration; §9's switch trees). This module
+//! is that design at engine scale: [`ShardedExecutor`] splits a query's
+//! entry stream into `N` shard-local [`LanePartition`] views — zero-copy
+//! range splits by default ([`crate::stream::split_range`]), a
+//! hash-sharded gather for key-partitioned shapes
+//! ([`crate::stream::hash_shard_columns`]) — and runs each shard as an
+//! **independent persistent-pool + watermark pipeline**, reusing
+//! [`crate::threaded::run_phases_each`] verbatim per shard: same worker
+//! pool, same EOF watermarks, same zero-copy survivor masks, one switch
+//! program instance per shard.
+//!
+//! What a single switch gets for free, a shard set must *combine*. The
+//! combine layer lives in [`crate::multipass`] and is per query shape:
+//!
+//! * **Top-N** — global re-selection over per-shard candidate lists
+//!   (each shard's forwarded superset, truncated to its local top-n);
+//! * **GROUP BY SUM/COUNT** — per-shard register partials re-aggregated
+//!   through [`crate::multipass::combine_shard_sums`], merge-time
+//!   evictions riding out exactly like §6's packet-riding evictions;
+//! * **DistinctMulti** — fingerprint-union: every shard's switch dedups
+//!   its own fingerprint stream, the master unions the surviving real
+//!   tuples;
+//! * **JOIN** — shard-local Bloom filters union into broadcast filters
+//!   ([`crate::multipass::union_filters`]) so cross-shard matches are
+//!   never pruned, then every shard's `(key, row)` pair streams
+//!   sort-merge into one global pairing sweep. Lopsided tables take the
+//!   §4.3 asymmetric flow: the small side streams once per shard while
+//!   building its filter, and the merged small filter is broadcast to
+//!   every shard's big-side probe;
+//! * **HAVING** — per-shard Count-Min sketches sum cell-wise
+//!   ([`crate::multipass::merge_sketches`]) **before** any shard runs
+//!   pass 2, so candidates reflect global key mass (a key whose sum
+//!   straddles shards is never lost).
+//!
+//! Reports carry one measured switch span per shard per pass in
+//! [`ExecutionReport::pass_walls`] (shard-major within each pass) and
+//! the measured combine span in [`ExecutionReport::combine_wall`].
+//! Shard count comes from [`ShardedExecutor::with_shards`] or, Cuttlefish
+//! style, from the same sampled-throughput primitive the adaptive worker
+//! knob uses ([`ShardedExecutor::with_adaptive_shards`]).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cheetah_core::decision::PruneStats;
+use cheetah_core::fingerprint::Fingerprinter;
+use cheetah_core::groupby::{Extremum, GroupBySumPruner};
+use cheetah_core::having::HavingPruner;
+
+use crate::backend;
+use crate::cheetah::{fetch_and_checksum, join_survivors, CheetahExecutor};
+use crate::executor::{ExecutionReport, Executor};
+use crate::multipass::{
+    combine_shard_sums, merge_sketches, union_filters, GroupBySumStage, HavingShardProbe,
+    HavingShardSketch, JoinShardBuild, ShardProbe, ShardSums, SmallSideBuild, SIDE_LEFT,
+    SIDE_RIGHT,
+};
+use crate::query::{Agg, Query, QueryResult};
+use crate::reference::skyline_of;
+use crate::stream::{hash_shard_columns, split_range};
+use crate::table::{Database, Table};
+use crate::threaded::{
+    credit_worker_spawns, run_phases_each, worker_threads_spawned, Lane, LanePartition, PhaseInput,
+    PrunerStage, SurvivorBlock, SwitchPhases,
+};
+
+/// Salt for the hash-shard row assignment, so the shard hash is
+/// independent of the switch structures' hashes at the same seed.
+const SHARD_SALT: u64 = 0x5a4d_0c4e;
+
+/// The sharded multi-switch executor: `N` independent pool + watermark
+/// pipelines over shard-local partition views, merged by a per-shape
+/// combine layer. Result-equivalent to every other executor
+/// (`Q(A_Q(D)) = Q(D)` holds per shard, and the combine preserves it
+/// across shards), with measured per-shard pass spans and a measured
+/// combine span in its reports.
+#[derive(Debug, Clone)]
+pub struct ShardedExecutor {
+    /// Configuration shared with the deterministic executor (per-shard
+    /// switch dimensions, worker count per shard pool, cost model).
+    pub inner: CheetahExecutor,
+    shards: usize,
+    adaptive: bool,
+}
+
+impl ShardedExecutor {
+    /// A sharded executor with a fixed shard count.
+    pub fn with_shards(inner: CheetahExecutor, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedExecutor {
+            inner,
+            shards,
+            adaptive: false,
+        }
+    }
+
+    /// Cuttlefish-style shard-count tuning: reuse the sampled-throughput
+    /// primitive behind [`CheetahExecutor::adaptive_workers`] and map the
+    /// estimated switch wall onto the shard grid {1, 2, 4} per query —
+    /// short streams stay on one shard (pipeline setup would dominate),
+    /// long streams split across switches.
+    pub fn with_adaptive_shards(inner: CheetahExecutor) -> Self {
+        ShardedExecutor {
+            inner,
+            shards: 1,
+            adaptive: true,
+        }
+    }
+
+    /// The fixed shard count (ignored when adaptive).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Whether this executor tunes its shard count per query.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// The shard count this executor will run `query` with: the fixed
+    /// count, or the adaptive pick from sampled block throughput.
+    pub fn planned_shards(&self, db: &Database, query: &Query) -> usize {
+        if !self.adaptive {
+            return self.shards;
+        }
+        match self.inner.adaptive_workers(db, query) {
+            1 | 2 => 1,
+            4 => 2,
+            _ => 4,
+        }
+    }
+}
+
+impl Executor for ShardedExecutor {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn execute(&self, db: &Database, query: &Query) -> ExecutionReport {
+        let mut report = self.execute_sharded(db, query);
+        report.executor = self.name();
+        report
+    }
+}
+
+/// One shard pipeline's outcome: the sink accumulator, the switch
+/// program (whose state the combine layer may export), and the shard's
+/// measured counters.
+struct ShardOutcome<T, P> {
+    acc: T,
+    program: P,
+    stats: PruneStats,
+    wall: Duration,
+}
+
+/// Run one single-phase program per shard, every shard on its own
+/// pipeline (pool workers + switch thread via
+/// [`run_phases_each`]), in parallel. `mk(shard)` builds the shard's
+/// phase input, program and accumulator; `sink` streams each shard's
+/// survivor blocks into its accumulator. Worker spawns observed on the
+/// shard-runner threads are credited back to the calling thread's
+/// counter so the per-query spawn contract stays testable.
+fn sharded_phase<'env, T, P, Mk, Sink>(shards: usize, mk: Mk, sink: Sink) -> Vec<ShardOutcome<T, P>>
+where
+    T: Send,
+    P: SwitchPhases,
+    Mk: Fn(usize) -> (PhaseInput<'env>, P, T) + Sync,
+    Sink: for<'a> Fn(&mut T, SurvivorBlock<'a>) + Sync,
+{
+    std::thread::scope(|scope| {
+        let mk = &mk;
+        let sink = &sink;
+        let handles: Vec<_> = (0..shards)
+            .map(|s| {
+                scope.spawn(move || {
+                    let before = worker_threads_spawned();
+                    let (input, mut program, mut acc) = mk(s);
+                    let run = run_phases_each(vec![input], &mut program, |_, _, block| {
+                        sink(&mut acc, block)
+                    })
+                    .pop()
+                    .expect("one phase in, one run out");
+                    let spawned = worker_threads_spawned() - before;
+                    (
+                        ShardOutcome {
+                            acc,
+                            program,
+                            stats: run.stats,
+                            wall: run.wall,
+                        },
+                        spawned,
+                    )
+                })
+            })
+            .collect();
+        let mut spawned = 0;
+        let outcomes = handles
+            .into_iter()
+            .map(|h| {
+                let (outcome, s) = h.join().expect("shard pipeline panicked");
+                spawned += s;
+                outcome
+            })
+            .collect();
+        credit_worker_spawns(spawned);
+        outcomes
+    })
+}
+
+/// Fold shard outcomes into merged stats + shard-major pass walls.
+fn fold_telemetry<T, P>(outcomes: &[ShardOutcome<T, P>]) -> (PruneStats, Vec<Duration>) {
+    let mut stats = PruneStats::default();
+    let mut walls = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        stats.merge(o.stats);
+        walls.push(o.wall);
+    }
+    (stats, walls)
+}
+
+/// This shard's slice `[s, e)` of a table as `workers` zero-copy lane
+/// partitions (borrowed column slices, optional global row-id lane).
+fn range_parts<'a>(
+    t: &'a Table,
+    cols: &[usize],
+    range: (usize, usize),
+    workers: usize,
+    with_rids: bool,
+) -> Vec<LanePartition<'a>> {
+    split_range(range.0, range.1, workers)
+        .into_iter()
+        .map(|(s, e)| {
+            let mut lanes: Vec<Lane<'a>> = cols
+                .iter()
+                .map(|&c| Lane::Slice(&t.col_at(c)[s..e]))
+                .collect();
+            if with_rids {
+                lanes.push(Lane::Iota(s as u64));
+            }
+            LanePartition { rows: e - s, lanes }
+        })
+        .collect()
+}
+
+/// One join side's shard-slice partitions: §7.2 flow-id tag, borrowed
+/// key column, optional global row ids.
+fn side_parts_range<'a>(
+    tag: u64,
+    t: &'a Table,
+    c: usize,
+    range: (usize, usize),
+    workers: usize,
+    with_rids: bool,
+) -> Vec<LanePartition<'a>> {
+    split_range(range.0, range.1, workers)
+        .into_iter()
+        .map(|(s, e)| {
+            let mut lanes = vec![Lane::Const(tag), Lane::Slice(&t.col_at(c)[s..e])];
+            if with_rids {
+                lanes.push(Lane::Iota(s as u64));
+            }
+            LanePartition { rows: e - s, lanes }
+        })
+        .collect()
+}
+
+impl ShardedExecutor {
+    /// Run the query across `planned_shards` independent shard pipelines
+    /// and combine. Total over every [`Query`] shape; the returned report
+    /// carries the measured whole-query wall, one switch span per shard
+    /// per pass, and the measured combine span.
+    pub fn execute_sharded(&self, db: &Database, query: &Query) -> ExecutionReport {
+        let shards = self.planned_shards(db, query);
+        let workers = self.inner.model.workers;
+        let cfg = &self.inner.config;
+        let started = Instant::now();
+        let mut report = match query {
+            Query::FilterCount { table, predicate } => {
+                let t = db.table(table);
+                let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
+                let bounds = t.partition_bounds(shards);
+                let outcomes = sharded_phase(
+                    shards,
+                    |s| {
+                        (
+                            PhaseInput {
+                                partitions: range_parts(t, &cols, bounds[s], workers, false),
+                                visible_cols: cols.len(),
+                            },
+                            PrunerStage::new(backend::filter(cfg, predicate)),
+                            0u64,
+                        )
+                    },
+                    |count, block| {
+                        // Master re-checks the full predicate on survivors.
+                        block.for_each_row(|row| {
+                            if predicate.eval(row) {
+                                *count += 1;
+                            }
+                        });
+                    },
+                );
+                let (stats, walls) = fold_telemetry(&outcomes);
+                let combine_t0 = Instant::now();
+                let count = outcomes.iter().map(|o| o.acc).sum();
+                self.finish(
+                    query,
+                    t.rows() as u64,
+                    stats,
+                    1,
+                    0,
+                    QueryResult::Count(count),
+                    walls,
+                    combine_t0.elapsed(),
+                )
+            }
+            Query::Filter { table, predicate } => {
+                let t = db.table(table);
+                let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
+                let npred = cols.len();
+                let bounds = t.partition_bounds(shards);
+                let outcomes = sharded_phase(
+                    shards,
+                    |s| {
+                        (
+                            PhaseInput {
+                                partitions: range_parts(t, &cols, bounds[s], workers, true),
+                                visible_cols: npred,
+                            },
+                            PrunerStage::new(backend::filter(cfg, predicate)),
+                            Vec::<u64>::new(),
+                        )
+                    },
+                    |ids, block| {
+                        // Rows arrive [pred cols…, rid]; the trailing row
+                        // id rode switch-blind.
+                        block.for_each_row(|row| {
+                            if predicate.eval(row) {
+                                ids.push(row[npred]);
+                            }
+                        });
+                    },
+                );
+                let (stats, walls) = fold_telemetry(&outcomes);
+                let combine_t0 = Instant::now();
+                let ids: Vec<u64> = outcomes.into_iter().flat_map(|o| o.acc).collect();
+                let fetch = ids.len() as u64;
+                let checksum = fetch_and_checksum(t, &ids);
+                let mut report = self.finish(
+                    query,
+                    t.rows() as u64,
+                    stats,
+                    1,
+                    fetch,
+                    QueryResult::row_ids(ids),
+                    walls,
+                    combine_t0.elapsed(),
+                );
+                report.fetch_checksum = Some(checksum);
+                report
+            }
+            Query::Distinct { table, column } => {
+                let t = db.table(table);
+                let cols = [t.col_index(column)];
+                let bounds = t.partition_bounds(shards);
+                let outcomes = sharded_phase(
+                    shards,
+                    |s| {
+                        (
+                            PhaseInput {
+                                partitions: range_parts(t, &cols, bounds[s], workers, false),
+                                visible_cols: 1,
+                            },
+                            PrunerStage::new(backend::distinct(cfg)),
+                            Vec::<u64>::new(),
+                        )
+                    },
+                    |values, block| block.extend_lane_into(0, values),
+                );
+                let (stats, walls) = fold_telemetry(&outcomes);
+                let combine_t0 = Instant::now();
+                let merged: Vec<u64> = outcomes.into_iter().flat_map(|o| o.acc).collect();
+                self.finish(
+                    query,
+                    t.rows() as u64,
+                    stats,
+                    1,
+                    0,
+                    QueryResult::values(merged),
+                    walls,
+                    combine_t0.elapsed(),
+                )
+            }
+            Query::DistinctMulti { table, columns } => {
+                // Fingerprint-union: each shard's workers compute the §5
+                // fingerprint lane, each shard's switch dedups its own
+                // fingerprints, and the combine unions the surviving real
+                // tuples (canonicalization dedups cross-shard repeats).
+                let t = db.table(table);
+                let cols: Vec<usize> = columns.iter().map(|c| t.col_index(c)).collect();
+                let fp = Fingerprinter::new(cfg.seed ^ 0xf1f1, 64);
+                let bounds = t.partition_bounds(shards);
+                let outcomes = sharded_phase(
+                    shards,
+                    |s| {
+                        let partitions = split_range(bounds[s].0, bounds[s].1, workers)
+                            .into_iter()
+                            .map(|(ws, we)| {
+                                let slices: Vec<&[u64]> =
+                                    cols.iter().map(|&c| &t.col_at(c)[ws..we]).collect();
+                                let mut lanes = vec![Lane::Fingerprint {
+                                    cols: slices.clone(),
+                                    fp: &fp,
+                                }];
+                                lanes.extend(slices.into_iter().map(Lane::Slice));
+                                LanePartition {
+                                    rows: we - ws,
+                                    lanes,
+                                }
+                            })
+                            .collect();
+                        (
+                            PhaseInput {
+                                partitions,
+                                visible_cols: 1,
+                            },
+                            PrunerStage::new(backend::distinct(cfg)),
+                            Vec::<Vec<u64>>::new(),
+                        )
+                    },
+                    |tuples, block| {
+                        block.for_each_row(|row| tuples.push(row[1..].to_vec()));
+                    },
+                );
+                let (stats, walls) = fold_telemetry(&outcomes);
+                let combine_t0 = Instant::now();
+                let merged: Vec<Vec<u64>> = outcomes.into_iter().flat_map(|o| o.acc).collect();
+                self.finish(
+                    query,
+                    t.rows() as u64,
+                    stats,
+                    1,
+                    0,
+                    QueryResult::points(merged),
+                    walls,
+                    combine_t0.elapsed(),
+                )
+            }
+            Query::TopN { table, order_by, n } => {
+                let t = db.table(table);
+                let cols = [t.col_index(order_by)];
+                let bounds = t.partition_bounds(shards);
+                let outcomes = sharded_phase(
+                    shards,
+                    |s| {
+                        (
+                            PhaseInput {
+                                partitions: range_parts(t, &cols, bounds[s], workers, false),
+                                visible_cols: 1,
+                            },
+                            PrunerStage::new(backend::topn(cfg, *n)),
+                            Vec::<u64>::new(),
+                        )
+                    },
+                    |values, block| block.extend_lane_into(0, values),
+                );
+                let (stats, walls) = fold_telemetry(&outcomes);
+                // Global re-selection from per-shard candidates: each
+                // shard's forwarded superset collapses to its local top-n
+                // candidate list, and the global top-n re-selects over
+                // shards × n candidates (every global winner is a shard
+                // winner, so nothing can be lost).
+                let combine_t0 = Instant::now();
+                let mut candidates = Vec::with_capacity(shards * *n);
+                for o in outcomes {
+                    let mut local = o.acc;
+                    local.sort_unstable_by(|a, b| b.cmp(a));
+                    local.truncate(*n);
+                    candidates.extend(local);
+                }
+                self.finish(
+                    query,
+                    t.rows() as u64,
+                    stats,
+                    1,
+                    *n as u64,
+                    QueryResult::top_values(candidates, *n),
+                    walls,
+                    combine_t0.elapsed(),
+                )
+            }
+            Query::GroupBy {
+                table,
+                key,
+                val,
+                agg: agg @ (Agg::Max | Agg::Min),
+            } => {
+                let t = db.table(table);
+                let cols = [t.col_index(key), t.col_index(val)];
+                let ext = if *agg == Agg::Max {
+                    Extremum::Max
+                } else {
+                    Extremum::Min
+                };
+                let bounds = t.partition_bounds(shards);
+                let outcomes = sharded_phase(
+                    shards,
+                    |s| {
+                        (
+                            PhaseInput {
+                                partitions: range_parts(t, &cols, bounds[s], workers, false),
+                                visible_cols: 2,
+                            },
+                            PrunerStage::new(backend::groupby(cfg, ext)),
+                            BTreeMap::<u64, u64>::new(),
+                        )
+                    },
+                    move |groups, block| {
+                        block.for_each_row(|row| {
+                            let e = groups.entry(row[0]).or_insert(if ext == Extremum::Max {
+                                0
+                            } else {
+                                u64::MAX
+                            });
+                            *e = if ext == Extremum::Max {
+                                (*e).max(row[1])
+                            } else {
+                                (*e).min(row[1])
+                            };
+                        });
+                    },
+                );
+                let (stats, walls) = fold_telemetry(&outcomes);
+                let combine_t0 = Instant::now();
+                let mut merged = BTreeMap::new();
+                for o in outcomes {
+                    for (k, v) in o.acc {
+                        let e = merged.entry(k).or_insert(if ext == Extremum::Max {
+                            0
+                        } else {
+                            u64::MAX
+                        });
+                        *e = if ext == Extremum::Max {
+                            (*e).max(v)
+                        } else {
+                            (*e).min(v)
+                        };
+                    }
+                }
+                self.finish(
+                    query,
+                    t.rows() as u64,
+                    stats,
+                    1,
+                    0,
+                    QueryResult::Groups(merged),
+                    walls,
+                    combine_t0.elapsed(),
+                )
+            }
+            Query::GroupBy {
+                table,
+                key,
+                val,
+                agg: agg @ (Agg::Sum | Agg::Count),
+            } => {
+                // Hash-sharded mode (§6 register aggregation): co-locate
+                // every occurrence of a key on one shard, so a key's
+                // eviction churn never multiplies across shards. The
+                // gather costs `shards × lanes` exact-capacity buffers.
+                let t = db.table(table);
+                let ki = t.col_index(key);
+                let vi = t.col_index(val);
+                let sum = *agg == Agg::Sum;
+                let gather_cols: Vec<&[u64]> = if sum {
+                    vec![t.col_at(ki), t.col_at(vi)]
+                } else {
+                    vec![t.col_at(ki)]
+                };
+                let gathered = hash_shard_columns(&gather_cols, 0, shards, cfg.seed ^ SHARD_SALT);
+                let outcomes = sharded_phase(
+                    shards,
+                    |s| {
+                        let lanes_src = &gathered[s];
+                        let rows = lanes_src[0].len();
+                        let partitions = split_range(0, rows, workers)
+                            .into_iter()
+                            .map(|(a, b)| LanePartition {
+                                rows: b - a,
+                                lanes: if sum {
+                                    vec![
+                                        Lane::Slice(&lanes_src[0][a..b]),
+                                        Lane::Slice(&lanes_src[1][a..b]),
+                                    ]
+                                } else {
+                                    vec![Lane::Slice(&lanes_src[0][a..b]), Lane::Const(1)]
+                                },
+                            })
+                            .collect();
+                        (
+                            PhaseInput {
+                                partitions,
+                                visible_cols: 2,
+                            },
+                            GroupBySumStage::new(GroupBySumPruner::new(
+                                cfg.groupby_d,
+                                cfg.groupby_w,
+                                cfg.seed,
+                            )),
+                            (
+                                ShardSums::new(cfg.groupby_d, cfg.groupby_w, cfg.seed),
+                                Vec::<(u64, u64)>::new(),
+                            ),
+                        )
+                    },
+                    |acc, block| {
+                        // Forwarded entries carry evicted (key, partial)
+                        // pairs; the FIN drain arrives the same way.
+                        let (sums, scratch) = acc;
+                        scratch.clear();
+                        block.extend_pairs_into(0, 1, scratch);
+                        for &(k, p) in scratch.iter() {
+                            sums.absorb(k, p);
+                        }
+                    },
+                );
+                let (stats, walls) = fold_telemetry(&outcomes);
+                let combine_t0 = Instant::now();
+                let totals =
+                    combine_shard_sums(outcomes.into_iter().map(|o| o.acc.0).collect::<Vec<_>>());
+                self.finish(
+                    query,
+                    t.rows() as u64,
+                    stats,
+                    1,
+                    0,
+                    QueryResult::Groups(totals),
+                    walls,
+                    combine_t0.elapsed(),
+                )
+            }
+            Query::Having {
+                table,
+                key,
+                val,
+                threshold,
+            } => {
+                // Pass 1: shard-local sketches. Pass 2 must see global
+                // key mass, so the sketches sum cell-wise in between.
+                let t = db.table(table);
+                let cols = [t.col_index(key), t.col_index(val)];
+                let bounds = t.partition_bounds(shards);
+                let pass1 = sharded_phase(
+                    shards,
+                    |s| {
+                        (
+                            PhaseInput {
+                                partitions: range_parts(t, &cols, bounds[s], workers, false),
+                                visible_cols: 2,
+                            },
+                            HavingShardSketch::new(HavingPruner::new(
+                                cfg.having_d,
+                                cfg.having_w,
+                                *threshold,
+                                cfg.seed,
+                            )),
+                            (),
+                        )
+                    },
+                    // Shard-local announcements are not global candidates;
+                    // the merged sketch recomputes them in pass 2.
+                    |(), _block| {},
+                );
+                let (mut stats, mut walls) = fold_telemetry(&pass1);
+                let merge_t0 = Instant::now();
+                let merged = merge_sketches(
+                    pass1
+                        .into_iter()
+                        .map(|o| o.program.into_pruner())
+                        .collect::<Vec<_>>(),
+                );
+                let sketch_merge = merge_t0.elapsed();
+                let pass2 = sharded_phase(
+                    shards,
+                    |s| {
+                        (
+                            PhaseInput {
+                                partitions: range_parts(t, &cols, bounds[s], workers, false),
+                                visible_cols: 2,
+                            },
+                            HavingShardProbe::new(merged.clone()),
+                            Vec::<(u64, u64)>::new(),
+                        )
+                    },
+                    |pairs, block| block.extend_pairs_into(0, 1, pairs),
+                );
+                let (stats2, walls2) = fold_telemetry(&pass2);
+                stats.merge(stats2);
+                walls.extend(walls2);
+                let combine_t0 = Instant::now();
+                let mut sums: BTreeMap<u64, u64> = BTreeMap::new();
+                for o in pass2 {
+                    for (k, v) in o.acc {
+                        *sums.entry(k).or_insert(0) += v;
+                    }
+                }
+                let keys: Vec<u64> = sums
+                    .into_iter()
+                    .filter(|&(_, s)| s > *threshold)
+                    .map(|(k, _)| k)
+                    .collect();
+                self.finish(
+                    query,
+                    2 * t.rows() as u64,
+                    stats,
+                    2,
+                    0,
+                    QueryResult::keys(keys),
+                    walls,
+                    sketch_merge + combine_t0.elapsed(),
+                )
+            }
+            Query::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => self.execute_join(db, query, left, right, left_col, right_col, shards, workers),
+            Query::Skyline { table, columns } => {
+                let t = db.table(table);
+                let cols: Vec<usize> = columns.iter().map(|c| t.col_index(c)).collect();
+                let dims = cols.len();
+                let bounds = t.partition_bounds(shards);
+                let outcomes = sharded_phase(
+                    shards,
+                    |s| {
+                        (
+                            PhaseInput {
+                                partitions: range_parts(t, &cols, bounds[s], workers, false),
+                                visible_cols: dims,
+                            },
+                            PrunerStage::new(backend::skyline(cfg, dims)),
+                            Vec::<Vec<u64>>::new(),
+                        )
+                    },
+                    |points, block| block.for_each_row(|row| points.push(row.to_vec())),
+                );
+                let (stats, walls) = fold_telemetry(&outcomes);
+                // A global skyline point is dominated by nothing, so no
+                // shard pruner ever drops it; the combine re-runs the
+                // exact frontier over the surviving union.
+                let combine_t0 = Instant::now();
+                let merged: Vec<Vec<u64>> = outcomes.into_iter().flat_map(|o| o.acc).collect();
+                self.finish(
+                    query,
+                    t.rows() as u64,
+                    stats,
+                    1,
+                    0,
+                    QueryResult::points(skyline_of(&merged)),
+                    walls,
+                    combine_t0.elapsed(),
+                )
+            }
+        };
+        report.wall = Some(started.elapsed());
+        report
+    }
+
+    /// Sharded JOIN: shard-local Bloom builds union into broadcast
+    /// filters, every shard's probe pairs stream into one global
+    /// sort-merge sweep. Lopsided tables take the §4.3 asymmetric flow.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_join(
+        &self,
+        db: &Database,
+        query: &Query,
+        left: &str,
+        right: &str,
+        left_col: &str,
+        right_col: &str,
+        shards: usize,
+        workers: usize,
+    ) -> ExecutionReport {
+        let cfg = &self.inner.config;
+        let l = db.table(left);
+        let r = db.table(right);
+        let lc = l.col_index(left_col);
+        let rc = r.col_index(right_col);
+        let rows = (l.rows() + r.rows()) as u64;
+        let asymmetric = 2 * l.rows().min(r.rows()) <= l.rows().max(r.rows());
+        if asymmetric {
+            // Small side: one pass per shard, unpruned, building the
+            // shard-local small filter; the union is broadcast to every
+            // shard's big-side probe.
+            let ((small_tag, small_t, small_c), (big_tag, big_t, big_c)) = if l.rows() <= r.rows() {
+                ((SIDE_LEFT, l, lc), (SIDE_RIGHT, r, rc))
+            } else {
+                ((SIDE_RIGHT, r, rc), (SIDE_LEFT, l, lc))
+            };
+            let small_seed = if small_tag == SIDE_LEFT {
+                cfg.seed
+            } else {
+                cfg.seed ^ 1
+            };
+            let sbounds = small_t.partition_bounds(shards);
+            let pass1 = sharded_phase(
+                shards,
+                |s| {
+                    (
+                        PhaseInput {
+                            partitions: side_parts_range(
+                                small_tag, small_t, small_c, sbounds[s], workers, true,
+                            ),
+                            visible_cols: 2,
+                        },
+                        SmallSideBuild::new(cfg.join_m_bits, cfg.join_h, small_seed),
+                        Vec::<(u64, u64)>::new(),
+                    )
+                },
+                |pairs, block| block.extend_pairs_into(1, 2, pairs),
+            );
+            let (mut stats, mut walls) = fold_telemetry(&pass1);
+            let merge_t0 = Instant::now();
+            let mut small_pairs = Vec::new();
+            let mut filters = Vec::with_capacity(shards);
+            for o in pass1 {
+                small_pairs.extend(o.acc);
+                filters.push(o.program.into_filter());
+            }
+            let broadcast = Arc::new(union_filters(filters));
+            let union_wall = merge_t0.elapsed();
+            let bbounds = big_t.partition_bounds(shards);
+            let pass2 = sharded_phase(
+                shards,
+                |s| {
+                    (
+                        PhaseInput {
+                            partitions: side_parts_range(
+                                big_tag, big_t, big_c, bbounds[s], workers, true,
+                            ),
+                            visible_cols: 2,
+                        },
+                        ShardProbe::new(broadcast.clone(), broadcast.clone()),
+                        Vec::<(u64, u64)>::new(),
+                    )
+                },
+                |pairs, block| block.extend_pairs_into(1, 2, pairs),
+            );
+            let (stats2, walls2) = fold_telemetry(&pass2);
+            stats.merge(stats2);
+            walls.extend(walls2);
+            let combine_t0 = Instant::now();
+            let big_pairs: Vec<(u64, u64)> = pass2.into_iter().flat_map(|o| o.acc).collect();
+            let (left_fwd, right_fwd) = if small_tag == SIDE_LEFT {
+                (small_pairs, big_pairs)
+            } else {
+                (big_pairs, small_pairs)
+            };
+            let (pairs, checksum) = join_survivors(left_fwd, right_fwd);
+            self.finish(
+                query,
+                rows,
+                stats,
+                2,
+                pairs,
+                QueryResult::JoinSummary { pairs, checksum },
+                walls,
+                union_wall + combine_t0.elapsed(),
+            )
+        } else {
+            // Symmetric: per-shard builds of F_A/F_B over both sides'
+            // shard slices, unioned, then every shard probes the merged
+            // pair (each side against the other side's union).
+            let lbounds = l.partition_bounds(shards);
+            let rbounds = r.partition_bounds(shards);
+            let pass1 = sharded_phase(
+                shards,
+                |s| {
+                    let mut partitions =
+                        side_parts_range(SIDE_LEFT, l, lc, lbounds[s], workers, false);
+                    partitions.extend(side_parts_range(
+                        SIDE_RIGHT, r, rc, rbounds[s], workers, false,
+                    ));
+                    (
+                        PhaseInput {
+                            partitions,
+                            visible_cols: 2,
+                        },
+                        JoinShardBuild::new(cfg.join_m_bits, cfg.join_h, cfg.seed),
+                        (),
+                    )
+                },
+                |(), _block| {},
+            );
+            // Build decisions are not probe decisions: as on the other
+            // executors, only the probe pass counts toward the stats.
+            let build_walls: Vec<Duration> = pass1.iter().map(|o| o.wall).collect();
+            let merge_t0 = Instant::now();
+            let mut fas = Vec::with_capacity(shards);
+            let mut fbs = Vec::with_capacity(shards);
+            for o in pass1 {
+                let (fa, fb) = o.program.into_filters();
+                fas.push(fa);
+                fbs.push(fb);
+            }
+            let fa = Arc::new(union_filters(fas));
+            let fb = Arc::new(union_filters(fbs));
+            let union_wall = merge_t0.elapsed();
+            let pass2 = sharded_phase(
+                shards,
+                |s| {
+                    let mut partitions =
+                        side_parts_range(SIDE_LEFT, l, lc, lbounds[s], workers, true);
+                    partitions.extend(side_parts_range(
+                        SIDE_RIGHT, r, rc, rbounds[s], workers, true,
+                    ));
+                    (
+                        PhaseInput {
+                            partitions,
+                            visible_cols: 2,
+                        },
+                        // Left entries probe F_B, right entries probe F_A.
+                        ShardProbe::new(fb.clone(), fa.clone()),
+                        (Vec::<(u64, u64)>::new(), Vec::<(u64, u64)>::new()),
+                    )
+                },
+                |(left_fwd, right_fwd), block| match block.const_lane(0) {
+                    Some(tag) => {
+                        let dst = if tag == SIDE_LEFT {
+                            left_fwd
+                        } else {
+                            right_fwd
+                        };
+                        block.extend_pairs_into(1, 2, dst);
+                    }
+                    None => block.for_each_row(|row| {
+                        if row[0] == SIDE_LEFT {
+                            left_fwd.push((row[1], row[2]));
+                        } else {
+                            right_fwd.push((row[1], row[2]));
+                        }
+                    }),
+                },
+            );
+            let (stats, probe_walls) = fold_telemetry(&pass2);
+            let mut walls = build_walls;
+            walls.extend(probe_walls);
+            let combine_t0 = Instant::now();
+            let mut left_fwd = Vec::new();
+            let mut right_fwd = Vec::new();
+            for o in pass2 {
+                let (lf, rf) = o.acc;
+                left_fwd.extend(lf);
+                right_fwd.extend(rf);
+            }
+            let (pairs, checksum) = join_survivors(left_fwd, right_fwd);
+            self.finish(
+                query,
+                2 * rows,
+                stats,
+                2,
+                pairs,
+                QueryResult::JoinSummary { pairs, checksum },
+                walls,
+                union_wall + combine_t0.elapsed(),
+            )
+        }
+    }
+
+    /// Assemble the sharded report: the shared cost-model pricing plus
+    /// the per-shard pass spans and the measured combine span.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        query: &Query,
+        streamed_rows: u64,
+        stats: PruneStats,
+        passes: u32,
+        fetch_rows: u64,
+        result: QueryResult,
+        pass_walls: Vec<Duration>,
+        combine_wall: Duration,
+    ) -> ExecutionReport {
+        let mut report = self
+            .inner
+            .report(query, streamed_rows, stats, passes, fetch_rows, result);
+        report.pass_walls = pass_walls;
+        report.combine_wall = Some(combine_wall);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cheetah::PrunerConfig;
+    use crate::cost::CostModel;
+    use crate::reference;
+    use crate::table::Table;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add(Table::new(
+            "t",
+            vec![
+                ("k", (0..6_000u64).map(|i| i * 7 % 83 + 1).collect()),
+                ("v", (0..6_000u64).map(|i| i * 31 % 9_973).collect()),
+            ],
+        ));
+        db.add(Table::new(
+            "s",
+            vec![
+                ("k", (0..2_000u64).map(|i| i * 11 % 140 + 40).collect()),
+                ("x", (0..2_000u64).map(|i| i * 3 % 97).collect()),
+            ],
+        ));
+        db
+    }
+
+    fn exec(shards: usize) -> ShardedExecutor {
+        ShardedExecutor::with_shards(
+            CheetahExecutor::new(CostModel::default(), PrunerConfig::default()),
+            shards,
+        )
+    }
+
+    #[test]
+    fn sharded_matches_reference_on_representative_shapes() {
+        let db = db();
+        let queries = [
+            Query::Distinct {
+                table: "t".into(),
+                column: "k".into(),
+            },
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Sum,
+            },
+            Query::Having {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                threshold: 300_000,
+            },
+            Query::Join {
+                left: "t".into(),
+                right: "s".into(),
+                left_col: "k".into(),
+                right_col: "k".into(),
+            },
+        ];
+        for shards in [1usize, 3] {
+            let e = exec(shards);
+            for q in &queries {
+                let truth = reference::evaluate(&db, q);
+                let r = Executor::execute(&e, &db, q);
+                assert_eq!(r.result, truth, "{} diverged at {shards} shards", q.kind());
+                assert_eq!(r.executor, "sharded");
+                assert!(r.wall.is_some(), "sharded runs measure wall clock");
+                assert!(r.combine_wall.is_some(), "combine span is measured");
+                assert_eq!(
+                    r.pass_walls.len(),
+                    shards * r.passes as usize,
+                    "{}: one switch span per shard per pass",
+                    q.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_rows_still_completes() {
+        let mut tiny = Database::new();
+        tiny.add(Table::new("t", vec![("k", vec![3, 3, 9])]));
+        let e = exec(8);
+        let q = Query::Distinct {
+            table: "t".into(),
+            column: "k".into(),
+        };
+        let r = Executor::execute(&e, &tiny, &q);
+        assert_eq!(r.result, QueryResult::Values(vec![3, 9]));
+        assert_eq!(r.pass_walls.len(), 8, "empty shards still report spans");
+    }
+
+    #[test]
+    fn adaptive_shards_stay_on_grid() {
+        let db = db();
+        let e = ShardedExecutor::with_adaptive_shards(CheetahExecutor::new(
+            CostModel::default(),
+            PrunerConfig::default(),
+        ));
+        assert!(e.is_adaptive());
+        assert!(!exec(2).is_adaptive());
+        let q = Query::Distinct {
+            table: "t".into(),
+            column: "k".into(),
+        };
+        let picked = e.planned_shards(&db, &q);
+        assert!([1, 2, 4].contains(&picked), "off-grid shard count {picked}");
+        assert_eq!(
+            Executor::execute(&e, &db, &q).result,
+            reference::evaluate(&db, &q)
+        );
+    }
+}

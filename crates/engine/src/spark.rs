@@ -302,6 +302,7 @@ impl SparkExecutor {
             shuffle_entries,
             wall: None,
             pass_walls: Vec::new(),
+            combine_wall: None,
         }
     }
 }

@@ -165,6 +165,63 @@ impl EntryStream {
     }
 }
 
+/// Split `[start, end)` into `parts` near-equal contiguous sub-ranges —
+/// the zero-copy shard/worker splitter: a shard is a range of table rows,
+/// and each shard's pool workers take a sub-range of it, so every
+/// partition stays a borrowed [`crate::threaded::Lane::Slice`] view with
+/// no row copied anywhere. Empty input ranges yield `parts` empty spans
+/// (idle workers still watermark their phases).
+pub fn split_range(start: usize, end: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0, "need at least one part");
+    let rows = end - start;
+    let per = rows / parts;
+    let extra = rows % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut cursor = start;
+    for i in 0..parts {
+        let len = per + usize::from(i < extra);
+        out.push((cursor, cursor + len));
+        cursor += len;
+    }
+    out
+}
+
+/// Hash-partition a column set into `shards` gathered column groups by
+/// the `key` column: row `i` lands in shard `h(cols[key][i]) mod shards`,
+/// so **every occurrence of a key is co-located on one shard** — the
+/// key-partitioned shard mode for register-aggregating shapes (GROUP BY
+/// SUM/COUNT), where scattering a key across shards would multiply its
+/// eviction traffic. Returns `shards` groups, each holding one gathered
+/// lane per input column, in input order within the shard. Two passes:
+/// a counting pass sizes every lane exactly, so the gather costs
+/// `shards × cols` allocations however large the table is.
+pub fn hash_shard_columns(
+    cols: &[&[u64]],
+    key: usize,
+    shards: usize,
+    seed: u64,
+) -> Vec<Vec<Vec<u64>>> {
+    assert!(shards > 0, "need at least one shard");
+    assert!(key < cols.len(), "key column out of range");
+    let hash = cheetah_core::hash::HashFn::new(seed);
+    let keys = cols[key];
+    let mut counts = vec![0usize; shards];
+    for &k in keys {
+        counts[hash.bucket(k, shards)] += 1;
+    }
+    let mut out: Vec<Vec<Vec<u64>>> = counts
+        .iter()
+        .map(|&n| cols.iter().map(|_| Vec::with_capacity(n)).collect())
+        .collect();
+    for i in 0..keys.len() {
+        let s = hash.bucket(keys[i], shards);
+        for (lane, col) in out[s].iter_mut().zip(cols) {
+            lane.push(col[i]);
+        }
+    }
+    out
+}
+
 /// Append the §5 fingerprints of rows `start..start + len` of `cols`
 /// onto `out`, gathering each row across the column slices through one
 /// reused `scratch` buffer — the shared worker-side serialization loop
@@ -338,6 +395,58 @@ mod tests {
         assert!(survivors.contains(&vec![1, 9]));
         assert!(survivors.contains(&vec![2, 9]));
         assert!(survivors.contains(&vec![1, 8]));
+    }
+
+    #[test]
+    fn split_range_covers_exactly_and_handles_empties() {
+        for (start, end, parts) in [(0usize, 103, 4), (7, 7, 3), (10, 13, 5), (0, 1, 1)] {
+            let spans = split_range(start, end, parts);
+            assert_eq!(spans.len(), parts);
+            assert_eq!(spans.first().unwrap().0, start);
+            assert_eq!(spans.last().unwrap().1, end);
+            for w in spans.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "spans must tile contiguously");
+            }
+            let sizes: Vec<usize> = spans.iter().map(|(s, e)| e - s).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "near-equal split: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn hash_shards_colocate_keys_and_permute_rows() {
+        let keys: Vec<u64> = (0..2_000u64).map(|i| i * 31 % 97).collect();
+        let vals: Vec<u64> = (0..2_000u64).collect();
+        let shards = hash_shard_columns(&[&keys, &vals], 0, 4, 9);
+        assert_eq!(shards.len(), 4);
+        // Every row lands in exactly one shard: the gathered (key, val)
+        // multiset is a permutation of the input.
+        let mut gathered: Vec<(u64, u64)> = shards
+            .iter()
+            .flat_map(|g| g[0].iter().copied().zip(g[1].iter().copied()))
+            .collect();
+        let mut expected: Vec<(u64, u64)> =
+            keys.iter().copied().zip(vals.iter().copied()).collect();
+        gathered.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(gathered, expected);
+        // Key-partitioned: a key appears in at most one shard.
+        for key in 0..97u64 {
+            let homes = shards.iter().filter(|g| g[0].contains(&key)).count();
+            assert!(homes <= 1, "key {key} straddles {homes} hash shards");
+        }
+        // Gathered rows keep their relative (stream) order within a
+        // shard: vals are unique and ascending in the input, so the
+        // filtered input order must match the gathered lane exactly.
+        for g in &shards {
+            let expect_vals: Vec<u64> = vals
+                .iter()
+                .zip(&keys)
+                .filter(|&(_, k)| g[0].contains(k))
+                .map(|(&v, _)| v)
+                .collect();
+            assert_eq!(g[1], expect_vals, "gather scrambled in-shard order");
+        }
     }
 
     #[test]

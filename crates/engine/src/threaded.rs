@@ -299,9 +299,19 @@ thread_local! {
 /// Total worker threads spawned by [`run_phases`] calls made **from the
 /// current thread** — a diagnostic counter for tests asserting the pool
 /// spawns each worker exactly once per query (thread-local, so
-/// concurrently running tests never race it).
+/// concurrently running tests never race it). Drivers that fan pipelines
+/// out to helper threads (the sharded executor's per-shard runners) fold
+/// their helpers' deltas back via the crate-internal
+/// `credit_worker_spawns`, so a whole query's spawn total stays
+/// observable from the calling thread.
 pub fn worker_threads_spawned() -> u64 {
     WORKER_SPAWNS.with(Cell::get)
+}
+
+/// Fold `n` worker spawns observed on helper threads into the current
+/// thread's counter (see [`worker_threads_spawned`]).
+pub(crate) fn credit_worker_spawns(n: u64) {
+    WORKER_SPAWNS.with(|c| c.set(c.get() + n));
 }
 
 /// One lane of an in-flight block view: either a direct reference into

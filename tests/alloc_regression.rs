@@ -17,7 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use cheetah::core::filter::{Atom, CmpOp, Formula};
 use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
 use cheetah::engine::{
-    Agg, CostModel, Database, Executor, Predicate, Query, Table, ThreadedExecutor, BLOCK_ENTRIES,
+    Agg, CostModel, Database, Executor, Predicate, Query, ShardedExecutor, Table, ThreadedExecutor,
+    BLOCK_ENTRIES,
 };
 
 struct CountingAlloc;
@@ -184,6 +185,57 @@ fn warm_queries_allocate_o1_not_o_rows() {
             "[{name}] warm threaded query made {allocs} allocations over \
              ~{blocks} blocks (budget {budget}); the pool path has lost its \
              O(1)-per-block guarantee"
+        );
+    }
+
+    // The sharded multi-switch path: per-shard pools over borrowed range
+    // views (JOIN) or an exact-capacity hash gather (GROUP BY SUM), with
+    // the combine layer merging filters/registers — none of which may
+    // reintroduce a per-row `Vec`. The budget charges the same small
+    // constant per wire block plus a fixed shard/pool/combine term
+    // (per-shard filters, gather lanes, pair streams, channels).
+    let sharded = ShardedExecutor::with_shards(exec.clone(), 2);
+    let sharded_queries = [
+        (
+            "sharded-join",
+            Query::Join {
+                left: "t".into(),
+                right: "s".into(),
+                left_col: "k".into(),
+                right_col: "k".into(),
+            },
+            // Lopsided tables: the asymmetric flow streams each side once.
+            ROWS + ROWS / 2,
+        ),
+        (
+            "sharded-groupby-sum",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Sum,
+            },
+            ROWS,
+        ),
+    ];
+    for (name, q, streamed) in sharded_queries {
+        let warm = sharded.execute(&db, &q);
+        let blocks = (streamed / BLOCK_ENTRIES + 16) as u64;
+        let budget = 16 * blocks + 8192;
+        let mut result = None;
+        let allocs = allocs_during(|| {
+            result = Some(sharded.execute(&db, &q));
+        });
+        assert_eq!(
+            result.expect("ran").result,
+            warm.result,
+            "[{name}] warm rerun changed the result"
+        );
+        assert!(
+            allocs < budget,
+            "[{name}] warm sharded query made {allocs} allocations over \
+             ~{blocks} blocks (budget {budget}); the shard gather or the \
+             combine layer has reintroduced per-row allocation"
         );
     }
 }

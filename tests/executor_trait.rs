@@ -10,7 +10,8 @@ use cheetah::engine::netaccel::NetAccelModel;
 use cheetah::engine::reference;
 use cheetah::engine::spark::SparkExecutor;
 use cheetah::engine::{
-    Agg, CostModel, Database, Executor, NetAccelExecutor, Predicate, Query, Table, ThreadedExecutor,
+    Agg, CostModel, Database, Executor, NetAccelExecutor, Predicate, Query, ShardedExecutor, Table,
+    ThreadedExecutor,
 };
 
 /// A database hitting every query shape: skewed keys for the aggregates,
@@ -165,6 +166,7 @@ struct Fleet {
     cheetah: CheetahExecutor,
     threaded: ThreadedExecutor,
     netaccel: NetAccelExecutor,
+    sharded: ShardedExecutor,
 }
 
 impl Fleet {
@@ -175,12 +177,19 @@ impl Fleet {
             spark: SparkExecutor::new(model),
             cheetah: cheetah.clone(),
             threaded: ThreadedExecutor::new(cheetah.clone()),
-            netaccel: NetAccelExecutor::new(cheetah, NetAccelModel::default()),
+            netaccel: NetAccelExecutor::new(cheetah.clone(), NetAccelModel::default()),
+            sharded: ShardedExecutor::with_shards(cheetah, 2),
         }
     }
 
     fn all(&self) -> Vec<&dyn Executor> {
-        vec![&self.spark, &self.cheetah, &self.threaded, &self.netaccel]
+        vec![
+            &self.spark,
+            &self.cheetah,
+            &self.threaded,
+            &self.netaccel,
+            &self.sharded,
+        ]
     }
 }
 
@@ -205,7 +214,7 @@ fn reports_are_complete_and_labeled() {
         let labels: Vec<&str> = reports.iter().map(|r| r.executor).collect();
         assert_eq!(
             labels,
-            ["spark", "cheetah", "threaded", "netaccel"],
+            ["spark", "cheetah", "threaded", "netaccel", "sharded"],
             "[{label}] reports must arrive labeled, in input order"
         );
         for report in reports {
@@ -323,6 +332,101 @@ fn adaptive_worker_tuning_stays_correct_and_on_grid() {
             "[{label}] adaptive pool diverged"
         );
         assert!(r.wall.is_some(), "[{label}] adaptive run measures wall");
+    }
+}
+
+#[test]
+fn sharded_executor_matrix_over_shard_counts_and_query_shapes() {
+    // The sharded backend's contract: over shards ∈ {1, 2, 4} × every
+    // Appendix-B shape, the result equals the reference, the wall is a
+    // real measurement, the report carries one switch span per shard per
+    // pass plus a measured combine span, and the streaming accounting
+    // (passes, processed entries, fetch metadata) matches the reference
+    // driver's deterministic reports.
+    let db = appendix_b_db(4_000, 29);
+    let model = CostModel::default();
+    let cheetah = CheetahExecutor::new(model, PrunerConfig::default());
+    for shards in [1usize, 2, 4] {
+        let exec = ShardedExecutor::with_shards(cheetah.clone(), shards);
+        assert_eq!(exec.shards(), shards);
+        for (label, q) in appendix_b_queries() {
+            let truth = reference::evaluate(&db, &q);
+            let det = Executor::execute(&cheetah, &db, &q);
+            let r = Executor::execute(&exec, &db, &q);
+            assert_eq!(r.result, truth, "[{label}] {shards} shards diverged");
+            assert_eq!(r.executor, "sharded");
+            let wall = r.wall.unwrap_or_else(|| {
+                panic!("[{label}] sharded must measure wall clock at {shards} shards")
+            });
+            assert!(wall.as_nanos() > 0, "[{label}] wall must be a measurement");
+            assert!(
+                !r.pass_walls.is_empty(),
+                "[{label}] per-shard pass spans must be reported"
+            );
+            assert_eq!(
+                r.pass_walls.len(),
+                shards * r.passes as usize,
+                "[{label}] one switch span per shard per pass"
+            );
+            assert!(
+                r.combine_wall.is_some(),
+                "[{label}] the combine layer must measure its span"
+            );
+            // Reports match the reference driver: same streaming shape.
+            assert_eq!(r.passes, det.passes, "[{label}] pass count");
+            assert_eq!(
+                r.prune_stats().processed,
+                det.prune_stats().processed,
+                "[{label}] every entry must be decided exactly once per pass"
+            );
+            assert_eq!(r.fetch_rows, det.fetch_rows, "[{label}] fetch rows");
+            assert_eq!(
+                r.fetch_checksum, det.fetch_checksum,
+                "[{label}] sharded fetch must materialize the same row set"
+            );
+            // Single-switch executors carry no combine span.
+            assert_eq!(det.combine_wall, None, "[{label}] deterministic combine");
+        }
+    }
+}
+
+#[test]
+fn adaptive_shard_tuning_stays_correct_and_on_grid() {
+    let db = appendix_b_db(5_000, 30);
+    let model = CostModel::default();
+    let cheetah = CheetahExecutor::new(model, PrunerConfig::default());
+    let adaptive = ShardedExecutor::with_adaptive_shards(cheetah.clone());
+    assert!(adaptive.is_adaptive());
+    assert!(
+        !ShardedExecutor::with_shards(cheetah, 2).is_adaptive(),
+        "tuning must be off by default"
+    );
+    for (label, q) in appendix_b_queries() {
+        let picked = adaptive.planned_shards(&db, &q);
+        assert!(
+            [1, 2, 4].contains(&picked),
+            "[{label}] picked {picked} shards, outside the tuning grid"
+        );
+        let r = Executor::execute(&adaptive, &db, &q);
+        assert_eq!(
+            r.result,
+            reference::evaluate(&db, &q),
+            "[{label}] adaptive sharding diverged"
+        );
+        assert!(r.wall.is_some(), "[{label}] adaptive run measures wall");
+        // The run re-samples throughput, so its pick may differ from the
+        // probe above — but it must land on the same grid, and the spans
+        // must tile it exactly (one per shard per pass).
+        assert_eq!(
+            r.pass_walls.len() % r.passes as usize,
+            0,
+            "[{label}] spans must tile the passes"
+        );
+        let spans_per_pass = r.pass_walls.len() / r.passes as usize;
+        assert!(
+            [1, 2, 4].contains(&spans_per_pass),
+            "[{label}] ran {spans_per_pass} shards, outside the tuning grid"
+        );
     }
 }
 

@@ -1,0 +1,291 @@
+//! Sharded ≡ deterministic, for every pruner, under arbitrary shard
+//! boundaries and pathological skew.
+//!
+//! The sharded executor runs the same pruning programs per shard and
+//! merges with the combine layer; Cheetah's correctness equation
+//! `Q(A_Q(D)) = Q(D)` must therefore hold **per query**, not per shard:
+//! whatever the shard boundaries do to the individual switch decisions
+//! (shard-local caches dedup less, shard-local filters see fewer keys),
+//! the combined result and the order-independent checksums (late-
+//! materialization fetch, join pairing) must be identical to the
+//! deterministic single-switch path. Property-tested over random tables,
+//! shard counts and pool widths; the pathological shapes (empty shards,
+//! all rows in one shard, every key straddling a boundary, hash-shard
+//! skew) get dedicated cases.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use cheetah::core::filter::{Atom, CmpOp, Formula};
+use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah::engine::reference;
+use cheetah::engine::{
+    Agg, CostModel, Database, Executor, Predicate, Query, ShardedExecutor, Table,
+};
+
+/// A database over explicit column data (so proptest owns the values).
+fn db_from(t_cols: (Vec<u64>, Vec<u64>, Vec<u64>), s_cols: (Vec<u64>, Vec<u64>)) -> Database {
+    let mut db = Database::new();
+    db.add(Table::new(
+        "t",
+        vec![("k", t_cols.0), ("v", t_cols.1), ("w", t_cols.2)],
+    ));
+    db.add(Table::new("s", vec![("k", s_cols.0), ("x", s_cols.1)]));
+    db
+}
+
+/// Every query shape — one per pruner family (filter, distinct matrix,
+/// fingerprinted distinct, top-n, group-by extremum, §6 registers,
+/// Count-Min, Bloom join, skyline).
+fn all_shapes() -> Vec<(&'static str, Query)> {
+    let predicate = Predicate {
+        columns: vec!["v".into(), "w".into()],
+        atoms: vec![Atom::cmp(0, CmpOp::Lt, 700), Atom::cmp(1, CmpOp::Gt, 200)],
+        formula: Formula::Or(vec![Formula::Atom(0), Formula::Atom(1)]),
+    };
+    vec![
+        (
+            "filter-count",
+            Query::FilterCount {
+                table: "t".into(),
+                predicate: predicate.clone(),
+            },
+        ),
+        (
+            "filter-fetch",
+            Query::Filter {
+                table: "t".into(),
+                predicate,
+            },
+        ),
+        (
+            "distinct",
+            Query::Distinct {
+                table: "t".into(),
+                column: "k".into(),
+            },
+        ),
+        (
+            "distinct-multi",
+            Query::DistinctMulti {
+                table: "t".into(),
+                columns: vec!["k".into(), "w".into()],
+            },
+        ),
+        (
+            "topn",
+            Query::TopN {
+                table: "t".into(),
+                order_by: "v".into(),
+                n: 10,
+            },
+        ),
+        (
+            "groupby-max",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Max,
+            },
+        ),
+        (
+            "groupby-min",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Min,
+            },
+        ),
+        (
+            "groupby-sum",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Sum,
+            },
+        ),
+        (
+            "groupby-count",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Count,
+            },
+        ),
+        (
+            "having",
+            Query::Having {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                threshold: 5_000,
+            },
+        ),
+        (
+            "join",
+            Query::Join {
+                left: "t".into(),
+                right: "s".into(),
+                left_col: "k".into(),
+                right_col: "k".into(),
+            },
+        ),
+        (
+            "skyline",
+            Query::Skyline {
+                table: "t".into(),
+                columns: vec!["v".into(), "w".into()],
+            },
+        ),
+    ]
+}
+
+/// Compact switch config: small enough for eviction churn to really
+/// happen (so shard-local state diverges from the global state), and a
+/// small join filter so building one per shard stays cheap.
+fn test_config(seed: u64) -> PrunerConfig {
+    PrunerConfig {
+        distinct_d: 32,
+        distinct_w: 2,
+        topn_d: 64,
+        topn_w: 8,
+        groupby_d: 16,
+        groupby_w: 2,
+        join_m_bits: 1 << 16,
+        having_d: 3,
+        having_w: 128,
+        skyline_w: 4,
+        seed,
+        ..PrunerConfig::default()
+    }
+}
+
+/// Assert sharded ≡ deterministic ≡ reference for every shape, including
+/// the order-independent checksums (fetch + join pairing live inside the
+/// canonical results / fetch_checksum fields).
+fn assert_equivalent(db: &Database, shards: usize, workers: usize, seed: u64) {
+    let model = CostModel {
+        workers,
+        ..CostModel::default()
+    };
+    let cheetah = CheetahExecutor::new(model, test_config(seed));
+    let sharded = ShardedExecutor::with_shards(cheetah.clone(), shards);
+    for (label, q) in all_shapes() {
+        let truth = reference::evaluate(db, &q);
+        let det = Executor::execute(&cheetah, db, &q);
+        let shd = Executor::execute(&sharded, db, &q);
+        assert_eq!(
+            det.result, truth,
+            "[{label}] deterministic diverged from reference"
+        );
+        assert_eq!(
+            shd.result, truth,
+            "[{label}] sharded diverged at {shards} shards × {workers} workers"
+        );
+        assert_eq!(
+            shd.fetch_checksum, det.fetch_checksum,
+            "[{label}] fetch checksum diverged (different materialized rows)"
+        );
+        assert_eq!(
+            shd.prune_stats().processed,
+            det.prune_stats().processed,
+            "[{label}] sharded must decide each entry exactly once per pass"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Arbitrary data, shard counts and pool widths: the combined result
+    /// must match the deterministic path everywhere.
+    #[test]
+    fn sharded_equals_deterministic_under_arbitrary_boundaries(
+        t_rows in vec((1u64..50, 1u64..2_000, 1u64..400), 1..250),
+        s_keys in vec(20u64..80, 0..120),
+        shards in 1usize..6,
+        workers in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (tk, rest): (Vec<u64>, Vec<(u64, u64)>) =
+            t_rows.iter().map(|&(k, v, w)| (k, (v, w))).unzip();
+        let (tv, tw): (Vec<u64>, Vec<u64>) = rest.into_iter().unzip();
+        let sx: Vec<u64> = s_keys.iter().map(|&k| k * 3 % 97).collect();
+        let db = db_from((tk, tv, tw), (s_keys, sx));
+        assert_equivalent(&db, shards, workers, seed);
+    }
+
+    /// Pathological key skew: one dominant key (the hash-sharded GROUP BY
+    /// SUM path funnels nearly the whole table into a single shard) plus
+    /// a sprinkle of straddlers.
+    #[test]
+    fn sharded_survives_hash_shard_skew(
+        dominant in 1u64..40,
+        minority in vec((1u64..40, 1u64..500), 0..40),
+        rows in 50usize..250,
+        shards in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut tk: Vec<u64> = vec![dominant; rows];
+        let mut tv: Vec<u64> = (0..rows as u64).map(|i| i * 13 % 701 + 1).collect();
+        for &(k, v) in &minority {
+            tk.push(k);
+            tv.push(v);
+        }
+        let tw: Vec<u64> = (0..tk.len() as u64).map(|i| i % 300 + 1).collect();
+        let db = db_from((tk, tv, tw), (vec![dominant, 77], vec![5, 9]));
+        assert_equivalent(&db, shards, 2, seed);
+    }
+}
+
+/// Empty tables: every shard is empty, every combine merges nothing.
+#[test]
+fn sharded_handles_empty_tables() {
+    let db = db_from(
+        (Vec::new(), Vec::new(), Vec::new()),
+        (Vec::new(), Vec::new()),
+    );
+    for shards in [1usize, 3] {
+        assert_equivalent(&db, shards, 2, 7);
+    }
+}
+
+/// All rows in one shard: fewer rows than shards leaves most shard
+/// pipelines empty (they must still watermark and report spans).
+#[test]
+fn sharded_handles_more_shards_than_rows() {
+    let db = db_from(
+        (vec![5, 5, 9], vec![100, 90, 80], vec![1, 2, 3]),
+        (vec![5], vec![1]),
+    );
+    assert_equivalent(&db, 5, 2, 11);
+    let model = CostModel::default();
+    let exec = ShardedExecutor::with_shards(CheetahExecutor::new(model, test_config(11)), 5);
+    let q = Query::Distinct {
+        table: "t".into(),
+        column: "k".into(),
+    };
+    let r = Executor::execute(&exec, &db, &q);
+    assert_eq!(r.pass_walls.len(), 5, "empty shards still report spans");
+}
+
+/// Every key straddles every range-shard boundary: keys cycle faster
+/// than any shard width, so range shards all see every key — the worst
+/// case for per-shard dedup/sketch state, which the combine must absorb.
+#[test]
+fn sharded_handles_keys_straddling_every_boundary() {
+    let rows = 400u64;
+    let tk: Vec<u64> = (0..rows).map(|i| i % 7).collect();
+    let tv: Vec<u64> = (0..rows).map(|i| i * 31 % 997).collect();
+    let tw: Vec<u64> = (0..rows).map(|i| i % 211 + 1).collect();
+    let sk: Vec<u64> = (0..rows / 2).map(|i| i % 11).collect();
+    let sx: Vec<u64> = (0..rows / 2).map(|i| i % 13).collect();
+    let db = db_from((tk, tv, tw), (sk, sx));
+    for shards in [2usize, 3, 4] {
+        assert_equivalent(&db, shards, 2, 13);
+    }
+}

@@ -9,7 +9,7 @@ use cheetah::core::filter::{Atom, CmpOp, Formula};
 use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
 use cheetah::engine::reference;
 use cheetah::engine::{
-    Agg, CostModel, Database, Executor, Predicate, Query, Table, ThreadedExecutor,
+    Agg, CostModel, Database, Executor, Predicate, Query, ShardedExecutor, Table, ThreadedExecutor,
 };
 
 const TRIALS: usize = 8;
@@ -218,6 +218,167 @@ fn pool_spawns_each_worker_exactly_once_per_query() {
         worker_threads_spawned() - before,
         2 * workers as u64,
         "symmetric join pools both sides' workers, spawned once"
+    );
+}
+
+/// Shard-skew soak: the sharded executor across lopsided shard loads —
+/// a heavily skewed key column (the hash-sharded GROUP BY SUM path
+/// funnels most rows into one shard) and a tiny second table whose
+/// range shards are mostly empty — × workers {1, 2}, every multi-pass
+/// shape, every run equal to the reference.
+#[test]
+fn sharded_shard_skew_soak() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(38);
+    let rows = 2_400usize;
+    let mut db = Database::new();
+    // ~70% of rows share one key: shard loads are lopsided under the
+    // key-partitioned gather, and range shards all see the hot key.
+    db.add(Table::new(
+        "t",
+        vec![
+            (
+                "k",
+                (0..rows)
+                    .map(|_| {
+                        if rng.gen_bool(0.7) {
+                            7u64
+                        } else {
+                            rng.gen_range(1..90u64)
+                        }
+                    })
+                    .collect(),
+            ),
+            ("v", (0..rows).map(|_| rng.gen_range(1..8_000u64)).collect()),
+            ("w", (0..rows).map(|_| rng.gen_range(1..400u64)).collect()),
+        ],
+    ));
+    // Tiny join side: with 4 shards most shard pipelines stream nothing.
+    db.add(Table::new(
+        "s",
+        vec![
+            ("k", (0..20).map(|_| rng.gen_range(1..90u64)).collect()),
+            ("x", (0..20).map(|_| rng.gen_range(1..100u64)).collect()),
+        ],
+    ));
+    for workers in [1usize, 2] {
+        for shards in [2usize, 4] {
+            let exec = ShardedExecutor::with_shards(
+                CheetahExecutor::new(
+                    CostModel {
+                        workers,
+                        ..CostModel::default()
+                    },
+                    PrunerConfig::default(),
+                ),
+                shards,
+            );
+            for (label, q) in multipass_queries() {
+                let truth = reference::evaluate(&db, &q);
+                for trial in 0..3 {
+                    let report = exec.execute(&db, &q);
+                    assert_eq!(
+                        report.result, truth,
+                        "[{label}] shards={shards} workers={workers} trial={trial}: \
+                         sharded diverged under skew"
+                    );
+                    assert!(report.wall.is_some() && report.combine_wall.is_some());
+                    assert_eq!(
+                        report.pass_walls.len(),
+                        shards * report.passes as usize,
+                        "[{label}] per-shard spans under skew"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The sharded pool contract, pinned through the spawn counter: every
+/// shard runs its own persistent pool, spawned exactly once per pass set
+/// — `shards × workers` threads for the single-`run_phases` shapes, and
+/// exact multiples for the flows whose combine layer needs a second
+/// sharded pass (HAVING's sketch merge, JOIN's filter union).
+#[test]
+fn sharded_spawn_counts_are_exactly_shards_times_workers() {
+    use cheetah::engine::threaded::worker_threads_spawned;
+    let db = soak_db(2_000, 39);
+    let (shards, workers) = (3usize, 2usize);
+    let exec = ShardedExecutor::with_shards(
+        CheetahExecutor::new(
+            CostModel {
+                workers,
+                ..CostModel::default()
+            },
+            PrunerConfig::default(),
+        ),
+        shards,
+    );
+    for (label, q) in multipass_queries() {
+        // soak_db's `s` is half of `t`, so JOIN takes the asymmetric
+        // flow: two sharded passes (small build, big probe). HAVING also
+        // runs two sharded passes around the sketch merge. Every other
+        // shape is one `run_phases` per shard.
+        let expected = match q {
+            Query::Join { .. } | Query::Having { .. } => 2 * shards * workers,
+            _ => shards * workers,
+        } as u64;
+        let before = worker_threads_spawned();
+        let report = exec.execute(&db, &q);
+        assert_eq!(
+            worker_threads_spawned() - before,
+            expected,
+            "[{label}] sharded pools must spawn exactly once per shard per pass"
+        );
+        assert_eq!(
+            report.pass_walls.len(),
+            shards * report.passes as usize,
+            "[{label}] per-shard per-pass switch spans"
+        );
+    }
+
+    // A symmetric join (similar-size tables): both sides stream in both
+    // sharded passes on 2 × workers partitions per shard.
+    let mut sym_db = Database::new();
+    sym_db.add(Table::new(
+        "a",
+        vec![("k", (0..1_500u64).map(|i| i % 80).collect())],
+    ));
+    sym_db.add(Table::new(
+        "b",
+        vec![("k", (0..1_000u64).map(|i| i % 120).collect())],
+    ));
+    let q = Query::Join {
+        left: "a".into(),
+        right: "b".into(),
+        left_col: "k".into(),
+        right_col: "k".into(),
+    };
+    let before = worker_threads_spawned();
+    exec.execute(&sym_db, &q);
+    assert_eq!(
+        worker_threads_spawned() - before,
+        (4 * shards * workers) as u64,
+        "symmetric sharded join pools both sides in both passes, once each"
+    );
+
+    // Empty shards still spawn their full pool grid (idle workers must
+    // watermark for the phase flip, as in the threaded pipeline).
+    let mut tiny = Database::new();
+    tiny.add(Table::new("t", vec![("k", vec![1, 2])]));
+    let before = worker_threads_spawned();
+    exec.execute(
+        &tiny,
+        &Query::Distinct {
+            table: "t".into(),
+            column: "k".into(),
+        },
+    );
+    assert_eq!(
+        worker_threads_spawned() - before,
+        (shards * workers) as u64,
+        "mostly-empty shards keep the exact spawn grid"
     );
 }
 
