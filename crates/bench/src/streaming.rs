@@ -483,16 +483,22 @@ pub struct ShardScaling {
     pub rows_per_sec: f64,
     /// Measured wall-clock seconds, best of reps.
     pub wall_s: f64,
-    /// Measured master-side combine span (seconds) of the best run, from
-    /// `ExecutionReport::combine_wall` (filter unions, register
-    /// re-aggregation, tuple unions, global pairing).
+    /// Measured serial combine tail (seconds) of the best run, from
+    /// `ExecutionReport::combine_wall` — only the master's result
+    /// canonicalization after the reduction root yields, since the shard
+    /// merges themselves overlap the switch phases.
     pub combine_wall_s: f64,
+    /// Per-node reduction-tree merge spans (seconds) of the best run,
+    /// from `ExecutionReport::merge_walls` (ascending node index). These
+    /// overlap each other and the still-streaming shards, so their sum
+    /// is tree work, not critical-path wall.
+    pub merge_walls: Vec<f64>,
 }
 
-/// Sweep the sharded multi-switch executor over {1, 2, 4} shards for the
-/// combine-heavy shapes (`join`, `groupby_sum`, `distinct_multi`) — the
-/// measured basis for shard-count planning (and the adaptive shard knob,
-/// `ShardedExecutor::with_adaptive_shards`).
+/// Sweep the sharded multi-switch executor over {1, 2, 4, 8} shards for
+/// the combine-heavy shapes (`join`, `groupby_sum`, `distinct_multi`) —
+/// the measured basis for shard-count planning (and the adaptive shard
+/// knob, `ShardedExecutor::with_adaptive_shards`).
 pub fn run_shard_scaling(uv_rows: usize, reps: usize) -> Vec<ShardScaling> {
     let db = bigdata_db(uv_rows, uv_rows / 5, 2_000, 0.5, 42);
     let sweep_queries: Vec<(&str, Query)> = multipass_queries()
@@ -500,7 +506,7 @@ pub fn run_shard_scaling(uv_rows: usize, reps: usize) -> Vec<ShardScaling> {
         .filter(|(n, _)| matches!(*n, "join" | "groupby_sum" | "distinct_multi"))
         .collect();
     let mut out = Vec::new();
-    for shards in [1usize, 2, 4] {
+    for shards in [1usize, 2, 4, 8] {
         let exec = ShardedExecutor::with_shards(
             CheetahExecutor::new(CostModel::default(), PrunerConfig::default()),
             shards,
@@ -525,6 +531,7 @@ pub fn run_shard_scaling(uv_rows: usize, reps: usize) -> Vec<ShardScaling> {
                     .combine_wall
                     .expect("sharded measures the combine")
                     .as_secs_f64(),
+                merge_walls: report.merge_walls.iter().map(|w| w.as_secs_f64()).collect(),
             });
         }
     }
@@ -604,13 +611,20 @@ pub fn to_json(
     out.push_str("  ],\n");
     out.push_str("  \"shard_scaling\": [\n");
     for (i, c) in shard_scaling.iter().enumerate() {
+        let merges = c
+            .merge_walls
+            .iter()
+            .map(|w| format!("{w:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"shards\": {}, \"rows_per_sec\": {:.0}, \"wall_s\": {:.6}, \"combine_wall_s\": {:.6}}}{}\n",
+            "    {{\"name\": \"{}\", \"shards\": {}, \"rows_per_sec\": {:.0}, \"wall_s\": {:.6}, \"combine_wall_s\": {:.6}, \"merge_walls\": [{}]}}{}\n",
             c.name,
             c.shards,
             c.rows_per_sec,
             c.wall_s,
             c.combine_wall_s,
+            merges,
             if i + 1 < shard_scaling.len() { "," } else { "" }
         ));
     }
@@ -682,6 +696,7 @@ mod tests {
         assert!(json.contains("\"worker_scaling\""));
         assert!(json.contains("\"shard_scaling\""));
         assert!(json.contains("\"combine_wall_s\""));
+        assert!(json.contains("\"merge_walls\""));
         assert!(json.contains("\"pass_walls\""));
         // Balanced braces/brackets — cheap structural sanity.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -750,9 +765,19 @@ mod tests {
     #[test]
     fn shard_scaling_sweeps_the_advertised_grid_with_combine_walls() {
         let cells = run_shard_scaling(3_000, 1);
-        assert_eq!(cells.len(), 9, "3 shard counts × 3 queries");
+        assert_eq!(cells.len(), 12, "4 shard counts × 3 queries");
         for cell in &cells {
-            assert!([1, 2, 4].contains(&cell.shards));
+            assert!([1, 2, 4, 8].contains(&cell.shards));
+            if cell.shards == 1 {
+                assert!(cell.merge_walls.is_empty(), "one shard merges nothing");
+            } else {
+                assert!(
+                    !cell.merge_walls.is_empty(),
+                    "{} @ {} shards: tree merges must be measured",
+                    cell.name,
+                    cell.shards
+                );
+            }
             assert!(
                 matches!(
                     cell.name.as_str(),

@@ -96,6 +96,27 @@ impl Default for PrunerConfig {
     }
 }
 
+/// One sampled-block throughput probe — the measured basis the adaptive
+/// worker and shard grids share (Cuttlefish-style tuning on real
+/// samples, not a static model).
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputSample {
+    /// Measured seconds per switch entry over the sampled blocks.
+    pub per_entry_s: f64,
+    /// Streaming passes the query's flow takes (2 for JOIN/HAVING).
+    pub passes: u64,
+    /// Entries per pass (the streamed table's rows).
+    pub rows: u64,
+}
+
+impl ThroughputSample {
+    /// Estimated serialized switch wall: per-entry cost times total
+    /// streamed entries across every pass.
+    pub fn est_switch_s(&self) -> f64 {
+        self.per_entry_s * (self.passes * self.rows) as f64
+    }
+}
+
 /// The Cheetah executor.
 #[derive(Debug, Clone)]
 pub struct CheetahExecutor {
@@ -129,8 +150,11 @@ pub(crate) fn fetch_and_checksum(t: &Table, ids: &[u64]) -> u64 {
 /// sharded JOIN arms: sort both sides' forwarded `(key, row)` pairs and
 /// pair matching key runs in one batched merge sweep — no per-entry
 /// hash-map probes — counting pairs and folding the order-independent
-/// checksum. The sharded combine concatenates every shard's pair streams
-/// before this sweep, so cross-shard matches pair exactly once.
+/// checksum. The sharded executor runs this sweep per shard over
+/// hash-partitioned sides (every occurrence of a key co-locates on one
+/// shard, so each match pairs exactly once locally) and sums the
+/// commutative counts and checksums up its reduction tree — no global
+/// sort-merge ever materializes.
 pub(crate) fn join_survivors(mut left: Vec<(u64, u64)>, mut right: Vec<(u64, u64)>) -> (u64, u64) {
     left.sort_unstable();
     right.sort_unstable();
@@ -892,6 +916,23 @@ impl CheetahExecutor {
     /// setup would dominate), long streams get the full pool so
     /// serialization and master completion overlap the pruning.
     pub fn adaptive_workers(&self, db: &Database, query: &Query) -> usize {
+        let Some(sample) = self.sample_throughput(db, query) else {
+            return 1;
+        };
+        match sample.est_switch_s() {
+            s if s < 0.5e-3 => 1,
+            s if s < 2e-3 => 2,
+            s if s < 8e-3 => 4,
+            _ => 8,
+        }
+    }
+
+    /// Stream the first few blocks of the query's metadata columns
+    /// through a fresh instance of (a proxy for) the query's switch
+    /// program and time them — the measured basis both adaptive grids
+    /// (worker count, shard count) share. `None` on an empty table,
+    /// where any grid should pick the minimum arm.
+    pub fn sample_throughput(&self, db: &Database, query: &Query) -> Option<ThroughputSample> {
         const SAMPLE_BLOCKS: usize = 4;
         let cfg = &self.config;
         let (t, cols, mut pruner): (&Table, Vec<usize>, Box<dyn RowPruner + Send>) = match query {
@@ -968,7 +1009,7 @@ impl CheetahExecutor {
         };
         let sample = t.rows().min(SAMPLE_BLOCKS * BLOCK_ENTRIES);
         if sample == 0 {
-            return 1;
+            return None;
         }
         let passes: u64 = if matches!(query, Query::Join { .. } | Query::Having { .. }) {
             2
@@ -986,14 +1027,11 @@ impl CheetahExecutor {
             pruner.process_block(&colrefs, &mut decisions[..len]);
             start += len;
         }
-        let per_entry_s = t0.elapsed().as_secs_f64() / sample as f64;
-        let est_switch_s = per_entry_s * (passes * t.rows() as u64) as f64;
-        match est_switch_s {
-            s if s < 0.5e-3 => 1,
-            s if s < 2e-3 => 2,
-            s if s < 8e-3 => 4,
-            _ => 8,
-        }
+        Some(ThroughputSample {
+            per_entry_s: t0.elapsed().as_secs_f64() / sample as f64,
+            passes,
+            rows: t.rows() as u64,
+        })
     }
 
     /// Assemble the report: `streamed_rows` is the total entries sent over
@@ -1037,6 +1075,7 @@ impl CheetahExecutor {
             wall: None,
             pass_walls: Vec::new(),
             combine_wall: None,
+            merge_walls: Vec::new(),
         }
     }
 }

@@ -65,8 +65,17 @@ pub struct ExecutionReport {
     /// Measured master-side combine span, for executors that merge
     /// per-shard state (filter unions, sketch summation, register
     /// re-aggregation, global re-selection) before completing the query.
-    /// `None` for single-switch executors.
+    /// With the streaming tree reduction this is only the serial tail —
+    /// result canonicalization after the reduction root yields — since
+    /// the shard merges themselves overlap the switch phases (see
+    /// `merge_walls`). `None` for single-switch executors.
     pub combine_wall: Option<Duration>,
+    /// Measured span each reduction-tree node spent merging child shard
+    /// state (ascending node index; nodes with no children are absent).
+    /// These spans overlap each other and the still-running shard
+    /// pipelines, so their sum can exceed the critical-path merge cost.
+    /// Empty for executors that don't tree-reduce.
+    pub merge_walls: Vec<Duration>,
 }
 
 impl ExecutionReport {

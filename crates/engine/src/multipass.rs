@@ -465,33 +465,52 @@ impl ShardSums {
             self.overflow.push((key, partial));
         }
     }
+
+    /// Fold another shard's partials into this one — the associative
+    /// merge a reduction tree leans on. The other shard's overflow is
+    /// appended wholesale and its register matrix re-aggregates through
+    /// [`GroupBySumPruner::merge`]; accumulators displaced by the merge
+    /// itself ride into this shard's overflow. Exact because each
+    /// partial either sits in a register cell or rides the overflow —
+    /// nothing is ever dropped, mirroring the switch-side guarantee.
+    pub fn merge(&mut self, mut other: ShardSums) {
+        let ShardSums {
+            registers,
+            overflow,
+        } = self;
+        overflow.append(&mut other.overflow);
+        registers.merge(&mut other.registers, |key, partial| {
+            overflow.push((key, partial));
+        });
+    }
+
+    /// Drain the surviving registers and replay the overflow into exact
+    /// global totals — the last serial step after the tree has reduced
+    /// every shard into one `ShardSums`.
+    pub fn into_totals(mut self) -> BTreeMap<u64, u64> {
+        let mut totals: BTreeMap<u64, u64> = BTreeMap::new();
+        for (key, partial) in self.registers.drain() {
+            *totals.entry(key).or_insert(0) += partial;
+        }
+        for (key, partial) in self.overflow.drain(..) {
+            *totals.entry(key).or_insert(0) += partial;
+        }
+        totals
+    }
 }
 
-/// Merge every shard's partial registers into exact global totals:
-/// matrices fold pairwise through [`GroupBySumPruner::merge`] (merge-time
-/// evictions join the overflow), then the surviving registers drain and
-/// every overflow partial is added back. Exact because each partial
-/// either sits in a register cell or rides an eviction — nothing is ever
-/// dropped, mirroring the switch-side guarantee.
+/// Merge every shard's partial registers into exact global totals: fold
+/// pairwise through [`ShardSums::merge`], then [`ShardSums::into_totals`]
+/// drains the survivor. The sharded executor now performs the same fold
+/// across a reduction tree instead of this serial chain; this stays as
+/// the one-line serial reference the tree must match.
 pub fn combine_shard_sums(shards: Vec<ShardSums>) -> BTreeMap<u64, u64> {
-    let mut totals: BTreeMap<u64, u64> = BTreeMap::new();
     let mut iter = shards.into_iter();
     let mut merged = iter.next().expect("at least one shard");
-    for mut shard in iter {
-        merged.overflow.append(&mut shard.overflow);
-        merged
-            .registers
-            .merge(&mut shard.registers, |key, partial| {
-                *totals.entry(key).or_insert(0) += partial;
-            });
+    for shard in iter {
+        merged.merge(shard);
     }
-    for (key, partial) in merged.registers.drain() {
-        *totals.entry(key).or_insert(0) += partial;
-    }
-    for (key, partial) in merged.overflow {
-        *totals.entry(key).or_insert(0) += partial;
-    }
-    totals
+    merged.into_totals()
 }
 
 #[cfg(test)]

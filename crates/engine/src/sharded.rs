@@ -1,50 +1,60 @@
 //! Sharded multi-switch execution behind the [`Executor`] seam.
 //!
 //! The paper scales past one switch by partitioning data across workers
-//! that each run the same pruning program, with a final master-side
-//! combine (§7–§8's Spark integration; §9's switch trees). This module
-//! is that design at engine scale: [`ShardedExecutor`] splits a query's
-//! entry stream into `N` shard-local [`LanePartition`] views — zero-copy
-//! range splits by default ([`crate::stream::split_range`]), a
-//! hash-sharded gather for key-partitioned shapes
-//! ([`crate::stream::hash_shard_columns`]) — and runs each shard as an
-//! **independent persistent-pool + watermark pipeline**, reusing
-//! [`crate::threaded::run_phases_each`] verbatim per shard: same worker
-//! pool, same EOF watermarks, same zero-copy survivor masks, one switch
-//! program instance per shard.
+//! that each run the same pruning program, with a master-side combine
+//! (§7–§8's Spark integration; §9's switch trees). This module is that
+//! design at engine scale: [`ShardedExecutor`] splits a query's entry
+//! stream into `N` shard-local [`LanePartition`] views — zero-copy range
+//! splits by default ([`crate::stream::split_range`]), a **per-shard**
+//! hash gather for key-partitioned shapes
+//! ([`crate::stream::gather_hash_shard`], each shard gathering its own
+//! slice in parallel) — and runs each shard as an independent
+//! persistent-pool + watermark pipeline, reusing
+//! [`crate::threaded::run_phases_each`] verbatim per shard.
 //!
-//! What a single switch gets for free, a shard set must *combine*. The
-//! combine layer lives in [`crate::multipass`] and is per query shape:
+//! What a single switch gets for free, a shard set must *combine* — and
+//! the combine used to be a wall: a barrier on every shard, then one
+//! serial master loop over all shard state. It is now a **streaming
+//! binomial reduction** (`sharded_tree`): shards form a reduction
+//! tree, every node merges child state *as it arrives* (overlapping
+//! shards still streaming), and the per-shape merges are the associative
+//! operators the shapes already had:
 //!
-//! * **Top-N** — global re-selection over per-shard candidate lists
-//!   (each shard's forwarded superset, truncated to its local top-n);
-//! * **GROUP BY SUM/COUNT** — per-shard register partials re-aggregated
-//!   through [`crate::multipass::combine_shard_sums`], merge-time
-//!   evictions riding out exactly like §6's packet-riding evictions;
-//! * **DistinctMulti** — fingerprint-union: every shard's switch dedups
-//!   its own fingerprint stream, the master unions the surviving real
-//!   tuples;
-//! * **JOIN** — shard-local Bloom filters union into broadcast filters
-//!   ([`crate::multipass::union_filters`]) so cross-shard matches are
-//!   never pruned, then every shard's `(key, row)` pair streams
-//!   sort-merge into one global pairing sweep. Lopsided tables take the
-//!   §4.3 asymmetric flow: the small side streams once per shard while
-//!   building its filter, and the merged small filter is broadcast to
-//!   every shard's big-side probe;
-//! * **HAVING** — per-shard Count-Min sketches sum cell-wise
-//!   ([`crate::multipass::merge_sketches`]) **before** any shard runs
-//!   pass 2, so candidates reflect global key mass (a key whose sum
-//!   straddles shards is never lost).
+//! * **Top-N** — bounded sorted merge of per-shard candidate lists
+//!   (every global winner is a shard winner);
+//! * **GROUP BY SUM/COUNT** — keys are hash-partitioned per shard, so
+//!   register partials re-aggregate pairwise through
+//!   [`crate::multipass::ShardSums::merge`], merge-time evictions riding
+//!   the overflow exactly like §6's packet-riding evictions;
+//! * **DistinctMulti** — fingerprint-union over flat per-shard tuple
+//!   lanes (one buffer per shard, no per-row allocation);
+//! * **JOIN** — **partition-local pairing**: both sides are
+//!   hash-sharded by join key with one salt, so every occurrence of a
+//!   key co-locates on one shard and each shard runs its *own* complete
+//!   two-phase build/probe flow and its own sort-merge pairing sweep.
+//!   The reduction then just sums the commutative pair counts and
+//!   checksums — the global sort-merge (and the cross-shard Bloom
+//!   union broadcast) disappear from the combine path entirely.
+//!   Lopsided tables take the §4.3 asymmetric flow inside each shard;
+//! * **HAVING** — per-shard Count-Min sketches tree-merge cell-wise
+//!   ([`cheetah_core::having::HavingPruner::merge`]) **before** any
+//!   shard runs pass 2, so candidates reflect global key mass (a key
+//!   whose sum straddles shards is never lost);
+//! * **Skyline** — each shard reduces its forwarded superset to its
+//!   local frontier before merging (a global skyline point dominates
+//!   within its shard too, so nothing exact is lost).
 //!
 //! Reports carry one measured switch span per shard per pass in
-//! [`ExecutionReport::pass_walls`] (shard-major within each pass) and
-//! the measured combine span in [`ExecutionReport::combine_wall`].
-//! Shard count comes from [`ShardedExecutor::with_shards`] or, Cuttlefish
-//! style, from the same sampled-throughput primitive the adaptive worker
-//! knob uses ([`ShardedExecutor::with_adaptive_shards`]).
+//! [`ExecutionReport::pass_walls`] (shard-major within each pass), the
+//! per-node merge spans in [`ExecutionReport::merge_walls`], and the
+//! serial master tail (result canonicalization after the reduction
+//! root yields) in [`ExecutionReport::combine_wall`]. Shard count comes
+//! from [`ShardedExecutor::with_shards`] or, Cuttlefish style, from a
+//! sampled cost race over the {1, 2, 4, 8} grid that includes the
+//! measured merge cost ([`ShardedExecutor::with_adaptive_shards`]).
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use cheetah_core::decision::PruneStats;
@@ -53,16 +63,16 @@ use cheetah_core::groupby::{Extremum, GroupBySumPruner};
 use cheetah_core::having::HavingPruner;
 
 use crate::backend;
+use crate::backend::JoinFlow;
 use crate::cheetah::{fetch_and_checksum, join_survivors, CheetahExecutor};
 use crate::executor::{ExecutionReport, Executor};
 use crate::multipass::{
-    combine_shard_sums, merge_sketches, union_filters, GroupBySumStage, HavingShardProbe,
-    HavingShardSketch, JoinShardBuild, ShardProbe, ShardSums, SmallSideBuild, SIDE_LEFT,
-    SIDE_RIGHT,
+    AsymJoinPhases, GroupBySumStage, HavingShardProbe, HavingShardSketch, JoinPhases, ShardSums,
+    SIDE_LEFT, SIDE_RIGHT,
 };
 use crate::query::{Agg, Query, QueryResult};
 use crate::reference::skyline_of;
-use crate::stream::{hash_shard_columns, split_range};
+use crate::stream::{gather_hash_shard, split_range};
 use crate::table::{Database, Table};
 use crate::threaded::{
     credit_worker_spawns, run_phases_each, worker_threads_spawned, Lane, LanePartition, PhaseInput,
@@ -73,12 +83,19 @@ use crate::threaded::{
 /// independent of the switch structures' hashes at the same seed.
 const SHARD_SALT: u64 = 0x5a4d_0c4e;
 
+/// The adaptive shard grid: every arm the sampled cost race considers.
+const SHARD_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// Estimated pipeline spin-up cost per extra shard (threads + channel
+/// plumbing), charged in the adaptive cost race.
+const SHARD_SETUP_S: f64 = 1.5e-4;
+
 /// The sharded multi-switch executor: `N` independent pool + watermark
-/// pipelines over shard-local partition views, merged by a per-shape
-/// combine layer. Result-equivalent to every other executor
-/// (`Q(A_Q(D)) = Q(D)` holds per shard, and the combine preserves it
-/// across shards), with measured per-shard pass spans and a measured
-/// combine span in its reports.
+/// pipelines over shard-local partition views, merged by a streaming
+/// per-shape reduction tree. Result-equivalent to every other executor
+/// (`Q(A_Q(D)) = Q(D)` holds per shard, and the associative merges
+/// preserve it across shards), with measured per-shard pass spans,
+/// per-node merge spans and the serial combine tail in its reports.
 #[derive(Debug, Clone)]
 pub struct ShardedExecutor {
     /// Configuration shared with the deterministic executor (per-shard
@@ -99,11 +116,14 @@ impl ShardedExecutor {
         }
     }
 
-    /// Cuttlefish-style shard-count tuning: reuse the sampled-throughput
-    /// primitive behind [`CheetahExecutor::adaptive_workers`] and map the
-    /// estimated switch wall onto the shard grid {1, 2, 4} per query —
-    /// short streams stay on one shard (pipeline setup would dominate),
-    /// long streams split across switches.
+    /// Cuttlefish-style shard-count tuning: race the {1, 2, 4, 8} grid
+    /// on a per-arm completion estimate built from two measurements —
+    /// the sampled-throughput primitive behind
+    /// [`CheetahExecutor::adaptive_workers`] for the switch wall, and a
+    /// timed representative merge of the query shape's combine state for
+    /// the reduction cost. Short streams stay on one shard (spin-up
+    /// would dominate), long streams split across switches, and shapes
+    /// with expensive merges are charged `log2(n)` tree stages for them.
     pub fn with_adaptive_shards(inner: CheetahExecutor) -> Self {
         ShardedExecutor {
             inner,
@@ -123,15 +143,68 @@ impl ShardedExecutor {
     }
 
     /// The shard count this executor will run `query` with: the fixed
-    /// count, or the adaptive pick from sampled block throughput.
+    /// count, or the adaptive pick — the grid arm minimizing
+    /// `switch_wall / n + merge_cost × log2(n) + setup × (n − 1)`,
+    /// with both the switch wall and the merge cost measured, not
+    /// modeled.
     pub fn planned_shards(&self, db: &Database, query: &Query) -> usize {
         if !self.adaptive {
             return self.shards;
         }
-        match self.inner.adaptive_workers(db, query) {
-            1 | 2 => 1,
-            4 => 2,
-            _ => 4,
+        let Some(sample) = self.inner.sample_throughput(db, query) else {
+            return 1;
+        };
+        let est_switch_s = sample.est_switch_s();
+        let merge_s = self.sampled_merge_cost(query);
+        let mut best = (f64::INFINITY, 1usize);
+        for n in SHARD_GRID {
+            let stages = (usize::BITS - 1 - n.leading_zeros()) as f64;
+            let est = est_switch_s / n as f64 + merge_s * stages + SHARD_SETUP_S * (n - 1) as f64;
+            if est < best.0 {
+                best = (est, n);
+            }
+        }
+        best.1
+    }
+
+    /// Time one representative merge of the query shape's combine state
+    /// — the per-stage cost the reduction tree pays per level. Shapes
+    /// whose merge is a buffer append or an integer sum (partition-local
+    /// JOIN, the range shapes) are effectively free per stage.
+    fn sampled_merge_cost(&self, query: &Query) -> f64 {
+        let cfg = &self.inner.config;
+        match query {
+            Query::GroupBy {
+                agg: Agg::Sum | Agg::Count,
+                ..
+            } => {
+                // Two full register matrices, disjoint-ish keys: the
+                // worst-case re-aggregation a tree stage can see.
+                let mut a = ShardSums::new(cfg.groupby_d, cfg.groupby_w, cfg.seed);
+                let mut b = ShardSums::new(cfg.groupby_d, cfg.groupby_w, cfg.seed);
+                for i in 0..(cfg.groupby_d * cfg.groupby_w) as u64 {
+                    a.absorb(i, 1);
+                    b.absorb(i ^ 0x5555, 1);
+                }
+                let t0 = Instant::now();
+                a.merge(b);
+                t0.elapsed().as_secs_f64()
+            }
+            Query::Having { threshold, .. } => {
+                let mut a = HavingPruner::new(cfg.having_d, cfg.having_w, *threshold, cfg.seed);
+                let b = HavingPruner::new(cfg.having_d, cfg.having_w, *threshold, cfg.seed);
+                let t0 = Instant::now();
+                a.merge(&b);
+                t0.elapsed().as_secs_f64()
+            }
+            Query::TopN { n, .. } => {
+                let mut a: Vec<u64> = (0..*n as u64).rev().collect();
+                let b: Vec<u64> = (0..*n as u64).rev().collect();
+                let t0 = Instant::now();
+                merge_top(&mut a, b, *n);
+                t0.elapsed().as_secs_f64()
+            }
+            _ => 0.0,
         }
     }
 }
@@ -148,79 +221,174 @@ impl Executor for ShardedExecutor {
     }
 }
 
-/// One shard pipeline's outcome: the sink accumulator, the switch
-/// program (whose state the combine layer may export), and the shard's
-/// measured counters.
-struct ShardOutcome<T, P> {
-    acc: T,
-    program: P,
-    stats: PruneStats,
-    wall: Duration,
+/// What one shard's pipeline yields before entering the reduction tree:
+/// the mergeable value plus the shard's measured per-phase telemetry.
+struct ShardYield<R> {
+    value: R,
+    phase_stats: Vec<PruneStats>,
+    phase_walls: Vec<Duration>,
 }
 
-/// Run one single-phase program per shard, every shard on its own
-/// pipeline (pool workers + switch thread via
-/// [`run_phases_each`]), in parallel. `mk(shard)` builds the shard's
-/// phase input, program and accumulator; `sink` streams each shard's
-/// survivor blocks into its accumulator. Worker spawns observed on the
-/// shard-runner threads are credited back to the calling thread's
-/// counter so the per-query spawn contract stays testable.
-fn sharded_phase<'env, T, P, Mk, Sink>(shards: usize, mk: Mk, sink: Sink) -> Vec<ShardOutcome<T, P>>
+/// One message up the reduction tree: a node's value with every merged
+/// descendant's telemetry folded in.
+struct TreePacket<R> {
+    value: R,
+    /// Per-phase pruning stats, summed over every shard merged so far.
+    phase_stats: Vec<PruneStats>,
+    /// `(phase, shard, span)` switch spans of every merged shard.
+    walls: Vec<(usize, usize, Duration)>,
+    /// `(node, span)` time each tree node spent merging child values.
+    merge_spans: Vec<(usize, Duration)>,
+}
+
+/// The root's view of a completed tree reduction.
+struct TreeOutcome<R> {
+    value: R,
+    /// Per-phase stats, each summed over every shard.
+    stats: Vec<PruneStats>,
+    /// Switch spans, shard-major within each pass.
+    pass_walls: Vec<Duration>,
+    /// Per-node merge spans, ascending node index (leaf nodes absent).
+    merge_walls: Vec<Duration>,
+}
+
+impl<R> TreeOutcome<R> {
+    /// All phases' stats folded into one total.
+    fn stats_total(&self) -> PruneStats {
+        let mut total = PruneStats::default();
+        for s in &self.stats {
+            total.merge(*s);
+        }
+        total
+    }
+}
+
+/// Lowest set bit of `s` — the binomial tree's parent/child geometry.
+fn lowbit(s: usize) -> usize {
+    s & s.wrapping_neg()
+}
+
+/// Run `node(shard)` on one thread per shard and **stream the merges**:
+/// shard `s` sends its finished value to parent `s − lowbit(s)`, and
+/// every parent merges each child packet *as it arrives* (children
+/// `s + 1, s + 2, s + 4, …` — a binomial tree, so merges parallelize
+/// across nodes and overlap shards still streaming; no global barrier
+/// ever forms). `merge` must be associative and commutative over shard
+/// order, which every per-shape combine here is (canonicalized results,
+/// wrapping-sum checksums, cell-wise sketch sums, register
+/// re-aggregation). Worker spawns observed on the node threads are
+/// credited back to the calling thread's counter so the per-query spawn
+/// contract stays testable.
+fn sharded_tree<R, Node, Merge>(shards: usize, node: Node, merge: Merge) -> TreeOutcome<R>
 where
-    T: Send,
-    P: SwitchPhases,
-    Mk: Fn(usize) -> (PhaseInput<'env>, P, T) + Sync,
-    Sink: for<'a> Fn(&mut T, SurvivorBlock<'a>) + Sync,
+    R: Send,
+    Node: Fn(usize) -> ShardYield<R> + Sync,
+    Merge: Fn(&mut R, R) + Sync,
 {
-    std::thread::scope(|scope| {
-        let mk = &mk;
-        let sink = &sink;
-        let handles: Vec<_> = (0..shards)
-            .map(|s| {
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..shards)
+        .map(|_| mpsc::channel::<TreePacket<R>>())
+        .unzip();
+    let mut packet = std::thread::scope(|scope| {
+        let node = &node;
+        let merge = &merge;
+        let handles: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(s, rx)| {
+                let parent = (s > 0).then(|| txs[s - lowbit(s)].clone());
                 scope.spawn(move || {
                     let before = worker_threads_spawned();
-                    let (input, mut program, mut acc) = mk(s);
-                    let run = run_phases_each(vec![input], &mut program, |_, _, block| {
-                        sink(&mut acc, block)
-                    })
-                    .pop()
-                    .expect("one phase in, one run out");
+                    let yielded = node(s);
+                    let mut packet = TreePacket {
+                        value: yielded.value,
+                        phase_stats: yielded.phase_stats,
+                        walls: yielded
+                            .phase_walls
+                            .into_iter()
+                            .enumerate()
+                            .map(|(p, w)| (p, s, w))
+                            .collect(),
+                        merge_spans: Vec::new(),
+                    };
+                    // Children of s: offsets 1, 2, 4, … strictly below
+                    // lowbit(s) (every power of two for the root),
+                    // clipped to the shard count.
+                    let mut children = 0usize;
+                    let mut step = 1usize;
+                    while (s == 0 || step < lowbit(s)) && s + step < shards {
+                        children += 1;
+                        step <<= 1;
+                    }
+                    let mut merged_here = Duration::ZERO;
+                    for _ in 0..children {
+                        let child = rx.recv().expect("child shard sends exactly once");
+                        let t0 = Instant::now();
+                        merge(&mut packet.value, child.value);
+                        merged_here += t0.elapsed();
+                        for (mine, theirs) in packet.phase_stats.iter_mut().zip(child.phase_stats) {
+                            mine.merge(theirs);
+                        }
+                        packet.walls.extend(child.walls);
+                        packet.merge_spans.extend(child.merge_spans);
+                    }
+                    if children > 0 {
+                        packet.merge_spans.push((s, merged_here));
+                    }
                     let spawned = worker_threads_spawned() - before;
-                    (
-                        ShardOutcome {
-                            acc,
-                            program,
-                            stats: run.stats,
-                            wall: run.wall,
-                        },
-                        spawned,
-                    )
+                    match parent {
+                        Some(tx) => {
+                            tx.send(packet).expect("parent node outlives its children");
+                            (None, spawned)
+                        }
+                        None => (Some(packet), spawned),
+                    }
                 })
             })
             .collect();
         let mut spawned = 0;
-        let outcomes = handles
-            .into_iter()
-            .map(|h| {
-                let (outcome, s) = h.join().expect("shard pipeline panicked");
-                spawned += s;
-                outcome
-            })
-            .collect();
+        let mut root = None;
+        for h in handles {
+            let (p, s) = h.join().expect("shard pipeline panicked");
+            spawned += s;
+            root = root.or(p);
+        }
         credit_worker_spawns(spawned);
-        outcomes
-    })
+        root.expect("node 0 holds the reduced value")
+    });
+    packet.walls.sort_unstable_by_key(|&(p, s, _)| (p, s));
+    packet.merge_spans.sort_unstable_by_key(|&(n, _)| n);
+    TreeOutcome {
+        value: packet.value,
+        stats: packet.phase_stats,
+        pass_walls: packet.walls.into_iter().map(|(_, _, w)| w).collect(),
+        merge_walls: packet.merge_spans.into_iter().map(|(_, w)| w).collect(),
+    }
 }
 
-/// Fold shard outcomes into merged stats + shard-major pass walls.
-fn fold_telemetry<T, P>(outcomes: &[ShardOutcome<T, P>]) -> (PruneStats, Vec<Duration>) {
-    let mut stats = PruneStats::default();
-    let mut walls = Vec::with_capacity(outcomes.len());
-    for o in outcomes {
-        stats.merge(o.stats);
-        walls.push(o.wall);
+/// Run one shard's whole multi-phase pipeline (pool workers + switch
+/// thread via [`run_phases_each`]) and shape its output for the tree:
+/// `sink` streams survivor blocks into the accumulator, `finish` turns
+/// program + accumulator into the shard's mergeable value.
+fn run_shard<'env, P, T, R, Sink, Fin>(
+    inputs: Vec<PhaseInput<'env>>,
+    mut program: P,
+    mut acc: T,
+    mut sink: Sink,
+    finish: Fin,
+) -> ShardYield<R>
+where
+    P: SwitchPhases,
+    Sink: FnMut(&mut T, usize, SurvivorBlock<'env>),
+    Fin: FnOnce(P, T) -> R,
+{
+    let runs = run_phases_each(inputs, &mut program, |phase, _, block| {
+        sink(&mut acc, phase, block)
+    });
+    ShardYield {
+        value: finish(program, acc),
+        phase_stats: runs.iter().map(|r| r.stats).collect(),
+        phase_walls: runs.iter().map(|r| r.wall).collect(),
     }
-    (stats, walls)
 }
 
 /// This shard's slice `[s, e)` of a table as `workers` zero-copy lane
@@ -269,11 +437,147 @@ fn side_parts_range<'a>(
         .collect()
 }
 
+/// One join side's partitions for a **hash-gathered** shard: flow-id
+/// tag, gathered key lane, gathered global-row-id lane. `None` means
+/// single-shard mode, where the gather is skipped and the side streams
+/// as zero-copy range slices.
+fn join_side_parts<'a>(
+    tag: u64,
+    gathered: Option<&'a (Vec<u64>, Vec<u64>)>,
+    t: &'a Table,
+    c: usize,
+    workers: usize,
+    with_rids: bool,
+) -> Vec<LanePartition<'a>> {
+    match gathered {
+        Some((keys, rids)) => split_range(0, keys.len(), workers)
+            .into_iter()
+            .map(|(s, e)| {
+                let mut lanes = vec![Lane::Const(tag), Lane::Slice(&keys[s..e])];
+                if with_rids {
+                    lanes.push(Lane::Slice(&rids[s..e]));
+                }
+                LanePartition { rows: e - s, lanes }
+            })
+            .collect(),
+        None => side_parts_range(tag, t, c, (0, t.rows()), workers, with_rids),
+    }
+}
+
+/// A shard's forwarded `(key, rid)` pair buffers, left side then right.
+type JoinSides = (Vec<(u64, u64)>, Vec<(u64, u64)>);
+
+/// Demux one survivor block of `[side, key, rid]` rows into per-side
+/// `(key, rid)` pair streams — the per-block join sink every shard's
+/// pipeline shares.
+fn join_sink(acc: &mut JoinSides, block: SurvivorBlock<'_>) {
+    let (left_fwd, right_fwd) = acc;
+    match block.const_lane(0) {
+        Some(tag) => {
+            let dst = if tag == SIDE_LEFT {
+                left_fwd
+            } else {
+                right_fwd
+            };
+            block.extend_pairs_into(1, 2, dst);
+        }
+        None => block.for_each_row(|row| {
+            if row[0] == SIDE_LEFT {
+                left_fwd.push((row[1], row[2]));
+            } else {
+                right_fwd.push((row[1], row[2]));
+            }
+        }),
+    }
+}
+
+/// Merge two descending candidate lists, keeping the global top `n` —
+/// the associative Top-N reduce.
+fn merge_top(a: &mut Vec<u64>, b: Vec<u64>, n: usize) {
+    let mut merged = Vec::with_capacity(n.min(a.len() + b.len()));
+    let (mut i, mut j) = (0, 0);
+    while merged.len() < n {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x >= y {
+                    merged.push(x);
+                    i += 1;
+                } else {
+                    merged.push(y);
+                    j += 1;
+                }
+            }
+            (Some(&x), None) => {
+                merged.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                merged.push(y);
+                j += 1;
+            }
+            (None, None) => break,
+        }
+    }
+    *a = merged;
+}
+
+/// Merge two sorted, deduplicated tuple runs (dedup across runs) — the
+/// associative DistinctMulti reduce. One buffer allocation per merge;
+/// the tuples themselves move as pointers.
+fn merge_sorted_dedup(a: &mut Vec<Vec<u64>>, b: Vec<Vec<u64>>) {
+    if b.is_empty() {
+        return;
+    }
+    if a.is_empty() {
+        *a = b;
+        return;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut left = std::mem::take(a).into_iter().peekable();
+    let mut right = b.into_iter().peekable();
+    loop {
+        // Each run is internally deduped, so an equal pair means one
+        // tuple from each side: drop the right copy, keep the left.
+        let pick_left = match (left.peek(), right.peek()) {
+            (Some(x), Some(y)) => match x.cmp(y) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => {
+                    right.next();
+                    true
+                }
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let item = if pick_left { left.next() } else { right.next() };
+        out.push(item.expect("peeked side is non-empty"));
+    }
+    *a = out;
+}
+
+/// Fold one shard's per-key extrema into another — the associative
+/// GROUP BY MAX/MIN reduce.
+fn merge_extrema(a: &mut BTreeMap<u64, u64>, b: BTreeMap<u64, u64>, ext: Extremum) {
+    for (k, v) in b {
+        let e = a
+            .entry(k)
+            .or_insert(if ext == Extremum::Max { 0 } else { u64::MAX });
+        *e = if ext == Extremum::Max {
+            (*e).max(v)
+        } else {
+            (*e).min(v)
+        };
+    }
+}
+
 impl ShardedExecutor {
     /// Run the query across `planned_shards` independent shard pipelines
-    /// and combine. Total over every [`Query`] shape; the returned report
-    /// carries the measured whole-query wall, one switch span per shard
-    /// per pass, and the measured combine span.
+    /// and tree-reduce. Total over every [`Query`] shape; the returned
+    /// report carries the measured whole-query wall, one switch span per
+    /// shard per pass, the per-node merge spans, and the serial combine
+    /// tail.
     pub fn execute_sharded(&self, db: &Database, query: &Query) -> ExecutionReport {
         let shards = self.planned_shards(db, query);
         let workers = self.inner.model.workers;
@@ -284,38 +588,42 @@ impl ShardedExecutor {
                 let t = db.table(table);
                 let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
                 let bounds = t.partition_bounds(shards);
-                let outcomes = sharded_phase(
+                let outcome = sharded_tree(
                     shards,
                     |s| {
-                        (
-                            PhaseInput {
+                        run_shard(
+                            vec![PhaseInput {
                                 partitions: range_parts(t, &cols, bounds[s], workers, false),
                                 visible_cols: cols.len(),
-                            },
+                            }],
                             PrunerStage::new(backend::filter(cfg, predicate)),
                             0u64,
+                            // Master re-checks the full predicate on
+                            // survivors.
+                            |count, _, block| {
+                                block.for_each_row(|row| {
+                                    if predicate.eval(row) {
+                                        *count += 1;
+                                    }
+                                });
+                            },
+                            |_, count| count,
                         )
                     },
-                    |count, block| {
-                        // Master re-checks the full predicate on survivors.
-                        block.for_each_row(|row| {
-                            if predicate.eval(row) {
-                                *count += 1;
-                            }
-                        });
-                    },
+                    |a, b| *a += b,
                 );
-                let (stats, walls) = fold_telemetry(&outcomes);
+                let stats = outcome.stats_total();
                 let combine_t0 = Instant::now();
-                let count = outcomes.iter().map(|o| o.acc).sum();
+                let result = QueryResult::Count(outcome.value);
                 self.finish(
                     query,
                     t.rows() as u64,
                     stats,
                     1,
                     0,
-                    QueryResult::Count(count),
-                    walls,
+                    result,
+                    outcome.pass_walls,
+                    outcome.merge_walls,
                     combine_t0.elapsed(),
                 )
             }
@@ -324,33 +632,43 @@ impl ShardedExecutor {
                 let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
                 let npred = cols.len();
                 let bounds = t.partition_bounds(shards);
-                let outcomes = sharded_phase(
+                let outcome = sharded_tree(
                     shards,
                     |s| {
-                        (
-                            PhaseInput {
+                        run_shard(
+                            vec![PhaseInput {
                                 partitions: range_parts(t, &cols, bounds[s], workers, true),
                                 visible_cols: npred,
-                            },
+                            }],
                             PrunerStage::new(backend::filter(cfg, predicate)),
                             Vec::<u64>::new(),
+                            // Rows arrive [pred cols…, rid]; the trailing
+                            // row id rode switch-blind.
+                            |ids, _, block| {
+                                block.for_each_row(|row| {
+                                    if predicate.eval(row) {
+                                        ids.push(row[npred]);
+                                    }
+                                });
+                            },
+                            // §7.1 late materialization runs per shard, in
+                            // parallel, before the tree: the checksum fold
+                            // is commutative, so shard partials just sum.
+                            |_, ids| {
+                                let checksum = fetch_and_checksum(t, &ids);
+                                (ids, checksum)
+                            },
                         )
                     },
-                    |ids, block| {
-                        // Rows arrive [pred cols…, rid]; the trailing row
-                        // id rode switch-blind.
-                        block.for_each_row(|row| {
-                            if predicate.eval(row) {
-                                ids.push(row[npred]);
-                            }
-                        });
+                    |a, mut b| {
+                        a.0.append(&mut b.0);
+                        a.1 = a.1.wrapping_add(b.1);
                     },
                 );
-                let (stats, walls) = fold_telemetry(&outcomes);
+                let stats = outcome.stats_total();
                 let combine_t0 = Instant::now();
-                let ids: Vec<u64> = outcomes.into_iter().flat_map(|o| o.acc).collect();
+                let (ids, checksum) = outcome.value;
                 let fetch = ids.len() as u64;
-                let checksum = fetch_and_checksum(t, &ids);
                 let mut report = self.finish(
                     query,
                     t.rows() as u64,
@@ -358,7 +676,8 @@ impl ShardedExecutor {
                     1,
                     fetch,
                     QueryResult::row_ids(ids),
-                    walls,
+                    outcome.pass_walls,
+                    outcome.merge_walls,
                     combine_t0.elapsed(),
                 );
                 report.fetch_checksum = Some(checksum);
@@ -368,44 +687,51 @@ impl ShardedExecutor {
                 let t = db.table(table);
                 let cols = [t.col_index(column)];
                 let bounds = t.partition_bounds(shards);
-                let outcomes = sharded_phase(
+                let outcome = sharded_tree(
                     shards,
                     |s| {
-                        (
-                            PhaseInput {
+                        run_shard(
+                            vec![PhaseInput {
                                 partitions: range_parts(t, &cols, bounds[s], workers, false),
                                 visible_cols: 1,
-                            },
+                            }],
                             PrunerStage::new(backend::distinct(cfg)),
                             Vec::<u64>::new(),
+                            |values, _, block| block.extend_lane_into(0, values),
+                            |_, values| values,
                         )
                     },
-                    |values, block| block.extend_lane_into(0, values),
+                    |a, mut b| a.append(&mut b),
                 );
-                let (stats, walls) = fold_telemetry(&outcomes);
+                let stats = outcome.stats_total();
                 let combine_t0 = Instant::now();
-                let merged: Vec<u64> = outcomes.into_iter().flat_map(|o| o.acc).collect();
+                let result = QueryResult::values(outcome.value);
                 self.finish(
                     query,
                     t.rows() as u64,
                     stats,
                     1,
                     0,
-                    QueryResult::values(merged),
-                    walls,
+                    result,
+                    outcome.pass_walls,
+                    outcome.merge_walls,
                     combine_t0.elapsed(),
                 )
             }
             Query::DistinctMulti { table, columns } => {
                 // Fingerprint-union: each shard's workers compute the §5
                 // fingerprint lane, each shard's switch dedups its own
-                // fingerprints, and the combine unions the surviving real
-                // tuples (canonicalization dedups cross-shard repeats).
+                // fingerprints, and each shard materializes + canonicalizes
+                // (sorts, dedups) its surviving tuples on its own thread,
+                // so the tree merges are sorted pointer merges and the
+                // master's serial tail does no per-row work at all — the
+                // root's run is already the canonical result.
                 let t = db.table(table);
                 let cols: Vec<usize> = columns.iter().map(|c| t.col_index(c)).collect();
+                let width = cols.len();
                 let fp = Fingerprinter::new(cfg.seed ^ 0xf1f1, 64);
                 let bounds = t.partition_bounds(shards);
-                let outcomes = sharded_phase(
+                let outcome = sharded_tree(
                     shards,
                     |s| {
                         let partitions = split_range(bounds[s].0, bounds[s].1, workers)
@@ -424,30 +750,38 @@ impl ShardedExecutor {
                                 }
                             })
                             .collect();
-                        (
-                            PhaseInput {
+                        run_shard(
+                            vec![PhaseInput {
                                 partitions,
                                 visible_cols: 1,
-                            },
+                            }],
                             PrunerStage::new(backend::distinct(cfg)),
-                            Vec::<Vec<u64>>::new(),
+                            Vec::<u64>::new(),
+                            |flat, _, block| {
+                                block.for_each_row(|row| flat.extend_from_slice(&row[1..]));
+                            },
+                            |_, flat| -> Vec<Vec<u64>> {
+                                let mut tuples: Vec<Vec<u64>> =
+                                    flat.chunks(width).map(<[u64]>::to_vec).collect();
+                                tuples.sort();
+                                tuples.dedup();
+                                tuples
+                            },
                         )
                     },
-                    |tuples, block| {
-                        block.for_each_row(|row| tuples.push(row[1..].to_vec()));
-                    },
+                    merge_sorted_dedup,
                 );
-                let (stats, walls) = fold_telemetry(&outcomes);
+                let stats = outcome.stats_total();
                 let combine_t0 = Instant::now();
-                let merged: Vec<Vec<u64>> = outcomes.into_iter().flat_map(|o| o.acc).collect();
                 self.finish(
                     query,
                     t.rows() as u64,
                     stats,
                     1,
                     0,
-                    QueryResult::points(merged),
-                    walls,
+                    QueryResult::Points(outcome.value),
+                    outcome.pass_walls,
+                    outcome.merge_walls,
                     combine_t0.elapsed(),
                 )
             }
@@ -455,42 +789,42 @@ impl ShardedExecutor {
                 let t = db.table(table);
                 let cols = [t.col_index(order_by)];
                 let bounds = t.partition_bounds(shards);
-                let outcomes = sharded_phase(
+                // Each shard's forwarded superset collapses to its local
+                // top-n candidate list before entering the tree; merges
+                // are bounded sorted merges (every global winner is a
+                // shard winner, so nothing can be lost).
+                let outcome = sharded_tree(
                     shards,
                     |s| {
-                        (
-                            PhaseInput {
+                        run_shard(
+                            vec![PhaseInput {
                                 partitions: range_parts(t, &cols, bounds[s], workers, false),
                                 visible_cols: 1,
-                            },
+                            }],
                             PrunerStage::new(backend::topn(cfg, *n)),
                             Vec::<u64>::new(),
+                            |values, _, block| block.extend_lane_into(0, values),
+                            |_, mut values| {
+                                values.sort_unstable_by(|a, b| b.cmp(a));
+                                values.truncate(*n);
+                                values
+                            },
                         )
                     },
-                    |values, block| block.extend_lane_into(0, values),
+                    |a, b| merge_top(a, b, *n),
                 );
-                let (stats, walls) = fold_telemetry(&outcomes);
-                // Global re-selection from per-shard candidates: each
-                // shard's forwarded superset collapses to its local top-n
-                // candidate list, and the global top-n re-selects over
-                // shards × n candidates (every global winner is a shard
-                // winner, so nothing can be lost).
+                let stats = outcome.stats_total();
                 let combine_t0 = Instant::now();
-                let mut candidates = Vec::with_capacity(shards * *n);
-                for o in outcomes {
-                    let mut local = o.acc;
-                    local.sort_unstable_by(|a, b| b.cmp(a));
-                    local.truncate(*n);
-                    candidates.extend(local);
-                }
+                let result = QueryResult::top_values(outcome.value, *n);
                 self.finish(
                     query,
                     t.rows() as u64,
                     stats,
                     1,
                     *n as u64,
-                    QueryResult::top_values(candidates, *n),
-                    walls,
+                    result,
+                    outcome.pass_walls,
+                    outcome.merge_walls,
                     combine_t0.elapsed(),
                 )
             }
@@ -508,58 +842,45 @@ impl ShardedExecutor {
                     Extremum::Min
                 };
                 let bounds = t.partition_bounds(shards);
-                let outcomes = sharded_phase(
+                let outcome = sharded_tree(
                     shards,
                     |s| {
-                        (
-                            PhaseInput {
+                        run_shard(
+                            vec![PhaseInput {
                                 partitions: range_parts(t, &cols, bounds[s], workers, false),
                                 visible_cols: 2,
-                            },
+                            }],
                             PrunerStage::new(backend::groupby(cfg, ext)),
                             BTreeMap::<u64, u64>::new(),
+                            |groups, _, block| {
+                                block.for_each_row(|row| {
+                                    let e = groups
+                                        .entry(row[0])
+                                        .or_insert(if ext == Extremum::Max { 0 } else { u64::MAX });
+                                    *e = if ext == Extremum::Max {
+                                        (*e).max(row[1])
+                                    } else {
+                                        (*e).min(row[1])
+                                    };
+                                });
+                            },
+                            |_, groups| groups,
                         )
                     },
-                    move |groups, block| {
-                        block.for_each_row(|row| {
-                            let e = groups.entry(row[0]).or_insert(if ext == Extremum::Max {
-                                0
-                            } else {
-                                u64::MAX
-                            });
-                            *e = if ext == Extremum::Max {
-                                (*e).max(row[1])
-                            } else {
-                                (*e).min(row[1])
-                            };
-                        });
-                    },
+                    |a, b| merge_extrema(a, b, ext),
                 );
-                let (stats, walls) = fold_telemetry(&outcomes);
+                let stats = outcome.stats_total();
                 let combine_t0 = Instant::now();
-                let mut merged = BTreeMap::new();
-                for o in outcomes {
-                    for (k, v) in o.acc {
-                        let e = merged.entry(k).or_insert(if ext == Extremum::Max {
-                            0
-                        } else {
-                            u64::MAX
-                        });
-                        *e = if ext == Extremum::Max {
-                            (*e).max(v)
-                        } else {
-                            (*e).min(v)
-                        };
-                    }
-                }
+                let result = QueryResult::Groups(outcome.value);
                 self.finish(
                     query,
                     t.rows() as u64,
                     stats,
                     1,
                     0,
-                    QueryResult::Groups(merged),
-                    walls,
+                    result,
+                    outcome.pass_walls,
+                    outcome.merge_walls,
                     combine_t0.elapsed(),
                 )
             }
@@ -571,8 +892,9 @@ impl ShardedExecutor {
             } => {
                 // Hash-sharded mode (§6 register aggregation): co-locate
                 // every occurrence of a key on one shard, so a key's
-                // eviction churn never multiplies across shards. The
-                // gather costs `shards × lanes` exact-capacity buffers.
+                // eviction churn never multiplies across shards. Each
+                // shard gathers its own key-partition in parallel — the
+                // old serial master gather was half the combine wall.
                 let t = db.table(table);
                 let ki = t.col_index(key);
                 let vi = t.col_index(val);
@@ -582,31 +904,35 @@ impl ShardedExecutor {
                 } else {
                     vec![t.col_at(ki)]
                 };
-                let gathered = hash_shard_columns(&gather_cols, 0, shards, cfg.seed ^ SHARD_SALT);
-                let outcomes = sharded_phase(
+                let shard_seed = cfg.seed ^ SHARD_SALT;
+                let outcome = sharded_tree(
                     shards,
                     |s| {
-                        let lanes_src = &gathered[s];
-                        let rows = lanes_src[0].len();
-                        let partitions = split_range(0, rows, workers)
+                        let gathered = (shards > 1).then(|| {
+                            gather_hash_shard(&gather_cols, 0, s, shards, shard_seed, false)
+                        });
+                        let (keys, vals): (&[u64], &[u64]) = match (&gathered, sum) {
+                            (Some(g), true) => (&g[0], &g[1]),
+                            (Some(g), false) => (&g[0], &[]),
+                            (None, true) => (t.col_at(ki), t.col_at(vi)),
+                            (None, false) => (t.col_at(ki), &[]),
+                        };
+                        let partitions = split_range(0, keys.len(), workers)
                             .into_iter()
                             .map(|(a, b)| LanePartition {
                                 rows: b - a,
                                 lanes: if sum {
-                                    vec![
-                                        Lane::Slice(&lanes_src[0][a..b]),
-                                        Lane::Slice(&lanes_src[1][a..b]),
-                                    ]
+                                    vec![Lane::Slice(&keys[a..b]), Lane::Slice(&vals[a..b])]
                                 } else {
-                                    vec![Lane::Slice(&lanes_src[0][a..b]), Lane::Const(1)]
+                                    vec![Lane::Slice(&keys[a..b]), Lane::Const(1)]
                                 },
                             })
                             .collect();
-                        (
-                            PhaseInput {
+                        run_shard(
+                            vec![PhaseInput {
                                 partitions,
                                 visible_cols: 2,
-                            },
+                            }],
                             GroupBySumStage::new(GroupBySumPruner::new(
                                 cfg.groupby_d,
                                 cfg.groupby_w,
@@ -616,23 +942,25 @@ impl ShardedExecutor {
                                 ShardSums::new(cfg.groupby_d, cfg.groupby_w, cfg.seed),
                                 Vec::<(u64, u64)>::new(),
                             ),
+                            // Forwarded entries carry evicted (key,
+                            // partial) pairs; the FIN drain arrives the
+                            // same way.
+                            |acc, _, block| {
+                                let (sums, scratch) = acc;
+                                scratch.clear();
+                                block.extend_pairs_into(0, 1, scratch);
+                                for &(k, p) in scratch.iter() {
+                                    sums.absorb(k, p);
+                                }
+                            },
+                            |_, (sums, _)| sums,
                         )
                     },
-                    |acc, block| {
-                        // Forwarded entries carry evicted (key, partial)
-                        // pairs; the FIN drain arrives the same way.
-                        let (sums, scratch) = acc;
-                        scratch.clear();
-                        block.extend_pairs_into(0, 1, scratch);
-                        for &(k, p) in scratch.iter() {
-                            sums.absorb(k, p);
-                        }
-                    },
+                    |a, b| a.merge(b),
                 );
-                let (stats, walls) = fold_telemetry(&outcomes);
+                let stats = outcome.stats_total();
                 let combine_t0 = Instant::now();
-                let totals =
-                    combine_shard_sums(outcomes.into_iter().map(|o| o.acc.0).collect::<Vec<_>>());
+                let totals = outcome.value.into_totals();
                 self.finish(
                     query,
                     t.rows() as u64,
@@ -640,7 +968,8 @@ impl ShardedExecutor {
                     1,
                     0,
                     QueryResult::Groups(totals),
-                    walls,
+                    outcome.pass_walls,
+                    outcome.merge_walls,
                     combine_t0.elapsed(),
                 )
             }
@@ -650,19 +979,20 @@ impl ShardedExecutor {
                 val,
                 threshold,
             } => {
-                // Pass 1: shard-local sketches. Pass 2 must see global
-                // key mass, so the sketches sum cell-wise in between.
+                // Pass 1: shard-local sketches, tree-merged cell-wise as
+                // shards finish. Pass 2 must see global key mass, so the
+                // merged sketch is broadcast in between.
                 let t = db.table(table);
                 let cols = [t.col_index(key), t.col_index(val)];
                 let bounds = t.partition_bounds(shards);
-                let pass1 = sharded_phase(
+                let sketches = sharded_tree(
                     shards,
                     |s| {
-                        (
-                            PhaseInput {
+                        run_shard(
+                            vec![PhaseInput {
                                 partitions: range_parts(t, &cols, bounds[s], workers, false),
                                 visible_cols: 2,
-                            },
+                            }],
                             HavingShardSketch::new(HavingPruner::new(
                                 cfg.having_d,
                                 cfg.having_w,
@@ -670,46 +1000,54 @@ impl ShardedExecutor {
                                 cfg.seed,
                             )),
                             (),
+                            // Shard-local announcements are not global
+                            // candidates; the merged sketch recomputes
+                            // them in pass 2.
+                            |(), _, _block| {},
+                            |program, ()| program.into_pruner(),
                         )
                     },
-                    // Shard-local announcements are not global candidates;
-                    // the merged sketch recomputes them in pass 2.
-                    |(), _block| {},
+                    |a, b| a.merge(&b),
                 );
-                let (mut stats, mut walls) = fold_telemetry(&pass1);
-                let merge_t0 = Instant::now();
-                let merged = merge_sketches(
-                    pass1
-                        .into_iter()
-                        .map(|o| o.program.into_pruner())
-                        .collect::<Vec<_>>(),
-                );
-                let sketch_merge = merge_t0.elapsed();
-                let pass2 = sharded_phase(
+                let mut stats = sketches.stats_total();
+                let TreeOutcome {
+                    value: merged,
+                    pass_walls: mut walls,
+                    mut merge_walls,
+                    ..
+                } = sketches;
+                let probes = sharded_tree(
                     shards,
                     |s| {
-                        (
-                            PhaseInput {
+                        run_shard(
+                            vec![PhaseInput {
                                 partitions: range_parts(t, &cols, bounds[s], workers, false),
                                 visible_cols: 2,
-                            },
+                            }],
                             HavingShardProbe::new(merged.clone()),
                             Vec::<(u64, u64)>::new(),
+                            |pairs, _, block| block.extend_pairs_into(0, 1, pairs),
+                            |_, pairs| {
+                                let mut sums: BTreeMap<u64, u64> = BTreeMap::new();
+                                for (k, v) in pairs {
+                                    *sums.entry(k).or_insert(0) += v;
+                                }
+                                sums
+                            },
                         )
                     },
-                    |pairs, block| block.extend_pairs_into(0, 1, pairs),
+                    |a, b| {
+                        for (k, v) in b {
+                            *a.entry(k).or_insert(0) += v;
+                        }
+                    },
                 );
-                let (stats2, walls2) = fold_telemetry(&pass2);
-                stats.merge(stats2);
-                walls.extend(walls2);
+                stats.merge(probes.stats_total());
+                walls.extend(probes.pass_walls);
+                merge_walls.extend(probes.merge_walls);
                 let combine_t0 = Instant::now();
-                let mut sums: BTreeMap<u64, u64> = BTreeMap::new();
-                for o in pass2 {
-                    for (k, v) in o.acc {
-                        *sums.entry(k).or_insert(0) += v;
-                    }
-                }
-                let keys: Vec<u64> = sums
+                let keys: Vec<u64> = probes
+                    .value
                     .into_iter()
                     .filter(|&(_, s)| s > *threshold)
                     .map(|(k, _)| k)
@@ -722,7 +1060,8 @@ impl ShardedExecutor {
                     0,
                     QueryResult::keys(keys),
                     walls,
-                    sketch_merge + combine_t0.elapsed(),
+                    merge_walls,
+                    combine_t0.elapsed(),
                 )
             }
             Query::Join {
@@ -736,34 +1075,41 @@ impl ShardedExecutor {
                 let cols: Vec<usize> = columns.iter().map(|c| t.col_index(c)).collect();
                 let dims = cols.len();
                 let bounds = t.partition_bounds(shards);
-                let outcomes = sharded_phase(
+                // A global skyline point is dominated by nothing — in
+                // particular by nothing in its own shard — so each shard
+                // reduces its forwarded superset to its local frontier
+                // before merging, and the root re-runs the exact frontier
+                // over the (much smaller) union.
+                let outcome = sharded_tree(
                     shards,
                     |s| {
-                        (
-                            PhaseInput {
+                        run_shard(
+                            vec![PhaseInput {
                                 partitions: range_parts(t, &cols, bounds[s], workers, false),
                                 visible_cols: dims,
-                            },
+                            }],
                             PrunerStage::new(backend::skyline(cfg, dims)),
                             Vec::<Vec<u64>>::new(),
+                            |points, _, block| {
+                                block.for_each_row(|row| points.push(row.to_vec()));
+                            },
+                            |_, points| skyline_of(&points),
                         )
                     },
-                    |points, block| block.for_each_row(|row| points.push(row.to_vec())),
+                    |a, mut b| a.append(&mut b),
                 );
-                let (stats, walls) = fold_telemetry(&outcomes);
-                // A global skyline point is dominated by nothing, so no
-                // shard pruner ever drops it; the combine re-runs the
-                // exact frontier over the surviving union.
+                let stats = outcome.stats_total();
                 let combine_t0 = Instant::now();
-                let merged: Vec<Vec<u64>> = outcomes.into_iter().flat_map(|o| o.acc).collect();
+                let result = QueryResult::points(skyline_of(&outcome.value));
                 self.finish(
                     query,
                     t.rows() as u64,
                     stats,
                     1,
                     0,
-                    QueryResult::points(skyline_of(&merged)),
-                    walls,
+                    result,
+                    outcome.pass_walls,
+                    outcome.merge_walls,
                     combine_t0.elapsed(),
                 )
             }
@@ -772,9 +1118,16 @@ impl ShardedExecutor {
         report
     }
 
-    /// Sharded JOIN: shard-local Bloom builds union into broadcast
-    /// filters, every shard's probe pairs stream into one global
-    /// sort-merge sweep. Lopsided tables take the §4.3 asymmetric flow.
+    /// Sharded JOIN with **partition-local pairing**: both sides are
+    /// hash-sharded by join key under one salt, so every occurrence of a
+    /// key (left or right) lands on shard `h(k) mod shards` and pairs
+    /// there. Each shard runs its own complete two-phase flow —
+    /// the §4.3 asymmetric build-while-forwarding flow for lopsided
+    /// tables (decided on *global* sizes so every shard agrees), the
+    /// symmetric build-then-probe flow otherwise — and its own
+    /// sort-merge pairing sweep over its local survivors. The reduction
+    /// then sums the commutative pair counts and checksums; no global
+    /// sort-merge and no cross-shard filter broadcast remain.
     #[allow(clippy::too_many_arguments)]
     fn execute_join(
         &self,
@@ -794,187 +1147,115 @@ impl ShardedExecutor {
         let rc = r.col_index(right_col);
         let rows = (l.rows() + r.rows()) as u64;
         let asymmetric = 2 * l.rows().min(r.rows()) <= l.rows().max(r.rows());
-        if asymmetric {
-            // Small side: one pass per shard, unpruned, building the
-            // shard-local small filter; the union is broadcast to every
-            // shard's big-side probe.
-            let ((small_tag, small_t, small_c), (big_tag, big_t, big_c)) = if l.rows() <= r.rows() {
-                ((SIDE_LEFT, l, lc), (SIDE_RIGHT, r, rc))
-            } else {
-                ((SIDE_RIGHT, r, rc), (SIDE_LEFT, l, lc))
-            };
-            let small_seed = if small_tag == SIDE_LEFT {
-                cfg.seed
-            } else {
-                cfg.seed ^ 1
-            };
-            let sbounds = small_t.partition_bounds(shards);
-            let pass1 = sharded_phase(
-                shards,
-                |s| {
-                    (
-                        PhaseInput {
-                            partitions: side_parts_range(
-                                small_tag, small_t, small_c, sbounds[s], workers, true,
-                            ),
+        let shard_seed = cfg.seed ^ SHARD_SALT;
+        let outcome = sharded_tree(
+            shards,
+            |s| {
+                let gather = |t: &Table, c: usize| {
+                    let mut g = gather_hash_shard(&[t.col_at(c)], 0, s, shards, shard_seed, true);
+                    let rids = g.pop().expect("rid lane");
+                    let keys = g.pop().expect("key lane");
+                    (keys, rids)
+                };
+                let lg = (shards > 1).then(|| gather(l, lc));
+                let rg = (shards > 1).then(|| gather(r, rc));
+                let inputs: Vec<PhaseInput<'_>> = if asymmetric {
+                    // Phase 0 streams the small side once, unpruned,
+                    // building its filter; phase 1 probes the big side.
+                    let (small, big) = if l.rows() <= r.rows() {
+                        (
+                            (SIDE_LEFT, lg.as_ref(), l, lc),
+                            (SIDE_RIGHT, rg.as_ref(), r, rc),
+                        )
+                    } else {
+                        (
+                            (SIDE_RIGHT, rg.as_ref(), r, rc),
+                            (SIDE_LEFT, lg.as_ref(), l, lc),
+                        )
+                    };
+                    [small, big]
+                        .into_iter()
+                        .map(|(tag, g, t, c)| PhaseInput {
+                            partitions: join_side_parts(tag, g, t, c, workers, true),
                             visible_cols: 2,
-                        },
-                        SmallSideBuild::new(cfg.join_m_bits, cfg.join_h, small_seed),
-                        Vec::<(u64, u64)>::new(),
+                        })
+                        .collect()
+                } else {
+                    // Both sides build in phase 0 (row ids not needed),
+                    // both probe in phase 1.
+                    (0..2)
+                        .map(|phase| {
+                            let mut partitions =
+                                join_side_parts(SIDE_LEFT, lg.as_ref(), l, lc, workers, phase == 1);
+                            partitions.extend(join_side_parts(
+                                SIDE_RIGHT,
+                                rg.as_ref(),
+                                r,
+                                rc,
+                                workers,
+                                phase == 1,
+                            ));
+                            PhaseInput {
+                                partitions,
+                                visible_cols: 2,
+                            }
+                        })
+                        .collect()
+                };
+                let acc = (Vec::<(u64, u64)>::new(), Vec::<(u64, u64)>::new());
+                // Shard-local pairing sweep in `finish`: it runs on the
+                // shard's own thread, overlapping other shards' streams.
+                if asymmetric {
+                    run_shard(
+                        inputs,
+                        AsymJoinPhases::new(JoinFlow::new(cfg)),
+                        acc,
+                        |a, _, block| join_sink(a, block),
+                        |_, (lf, rf)| join_survivors(lf, rf),
                     )
-                },
-                |pairs, block| block.extend_pairs_into(1, 2, pairs),
-            );
-            let (mut stats, mut walls) = fold_telemetry(&pass1);
-            let merge_t0 = Instant::now();
-            let mut small_pairs = Vec::new();
-            let mut filters = Vec::with_capacity(shards);
-            for o in pass1 {
-                small_pairs.extend(o.acc);
-                filters.push(o.program.into_filter());
-            }
-            let broadcast = Arc::new(union_filters(filters));
-            let union_wall = merge_t0.elapsed();
-            let bbounds = big_t.partition_bounds(shards);
-            let pass2 = sharded_phase(
-                shards,
-                |s| {
-                    (
-                        PhaseInput {
-                            partitions: side_parts_range(
-                                big_tag, big_t, big_c, bbounds[s], workers, true,
-                            ),
-                            visible_cols: 2,
-                        },
-                        ShardProbe::new(broadcast.clone(), broadcast.clone()),
-                        Vec::<(u64, u64)>::new(),
+                } else {
+                    run_shard(
+                        inputs,
+                        JoinPhases::new(JoinFlow::new(cfg)),
+                        acc,
+                        |a, _, block| join_sink(a, block),
+                        |_, (lf, rf)| join_survivors(lf, rf),
                     )
-                },
-                |pairs, block| block.extend_pairs_into(1, 2, pairs),
-            );
-            let (stats2, walls2) = fold_telemetry(&pass2);
-            stats.merge(stats2);
-            walls.extend(walls2);
-            let combine_t0 = Instant::now();
-            let big_pairs: Vec<(u64, u64)> = pass2.into_iter().flat_map(|o| o.acc).collect();
-            let (left_fwd, right_fwd) = if small_tag == SIDE_LEFT {
-                (small_pairs, big_pairs)
-            } else {
-                (big_pairs, small_pairs)
-            };
-            let (pairs, checksum) = join_survivors(left_fwd, right_fwd);
-            self.finish(
-                query,
-                rows,
-                stats,
-                2,
-                pairs,
-                QueryResult::JoinSummary { pairs, checksum },
-                walls,
-                union_wall + combine_t0.elapsed(),
-            )
+                }
+            },
+            |a, b| {
+                a.0 += b.0;
+                a.1 = a.1.wrapping_add(b.1);
+            },
+        );
+        // Symmetric: build-pass decisions are not probe decisions, so
+        // only the probe pass counts (as on the other executors).
+        // Asymmetric: both single-stream passes make real decisions —
+        // together they decide each entry exactly once.
+        let stats = if asymmetric {
+            outcome.stats_total()
         } else {
-            // Symmetric: per-shard builds of F_A/F_B over both sides'
-            // shard slices, unioned, then every shard probes the merged
-            // pair (each side against the other side's union).
-            let lbounds = l.partition_bounds(shards);
-            let rbounds = r.partition_bounds(shards);
-            let pass1 = sharded_phase(
-                shards,
-                |s| {
-                    let mut partitions =
-                        side_parts_range(SIDE_LEFT, l, lc, lbounds[s], workers, false);
-                    partitions.extend(side_parts_range(
-                        SIDE_RIGHT, r, rc, rbounds[s], workers, false,
-                    ));
-                    (
-                        PhaseInput {
-                            partitions,
-                            visible_cols: 2,
-                        },
-                        JoinShardBuild::new(cfg.join_m_bits, cfg.join_h, cfg.seed),
-                        (),
-                    )
-                },
-                |(), _block| {},
-            );
-            // Build decisions are not probe decisions: as on the other
-            // executors, only the probe pass counts toward the stats.
-            let build_walls: Vec<Duration> = pass1.iter().map(|o| o.wall).collect();
-            let merge_t0 = Instant::now();
-            let mut fas = Vec::with_capacity(shards);
-            let mut fbs = Vec::with_capacity(shards);
-            for o in pass1 {
-                let (fa, fb) = o.program.into_filters();
-                fas.push(fa);
-                fbs.push(fb);
-            }
-            let fa = Arc::new(union_filters(fas));
-            let fb = Arc::new(union_filters(fbs));
-            let union_wall = merge_t0.elapsed();
-            let pass2 = sharded_phase(
-                shards,
-                |s| {
-                    let mut partitions =
-                        side_parts_range(SIDE_LEFT, l, lc, lbounds[s], workers, true);
-                    partitions.extend(side_parts_range(
-                        SIDE_RIGHT, r, rc, rbounds[s], workers, true,
-                    ));
-                    (
-                        PhaseInput {
-                            partitions,
-                            visible_cols: 2,
-                        },
-                        // Left entries probe F_B, right entries probe F_A.
-                        ShardProbe::new(fb.clone(), fa.clone()),
-                        (Vec::<(u64, u64)>::new(), Vec::<(u64, u64)>::new()),
-                    )
-                },
-                |(left_fwd, right_fwd), block| match block.const_lane(0) {
-                    Some(tag) => {
-                        let dst = if tag == SIDE_LEFT {
-                            left_fwd
-                        } else {
-                            right_fwd
-                        };
-                        block.extend_pairs_into(1, 2, dst);
-                    }
-                    None => block.for_each_row(|row| {
-                        if row[0] == SIDE_LEFT {
-                            left_fwd.push((row[1], row[2]));
-                        } else {
-                            right_fwd.push((row[1], row[2]));
-                        }
-                    }),
-                },
-            );
-            let (stats, probe_walls) = fold_telemetry(&pass2);
-            let mut walls = build_walls;
-            walls.extend(probe_walls);
-            let combine_t0 = Instant::now();
-            let mut left_fwd = Vec::new();
-            let mut right_fwd = Vec::new();
-            for o in pass2 {
-                let (lf, rf) = o.acc;
-                left_fwd.extend(lf);
-                right_fwd.extend(rf);
-            }
-            let (pairs, checksum) = join_survivors(left_fwd, right_fwd);
-            self.finish(
-                query,
-                2 * rows,
-                stats,
-                2,
-                pairs,
-                QueryResult::JoinSummary { pairs, checksum },
-                walls,
-                union_wall + combine_t0.elapsed(),
-            )
-        }
+            outcome.stats[1]
+        };
+        let streamed = if asymmetric { rows } else { 2 * rows };
+        let combine_t0 = Instant::now();
+        let (pairs, checksum) = outcome.value;
+        self.finish(
+            query,
+            streamed,
+            stats,
+            2,
+            pairs,
+            QueryResult::JoinSummary { pairs, checksum },
+            outcome.pass_walls,
+            outcome.merge_walls,
+            combine_t0.elapsed(),
+        )
     }
 
     /// Assemble the sharded report: the shared cost-model pricing plus
-    /// the per-shard pass spans and the measured combine span.
+    /// the per-shard pass spans, the per-node merge spans, and the
+    /// serial combine tail.
     #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
@@ -985,6 +1266,7 @@ impl ShardedExecutor {
         fetch_rows: u64,
         result: QueryResult,
         pass_walls: Vec<Duration>,
+        merge_walls: Vec<Duration>,
         combine_wall: Duration,
     ) -> ExecutionReport {
         let mut report = self
@@ -992,6 +1274,7 @@ impl ShardedExecutor {
             .report(query, streamed_rows, stats, passes, fetch_rows, result);
         report.pass_walls = pass_walls;
         report.combine_wall = Some(combine_wall);
+        report.merge_walls = merge_walls;
         report
     }
 }
@@ -1072,6 +1355,40 @@ mod tests {
                     "{}: one switch span per shard per pass",
                     q.kind()
                 );
+                if shards > 1 {
+                    assert!(
+                        !r.merge_walls.is_empty(),
+                        "{}: multi-shard runs measure tree merges",
+                        q.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_reduce_visits_every_shard_once() {
+        for shards in 1..=9usize {
+            let outcome = sharded_tree(
+                shards,
+                |s| ShardYield {
+                    value: vec![s],
+                    phase_stats: vec![PruneStats::default()],
+                    phase_walls: vec![Duration::ZERO],
+                },
+                |a, mut b| a.append(&mut b),
+            );
+            let mut seen = outcome.value;
+            seen.sort_unstable();
+            assert_eq!(seen, (0..shards).collect::<Vec<_>>());
+            assert_eq!(outcome.pass_walls.len(), shards);
+            if shards > 1 {
+                assert!(
+                    !outcome.merge_walls.is_empty(),
+                    "merging nodes report spans"
+                );
+            } else {
+                assert!(outcome.merge_walls.is_empty());
             }
         }
     }
@@ -1104,7 +1421,10 @@ mod tests {
             column: "k".into(),
         };
         let picked = e.planned_shards(&db, &q);
-        assert!([1, 2, 4].contains(&picked), "off-grid shard count {picked}");
+        assert!(
+            SHARD_GRID.contains(&picked),
+            "off-grid shard count {picked}"
+        );
         assert_eq!(
             Executor::execute(&e, &db, &q).result,
             reference::evaluate(&db, &q)

@@ -303,6 +303,7 @@ impl SparkExecutor {
             wall: None,
             pass_walls: Vec::new(),
             combine_wall: None,
+            merge_walls: Vec::new(),
         }
     }
 }

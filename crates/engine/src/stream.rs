@@ -222,6 +222,51 @@ pub fn hash_shard_columns(
     out
 }
 
+/// Gather **one shard's** rows of a column set, hash-partitioned by the
+/// `key` column: row `i` belongs to shard `h(cols[key][i]) mod shards`,
+/// so every occurrence of a key is co-located on one shard. The
+/// partition-local counterpart of [`hash_shard_columns`]: each shard
+/// runner gathers its own slice concurrently with the others instead of
+/// the master gathering all of them serially before any shard can start.
+/// Returns one exact-capacity lane per input column (two passes: count,
+/// then gather — O(1) allocations however large the table), plus a
+/// trailing lane of global row indices when `with_rids` is set (the
+/// row-id lane that rides switch-blind for late materialization and
+/// join pairing). Gathered rows keep their input order within the shard.
+pub fn gather_hash_shard(
+    cols: &[&[u64]],
+    key: usize,
+    shard: usize,
+    shards: usize,
+    seed: u64,
+    with_rids: bool,
+) -> Vec<Vec<u64>> {
+    assert!(shard < shards, "shard index out of range");
+    assert!(key < cols.len(), "key column out of range");
+    let hash = cheetah_core::hash::HashFn::new(seed);
+    let keys = cols[key];
+    let mine = keys
+        .iter()
+        .filter(|&&k| hash.bucket(k, shards) == shard)
+        .count();
+    let mut out: Vec<Vec<u64>> = cols.iter().map(|_| Vec::with_capacity(mine)).collect();
+    let mut rids = with_rids.then(|| Vec::with_capacity(mine));
+    for (i, &k) in keys.iter().enumerate() {
+        if hash.bucket(k, shards) == shard {
+            for (lane, col) in out.iter_mut().zip(cols) {
+                lane.push(col[i]);
+            }
+            if let Some(r) = rids.as_mut() {
+                r.push(i as u64);
+            }
+        }
+    }
+    if let Some(r) = rids {
+        out.push(r);
+    }
+    out
+}
+
 /// Append the §5 fingerprints of rows `start..start + len` of `cols`
 /// onto `out`, gathering each row across the column slices through one
 /// reused `scratch` buffer — the shared worker-side serialization loop

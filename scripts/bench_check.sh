@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Shard-scaling regression gate: fail if sharding makes any combine-heavy
+# shape SLOWER than a single shard. Parses the shard_scaling[] cells of a
+# streaming bench snapshot (one JSON object per line, as emitted by
+# `experiments -- --json`) and requires, for every query name, rows/s at
+# shards=4 to be at least rows/s at shards=1. Before the streaming
+# tree-reduce + partition-local join work, join rows/s *dropped* from
+# 18.2M (1 shard) to 13.0M (4 shards) — this gate keeps that wall from
+# coming back.
+#
+# Usage: scripts/bench_check.sh [BENCH_streaming.json]
+set -euo pipefail
+
+json="${1:-BENCH_streaming.json}"
+if [[ ! -f "$json" ]]; then
+    echo "bench_check: $json not found" >&2
+    exit 2
+fi
+
+# Cell lines look like:
+#   {"name": "join", "shards": 4, "rows_per_sec": 123, ...}
+cells=$(grep -o '{"name": "[a-z_]*", "shards": [0-9]*, "rows_per_sec": [0-9]*' "$json" |
+    sed 's/[{"]//g; s/name: //; s/ shards: //; s/ rows_per_sec: //' |
+    awk -F, '{print $1, $2, $3}')
+
+if [[ -z "$cells" ]]; then
+    echo "bench_check: no shard_scaling cells in $json" >&2
+    exit 2
+fi
+
+# Shard parallelism needs cores to run on: on a box with fewer than 4
+# CPUs the shards=4 configuration time-slices a single core and no
+# implementation can win the comparison. Validate the snapshot shape
+# (cells must exist) but skip the rows/s gate there — CI runners have
+# >= 4 cores, so the gate is live where it matters.
+cores=$(nproc 2>/dev/null || echo 1)
+if ((cores < 4)); then
+    echo "bench_check: skipping rows/s gate ($cores cores < 4 — shards=4 cannot beat shards=1 on this host)"
+    exit 0
+fi
+
+fail=0
+for name in $(awk '{print $1}' <<<"$cells" | sort -u); do
+    at1=$(awk -v n="$name" '$1 == n && $2 == 1 {print $3}' <<<"$cells")
+    at4=$(awk -v n="$name" '$1 == n && $2 == 4 {print $3}' <<<"$cells")
+    if [[ -z "$at1" || -z "$at4" ]]; then
+        echo "bench_check: $name missing shards=1 or shards=4 cell" >&2
+        fail=1
+        continue
+    fi
+    if ((at4 < at1)); then
+        echo "bench_check: FAIL $name: ${at4} rows/s at 4 shards < ${at1} rows/s at 1 shard (combine wall is back)" >&2
+        fail=1
+    else
+        echo "bench_check: ok $name: ${at1} rows/s @1 -> ${at4} rows/s @4"
+    fi
+done
+exit $fail

@@ -61,6 +61,9 @@ fn db() -> Database {
             ("k", (0..ROWS as u64).map(|i| i * 7 % 83 + 1).collect()),
             ("v", (0..ROWS as u64).map(|i| i * 31 % 9_973).collect()),
             ("w", (0..ROWS as u64).map(|i| i * 13 % 499 + 1).collect()),
+            // Small-domain column so DistinctMulti's survivor set stays
+            // O(groups): ≤ 83 × 13 distinct (k, g) pairs.
+            ("g", (0..ROWS as u64).map(|i| i % 13 + 1).collect()),
         ],
     ));
     db.add(Table::new(
@@ -189,11 +192,14 @@ fn warm_queries_allocate_o1_not_o_rows() {
     }
 
     // The sharded multi-switch path: per-shard pools over borrowed range
-    // views (JOIN) or an exact-capacity hash gather (GROUP BY SUM), with
-    // the combine layer merging filters/registers — none of which may
-    // reintroduce a per-row `Vec`. The budget charges the same small
-    // constant per wire block plus a fixed shard/pool/combine term
-    // (per-shard filters, gather lanes, pair streams, channels).
+    // views (JOIN, DistinctMulti) or an exact-capacity hash gather
+    // (GROUP BY SUM, JOIN at >1 shard), tree-reduced by associative
+    // merges — register re-aggregation, flat-lane appends, pair-count
+    // sums — none of which may reintroduce a per-row `Vec`. Each shard
+    // merge is O(1) allocations (a buffer append or register fold into
+    // existing state), so the budget charges the same small constant per
+    // wire block plus a fixed shard/pool/combine term (gather lanes,
+    // pair streams, channels, O(groups) results).
     let sharded = ShardedExecutor::with_shards(exec.clone(), 2);
     let sharded_queries = [
         (
@@ -214,6 +220,14 @@ fn warm_queries_allocate_o1_not_o_rows() {
                 key: "k".into(),
                 val: "v".into(),
                 agg: Agg::Sum,
+            },
+            ROWS,
+        ),
+        (
+            "sharded-distinct-multi",
+            Query::DistinctMulti {
+                table: "t".into(),
+                columns: vec!["k".into(), "g".into()],
             },
             ROWS,
         ),

@@ -289,3 +289,88 @@ fn sharded_handles_keys_straddling_every_boundary() {
         assert_equivalent(&db, shards, 2, 13);
     }
 }
+
+/// Run the JOIN shape alone and compare against the deterministic path
+/// (pairs + checksum): the focused probe for partition-local pairing.
+fn assert_join_equivalent(db: &Database, shards: usize, seed: u64) {
+    let model = CostModel {
+        workers: 2,
+        ..CostModel::default()
+    };
+    let cheetah = CheetahExecutor::new(model, test_config(seed));
+    let sharded = ShardedExecutor::with_shards(cheetah.clone(), shards);
+    let q = Query::Join {
+        left: "t".into(),
+        right: "s".into(),
+        left_col: "k".into(),
+        right_col: "k".into(),
+    };
+    let truth = reference::evaluate(db, &q);
+    let det = Executor::execute(&cheetah, db, &q);
+    let shd = Executor::execute(&sharded, db, &q);
+    assert_eq!(det.result, truth, "deterministic join diverged");
+    assert_eq!(
+        shd.result, truth,
+        "partition-local join diverged at {shards} shards"
+    );
+    assert_eq!(
+        shd.prune_stats().processed,
+        det.prune_stats().processed,
+        "hash-sharded join must still decide each entry exactly once"
+    );
+}
+
+/// Hash-sharded join, join keys spanning every hash bucket: with keys
+/// 0..`shards × 8` both sides populate every shard, and every matching
+/// key must pair exactly once on exactly one shard — the straddling
+/// counterpart of the range-boundary case, but for the key hash.
+#[test]
+fn hash_sharded_join_pairs_keys_across_every_shard() {
+    for shards in [2usize, 3, 4, 5, 8] {
+        let span = shards as u64 * 8;
+        let tk: Vec<u64> = (0..600u64).map(|i| i % span).collect();
+        let tv: Vec<u64> = (0..600u64).map(|i| i * 17 % 401 + 1).collect();
+        let tw: Vec<u64> = (0..600u64).map(|i| i % 89 + 1).collect();
+        // Right side hits half the buckets with duplicated keys, so
+        // cross-side multiplicity (m × n pairs per key) crosses shards.
+        let sk: Vec<u64> = (0..200u64).map(|i| (i * 3) % span).collect();
+        let sx: Vec<u64> = (0..200u64).map(|i| i % 31).collect();
+        let db = db_from((tk, tv, tw), (sk, sx));
+        assert_join_equivalent(&db, shards, 17);
+    }
+}
+
+/// Hash-sharded join with one side empty, in both directions: every
+/// shard's build or probe stream is empty, and the pairing must come
+/// out zero without wedging any shard pipeline.
+#[test]
+fn hash_sharded_join_survives_one_empty_side() {
+    let keys: Vec<u64> = (0..300u64).map(|i| i % 37).collect();
+    let vals: Vec<u64> = (0..300u64).map(|i| i % 113 + 1).collect();
+    let ws: Vec<u64> = (0..300u64).map(|i| i % 7 + 1).collect();
+    for shards in [2usize, 4] {
+        // Empty right side: the big/probe stream vanishes.
+        let db = db_from((keys.clone(), vals.clone(), ws.clone()), (vec![], vec![]));
+        assert_join_equivalent(&db, shards, 19);
+        // Empty left side: the build stream vanishes instead.
+        let db = db_from((vec![], vec![], vec![]), (keys.clone(), vals.clone()));
+        assert_join_equivalent(&db, shards, 19);
+    }
+}
+
+/// Hash-sharded join where every row shares one key: the whole workload
+/// hashes into a single shard (maximal skew for partition-local
+/// pairing), the other shards run empty, and the one busy shard must
+/// produce the full m × n pairing by itself.
+#[test]
+fn hash_sharded_join_survives_all_keys_in_one_shard() {
+    for shards in [2usize, 4, 8] {
+        let tk: Vec<u64> = vec![42; 120];
+        let tv: Vec<u64> = (0..120u64).map(|i| i * 7 % 301 + 1).collect();
+        let tw: Vec<u64> = (0..120u64).map(|i| i % 17 + 1).collect();
+        let sk: Vec<u64> = vec![42; 45];
+        let sx: Vec<u64> = (0..45u64).map(|i| i % 23).collect();
+        let db = db_from((tk, tv, tw), (sk, sx));
+        assert_join_equivalent(&db, shards, 23);
+    }
+}

@@ -297,9 +297,11 @@ fn sharded_shard_skew_soak() {
 
 /// The sharded pool contract, pinned through the spawn counter: every
 /// shard runs its own persistent pool, spawned exactly once per pass set
-/// — `shards × workers` threads for the single-`run_phases` shapes, and
-/// exact multiples for the flows whose combine layer needs a second
-/// sharded pass (HAVING's sketch merge, JOIN's filter union).
+/// — `shards × workers` threads for the single-pipeline shapes
+/// (partition-local JOIN now included: one two-phase pipeline per shard,
+/// no second sharded pass for a filter union), and an exact multiple
+/// only where the combine layer genuinely needs a second sharded pass
+/// (HAVING's sketch broadcast).
 #[test]
 fn sharded_spawn_counts_are_exactly_shards_times_workers() {
     use cheetah::engine::threaded::worker_threads_spawned;
@@ -317,11 +319,12 @@ fn sharded_spawn_counts_are_exactly_shards_times_workers() {
     );
     for (label, q) in multipass_queries() {
         // soak_db's `s` is half of `t`, so JOIN takes the asymmetric
-        // flow: two sharded passes (small build, big probe). HAVING also
-        // runs two sharded passes around the sketch merge. Every other
-        // shape is one `run_phases` per shard.
+        // flow — but partition-local pairing runs it as ONE two-phase
+        // pipeline per shard (small build, big probe, same pool).
+        // HAVING still runs two sharded passes around the tree-merged
+        // sketch. Every other shape is one pipeline per shard.
         let expected = match q {
-            Query::Join { .. } | Query::Having { .. } => 2 * shards * workers,
+            Query::Having { .. } => 2 * shards * workers,
             _ => shards * workers,
         } as u64;
         let before = worker_threads_spawned();
@@ -338,8 +341,9 @@ fn sharded_spawn_counts_are_exactly_shards_times_workers() {
         );
     }
 
-    // A symmetric join (similar-size tables): both sides stream in both
-    // sharded passes on 2 × workers partitions per shard.
+    // A symmetric join (similar-size tables): still one pipeline per
+    // shard, but both sides stream in both of its phases, so the pool
+    // holds 2 × workers partitions per shard.
     let mut sym_db = Database::new();
     sym_db.add(Table::new(
         "a",
@@ -359,8 +363,8 @@ fn sharded_spawn_counts_are_exactly_shards_times_workers() {
     exec.execute(&sym_db, &q);
     assert_eq!(
         worker_threads_spawned() - before,
-        (4 * shards * workers) as u64,
-        "symmetric sharded join pools both sides in both passes, once each"
+        (2 * shards * workers) as u64,
+        "symmetric sharded join pools both sides in one pipeline per shard"
     );
 
     // Empty shards still spawn their full pool grid (idle workers must

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset the workspace's benches use: [`Criterion`] with
+//! [`Criterion::benchmark_group`], per-group [`BenchmarkGroup::sample_size`]
+//! and [`BenchmarkGroup::throughput`], [`Bencher::iter`] timing closures,
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] entry
+//! points. Passing `--test` on the command line (CI's bench smoke:
+//! `cargo bench -- --test`) runs every benchmark body exactly once
+//! instead of sampling, so the smoke stays fast while still executing
+//! each bench end to end.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a group's measurements are normalized when reporting rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver (a far smaller stand-in for upstream's).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Build a driver configured from the process arguments: `--test`
+    /// selects single-iteration smoke mode, everything else (cargo's
+    /// `--bench`, filters) is accepted and ignored.
+    pub fn from_args() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sample-count and throughput config.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (ignored in `--test` mode).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Report per-iteration rates normalized by this work amount.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the body to time.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.test_mode {
+            f(&mut b);
+            println!("{}/{}: ok (smoke)", self.name, id);
+            return self;
+        }
+        // Calibrate the per-sample iteration count up until one sample
+        // costs ~5ms, then keep the fastest of `sample_size` samples.
+        while b.elapsed < Duration::from_millis(5) && b.iters < 1 << 20 {
+            f(&mut b);
+            if b.elapsed < Duration::from_millis(5) {
+                b.iters *= 2;
+            }
+        }
+        let mut best = b.elapsed;
+        for _ in 1..self.sample_size {
+            f(&mut b);
+            best = best.min(b.elapsed);
+        }
+        let per_iter = best.as_secs_f64() / b.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(" ({:.1} Melem/s)", n as f64 / per_iter / 1e6),
+            Some(Throughput::Bytes(n)) => {
+                format!(" ({:.1} MiB/s)", n as f64 / per_iter / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: {:.3} µs/iter{}",
+            self.name,
+            id,
+            per_iter * 1e6,
+            rate
+        );
+        self
+    }
+
+    /// Close the group (upstream writes reports here; the shim's output
+    /// already streamed line by line).
+    pub fn finish(self) {}
+}
+
+/// Times one benchmark body for the configured iteration count.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this sample's iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+/// Bundle benchmark functions into one named runner, mirroring
+/// upstream's macro shape.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        /// Run every benchmark in this group.
+        pub fn $name() {
+            let mut c = $crate::Criterion::from_args();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_report() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(4));
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran >= 1, "bench body must run at least once");
+    }
+
+    criterion_group!(example_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.benchmark_group("noop")
+            .bench_function("nothing", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn macro_generated_group_runs() {
+        example_group();
+    }
+}
