@@ -1,10 +1,13 @@
 //! Protocol simulation throughput: events/s through the worker–switch–
-//! master state machines at several loss rates, plus wire-format
-//! encode/decode speed.
+//! master state machines at several loss rates, wire-format encode/decode
+//! speed, and the distributed executor's end-to-end resilience cost.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 use bytes::Bytes;
+use cheetah_bench::bigdata_db;
+use cheetah_engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah_engine::{Agg, CostModel, DistributedExecutor, Executor, FailurePlan, Query};
 use cheetah_net::wire::{DataPacket, Message};
 use cheetah_net::{Simulation, SimulationConfig, SwitchNode, WorkerTx};
 
@@ -51,5 +54,39 @@ fn bench_simulation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_wire, bench_simulation);
+fn bench_distributed(c: &mut Criterion) {
+    let rows = 20_000usize;
+    let db = bigdata_db(rows, rows / 5, 500, 0.5, 42);
+    let q = Query::GroupBy {
+        table: "uservisits".into(),
+        key: "sourcePrefix".into(),
+        val: "adRevenue".into(),
+        agg: Agg::Sum,
+    };
+    let mut g = c.benchmark_group("distributed_resilience");
+    g.throughput(Throughput::Elements(rows as u64));
+    g.sample_size(10);
+    for loss in [0.0, 0.05, 0.2] {
+        let exec = DistributedExecutor::with_failure_plan(
+            CheetahExecutor::new(CostModel::default(), PrunerConfig::default()),
+            2,
+            FailurePlan {
+                loss_rate: loss,
+                seed: 7,
+                ..FailurePlan::default()
+            },
+        );
+        g.bench_function(format!("groupby_sum_loss_{:.0}pct", loss * 100.0), |b| {
+            b.iter(|| {
+                let report = exec.execute(&db, &q);
+                let res = report.resilience.as_ref().expect("resilience telemetry");
+                assert!(!res.degraded);
+                black_box(report.result.output_size())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_simulation, bench_distributed);
 criterion_main!(benches);

@@ -15,7 +15,8 @@ use cheetah_core::topn::RandomizedTopN;
 use cheetah_engine::cheetah::{CheetahExecutor, PrunerConfig};
 use cheetah_engine::stream::EntryStream;
 use cheetah_engine::{
-    Agg, CostModel, Executor, Predicate, Query, ShardedExecutor, Table, ThreadedExecutor,
+    Agg, CostModel, DistributedExecutor, Executor, FailurePlan, Predicate, Query, ShardedExecutor,
+    Table, ThreadedExecutor,
 };
 
 use cheetah_workloads::dist::rng_for;
@@ -538,6 +539,68 @@ pub fn run_shard_scaling(uv_rows: usize, reps: usize) -> Vec<ShardScaling> {
     out
 }
 
+/// One cell of the wire-protocol resilience sweep.
+#[derive(Debug, Clone)]
+pub struct NetResilience {
+    /// Query label (`join`, `groupby_sum`, `distinct_multi`).
+    pub name: String,
+    /// Injected per-hop packet loss rate this cell ran with.
+    pub loss_rate: f64,
+    /// Entries per second of measured wall clock (best of reps).
+    pub rows_per_sec: f64,
+    /// Measured wall-clock seconds, best of reps.
+    pub wall_s: f64,
+    /// Whole-shard session retries the loss forced (best run).
+    pub retries: u64,
+    /// Packet retransmissions inside sessions (best run).
+    pub retransmissions: u64,
+    /// Total shard ship sessions, including retries (best run).
+    pub ship_attempts: u64,
+}
+
+/// Sweep the distributed executor over loss ∈ {0, 0.05, 0.2} for the
+/// combine-heavy shapes: the cost of running shard results over the §7.2
+/// reliability protocol, and what packet loss does to it. Results are
+/// asserted exact against the deterministic path inside the executor's
+/// test suite; here we only measure.
+pub fn run_net_resilience(uv_rows: usize, reps: usize) -> Vec<NetResilience> {
+    let db = bigdata_db(uv_rows, uv_rows / 5, 2_000, 0.5, 42);
+    let sweep_queries: Vec<(&str, Query)> = multipass_queries()
+        .into_iter()
+        .filter(|(n, _)| matches!(*n, "join" | "groupby_sum" | "distinct_multi"))
+        .collect();
+    let mut out = Vec::new();
+    for loss in [0.0f64, 0.05, 0.2] {
+        let plan = FailurePlan {
+            loss_rate: loss,
+            seed: 42,
+            ..FailurePlan::default()
+        };
+        let exec = DistributedExecutor::with_failure_plan(
+            CheetahExecutor::new(CostModel::default(), PrunerConfig::default()),
+            2,
+            plan,
+        );
+        for (name, q) in &sweep_queries {
+            let (report, best) = best_measured_run(&exec, &db, q, reps);
+            let res = report
+                .resilience
+                .as_ref()
+                .expect("distributed runs report resilience");
+            out.push(NetResilience {
+                name: (*name).to_string(),
+                loss_rate: loss,
+                rows_per_sec: report.prune_stats().processed as f64 / best,
+                wall_s: best,
+                retries: res.retries,
+                retransmissions: res.retransmissions,
+                ship_attempts: res.ship_attempts,
+            });
+        }
+    }
+    out
+}
+
 /// Render the benchmark snapshot as JSON (no external deps: the format is
 /// flat enough to emit by hand).
 pub fn to_json(
@@ -547,6 +610,7 @@ pub fn to_json(
     multipass: &[MultipassBench],
     scaling: &[WorkerScaling],
     shard_scaling: &[ShardScaling],
+    net_resilience: &[NetResilience],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -628,6 +692,21 @@ pub fn to_json(
             if i + 1 < shard_scaling.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"net_resilience\": [\n");
+    for (i, c) in net_resilience.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"loss_rate\": {:.2}, \"rows_per_sec\": {:.0}, \"wall_s\": {:.6}, \"retries\": {}, \"retransmissions\": {}, \"ship_attempts\": {}}}{}\n",
+            c.name,
+            c.loss_rate,
+            c.rows_per_sec,
+            c.wall_s,
+            c.retries,
+            c.retransmissions,
+            c.ship_attempts,
+            if i + 1 < net_resilience.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ]\n");
     out.push_str("}\n");
     out
@@ -643,6 +722,7 @@ pub fn write_bench_json(path: &str) -> std::io::Result<String> {
     let multipass = run_threaded_multipass(200_000, 3);
     let scaling = run_worker_scaling(200_000, 3);
     let shard_scaling = run_shard_scaling(200_000, 3);
+    let net_resilience = run_net_resilience(100_000, 3);
     let json = to_json(
         micro_rows,
         &micro,
@@ -650,6 +730,7 @@ pub fn write_bench_json(path: &str) -> std::io::Result<String> {
         &multipass,
         &scaling,
         &shard_scaling,
+        &net_resilience,
     );
     std::fs::write(path, &json)?;
     Ok(json)
@@ -681,6 +762,7 @@ mod tests {
         let multipass = run_threaded_multipass(5_000, 1);
         let scaling = run_worker_scaling(5_000, 1);
         let shard_scaling = run_shard_scaling(5_000, 1);
+        let net_resilience = run_net_resilience(5_000, 1);
         let json = to_json(
             5_000,
             &micro,
@@ -688,6 +770,7 @@ mod tests {
             &multipass,
             &scaling,
             &shard_scaling,
+            &net_resilience,
         );
         assert!(json.contains("\"microbench\""));
         assert!(json.contains("\"queries\""));
@@ -695,6 +778,9 @@ mod tests {
         assert!(json.contains("\"threaded_multipass\""));
         assert!(json.contains("\"worker_scaling\""));
         assert!(json.contains("\"shard_scaling\""));
+        assert!(json.contains("\"net_resilience\""));
+        assert!(json.contains("\"loss_rate\""));
+        assert!(json.contains("\"ship_attempts\""));
         assert!(json.contains("\"combine_wall_s\""));
         assert!(json.contains("\"merge_walls\""));
         assert!(json.contains("\"pass_walls\""));
@@ -759,6 +845,32 @@ mod tests {
                 cell.name
             );
             assert!(cell.wall_s > 0.0 && cell.rows_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn net_resilience_sweeps_the_advertised_grid() {
+        let cells = run_net_resilience(3_000, 1);
+        assert_eq!(cells.len(), 9, "3 loss rates × 3 queries");
+        for cell in &cells {
+            assert!([0.0, 0.05, 0.2].contains(&cell.loss_rate));
+            assert!(
+                matches!(
+                    cell.name.as_str(),
+                    "join" | "groupby_sum" | "distinct_multi"
+                ),
+                "unexpected sweep query {}",
+                cell.name
+            );
+            assert!(cell.wall_s > 0.0 && cell.rows_per_sec > 0.0);
+            assert!(cell.ship_attempts >= 1, "shipping must be accounted");
+            if cell.loss_rate == 0.0 {
+                assert_eq!(
+                    cell.retransmissions, 0,
+                    "{}: clean wire must not retransmit",
+                    cell.name
+                );
+            }
         }
     }
 

@@ -76,6 +76,30 @@ impl CountMinSketch {
         (self.d, self.w)
     }
 
+    /// The raw counter cells, row-major (`w` cells per row) — the
+    /// sketch's entire soft state as a flat `u64` array, for shipping a
+    /// shard-built sketch to the master over the wire protocol.
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
+    /// Rebuild a sketch from shipped parts: dimensions, the seed its row
+    /// hashes were derived from, and the raw counters. Inverse of
+    /// [`CountMinSketch::counters`] for a sketch built with the same
+    /// `seed` (hash derivation matches [`CountMinSketch::new`]).
+    pub fn from_parts(d: usize, w: usize, seed: u64, counters: Vec<u64>) -> Self {
+        assert!(d > 0 && w > 0);
+        assert_eq!(counters.len(), d * w, "counter count must match dims");
+        CountMinSketch {
+            d,
+            w,
+            counters,
+            hashes: (0..d)
+                .map(|i| HashFn::new(seed ^ ((i as u64) << 40)))
+                .collect(),
+        }
+    }
+
     /// Zero all counters.
     pub fn clear(&mut self) {
         self.counters.fill(0);
@@ -120,6 +144,13 @@ impl HavingPruner {
             sketch: CountMinSketch::new(d, w, seed),
             threshold,
         }
+    }
+
+    /// Wrap an already-built (e.g. wire-decoded and merged) sketch as a
+    /// pruner — how the master reconstructs the pass-2 candidate rule
+    /// from shard-shipped sketch state.
+    pub fn from_sketch(sketch: CountMinSketch, threshold: u64) -> Self {
+        HavingPruner { sketch, threshold }
     }
 
     /// Pass 1: fold the entry into the sketch. Forwards exactly the entry

@@ -120,6 +120,39 @@ impl BloomFilter {
         BloomFilter::new(m.max(64 * h as u64), h, seed)
     }
 
+    /// The raw register words, segment-major (`seg_words` words per hash).
+    ///
+    /// This is the filter's entire soft state as a flat `u64` array — the
+    /// serialization surface for shipping a shard-built filter to the
+    /// master over the wire protocol.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// `(segment words, hash count)` — with the seed, everything needed
+    /// to reconstruct an identical filter via [`BloomFilter::from_parts`].
+    pub fn geometry(&self) -> (usize, usize) {
+        (self.seg_words, self.hashes.len())
+    }
+
+    /// Rebuild a filter from its shipped parts: geometry, the seed its
+    /// hash functions were derived from, and the raw register words.
+    /// Inverse of [`BloomFilter::words`]/[`BloomFilter::geometry`] for a
+    /// filter built with the same `seed` (hash derivation matches
+    /// [`BloomFilter::new`]).
+    pub fn from_parts(seg_words: usize, h: usize, seed: u64, words: Vec<u64>) -> Self {
+        assert!(h >= 1, "need at least one hash function");
+        assert!(seg_words >= 1, "each segment needs ≥1 word");
+        assert_eq!(words.len(), seg_words * h, "word count must match geometry");
+        BloomFilter {
+            words,
+            seg_words,
+            hashes: (0..h)
+                .map(|i| HashFn::new(seed ^ ((i as u64) << 32)))
+                .collect(),
+        }
+    }
+
     /// Union another filter into this one (bitwise OR of the bit arrays).
     ///
     /// This is the multi-switch combine primitive: when each shard builds

@@ -1076,6 +1076,7 @@ impl CheetahExecutor {
             pass_walls: Vec::new(),
             combine_wall: None,
             merge_walls: Vec::new(),
+            resilience: None,
         }
     }
 }

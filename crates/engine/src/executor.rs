@@ -76,6 +76,50 @@ pub struct ExecutionReport {
     /// pipelines, so their sum can exceed the critical-path merge cost.
     /// Empty for executors that don't tree-reduce.
     pub merge_walls: Vec<Duration>,
+    /// Fault-tolerance telemetry, for executors that ship shard state
+    /// over the lossy wire protocol ([`crate::distributed`]). `None`
+    /// for in-process executors — degradation cannot be silent, so any
+    /// executor that retries or reboots must fill this in.
+    pub resilience: Option<ResilienceReport>,
+}
+
+/// What the fault-handling layer did during one distributed execution.
+///
+/// Zero everywhere (the [`Default`]) means a clean run: every shard
+/// output shipped on its first attempt and nothing rebooted. The
+/// `degraded` flag is the §3 honesty bit: `true` means at least one
+/// shard exhausted its retry budget and the executor fell back to the
+/// locally computed output for it — the result is still exact, but the
+/// wire path did not carry it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Wire sessions run to ship shard outputs (1 = no retries).
+    pub ship_attempts: u64,
+    /// Shard flows re-shipped after an incomplete session.
+    pub retries: u64,
+    /// Shards recomputed or re-dispatched after a crash or a
+    /// non-resumable mid-compute reboot.
+    pub redispatches: u64,
+    /// Shard-worker crashes injected/observed during shipping.
+    pub worker_crashes: u64,
+    /// Network switch reboots survived during shipping.
+    pub net_reboots: u64,
+    /// Mid-compute shard pruner reboots survived (§3 empty-soft-state).
+    pub shard_reboots: u64,
+    /// GROUP BY SUM/COUNT register drains performed before a reboot
+    /// (the §6 exception: those registers hold real data).
+    pub register_drains: u64,
+    /// Data-packet retransmissions across all shipping sessions.
+    pub retransmissions: u64,
+    /// Messages lost on the simulated wires across all sessions.
+    pub losses: u64,
+    /// Duplicate data packets discarded at the master.
+    pub duplicates: u64,
+    /// FIN messages dropped by fault injection and recovered via RTO.
+    pub fin_drops: u64,
+    /// True when some shard fell back to its local output after
+    /// exhausting the retry budget.
+    pub degraded: bool,
 }
 
 impl ExecutionReport {

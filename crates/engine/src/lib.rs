@@ -27,6 +27,10 @@
 //!   watermark pipelines over shard-local partition views, merged by a
 //!   per-shape combine layer (filter unions, sketch summation, register
 //!   re-aggregation, global re-selection);
+//! * [`distributed`] — the sharded pipelines run over the real §7.2
+//!   wire protocol ([`cheetah-net`]'s master/worker/switch state
+//!   machines on the simulated fabric), with failure injection, retry
+//!   with bounded backoff, re-dispatch, and §3/§6 reboot recovery;
 //! * [`netaccel`] — the §8.2.4 NetAccel lower-bound comparator (result
 //!   drain from switch registers; switch-CPU offload model of App. F);
 //! * [`cost`] — the shared cost model and Table 3's hardware envelopes.
@@ -37,6 +41,7 @@
 //! every query type.
 //!
 //! [`cheetah-core`]: cheetah_core
+//! [`cheetah-net`]: cheetah_net
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -45,6 +50,7 @@ pub mod backend;
 pub mod cheetah;
 pub mod cost;
 pub mod dag;
+pub mod distributed;
 pub mod executor;
 pub mod multipass;
 pub mod netaccel;
@@ -59,7 +65,10 @@ pub mod threaded;
 
 pub use cheetah::CheetahExecutor;
 pub use cost::{CostModel, TimingBreakdown};
-pub use executor::{ExecutionReport, Executor, NetAccelExecutor, ThreadedExecutor};
+pub use distributed::{DistributedExecutor, FailurePlan, ShardOutput};
+pub use executor::{
+    ExecutionReport, Executor, NetAccelExecutor, ResilienceReport, ThreadedExecutor,
+};
 pub use query::{Agg, Predicate, Query, QueryResult};
 pub use sharded::ShardedExecutor;
 pub use spark::SparkExecutor;

@@ -174,6 +174,16 @@ impl GroupBySumStage {
     pub fn new(pruner: GroupBySumPruner) -> Self {
         GroupBySumStage { pruner }
     }
+
+    /// Evacuate every live register as `(key, partial)` pairs, leaving
+    /// the accumulators empty — the §6 exception to "reboot with empty
+    /// states": SUM/COUNT registers hold real data, so a switch about to
+    /// reboot must drain them to the master first. The drained pairs are
+    /// exact partials; re-aggregating them with everything forwarded
+    /// before and after the reboot reconstructs the exact totals.
+    pub fn drain_registers(&mut self) -> Vec<(u64, u64)> {
+        self.pruner.drain()
+    }
 }
 
 impl SwitchPhases for GroupBySumStage {

@@ -81,7 +81,7 @@ use crate::threaded::{
 
 /// Salt for the hash-shard row assignment, so the shard hash is
 /// independent of the switch structures' hashes at the same seed.
-const SHARD_SALT: u64 = 0x5a4d_0c4e;
+pub(crate) const SHARD_SALT: u64 = 0x5a4d_0c4e;
 
 /// The adaptive shard grid: every arm the sampled cost race considers.
 const SHARD_GRID: [usize; 4] = [1, 2, 4, 8];
@@ -223,10 +223,10 @@ impl Executor for ShardedExecutor {
 
 /// What one shard's pipeline yields before entering the reduction tree:
 /// the mergeable value plus the shard's measured per-phase telemetry.
-struct ShardYield<R> {
-    value: R,
-    phase_stats: Vec<PruneStats>,
-    phase_walls: Vec<Duration>,
+pub(crate) struct ShardYield<R> {
+    pub(crate) value: R,
+    pub(crate) phase_stats: Vec<PruneStats>,
+    pub(crate) phase_walls: Vec<Duration>,
 }
 
 /// One message up the reduction tree: a node's value with every merged
@@ -369,7 +369,7 @@ where
 /// thread via [`run_phases_each`]) and shape its output for the tree:
 /// `sink` streams survivor blocks into the accumulator, `finish` turns
 /// program + accumulator into the shard's mergeable value.
-fn run_shard<'env, P, T, R, Sink, Fin>(
+pub(crate) fn run_shard<'env, P, T, R, Sink, Fin>(
     inputs: Vec<PhaseInput<'env>>,
     mut program: P,
     mut acc: T,
@@ -393,7 +393,7 @@ where
 
 /// This shard's slice `[s, e)` of a table as `workers` zero-copy lane
 /// partitions (borrowed column slices, optional global row-id lane).
-fn range_parts<'a>(
+pub(crate) fn range_parts<'a>(
     t: &'a Table,
     cols: &[usize],
     range: (usize, usize),
@@ -441,7 +441,7 @@ fn side_parts_range<'a>(
 /// tag, gathered key lane, gathered global-row-id lane. `None` means
 /// single-shard mode, where the gather is skipped and the side streams
 /// as zero-copy range slices.
-fn join_side_parts<'a>(
+pub(crate) fn join_side_parts<'a>(
     tag: u64,
     gathered: Option<&'a (Vec<u64>, Vec<u64>)>,
     t: &'a Table,
@@ -465,12 +465,12 @@ fn join_side_parts<'a>(
 }
 
 /// A shard's forwarded `(key, rid)` pair buffers, left side then right.
-type JoinSides = (Vec<(u64, u64)>, Vec<(u64, u64)>);
+pub(crate) type JoinSides = (Vec<(u64, u64)>, Vec<(u64, u64)>);
 
 /// Demux one survivor block of `[side, key, rid]` rows into per-side
 /// `(key, rid)` pair streams — the per-block join sink every shard's
 /// pipeline shares.
-fn join_sink(acc: &mut JoinSides, block: SurvivorBlock<'_>) {
+pub(crate) fn join_sink(acc: &mut JoinSides, block: SurvivorBlock<'_>) {
     let (left_fwd, right_fwd) = acc;
     match block.const_lane(0) {
         Some(tag) => {
@@ -493,7 +493,7 @@ fn join_sink(acc: &mut JoinSides, block: SurvivorBlock<'_>) {
 
 /// Merge two descending candidate lists, keeping the global top `n` —
 /// the associative Top-N reduce.
-fn merge_top(a: &mut Vec<u64>, b: Vec<u64>, n: usize) {
+pub(crate) fn merge_top(a: &mut Vec<u64>, b: Vec<u64>, n: usize) {
     let mut merged = Vec::with_capacity(n.min(a.len() + b.len()));
     let (mut i, mut j) = (0, 0);
     while merged.len() < n {
@@ -524,7 +524,7 @@ fn merge_top(a: &mut Vec<u64>, b: Vec<u64>, n: usize) {
 /// Merge two sorted, deduplicated tuple runs (dedup across runs) — the
 /// associative DistinctMulti reduce. One buffer allocation per merge;
 /// the tuples themselves move as pointers.
-fn merge_sorted_dedup(a: &mut Vec<Vec<u64>>, b: Vec<Vec<u64>>) {
+pub(crate) fn merge_sorted_dedup(a: &mut Vec<Vec<u64>>, b: Vec<Vec<u64>>) {
     if b.is_empty() {
         return;
     }
@@ -559,7 +559,7 @@ fn merge_sorted_dedup(a: &mut Vec<Vec<u64>>, b: Vec<Vec<u64>>) {
 
 /// Fold one shard's per-key extrema into another — the associative
 /// GROUP BY MAX/MIN reduce.
-fn merge_extrema(a: &mut BTreeMap<u64, u64>, b: BTreeMap<u64, u64>, ext: Extremum) {
+pub(crate) fn merge_extrema(a: &mut BTreeMap<u64, u64>, b: BTreeMap<u64, u64>, ext: Extremum) {
     for (k, v) in b {
         let e = a
             .entry(k)

@@ -304,6 +304,7 @@ impl SparkExecutor {
             pass_walls: Vec::new(),
             combine_wall: None,
             merge_walls: Vec::new(),
+            resilience: None,
         }
     }
 }

@@ -51,6 +51,11 @@ impl MasterRx {
         Message::FinAck { fid }
     }
 
+    /// Flow `fid`'s FIN has been received.
+    pub fn is_finished(&self, fid: u16) -> bool {
+        self.finished.get(&fid).copied().unwrap_or(false)
+    }
+
     /// All `fids` have delivered their FIN.
     pub fn all_finished(&self, fids: &[u16]) -> bool {
         fids.iter()
@@ -117,7 +122,9 @@ mod tests {
     fn fin_tracking() {
         let mut m = MasterRx::new();
         assert!(!m.all_finished(&[1, 2]));
+        assert!(!m.is_finished(1));
         assert_eq!(m.on_fin(1), Message::FinAck { fid: 1 });
+        assert!(m.is_finished(1));
         assert!(!m.all_finished(&[1, 2]));
         m.on_fin(2);
         assert!(m.all_finished(&[1, 2]));

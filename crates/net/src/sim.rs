@@ -24,6 +24,14 @@ pub struct SimulationConfig {
     /// Per-hop packet loss probability (applied independently on every
     /// worker→switch, switch→master, and ACK hop).
     pub loss_rate: f64,
+    /// Per-hop packet duplication probability: the message is delivered
+    /// twice, the copy one extra latency later. Exercises the dedup
+    /// paths (switch pass-through for `Y ≤ X`, master bitmap).
+    pub dup_rate: f64,
+    /// Per-hop reordering probability: the message picks up extra jitter
+    /// of 1..3× the hop latency, letting later packets overtake it.
+    /// Exercises the switch's in-order gate (`Y > X + 1` gap-drop).
+    pub reorder_rate: f64,
     /// One-way per-hop latency in microseconds.
     pub latency_us: u64,
     /// Worker retransmission timeout in microseconds.
@@ -41,6 +49,8 @@ impl Default for SimulationConfig {
     fn default() -> Self {
         SimulationConfig {
             loss_rate: 0.0,
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
             latency_us: 5, // <1µs switch + wire, rounded up
             rto_us: 500,
             window: 32,
@@ -69,6 +79,16 @@ pub struct NetStats {
     pub duplicates: u64,
     /// Messages lost on the simulated wires.
     pub losses: u64,
+    /// Duplicate copies injected on the simulated wires.
+    pub dup_injected: u64,
+    /// Messages delayed by reordering jitter on the simulated wires.
+    pub reordered: u64,
+    /// FIN messages dropped by a scripted [`FaultPlan`].
+    pub fin_drops: u64,
+    /// Switch reboots injected by a scripted [`FaultPlan`].
+    pub switch_reboots: u64,
+    /// Worker crashes injected by a scripted [`FaultPlan`].
+    pub worker_crashes: u64,
     /// Entries delivered to the master (unique).
     pub delivered: u64,
     /// Virtual completion time (µs) — when the last worker finished.
@@ -77,12 +97,35 @@ pub struct NetStats {
     pub completed: bool,
 }
 
-#[derive(Debug, PartialEq, Eq)]
+/// Scripted faults injected into one [`Simulation::run_session`] call.
+///
+/// Worker indices refer to positions in the `workers` slice passed to
+/// that session; times are virtual microseconds from session start. The
+/// default plan injects nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// `(worker index, time µs)`: fail-stop that worker at that time.
+    /// Its flow never completes; recovery is the dispatcher's job
+    /// (re-ship on a fresh flow id in a later session).
+    pub worker_crashes: Vec<(usize, u64)>,
+    /// Times (µs) at which the switch reboots with empty soft state —
+    /// the §3 fault story (see `SwitchNode::reboot`).
+    pub switch_reboots: Vec<u64>,
+    /// Drop the first N FIN messages on the switch→master hop; the
+    /// worker recovers by retransmitting the FIN after its RTO.
+    pub drop_first_fins: u64,
+    /// Abort the session as incomplete once virtual time passes this.
+    pub deadline_us: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Site {
     Switch,
     Master,
     Worker(usize),
     Wake(usize),
+    CrashWorker(usize),
+    RebootSwitch,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -105,6 +148,49 @@ impl PartialOrd for Event {
     }
 }
 
+/// The simulated wires: event heap, deterministic tiebreaking, and the
+/// seeded loss/duplication/reordering decisions.
+struct Wires {
+    cfg: SimulationConfig,
+    heap: BinaryHeap<Reverse<Event>>,
+    tiebreak: u64,
+    rng: StdRng,
+}
+
+impl Wires {
+    fn enqueue(&mut self, time: u64, site: Site, msg: Option<Message>) {
+        self.tiebreak += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            tiebreak: self.tiebreak,
+            site,
+            msg,
+        }));
+    }
+
+    /// Put `msg` on a wire toward `site`: Bernoulli loss, then optional
+    /// reordering jitter, then an optional duplicate copy one hop later.
+    /// The `> 0.0` guards keep the RNG draw sequence identical to a
+    /// loss-only configuration when the extra knobs are off.
+    fn transmit(&mut self, stats: &mut NetStats, now: u64, site: Site, msg: Message) {
+        if self.rng.gen::<f64>() < self.cfg.loss_rate {
+            stats.losses += 1;
+            return;
+        }
+        let lat = self.cfg.latency_us;
+        let mut delay = lat;
+        if self.cfg.reorder_rate > 0.0 && self.rng.gen::<f64>() < self.cfg.reorder_rate {
+            delay += 1 + self.rng.gen::<u64>() % (3 * lat.max(1));
+            stats.reordered += 1;
+        }
+        if self.cfg.dup_rate > 0.0 && self.rng.gen::<f64>() < self.cfg.dup_rate {
+            stats.dup_injected += 1;
+            self.enqueue(now + delay + lat, site, Some(msg.clone()));
+        }
+        self.enqueue(now + delay, site, Some(msg));
+    }
+}
+
 /// One run of the three-party protocol over lossy wires.
 #[derive(Debug)]
 pub struct Simulation {
@@ -122,10 +208,51 @@ impl Simulation {
     /// the delivered entries) and the run statistics.
     pub fn run(&self, mut workers: Vec<WorkerTx>, mut switch: SwitchNode) -> (MasterRx, NetStats) {
         let mut master = MasterRx::new();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-        let mut tiebreak = 0u64;
+        let stats = self.run_session(
+            &mut workers,
+            &mut switch,
+            &mut master,
+            &FaultPlan::default(),
+        );
+        (master, stats)
+    }
+
+    /// Drive `workers` through a *persistent* `switch` and `master` until
+    /// every live flow completes, the fault deadline passes, or the event
+    /// budget runs out, injecting the scripted `faults` along the way.
+    ///
+    /// Unlike [`Simulation::run`], the switch and master keep their state
+    /// across calls, so a dispatcher can retry failed flows on fresh flow
+    /// ids in a later session against the same receive state. The
+    /// returned [`NetStats`] are deltas for this session only; crashed
+    /// workers leave the session incomplete (`completed == false`) while
+    /// live flows still finish.
+    pub fn run_session(
+        &self,
+        workers: &mut [WorkerTx],
+        switch: &mut SwitchNode,
+        master: &mut MasterRx,
+        faults: &FaultPlan,
+    ) -> NetStats {
         let mut stats = NetStats::default();
+        // Snapshot persistent counters so the stats report deltas.
+        let tx0: u64 = workers.iter().map(|w| w.transmissions).sum();
+        let rtx0: u64 = workers.iter().map(|w| w.retransmissions).sum();
+        let (pruned0, forwarded0, passed0, gaps0) = (
+            switch.pruned,
+            switch.forwarded,
+            switch.passed_through,
+            switch.gap_drops,
+        );
+        let dup0 = master.duplicates;
+        let del0 = master.delivered().len() as u64;
+
+        let mut wires = Wires {
+            cfg: self.config,
+            heap: BinaryHeap::new(),
+            tiebreak: 0,
+            rng: StdRng::seed_from_u64(self.config.seed),
+        };
         let fid_to_idx: HashMap<u16, usize> = workers
             .iter()
             .enumerate()
@@ -133,73 +260,57 @@ impl Simulation {
             .collect();
         assert_eq!(fid_to_idx.len(), workers.len(), "duplicate fids");
 
-        let mut push = |heap: &mut BinaryHeap<Reverse<Event>>, time, site, msg| {
-            tiebreak += 1;
-            heap.push(Reverse(Event {
-                time,
-                tiebreak,
-                site,
-                msg,
-            }));
-        };
+        for &(i, t) in &faults.worker_crashes {
+            wires.enqueue(t, Site::CrashWorker(i), None);
+        }
+        for &t in &faults.switch_reboots {
+            wires.enqueue(t, Site::RebootSwitch, None);
+        }
         for i in 0..workers.len() {
-            push(&mut heap, 0, Site::Wake(i), None);
+            wires.enqueue(0, Site::Wake(i), None);
         }
 
-        let lat = self.config.latency_us;
+        let mut fin_drops_left = faults.drop_first_fins;
         let mut events = 0u64;
         let mut now = 0u64;
-        while let Some(Reverse(ev)) = heap.pop() {
+        let mut completed = false;
+        while let Some(Reverse(ev)) = wires.heap.pop() {
             events += 1;
             if events > self.config.max_events {
-                stats.completed = false;
                 break;
             }
             now = ev.time;
+            if faults.deadline_us.is_some_and(|d| now > d) {
+                break;
+            }
             match ev.site {
                 Site::Wake(i) => {
                     let msgs = workers[i].pump(now);
                     for m in msgs {
-                        if rng.gen::<f64>() < self.config.loss_rate {
-                            stats.losses += 1;
-                        } else {
-                            push(&mut heap, now + lat, Site::Switch, Some(m));
-                        }
+                        wires.transmit(&mut stats, now, Site::Switch, m);
                     }
                     if let Some(t) = workers[i].next_deadline() {
-                        push(&mut heap, t.max(now + 1), Site::Wake(i), None);
+                        wires.enqueue(t.max(now + 1), Site::Wake(i), None);
                     }
                 }
                 Site::Switch => match ev.msg.expect("switch events carry messages") {
                     Message::Data(d) => {
                         let out = switch.on_data(d);
                         if let Some(m) = out.to_master {
-                            if rng.gen::<f64>() < self.config.loss_rate {
-                                stats.losses += 1;
-                            } else {
-                                push(&mut heap, now + lat, Site::Master, Some(m));
-                            }
+                            wires.transmit(&mut stats, now, Site::Master, m);
                         }
                         if let Some(Message::Ack(a)) = out.to_worker {
-                            if rng.gen::<f64>() < self.config.loss_rate {
-                                stats.losses += 1;
-                            } else {
-                                let idx = fid_to_idx[&a.fid];
-                                push(
-                                    &mut heap,
-                                    now + lat,
-                                    Site::Worker(idx),
-                                    Some(Message::Ack(a)),
-                                );
-                            }
+                            let idx = fid_to_idx[&a.fid];
+                            wires.transmit(&mut stats, now, Site::Worker(idx), Message::Ack(a));
                         }
                     }
                     Message::Fin { fid, seq } => {
                         let m = switch.on_fin(fid, seq);
-                        if rng.gen::<f64>() < self.config.loss_rate {
-                            stats.losses += 1;
+                        if fin_drops_left > 0 {
+                            fin_drops_left -= 1;
+                            stats.fin_drops += 1;
                         } else {
-                            push(&mut heap, now + lat, Site::Master, Some(m));
+                            wires.transmit(&mut stats, now, Site::Master, m);
                         }
                     }
                     other => unreachable!("unexpected at switch: {other:?}"),
@@ -215,12 +326,8 @@ impl Simulation {
                         Message::FinAck { fid } => *fid,
                         _ => unreachable!(),
                     };
-                    if rng.gen::<f64>() < self.config.loss_rate {
-                        stats.losses += 1;
-                    } else {
-                        let idx = fid_to_idx[&fid];
-                        push(&mut heap, now + lat, Site::Worker(idx), Some(reply));
-                    }
+                    let idx = fid_to_idx[&fid];
+                    wires.transmit(&mut stats, now, Site::Worker(idx), reply);
                 }
                 Site::Worker(i) => {
                     match ev.msg.expect("worker events carry messages") {
@@ -230,29 +337,42 @@ impl Simulation {
                     }
                     // State change may free the window or finish the flow.
                     if let Some(t) = workers[i].next_deadline() {
-                        push(&mut heap, t.max(now), Site::Wake(i), None);
+                        wires.enqueue(t.max(now), Site::Wake(i), None);
                     }
                 }
+                Site::CrashWorker(i) => {
+                    if let Some(w) = workers.get_mut(i) {
+                        if !w.is_crashed() {
+                            w.crash();
+                            stats.worker_crashes += 1;
+                        }
+                    }
+                }
+                Site::RebootSwitch => {
+                    switch.reboot();
+                    stats.switch_reboots += 1;
+                }
             }
-            if workers.iter().all(|w| w.is_done()) {
-                stats.completed = true;
+            if workers.iter().all(|w| w.is_crashed() || w.is_done()) {
+                completed = workers.iter().all(|w| w.is_done());
                 break;
             }
         }
-        if heap.is_empty() {
-            stats.completed = workers.iter().all(|w| w.is_done());
+        if wires.heap.is_empty() {
+            completed = workers.iter().all(|w| w.is_done());
         }
+        stats.completed = completed;
 
-        stats.transmissions = workers.iter().map(|w| w.transmissions).sum();
-        stats.retransmissions = workers.iter().map(|w| w.retransmissions).sum();
-        stats.pruned = switch.pruned;
-        stats.forwarded = switch.forwarded;
-        stats.passed_through = switch.passed_through;
-        stats.gap_drops = switch.gap_drops;
-        stats.duplicates = master.duplicates;
-        stats.delivered = master.delivered().len() as u64;
+        stats.transmissions = workers.iter().map(|w| w.transmissions).sum::<u64>() - tx0;
+        stats.retransmissions = workers.iter().map(|w| w.retransmissions).sum::<u64>() - rtx0;
+        stats.pruned = switch.pruned - pruned0;
+        stats.forwarded = switch.forwarded - forwarded0;
+        stats.passed_through = switch.passed_through - passed0;
+        stats.gap_drops = switch.gap_drops - gaps0;
+        stats.duplicates = master.duplicates - dup0;
+        stats.delivered = master.delivered().len() as u64 - del0;
         stats.completion_us = now;
-        (master, stats)
+        stats
     }
 }
 
@@ -397,6 +517,144 @@ mod tests {
             150,
             "each entry processed exactly once despite retransmissions"
         );
+    }
+
+    #[test]
+    fn duplication_and_reordering_keep_exactly_once_processing() {
+        // Under duplication + reordering + loss, the switch must still
+        // process each entry exactly once (dups pass through `Y ≤ X`,
+        // reordered overtakers gap-drop `Y > X + 1`) and the master's
+        // result must stay exact: every forwarded (odd) entry delivered.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let count = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&count);
+        let switch = SwitchNode::new(Box::new(move |_, v| {
+            c2.fetch_add(1, Ordering::Relaxed);
+            if v[0] % 2 == 0 {
+                Decision::Prune
+            } else {
+                Decision::Forward
+            }
+        }));
+        let cfg = SimulationConfig {
+            loss_rate: 0.1,
+            dup_rate: 0.25,
+            reorder_rate: 0.25,
+            seed: 11,
+            rto_us: 200,
+            ..SimulationConfig::default()
+        };
+        let n = 200u64;
+        let workers = vec![WorkerTx::new(1, keyed_entries(1, n), 8, 200)];
+        let (master, stats) = Simulation::new(cfg).run(workers, switch);
+        assert!(stats.completed);
+        assert!(stats.dup_injected > 0, "dup knob must fire");
+        assert!(stats.reordered > 0, "reorder knob must fire");
+        assert_eq!(
+            count.load(Ordering::Relaxed),
+            n,
+            "each entry processed exactly once despite dup/reorder"
+        );
+        let delivered: HashSet<(u16, u32)> = master
+            .delivered()
+            .iter()
+            .map(|(f, s, _)| (*f, *s))
+            .collect();
+        for seq in 0..n as u32 {
+            if (1_000_000 + u64::from(seq) % 50) % 2 == 1 {
+                assert!(delivered.contains(&(1, seq)), "odd entry seq={seq} lost");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_crash_halts_its_flow_but_not_the_session() {
+        let sim = Simulation::new(SimulationConfig::default());
+        let mut workers = vec![
+            WorkerTx::new(1, keyed_entries(1, 300), 8, 500),
+            WorkerTx::new(2, keyed_entries(2, 300), 8, 500),
+        ];
+        let mut switch = SwitchNode::transparent();
+        let mut master = MasterRx::new();
+        let faults = FaultPlan {
+            worker_crashes: vec![(0, 40)],
+            ..FaultPlan::default()
+        };
+        let stats = sim.run_session(&mut workers, &mut switch, &mut master, &faults);
+        assert!(!stats.completed, "a crashed flow never completes");
+        assert_eq!(stats.worker_crashes, 1);
+        assert!(workers[0].is_crashed() && !workers[0].is_done());
+        assert!(workers[1].is_done(), "the live flow still finishes");
+        // Recovery: re-ship the dead worker's stream on a fresh flow id
+        // against the same persistent switch and master.
+        let mut retry = vec![WorkerTx::new(3, keyed_entries(1, 300), 8, 500)];
+        let stats2 = sim.run_session(&mut retry, &mut switch, &mut master, &FaultPlan::default());
+        assert!(stats2.completed);
+        assert_eq!(stats2.delivered, 300, "delta stats cover only the retry");
+        assert!(master.is_finished(2) && master.is_finished(3));
+    }
+
+    #[test]
+    fn switch_reboot_mid_run_still_completes_exactly() {
+        let cfg = SimulationConfig {
+            loss_rate: 0.05,
+            seed: 21,
+            rto_us: 200,
+            ..SimulationConfig::default()
+        };
+        let sim = Simulation::new(cfg);
+        let mut workers = vec![WorkerTx::new(1, keyed_entries(1, 300), 8, 200)];
+        let mut switch = SwitchNode::transparent();
+        let mut master = MasterRx::new();
+        let faults = FaultPlan {
+            switch_reboots: vec![200],
+            ..FaultPlan::default()
+        };
+        let stats = sim.run_session(&mut workers, &mut switch, &mut master, &faults);
+        assert!(stats.completed, "flows survive a mid-run reboot");
+        assert_eq!(stats.switch_reboots, 1);
+        assert_eq!(switch.reboots, 1);
+        let unique: HashSet<u32> = master.delivered().iter().map(|(_, s, _)| *s).collect();
+        assert_eq!(unique.len(), 300, "every entry delivered despite reboot");
+    }
+
+    #[test]
+    fn fin_loss_recovers_via_retransmission() {
+        let sim = Simulation::new(SimulationConfig::default());
+        let mut workers = vec![WorkerTx::new(1, keyed_entries(1, 50), 8, 500)];
+        let mut switch = SwitchNode::transparent();
+        let mut master = MasterRx::new();
+        let faults = FaultPlan {
+            drop_first_fins: 2,
+            ..FaultPlan::default()
+        };
+        let stats = sim.run_session(&mut workers, &mut switch, &mut master, &faults);
+        assert!(stats.completed);
+        assert_eq!(stats.fin_drops, 2);
+        assert!(master.is_finished(1));
+    }
+
+    #[test]
+    fn deadline_bounds_a_doomed_session() {
+        let cfg = SimulationConfig {
+            loss_rate: 1.0,
+            ..SimulationConfig::default()
+        };
+        let sim = Simulation::new(cfg);
+        let mut workers = vec![WorkerTx::new(1, keyed_entries(1, 20), 4, 100)];
+        let faults = FaultPlan {
+            deadline_us: Some(2_000),
+            ..FaultPlan::default()
+        };
+        let stats = sim.run_session(
+            &mut workers,
+            &mut SwitchNode::transparent(),
+            &mut MasterRx::new(),
+            &faults,
+        );
+        assert!(!stats.completed, "total loss cannot complete");
+        assert!(stats.losses > 0);
     }
 
     #[test]

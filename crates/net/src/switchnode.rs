@@ -36,6 +36,11 @@ pub struct SwitchNode {
     /// first packet.
     last_seq: HashMap<u16, u32>,
     prune: PruneFn,
+    /// After a reboot wiped `last_seq`, adopt the first sequence number
+    /// seen on an unknown flow as in-order instead of expecting 0 — an
+    /// in-flight flow's window base has advanced past 0, so expecting 0
+    /// would gap-drop it forever.
+    adopt_unknown: bool,
     /// Statistics: packets pruned in-order.
     pub pruned: u64,
     /// Statistics: packets forwarded after processing.
@@ -44,6 +49,8 @@ pub struct SwitchNode {
     pub passed_through: u64,
     /// Statistics: out-of-order packets dropped.
     pub gap_drops: u64,
+    /// Statistics: mid-query reboots survived.
+    pub reboots: u64,
 }
 
 impl std::fmt::Debug for SwitchNode {
@@ -54,6 +61,7 @@ impl std::fmt::Debug for SwitchNode {
             .field("forwarded", &self.forwarded)
             .field("passed_through", &self.passed_through)
             .field("gap_drops", &self.gap_drops)
+            .field("reboots", &self.reboots)
             .finish()
     }
 }
@@ -64,11 +72,32 @@ impl SwitchNode {
         SwitchNode {
             last_seq: HashMap::new(),
             prune,
+            adopt_unknown: false,
             pruned: 0,
             forwarded: 0,
             passed_through: 0,
             gap_drops: 0,
+            reboots: 0,
         }
+    }
+
+    /// §3 mid-query reboot: wipe the per-flow sequence registers (the
+    /// switch's soft state) and come back up empty. Post-reboot the
+    /// switch has no `X` for in-flight flows, so it **adopts** the first
+    /// sequence number it sees per unknown flow as in-order; without
+    /// adoption a flow whose window base advanced past 0 would gap-drop
+    /// against a switch expecting 0 until the sender gave up. Adopted
+    /// packets are processed normally — a retransmission of an
+    /// already-delivered packet may therefore be processed a second
+    /// time, which is exactly the §3 superset the master's `(fid, seq)`
+    /// dedup and re-aggregation absorb. The pruning state itself must be
+    /// either soft (reset alongside the registers) or drained *before*
+    /// this call (the §6 exception for GROUP BY SUM/COUNT registers,
+    /// which hold real data).
+    pub fn reboot(&mut self) {
+        self.last_seq.clear();
+        self.adopt_unknown = true;
+        self.reboots += 1;
     }
 
     /// A transparent switch that forwards everything (no pruning) — the
@@ -81,6 +110,7 @@ impl SwitchNode {
     pub fn on_data(&mut self, pkt: DataPacket) -> SwitchOutput {
         let expected = match self.last_seq.get(&pkt.fid) {
             Some(&x) => x.wrapping_add(1),
+            None if self.adopt_unknown => pkt.seq,
             None => 0,
         };
         if pkt.seq == expected {
@@ -142,6 +172,7 @@ impl SwitchNode {
         );
         let expected = match self.last_seq.get(&pkt.fid) {
             Some(&x) => x.wrapping_add(1),
+            None if self.adopt_unknown => pkt.seq,
             None => 0,
         };
         if pkt.seq == expected {
@@ -287,6 +318,41 @@ mod tests {
     fn fin_passes_through() {
         let mut s = drop_even();
         assert_eq!(s.on_fin(3, 100), Message::Fin { fid: 3, seq: 100 });
+    }
+
+    #[test]
+    fn reboot_adopts_in_flight_flows() {
+        let mut s = drop_even();
+        for seq in 0..5u32 {
+            s.on_data(data(1, seq, 1));
+        }
+        s.reboot();
+        assert_eq!(s.reboots, 1);
+        // Without adoption this mid-flow packet (seq 5 ≠ 0) would
+        // gap-drop forever; post-reboot the switch adopts it.
+        let out = s.on_data(data(1, 5, 3));
+        assert!(out.to_master.is_some(), "adopted packet processed");
+        assert_eq!(s.gap_drops, 0);
+        // In-order processing resumes from the adopted point.
+        let out = s.on_data(data(1, 7, 3)); // gap again
+        assert!(out.to_master.is_none() && out.to_worker.is_none());
+        assert_eq!(s.gap_drops, 1);
+    }
+
+    #[test]
+    fn reboot_reprocessing_is_a_superset_not_a_loss() {
+        // A pruned packet whose ACK was lost gets retransmitted after the
+        // reboot: the empty-state switch processes it again. With soft
+        // (rebuildable) pruning state that is a harmless superset — the
+        // master dedups by (fid, seq) — never a lost entry.
+        let mut s = drop_even();
+        s.on_data(data(1, 0, 2)); // pruned, ACK assumed lost
+        s.reboot();
+        let out = s.on_data(data(1, 0, 2)); // retransmission, adopted
+        assert!(
+            out.to_worker.is_some() || out.to_master.is_some(),
+            "retransmission is ACKed or forwarded, never dropped"
+        );
     }
 
     fn batched(fid: u16, seq: u32, keys: &[u64]) -> DataPacket {

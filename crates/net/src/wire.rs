@@ -53,6 +53,18 @@ pub enum Message {
     },
 }
 
+/// Maximum values one data packet can carry (the 8-bit `n` field).
+pub const MAX_VALUES: usize = u8::MAX as usize;
+
+/// Split a flat word payload into data-packet-sized entries
+/// (≤ [`MAX_VALUES`] words each) for streaming over one flow: entry `i`
+/// becomes the packet with sequence number `i`, so the receiver rebuilds
+/// the payload by concatenating delivered entries in sequence order. An
+/// empty payload yields no entries (a FIN-only flow).
+pub fn chunk_payload(words: &[u64]) -> Vec<Vec<u64>> {
+    words.chunks(MAX_VALUES).map(<[u64]>::to_vec).collect()
+}
+
 const TAG_DATA: u8 = 1;
 const TAG_ACK: u8 = 2;
 const TAG_FIN: u8 = 3;
@@ -84,7 +96,7 @@ impl Message {
         let mut b = BytesMut::with_capacity(16);
         match self {
             Message::Data(d) => {
-                assert!(d.values.len() <= u8::MAX as usize, "n is an 8-bit field");
+                assert!(d.values.len() <= MAX_VALUES, "n is an 8-bit field");
                 b.put_u8(TAG_DATA);
                 b.put_u16(d.fid);
                 b.put_u8(d.values.len() as u8);

@@ -26,6 +26,10 @@ pub struct WorkerTx {
     fin_acked: bool,
     /// Next time the FIN may be (re)sent.
     fin_deadline: u64,
+    /// Fail-stop flag: a crashed worker transmits nothing and ignores
+    /// every reply, but its flow is *not* done — recovery is the
+    /// dispatcher's job (re-ship on a fresh flow id).
+    crashed: bool,
     /// Statistics: total data transmissions (including retransmissions).
     pub transmissions: u64,
     /// Statistics: retransmissions only.
@@ -52,9 +56,24 @@ impl WorkerTx {
             rto_us,
             fin_acked: false,
             fin_deadline: 0,
+            crashed: false,
             transmissions: 0,
             retransmissions: 0,
         }
+    }
+
+    /// Fail-stop this worker: from now on it transmits nothing and
+    /// ignores every incoming ACK/FIN-ACK. The flow stays incomplete
+    /// ([`WorkerTx::is_done`] remains `false`), which is how the
+    /// dispatcher detects the crash and re-ships the stream on a live
+    /// worker with a fresh flow id.
+    pub fn crash(&mut self) {
+        self.crashed = true;
+    }
+
+    /// Whether [`WorkerTx::crash`] was invoked.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
     }
 
     /// The flow id.
@@ -90,6 +109,9 @@ impl WorkerTx {
     /// window, expired retransmissions, and the FIN once data completes.
     pub fn pump(&mut self, now_us: u64) -> Vec<Message> {
         let mut out = Vec::new();
+        if self.crashed {
+            return out;
+        }
         if self.all_data_acked() {
             if !self.fin_acked && now_us >= self.fin_deadline {
                 out.push(Message::Fin {
@@ -135,7 +157,7 @@ impl WorkerTx {
 
     /// Earliest time anything needs doing (next deadline), if any.
     pub fn next_deadline(&self) -> Option<u64> {
-        if self.is_done() {
+        if self.crashed || self.is_done() {
             return None;
         }
         if self.all_data_acked() {
@@ -161,6 +183,9 @@ impl WorkerTx {
     /// Handle an ACK (from the switch for pruned packets, from the master
     /// for delivered ones — the worker does not care which).
     pub fn on_ack(&mut self, seq: u32) {
+        if self.crashed {
+            return;
+        }
         let i = seq as usize;
         if i < self.acked.len() && !self.acked[i] {
             self.acked[i] = true;
@@ -172,7 +197,7 @@ impl WorkerTx {
 
     /// Handle the master's FIN-ACK.
     pub fn on_fin_ack(&mut self) {
-        if self.all_data_acked() {
+        if !self.crashed && self.all_data_acked() {
             self.fin_acked = true;
         }
     }
@@ -277,6 +302,21 @@ mod tests {
         assert_eq!(out, vec![Message::Fin { fid: 1, seq: 0 }]);
         w.on_fin_ack();
         assert!(w.is_done());
+    }
+
+    #[test]
+    fn crashed_worker_goes_silent_but_not_done() {
+        let mut w = WorkerTx::new(1, entries(3), 8, 100);
+        w.pump(0);
+        w.on_ack(0);
+        w.crash();
+        assert!(w.is_crashed());
+        assert!(w.pump(200).is_empty(), "no retransmissions after crash");
+        assert_eq!(w.next_deadline(), None, "nothing scheduled after crash");
+        w.on_ack(1);
+        w.on_ack(2);
+        w.on_fin_ack();
+        assert!(!w.is_done(), "a crashed flow never completes");
     }
 
     #[test]

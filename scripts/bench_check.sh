@@ -6,7 +6,8 @@
 # shards=4 to be at least rows/s at shards=1. Before the streaming
 # tree-reduce + partition-local join work, join rows/s *dropped* from
 # 18.2M (1 shard) to 13.0M (4 shards) — this gate keeps that wall from
-# coming back.
+# coming back. Also gates the net_resilience[] sweep: every loss rate
+# present per shape, zero retransmissions on the clean wire.
 #
 # Usage: scripts/bench_check.sh [BENCH_streaming.json]
 set -euo pipefail
@@ -28,6 +29,37 @@ if [[ -z "$cells" ]]; then
     exit 2
 fi
 
+fail=0
+
+# net_resilience[] gate (structural, machine-independent): the sweep
+# must cover every loss rate for every shape, and a clean wire (loss 0)
+# must never retransmit — retransmissions there mean the protocol is
+# resending without loss, i.e. the RTO/ACK accounting regressed.
+net_cells=$(grep -o '{"name": "[a-z_]*", "loss_rate": [0-9.]*, "rows_per_sec": [0-9]*, "wall_s": [0-9.]*, "retries": [0-9]*, "retransmissions": [0-9]*' "$json" |
+    sed 's/[{"]//g; s/name: //; s/ loss_rate: //; s/ rows_per_sec: //; s/ wall_s: //; s/ retries: //; s/ retransmissions: //' |
+    awk -F, '{print $1, $2, $3, $6}')
+
+if [[ -z "$net_cells" ]]; then
+    echo "bench_check: no net_resilience cells in $json" >&2
+    fail=1
+else
+    for name in $(awk '{print $1}' <<<"$net_cells" | sort -u); do
+        rates=$(awk -v n="$name" '$1 == n {print $2}' <<<"$net_cells" | sort -u | tr '\n' ' ')
+        if [[ "$rates" != "0.00 0.05 0.20 " ]]; then
+            echo "bench_check: FAIL $name net_resilience sweep incomplete (got: $rates)" >&2
+            fail=1
+            continue
+        fi
+        clean_rtx=$(awk -v n="$name" '$1 == n && $2 == "0.00" {print $4}' <<<"$net_cells")
+        if ((clean_rtx != 0)); then
+            echo "bench_check: FAIL $name: $clean_rtx retransmissions on a clean wire" >&2
+            fail=1
+        else
+            echo "bench_check: ok $name net_resilience: loss sweep complete, clean wire silent"
+        fi
+    done
+fi
+
 # Shard parallelism needs cores to run on: on a box with fewer than 4
 # CPUs the shards=4 configuration time-slices a single core and no
 # implementation can win the comparison. Validate the snapshot shape
@@ -36,10 +68,9 @@ fi
 cores=$(nproc 2>/dev/null || echo 1)
 if ((cores < 4)); then
     echo "bench_check: skipping rows/s gate ($cores cores < 4 — shards=4 cannot beat shards=1 on this host)"
-    exit 0
+    exit $fail
 fi
 
-fail=0
 for name in $(awk '{print $1}' <<<"$cells" | sort -u); do
     at1=$(awk -v n="$name" '$1 == n && $2 == 1 {print $3}' <<<"$cells")
     at4=$(awk -v n="$name" '$1 == n && $2 == 4 {print $3}' <<<"$cells")

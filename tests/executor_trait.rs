@@ -10,8 +10,8 @@ use cheetah::engine::netaccel::NetAccelModel;
 use cheetah::engine::reference;
 use cheetah::engine::spark::SparkExecutor;
 use cheetah::engine::{
-    Agg, CostModel, Database, Executor, NetAccelExecutor, Predicate, Query, ShardedExecutor, Table,
-    ThreadedExecutor,
+    Agg, CostModel, Database, DistributedExecutor, Executor, FailurePlan, NetAccelExecutor,
+    Predicate, Query, ShardedExecutor, Table, ThreadedExecutor,
 };
 
 /// A database hitting every query shape: skewed keys for the aggregates,
@@ -167,6 +167,7 @@ struct Fleet {
     threaded: ThreadedExecutor,
     netaccel: NetAccelExecutor,
     sharded: ShardedExecutor,
+    distributed: DistributedExecutor,
 }
 
 impl Fleet {
@@ -178,7 +179,8 @@ impl Fleet {
             cheetah: cheetah.clone(),
             threaded: ThreadedExecutor::new(cheetah.clone()),
             netaccel: NetAccelExecutor::new(cheetah.clone(), NetAccelModel::default()),
-            sharded: ShardedExecutor::with_shards(cheetah, 2),
+            sharded: ShardedExecutor::with_shards(cheetah.clone(), 2),
+            distributed: DistributedExecutor::with_shards(cheetah, 2),
         }
     }
 
@@ -189,6 +191,7 @@ impl Fleet {
             &self.threaded,
             &self.netaccel,
             &self.sharded,
+            &self.distributed,
         ]
     }
 }
@@ -214,7 +217,14 @@ fn reports_are_complete_and_labeled() {
         let labels: Vec<&str> = reports.iter().map(|r| r.executor).collect();
         assert_eq!(
             labels,
-            ["spark", "cheetah", "threaded", "netaccel", "sharded"],
+            [
+                "spark",
+                "cheetah",
+                "threaded",
+                "netaccel",
+                "sharded",
+                "distributed"
+            ],
             "[{label}] reports must arrive labeled, in input order"
         );
         for report in reports {
@@ -427,6 +437,79 @@ fn adaptive_shard_tuning_stays_correct_and_on_grid() {
             [1, 2, 4].contains(&spans_per_pass),
             "[{label}] ran {spans_per_pass} shards, outside the tuning grid"
         );
+    }
+}
+
+#[test]
+fn distributed_executor_matrix_over_loss_rates_and_query_shapes() {
+    // The distributed backend's acceptance contract: over wire loss
+    // ∈ {0, 0.05, 0.2} × every Appendix-B shape — with a net worker
+    // crash, a mid-query switch reboot, a shard pruner reboot, a shard
+    // compute crash, and a dropped FIN injected every run — results are
+    // bit-identical to the deterministic reference, processed counts
+    // are equal (re-dispatch discards failed work), and every injected
+    // fault is visible in the resilience telemetry.
+    let db = appendix_b_db(4_000, 31);
+    let model = CostModel::default();
+    let cheetah = CheetahExecutor::new(model, PrunerConfig::default());
+    for loss in [0.0, 0.05, 0.2] {
+        let plan = FailurePlan {
+            loss_rate: loss,
+            dup_rate: 0.02,
+            reorder_rate: 0.02,
+            seed: 11,
+            // Early enough to land before even a fault-free session
+            // completes, so the injections fire at every loss rate.
+            worker_crashes: vec![(0, 1)],
+            switch_reboots: vec![5],
+            shard_reboots: vec![(1, 700)],
+            compute_crashes: vec![2],
+            drop_first_fins: 1,
+            ..FailurePlan::default()
+        };
+        let exec = DistributedExecutor::with_failure_plan(cheetah.clone(), 3, plan);
+        assert_eq!(exec.shards(), 3);
+        for (label, q) in appendix_b_queries() {
+            let det = Executor::execute(&cheetah, &db, &q);
+            let r = Executor::execute(&exec, &db, &q);
+            assert_eq!(
+                r.result, det.result,
+                "[{label}] loss={loss} diverged from the deterministic reference"
+            );
+            assert_eq!(r.executor, "distributed");
+            assert_eq!(r.passes, det.passes, "[{label}] pass count");
+            assert_eq!(
+                r.prune_stats().processed,
+                det.prune_stats().processed,
+                "[{label}] loss={loss}: re-dispatch must not change processed counts"
+            );
+            assert_eq!(r.fetch_rows, det.fetch_rows, "[{label}] fetch rows");
+            assert_eq!(
+                r.fetch_checksum, det.fetch_checksum,
+                "[{label}] distributed fetch must materialize the same row set"
+            );
+            assert_eq!(
+                r.pass_walls.len(),
+                3 * r.passes as usize,
+                "[{label}] one switch span per shard per pass"
+            );
+            assert!(r.wall.is_some(), "[{label}] wall is measured");
+            assert!(r.combine_wall.is_some(), "[{label}] combine is measured");
+            let res = r
+                .resilience
+                .as_ref()
+                .unwrap_or_else(|| panic!("[{label}] distributed runs report resilience"));
+            assert!(res.worker_crashes >= 1, "[{label}] crash recorded");
+            assert!(res.retries >= 1, "[{label}] crashed flow retried");
+            assert!(res.net_reboots >= 1, "[{label}] switch reboot recorded");
+            assert!(res.shard_reboots >= 1, "[{label}] shard reboot recorded");
+            assert!(res.redispatches >= 1, "[{label}] re-dispatch recorded");
+            assert!(res.fin_drops >= 1, "[{label}] FIN drop recorded");
+            assert!(!res.degraded, "[{label}] retry budget must suffice");
+            if loss > 0.0 {
+                assert!(res.losses > 0, "[{label}] lossy wire shows losses");
+            }
+        }
     }
 }
 

@@ -13,6 +13,11 @@ use cheetah::core::groupby::{Extremum, GroupByPruner, GroupBySumPruner, SumActio
 use cheetah::core::skyline::{Heuristic, SkylinePruner};
 use cheetah::core::topn::DeterministicTopN;
 use cheetah::core::RowPruner;
+use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah::engine::reference;
+use cheetah::engine::{
+    Agg, CostModel, Database, DistributedExecutor, Executor, FailurePlan, Predicate, Query, Table,
+};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -205,4 +210,229 @@ fn protocol_seq_state_loss_is_detectable_not_silent() {
     assert!(out.to_master.is_none(), "post-reboot gap must drop");
     assert!(out.to_worker.is_none(), "and not be acked");
     assert_eq!(node.gap_drops, 1);
+}
+
+// ---------------------------------------------------------------------------
+// The same fault story, end-to-end through the DistributedExecutor: shards
+// ship their phase outputs over the §7.2 wire protocol, faults are injected
+// at the protocol layer AND at the shard layer, and results must still be
+// bit-identical to the single-node reference oracle.
+// ---------------------------------------------------------------------------
+
+fn fault_db(rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.add(Table::new(
+        "t",
+        vec![
+            ("k", (0..rows).map(|_| rng.gen_range(1..80u64)).collect()),
+            ("v", (0..rows).map(|_| rng.gen_range(1..9_000u64)).collect()),
+            ("w", (0..rows).map(|_| rng.gen_range(1..400u64)).collect()),
+        ],
+    ));
+    db.add(Table::new(
+        "s",
+        vec![
+            (
+                "k",
+                (0..rows / 2).map(|_| rng.gen_range(40..120u64)).collect(),
+            ),
+            (
+                "x",
+                (0..rows / 2).map(|_| rng.gen_range(1..90u64)).collect(),
+            ),
+        ],
+    ));
+    db
+}
+
+fn base_exec() -> CheetahExecutor {
+    CheetahExecutor::new(CostModel::default(), PrunerConfig::default())
+}
+
+/// A shard worker crashing mid-phase is re-dispatched and the final
+/// result stays bit-identical to the reference oracle.
+#[test]
+fn distributed_shard_crash_mid_phase_redispatches_and_stays_exact() {
+    let db = fault_db(3_000, 21);
+    let q = Query::GroupBy {
+        table: "t".into(),
+        key: "k".into(),
+        val: "v".into(),
+        agg: Agg::Max,
+    };
+    let plan = FailurePlan {
+        // Crash shard 0's transport worker almost immediately so the
+        // session sees it even at zero loss, plus one compute crash.
+        worker_crashes: vec![(0, 1)],
+        compute_crashes: vec![1],
+        seed: 101,
+        ..FailurePlan::default()
+    };
+    let exec = DistributedExecutor::with_failure_plan(base_exec(), 3, plan);
+    let report = exec.execute(&db, &q);
+    assert_eq!(report.result, reference::evaluate(&db, &q));
+    let res = report.resilience.expect("resilience telemetry");
+    assert!(res.worker_crashes >= 1, "transport crash recorded");
+    assert!(res.redispatches >= 2, "both crash kinds re-dispatched");
+    assert!(!res.degraded, "recovery must not fall back");
+}
+
+/// A switch reboot between passes resumes with empty soft state (§3):
+/// pruning-only state is lost, results stay exact; the §6 SUM registers
+/// are drained first and the drain is visible in telemetry.
+#[test]
+fn distributed_switch_reboot_between_passes_resumes_soft_state() {
+    let db = fault_db(3_000, 22);
+
+    // Soft state only: distinct pruner rebooted mid-stream on one shard.
+    let q = Query::Distinct {
+        table: "t".into(),
+        column: "k".into(),
+    };
+    let plan = FailurePlan {
+        shard_reboots: vec![(0, 400), (1, 900)],
+        seed: 102,
+        ..FailurePlan::default()
+    };
+    let exec = DistributedExecutor::with_failure_plan(base_exec(), 2, plan);
+    let report = exec.execute(&db, &q);
+    assert_eq!(report.result, reference::evaluate(&db, &q));
+    let res = report.resilience.expect("resilience telemetry");
+    assert!(res.shard_reboots >= 2, "both reboots recorded");
+    assert_eq!(res.register_drains, 0, "soft state needs no drain");
+
+    // Hard state: GROUP BY SUM must drain registers before rebooting.
+    let q = Query::GroupBy {
+        table: "t".into(),
+        key: "k".into(),
+        val: "v".into(),
+        agg: Agg::Sum,
+    };
+    let plan = FailurePlan {
+        shard_reboots: vec![(0, 500)],
+        seed: 103,
+        ..FailurePlan::default()
+    };
+    let exec = DistributedExecutor::with_failure_plan(base_exec(), 2, plan);
+    let report = exec.execute(&db, &q);
+    assert_eq!(report.result, reference::evaluate(&db, &q));
+    let res = report.resilience.expect("resilience telemetry");
+    assert!(res.shard_reboots >= 1, "reboot recorded");
+    assert!(res.register_drains >= 1, "§6 drain before reboot recorded");
+}
+
+/// Lost FINs are recovered by the worker's FIN retransmission timer
+/// (not a full session retry); the drops are visible in telemetry and
+/// the result stays exact.
+#[test]
+fn distributed_fin_loss_is_retried_not_silent() {
+    let db = fault_db(3_000, 23);
+    let q = Query::Filter {
+        table: "t".into(),
+        predicate: Predicate {
+            columns: vec!["v".into(), "w".into()],
+            atoms: vec![Atom::cmp(0, CmpOp::Lt, 600), Atom::cmp(1, CmpOp::Gt, 320)],
+            formula: Formula::Or(vec![Formula::Atom(0), Formula::Atom(1)]),
+        },
+    };
+    let plan = FailurePlan {
+        drop_first_fins: 2,
+        seed: 104,
+        ..FailurePlan::default()
+    };
+    let exec = DistributedExecutor::with_failure_plan(base_exec(), 3, plan);
+    let report = exec.execute(&db, &q);
+    assert_eq!(report.result, reference::evaluate(&db, &q));
+    let res = report.resilience.expect("resilience telemetry");
+    assert!(res.fin_drops >= 2, "both FIN drops recorded");
+    assert!(!res.degraded);
+}
+
+/// Chaos matrix: heavy loss + duplication + reordering + crashes +
+/// reboots across every distributed query shape, still bit-identical to
+/// the reference oracle. CI re-runs this across a seed × loss-rate
+/// matrix via `FAULT_SEED` / `FAULT_LOSS_PCT`.
+#[test]
+fn distributed_results_bit_identical_to_reference_under_chaos() {
+    let env_u64 = |name: &str, default: u64| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let fault_seed = env_u64("FAULT_SEED", 42);
+    let loss_rate = env_u64("FAULT_LOSS_PCT", 20) as f64 / 100.0;
+    let db = fault_db(2_500, 24);
+    let shapes: Vec<(&str, Query)> = vec![
+        (
+            "count",
+            Query::FilterCount {
+                table: "t".into(),
+                predicate: Predicate {
+                    columns: vec!["v".into()],
+                    atoms: vec![Atom::cmp(0, CmpOp::Lt, 4500)],
+                    formula: Formula::Atom(0),
+                },
+            },
+        ),
+        (
+            "distinct",
+            Query::Distinct {
+                table: "t".into(),
+                column: "k".into(),
+            },
+        ),
+        (
+            "topn",
+            Query::TopN {
+                table: "t".into(),
+                order_by: "v".into(),
+                n: 20,
+            },
+        ),
+        (
+            "groupby-sum",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Sum,
+            },
+        ),
+        (
+            "join",
+            Query::Join {
+                left: "t".into(),
+                right: "s".into(),
+                left_col: "k".into(),
+                right_col: "k".into(),
+            },
+        ),
+    ];
+    for (name, q) in shapes {
+        let plan = FailurePlan {
+            loss_rate,
+            dup_rate: 0.05,
+            reorder_rate: 0.05,
+            seed: fault_seed,
+            worker_crashes: vec![(0, 1)],
+            switch_reboots: vec![5],
+            drop_first_fins: 1,
+            ..FailurePlan::default()
+        };
+        let exec = DistributedExecutor::with_failure_plan(base_exec(), 3, plan);
+        let report = exec.execute(&db, &q);
+        assert_eq!(
+            report.result,
+            reference::evaluate(&db, &q),
+            "{name} diverged under chaos"
+        );
+        let res = report.resilience.expect("resilience telemetry");
+        if loss_rate > 0.0 {
+            assert!(res.losses > 0, "{name}: lossy wire shows losses");
+        }
+        assert!(res.ship_attempts >= 1, "{name}: shipping accounted");
+        assert!(!res.degraded, "{name}: retry budget must suffice");
+    }
 }
