@@ -13,10 +13,11 @@ const USAGE: &str = "usage: experiments <id>… | all | --json [path]\n\
      fig11a fig11b fig11c fig11d fig11e fig11f fig12 fig13 ext\n\
      --json: run the streaming benchmark (row vs block layouts, \
      per-query rows/sec + prune rate + wall clock, the threaded \
-     multi-pass dataflows, and the worker/shard scaling sweeps with \
-     combine walls) and write BENCH_streaming.json (or the given \
-     path); the snapshot's schema and how to read the speedups are \
-     documented in docs/BENCHMARKS.md";
+     multi-pass dataflows, the worker/shard scaling sweeps with \
+     combine walls, and the concurrent-serving sweep: queries/sec + \
+     cache hit rate at N ∈ {1, 8, 32, 128}) and write \
+     BENCH_streaming.json (or the given path); the snapshot's schema \
+     and how to read the speedups are documented in docs/BENCHMARKS.md";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -13,6 +13,7 @@ use cheetah_core::groupby::{Extremum, GroupByPruner};
 use cheetah_core::topn::RandomizedTopN;
 
 use cheetah_engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah_engine::serve::ServeExecutor;
 use cheetah_engine::stream::EntryStream;
 use cheetah_engine::{
     Agg, CostModel, DistributedExecutor, Executor, FailurePlan, Predicate, Query, ShardedExecutor,
@@ -601,8 +602,119 @@ pub fn run_net_resilience(uv_rows: usize, reps: usize) -> Vec<NetResilience> {
     out
 }
 
+/// One cell of the concurrent-serving sweep.
+#[derive(Debug, Clone)]
+pub struct ServingCell {
+    /// Queries admitted in the batch (the concurrency level N).
+    pub concurrent: usize,
+    /// Aggregate queries per second of the best measured batch.
+    pub queries_per_sec: f64,
+    /// Cache hit rate of the best measured batch. The executor is warmed
+    /// with one prior admission of the same mix, so every repeated
+    /// HAVING/JOIN predicate in the measured run replays cached filter
+    /// state deterministically (1.0 once the mix contains cacheable
+    /// shapes, 0.0 at N=1 where it doesn't).
+    pub cache_hit_rate: f64,
+    /// Queries that shared a packed scan.
+    pub packed: u64,
+    /// Queries dispatched solo (includes spills).
+    pub solo: u64,
+    /// Shareable queries the switch budget rejected.
+    pub spilled: u64,
+    /// Shared switch passes the batch collapsed into.
+    pub shared_scans: u64,
+    /// Measured wall-clock seconds of the best batch.
+    pub wall_s: f64,
+}
+
+/// The repeated-predicate serving mix: four shareable single-pass shapes
+/// on `uservisits` plus the two cacheable two-pass shapes, cycled to the
+/// batch size — so any N ≥ 8 re-admits every predicate at least once.
+fn serving_mix() -> Vec<Query> {
+    vec![
+        Query::FilterCount {
+            table: "uservisits".into(),
+            predicate: Predicate {
+                columns: vec!["adRevenue".into(), "duration".into()],
+                atoms: vec![
+                    Atom::cmp(0, CmpOp::Lt, 1_000),
+                    Atom::cmp(1, CmpOp::Gt, 5_000),
+                ],
+                formula: Formula::Or(vec![Formula::Atom(0), Formula::Atom(1)]),
+            },
+        },
+        Query::Distinct {
+            table: "uservisits".into(),
+            column: "userAgent".into(),
+        },
+        Query::TopN {
+            table: "uservisits".into(),
+            order_by: "adRevenue".into(),
+            n: 250,
+        },
+        Query::GroupBy {
+            table: "uservisits".into(),
+            key: "userAgent".into(),
+            val: "adRevenue".into(),
+            agg: Agg::Max,
+        },
+        Query::Having {
+            table: "uservisits".into(),
+            key: "languageCode".into(),
+            val: "adRevenue".into(),
+            threshold: 2_000_000,
+        },
+        Query::Join {
+            left: "uservisits".into(),
+            right: "rankings".into(),
+            left_col: "destURL".into(),
+            right_col: "pageURL".into(),
+        },
+    ]
+}
+
+/// Sweep the serving layer over N ∈ {1, 8, 32, 128} concurrent queries of
+/// the repeated-predicate mix: one admission per batch, packed shapes
+/// sharing scans, cacheable shapes replaying warmed filter state, the
+/// rest on the dispatch pool. Each cell is the best of `reps` measured
+/// batches on a warmed executor.
+pub fn run_concurrent_serving(uv_rows: usize, reps: usize) -> Vec<ServingCell> {
+    let db = bigdata_db(uv_rows, uv_rows / 5, 2_000, 0.5, 42);
+    let mix = serving_mix();
+    let mut out = Vec::new();
+    for n in [1usize, 8, 32, 128] {
+        let batch: Vec<Query> = (0..n).map(|i| mix[i % mix.len()].clone()).collect();
+        let exec = ServeExecutor::with_pool(
+            CheetahExecutor::new(CostModel::default(), PrunerConfig::default()),
+            4,
+        );
+        // Warm run: faults in the tables and populates the filter cache,
+        // so the measured reps have deterministic hit rates.
+        exec.serve(&db, &batch);
+        let (_, mut best) = exec.serve(&db, &batch);
+        for _ in 1..reps {
+            let (_, agg) = exec.serve(&db, &batch);
+            if agg.wall < best.wall {
+                best = agg;
+            }
+        }
+        out.push(ServingCell {
+            concurrent: n,
+            queries_per_sec: best.queries_per_sec(),
+            cache_hit_rate: best.cache_hit_rate(),
+            packed: best.packed,
+            solo: best.solo,
+            spilled: best.spilled,
+            shared_scans: best.shared_scans,
+            wall_s: best.wall.as_secs_f64(),
+        });
+    }
+    out
+}
+
 /// Render the benchmark snapshot as JSON (no external deps: the format is
 /// flat enough to emit by hand).
+#[allow(clippy::too_many_arguments)] // one slice per snapshot section
 pub fn to_json(
     rows: usize,
     micro: &[MicroResult],
@@ -611,6 +723,7 @@ pub fn to_json(
     scaling: &[WorkerScaling],
     shard_scaling: &[ShardScaling],
     net_resilience: &[NetResilience],
+    concurrent_serving: &[ServingCell],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -707,6 +820,22 @@ pub fn to_json(
             if i + 1 < net_resilience.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"concurrent_serving\": [\n");
+    for (i, c) in concurrent_serving.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"concurrent\": {}, \"queries_per_sec\": {:.0}, \"cache_hit_rate\": {:.4}, \"packed\": {}, \"solo\": {}, \"spilled\": {}, \"shared_scans\": {}, \"wall_s\": {:.6}}}{}\n",
+            c.concurrent,
+            c.queries_per_sec,
+            c.cache_hit_rate,
+            c.packed,
+            c.solo,
+            c.spilled,
+            c.shared_scans,
+            c.wall_s,
+            if i + 1 < concurrent_serving.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ]\n");
     out.push_str("}\n");
     out
@@ -723,6 +852,7 @@ pub fn write_bench_json(path: &str) -> std::io::Result<String> {
     let scaling = run_worker_scaling(200_000, 3);
     let shard_scaling = run_shard_scaling(200_000, 3);
     let net_resilience = run_net_resilience(100_000, 3);
+    let concurrent_serving = run_concurrent_serving(100_000, 3);
     let json = to_json(
         micro_rows,
         &micro,
@@ -731,6 +861,7 @@ pub fn write_bench_json(path: &str) -> std::io::Result<String> {
         &scaling,
         &shard_scaling,
         &net_resilience,
+        &concurrent_serving,
     );
     std::fs::write(path, &json)?;
     Ok(json)
@@ -763,6 +894,7 @@ mod tests {
         let scaling = run_worker_scaling(5_000, 1);
         let shard_scaling = run_shard_scaling(5_000, 1);
         let net_resilience = run_net_resilience(5_000, 1);
+        let concurrent_serving = run_concurrent_serving(5_000, 1);
         let json = to_json(
             5_000,
             &micro,
@@ -771,6 +903,7 @@ mod tests {
             &scaling,
             &shard_scaling,
             &net_resilience,
+            &concurrent_serving,
         );
         assert!(json.contains("\"microbench\""));
         assert!(json.contains("\"queries\""));
@@ -781,6 +914,15 @@ mod tests {
         assert!(json.contains("\"net_resilience\""));
         assert!(json.contains("\"loss_rate\""));
         assert!(json.contains("\"ship_attempts\""));
+        assert!(json.contains("\"concurrent_serving\""));
+        assert!(json.contains("\"cache_hit_rate\""));
+        assert!(json.contains("\"shared_scans\""));
+        for n in [1usize, 8, 32, 128] {
+            assert!(
+                json.contains(&format!("\"concurrent\": {n}, \"queries_per_sec\"")),
+                "missing concurrent_serving cell for N={n}"
+            );
+        }
         assert!(json.contains("\"combine_wall_s\""));
         assert!(json.contains("\"merge_walls\""));
         assert!(json.contains("\"pass_walls\""));
@@ -869,6 +1011,43 @@ mod tests {
                     cell.retransmissions, 0,
                     "{}: clean wire must not retransmit",
                     cell.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_serving_sweeps_the_advertised_grid() {
+        let cells = run_concurrent_serving(3_000, 1);
+        assert_eq!(cells.len(), 4, "N ∈ {{1, 8, 32, 128}}");
+        for cell in &cells {
+            assert!([1, 8, 32, 128].contains(&cell.concurrent));
+            assert!(
+                cell.wall_s > 0.0 && cell.queries_per_sec > 0.0,
+                "N={}: batch wall must be measured",
+                cell.concurrent
+            );
+            assert_eq!(
+                cell.packed + cell.solo,
+                cell.concurrent as u64,
+                "N={}: admission must partition the batch",
+                cell.concurrent
+            );
+            if cell.concurrent == 1 {
+                assert_eq!(cell.packed, 0, "a batch of one has nothing to pack");
+                assert_eq!(cell.cache_hit_rate, 0.0, "the N=1 shape is not cacheable");
+            } else {
+                assert!(
+                    cell.packed >= 2 && cell.shared_scans >= 1,
+                    "N={}: the mix's single-pass shapes must share a scan: {cell:?}",
+                    cell.concurrent
+                );
+                assert!(
+                    cell.cache_hit_rate > 0.99,
+                    "N={}: warmed repeated predicates must replay cached state \
+                     (got {})",
+                    cell.concurrent,
+                    cell.cache_hit_rate
                 );
             }
         }

@@ -392,6 +392,13 @@ impl<F: KeyFilter> JoinPruner<F> {
         (self.filter_a, self.filter_b)
     }
 
+    /// Borrow the `(F_A, F_B)` pair without consuming the pruner — how a
+    /// serving layer snapshots the built filters into a cross-query cache
+    /// after pass 1 while the pruner keeps probing in pass 2.
+    pub fn filters(&self) -> (&F, &F) {
+        (&self.filter_a, &self.filter_b)
+    }
+
     /// Combined switch resources of the two filters.
     pub fn resources(&self) -> ResourceUsage {
         self.filter_a.resources().plus(self.filter_b.resources())

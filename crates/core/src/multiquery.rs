@@ -86,6 +86,45 @@ impl MultiQueryPruner {
         }
     }
 
+    /// Process a whole block of flow-`fid` packets through that flow's
+    /// pruner — the serving layer's path: one shared stream scan hands
+    /// each packed query its own column views and `Decision` lane, and
+    /// this routes the block to the right per-query state. Unknown fids
+    /// forward every entry (the transparent-switch rule of [`Self::process`]).
+    pub fn process_block(&mut self, fid: u16, cols: &[&[u64]], out: &mut [Decision]) {
+        match self.queries.iter_mut().find(|q| q.fid == fid) {
+            Some(q) => q.pruner.process_block(cols, out),
+            None => out.fill(Decision::Forward),
+        }
+    }
+
+    /// Budget-aware [`Self::add`]: admit the query only if the packing
+    /// still fits `model` with it included. On overflow the pruner is
+    /// handed back so the caller can spill the query to software (§6: the
+    /// control plane refuses flows the pipeline cannot host). Panics on
+    /// duplicate fids, like `add`.
+    pub fn try_add(
+        &mut self,
+        fid: u16,
+        pruner: Box<dyn RowPruner + Send>,
+        resources: ResourceUsage,
+        model: &SwitchModel,
+    ) -> Result<(), Box<dyn RowPruner + Send>> {
+        assert!(
+            self.queries.iter().all(|q| q.fid != fid),
+            "duplicate fid {fid}"
+        );
+        if !self.total_resources().plus(resources).fits(model) {
+            return Err(pruner);
+        }
+        self.queries.push(PackedQuery {
+            fid,
+            pruner,
+            resources,
+        });
+        Ok(())
+    }
+
     /// Total declared resources (conservative: independent stages).
     pub fn total_resources(&self) -> ResourceUsage {
         self.queries
@@ -218,6 +257,59 @@ mod tests {
         assert_eq!(mq.len(), 2);
         let total = mq.total_resources();
         assert_eq!(total.alus, fr.alus + gr.alus);
+    }
+
+    #[test]
+    fn block_routing_matches_per_row_processing() {
+        let keys: Vec<u64> = (0..256).map(|i| i * 7 % 50).collect();
+        let mut by_row = MultiQueryPruner::new();
+        by_row.add(1, distinct(0), table2::distinct_lru(2, 64));
+        let mut by_block = MultiQueryPruner::new();
+        by_block.add(1, distinct(0), table2::distinct_lru(2, 64));
+
+        let row_decisions: Vec<Decision> = keys.iter().map(|&k| by_row.process(1, &[k])).collect();
+        let mut block_decisions = vec![Decision::Prune; keys.len()];
+        by_block.process_block(1, &[&keys], &mut block_decisions);
+        assert_eq!(row_decisions, block_decisions);
+
+        // Unknown fid: whole block forwarded, no state touched.
+        let mut out = vec![Decision::Prune; keys.len()];
+        by_block.process_block(99, &[&keys], &mut out);
+        assert!(out.iter().all(|d| d.is_forward()));
+    }
+
+    #[test]
+    fn try_add_spills_on_budget_overflow() {
+        let model = SwitchModel::tofino_like();
+        let mut mq = MultiQueryPruner::new();
+        assert!(
+            mq.try_add(1, distinct(0), table2::distinct_lru(2, 64), &model)
+                .is_ok(),
+            "first query fits an empty switch"
+        );
+        // A flow pushing the packing past the TCAM limit is rejected and
+        // its pruner handed back for the software spill path.
+        let hog = ResourceUsage {
+            tcam_entries: model.tcam_entries + 1,
+            ..ResourceUsage::default()
+        };
+        let spilled = mq
+            .try_add(2, distinct(1), hog, &model)
+            .expect_err("over-budget flow must be refused");
+        assert_eq!(mq.len(), 1, "refused flow must not be packed");
+        let mut p = spilled;
+        assert!(p.process_row(&[42]).is_forward(), "spilled pruner is live");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate fid")]
+    fn try_add_panics_on_duplicate_fid() {
+        let model = SwitchModel::tofino_like();
+        let mut mq = MultiQueryPruner::new();
+        assert!(mq
+            .try_add(1, distinct(0), table2::distinct_lru(2, 64), &model)
+            .is_ok());
+        let _ = mq.try_add(1, distinct(1), table2::distinct_lru(2, 64), &model);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use cheetah_core::decision::{Decision, RowPruner};
 use cheetah_core::distinct::DistinctPruner;
 use cheetah_core::filter::FilterPruner;
 use cheetah_core::groupby::{Extremum, GroupByPruner};
-use cheetah_core::having::HavingPruner;
+use cheetah_core::having::{CountMinSketch, HavingPruner};
 use cheetah_core::join::{BloomFilter, JoinPruner, Side};
 use cheetah_core::skyline::{Heuristic, SkylinePruner};
 use cheetah_core::topn::{DeterministicTopN, RandomizedTopN};
@@ -260,6 +260,23 @@ impl HavingFlow {
             }
         }
     }
+
+    /// Borrow the pass-1 Count-Min sketch for export into a cross-query
+    /// cache. `None` on the pisa backend, whose register state lives
+    /// inside the metered program — those runs bypass the cache.
+    pub fn sketch(&self) -> Option<&CountMinSketch> {
+        match self {
+            HavingFlow::Core(p) => Some(p.sketch()),
+            HavingFlow::Pisa(_) => None,
+        }
+    }
+
+    /// Rebuild a core flow from a cached pass-1 sketch, already armed for
+    /// pass 2: a serving layer that cached this predicate's sketch can
+    /// skip the observation pass entirely.
+    pub fn from_sketch(sketch: CountMinSketch, threshold: u64) -> Self {
+        HavingFlow::Core(HavingPruner::from_sketch(sketch, threshold))
+    }
 }
 
 /// Two-pass JOIN flow under either backend.
@@ -331,6 +348,26 @@ impl JoinFlow {
                 }
             }
         }
+    }
+
+    /// Borrow the `(F_A, F_B)` Bloom pair for export into a cross-query
+    /// cache. `None` on the pisa backend, whose filter state lives inside
+    /// the metered program — those runs bypass the cache.
+    pub fn filters(&self) -> Option<(&BloomFilter, &BloomFilter)> {
+        match self {
+            JoinFlow::Core(p) => {
+                let (a, b) = p.filters();
+                Some((a, b))
+            }
+            JoinFlow::Pisa(_) => None,
+        }
+    }
+
+    /// Rebuild a core flow from cached pass-1 filters, already armed for
+    /// the probe pass: a serving layer that cached this join's filters can
+    /// skip the observation pass entirely.
+    pub fn from_filters(filter_a: BloomFilter, filter_b: BloomFilter) -> Self {
+        JoinFlow::Core(JoinPruner::new(filter_a, filter_b))
     }
 
     /// Pass-2 block loop, bit-identical to per-entry [`Self::probe`].

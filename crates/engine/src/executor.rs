@@ -122,6 +122,61 @@ pub struct ResilienceReport {
     pub degraded: bool,
 }
 
+/// Aggregate outcome of serving one admitted batch through
+/// [`crate::serve::ServeExecutor`]: how the scheduler split the batch
+/// (shared-scan packing vs solo pool dispatch vs budget spill) and what
+/// the cross-query filter cache did. Per-query details stay in the
+/// individual [`ExecutionReport`]s; this is the serving layer's own
+/// telemetry — the "queries/sec at N concurrent" number the bench sweeps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Queries admitted in the batch.
+    pub queries: u64,
+    /// Queries that ran inside a shared `EntryStream` pass (a pass needs
+    /// at least two co-resident flows to count as packed).
+    pub packed: u64,
+    /// Queries dispatched one-per-executor-call across the bounded pool
+    /// (multi-pass shapes, spilled flows, and singleton groups).
+    pub solo: u64,
+    /// Shareable queries refused by the switch resource budget and
+    /// spilled to software (they also count in `solo`).
+    pub spilled: u64,
+    /// Shared stream passes executed (one scan serving ≥ 2 queries).
+    pub shared_scans: u64,
+    /// Cacheable flows completed from a cached Bloom/Count-Min state,
+    /// skipping their observation pass.
+    pub cache_hits: u64,
+    /// Cacheable flows that ran their observation pass and (re)populated
+    /// the cache — including lookups invalidated by a table-epoch bump.
+    pub cache_misses: u64,
+    /// Measured wall clock of serving the whole batch.
+    pub wall: std::time::Duration,
+}
+
+impl ServeReport {
+    /// Aggregate serving throughput: admitted queries over the measured
+    /// batch wall clock (0.0 for an unmeasured or empty batch).
+    pub fn queries_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.queries as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of cacheable lookups served from the cache (0.0 when the
+    /// batch had no cacheable flows).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total > 0 {
+            self.cache_hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 impl ExecutionReport {
     /// Cold-start completion time, falling back to the warm timing for
     /// executors without a distinct first run.

@@ -33,6 +33,9 @@
 //!   with bounded backoff, re-dispatch, and §3/§6 reboot recovery;
 //! * [`netaccel`] — the §8.2.4 NetAccel lower-bound comparator (result
 //!   drain from switch registers; switch-CPU offload model of App. F);
+//! * [`serve`] — the concurrent serving front-end: admission scheduling,
+//!   §6 multi-query TCAM packing with spill-to-software, a bounded solo
+//!   dispatch pool, and the cross-query Bloom/Count-Min filter cache;
 //! * [`cost`] — the shared cost model and Table 3's hardware envelopes.
 //!
 //! Completion *times* are modeled (no testbed here — see DESIGN.md), but
@@ -57,6 +60,7 @@ pub mod netaccel;
 pub mod q3;
 pub mod query;
 pub mod reference;
+pub mod serve;
 pub mod sharded;
 pub mod spark;
 pub mod stream;
@@ -67,9 +71,10 @@ pub use cheetah::CheetahExecutor;
 pub use cost::{CostModel, TimingBreakdown};
 pub use distributed::{DistributedExecutor, FailurePlan, ShardOutput};
 pub use executor::{
-    ExecutionReport, Executor, NetAccelExecutor, ResilienceReport, ThreadedExecutor,
+    ExecutionReport, Executor, NetAccelExecutor, ResilienceReport, ServeReport, ThreadedExecutor,
 };
 pub use query::{Agg, Predicate, Query, QueryResult};
+pub use serve::ServeExecutor;
 pub use sharded::ShardedExecutor;
 pub use spark::SparkExecutor;
 pub use stream::{EntryRef, EntryStream, BLOCK_ENTRIES};

@@ -15,6 +15,7 @@ pub struct Table {
     schema: Vec<String>,
     columns: Vec<Vec<u64>>,
     rows: usize,
+    epoch: u64,
 }
 
 impl Table {
@@ -28,12 +29,21 @@ impl Table {
             schema: cols.iter().map(|(n, _)| (*n).to_string()).collect(),
             columns: cols.into_iter().map(|(_, c)| c).collect(),
             rows,
+            epoch: 0,
         }
     }
 
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Modification epoch: 0 for a fresh table, bumped on every mutation
+    /// (derived columns, replacement under the same name in a
+    /// [`Database`]). Cross-query caches key on `(name, epoch)` so stale
+    /// filter state can never be replayed against changed data.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Column names in order.
@@ -104,6 +114,7 @@ impl Table {
         assert_eq!(data.len(), self.rows, "column length mismatch");
         self.schema.push(name.to_string());
         self.columns.push(data);
+        self.epoch += 1;
     }
 
     /// Row-range partition bounds for `p` workers: `p` near-equal spans.
@@ -134,8 +145,14 @@ impl Database {
         Database::default()
     }
 
-    /// Insert (or replace) a table under its own name.
-    pub fn add(&mut self, table: Table) {
+    /// Insert (or replace) a table under its own name. Replacing an
+    /// existing table advances the incoming table's epoch past the old
+    /// one's, so cached per-table state keyed on `(name, epoch)` is
+    /// invalidated by the swap.
+    pub fn add(&mut self, mut table: Table) {
+        if let Some(old) = self.tables.get(table.name()) {
+            table.epoch = table.epoch.max(old.epoch) + 1;
+        }
         self.tables.insert(table.name().to_string(), table);
     }
 
@@ -217,9 +234,24 @@ mod tests {
     #[test]
     fn derived_column() {
         let mut t = t();
+        assert_eq!(t.epoch(), 0);
         t.add_column("c", vec![0, 0, 1, 1, 0]);
         assert_eq!(t.width(), 3);
         assert_eq!(t.col("c")[3], 1);
+        assert_eq!(t.epoch(), 1, "mutation must bump the epoch");
+    }
+
+    #[test]
+    fn replacement_advances_epoch() {
+        let mut db = Database::new();
+        db.add(t());
+        assert_eq!(db.table("t").epoch(), 0);
+        db.add(t()); // fresh table, same name: must not look unchanged
+        assert_eq!(db.table("t").epoch(), 1);
+        db.table_mut("t").add_column("c", vec![0; 5]);
+        assert_eq!(db.table("t").epoch(), 2);
+        db.add(t());
+        assert_eq!(db.table("t").epoch(), 3, "always past the replaced epoch");
     }
 
     #[test]

@@ -7,7 +7,11 @@
 # tree-reduce + partition-local join work, join rows/s *dropped* from
 # 18.2M (1 shard) to 13.0M (4 shards) — this gate keeps that wall from
 # coming back. Also gates the net_resilience[] sweep: every loss rate
-# present per shape, zero retransmissions on the clean wire.
+# present per shape, zero retransmissions on the clean wire. And the
+# concurrent_serving[] sweep: every concurrency level N in {1,8,32,128}
+# present, and the repeated-predicate mix actually hitting the filter
+# cache (hit rate > 0 somewhere) — a silent all-miss snapshot means the
+# epoch/fingerprint keying broke and every query is rebuilding state.
 #
 # Usage: scripts/bench_check.sh [BENCH_streaming.json]
 set -euo pipefail
@@ -58,6 +62,31 @@ else
             echo "bench_check: ok $name net_resilience: loss sweep complete, clean wire silent"
         fi
     done
+fi
+
+# concurrent_serving[] gate (structural, machine-independent): the sweep
+# must cover N = 1, 8, 32, 128 and the repeated-predicate mix must show a
+# positive cache hit rate at some concurrency level.
+serve_cells=$(grep -o '{"concurrent": [0-9]*, "queries_per_sec": [0-9]*, "cache_hit_rate": [0-9.]*' "$json" |
+    sed 's/[{"]//g; s/concurrent: //; s/ queries_per_sec: //; s/ cache_hit_rate: //' |
+    awk -F, '{print $1, $2, $3}')
+
+if [[ -z "$serve_cells" ]]; then
+    echo "bench_check: no concurrent_serving cells in $json" >&2
+    fail=1
+else
+    levels=$(awk '{print $1}' <<<"$serve_cells" | sort -n | tr '\n' ' ')
+    if [[ "$levels" != "1 8 32 128 " ]]; then
+        echo "bench_check: FAIL concurrent_serving sweep incomplete (got: $levels)" >&2
+        fail=1
+    fi
+    best_hit=$(awk 'BEGIN {m = 0} $3 > m {m = $3} END {print m}' <<<"$serve_cells")
+    if ! awk -v h="$best_hit" 'BEGIN {exit !(h > 0)}'; then
+        echo "bench_check: FAIL concurrent_serving: the repeated-predicate mix never hit the filter cache" >&2
+        fail=1
+    elif [[ "$levels" == "1 8 32 128 " ]]; then
+        echo "bench_check: ok concurrent_serving: N sweep complete, best cache hit rate $best_hit"
+    fi
 fi
 
 # Shard parallelism needs cores to run on: on a box with fewer than 4

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use cheetah::core::filter::{Atom, CmpOp, Formula};
 use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah::engine::serve::ServeExecutor;
 use cheetah::engine::{
     Agg, CostModel, Database, Executor, Predicate, Query, ShardedExecutor, Table, ThreadedExecutor,
     BLOCK_ENTRIES,
@@ -250,6 +251,60 @@ fn warm_queries_allocate_o1_not_o_rows() {
             "[{name}] warm sharded query made {allocs} allocations over \
              ~{blocks} blocks (budget {budget}); the shard gather or the \
              combine layer has reintroduced per-row allocation"
+        );
+    }
+
+    // The serving cache-hit path: a warmed `ServeExecutor` re-serving a
+    // repeated JOIN/HAVING replays cached filter state — one cloned
+    // Bloom pair / sketch, the stream lanes, amortized survivor growth —
+    // so a hit stays O(1) allocations per block, never a rebuilt
+    // observation pass or any per-row bookkeeping.
+    let serving = ServeExecutor::with_pool(exec.clone(), 1);
+    let cached_queries = [
+        (
+            "serving-cached-join",
+            Query::Join {
+                left: "t".into(),
+                right: "s".into(),
+                left_col: "k".into(),
+                right_col: "k".into(),
+            },
+            // A hit probes each side exactly once.
+            ROWS + ROWS / 2,
+        ),
+        (
+            "serving-cached-having",
+            Query::Having {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                threshold: 100_000,
+            },
+            ROWS,
+        ),
+    ];
+    for (name, q, streamed) in cached_queries {
+        let batch = [q];
+        // Populate the cache (miss) and warm the allocator.
+        let (warm, _) = serving.serve(&db, &batch);
+        let blocks = (streamed / BLOCK_ENTRIES + 16) as u64;
+        let budget = 16 * blocks + 8192;
+        let mut served = None;
+        let allocs = allocs_during(|| {
+            served = Some(serving.serve(&db, &batch));
+        });
+        let (reports, agg) = served.expect("ran");
+        assert_eq!(agg.cache_hits, 1, "[{name}] warmed run must hit the cache");
+        assert_eq!(agg.cache_misses, 0, "[{name}]");
+        assert_eq!(
+            reports[0].result, warm[0].result,
+            "[{name}] cache hit changed the result"
+        );
+        assert!(
+            allocs < budget,
+            "[{name}] cache-hit serve made {allocs} allocations over \
+             ~{blocks} blocks (budget {budget}); the cached replay has lost \
+             its O(1)-per-block guarantee"
         );
     }
 }

@@ -8,6 +8,7 @@ use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
 use cheetah::engine::executor::{divergences, run_all};
 use cheetah::engine::netaccel::NetAccelModel;
 use cheetah::engine::reference;
+use cheetah::engine::serve::ServeExecutor;
 use cheetah::engine::spark::SparkExecutor;
 use cheetah::engine::{
     Agg, CostModel, Database, DistributedExecutor, Executor, FailurePlan, NetAccelExecutor,
@@ -168,6 +169,7 @@ struct Fleet {
     netaccel: NetAccelExecutor,
     sharded: ShardedExecutor,
     distributed: DistributedExecutor,
+    serving: ServeExecutor,
 }
 
 impl Fleet {
@@ -180,7 +182,8 @@ impl Fleet {
             threaded: ThreadedExecutor::new(cheetah.clone()),
             netaccel: NetAccelExecutor::new(cheetah.clone(), NetAccelModel::default()),
             sharded: ShardedExecutor::with_shards(cheetah.clone(), 2),
-            distributed: DistributedExecutor::with_shards(cheetah, 2),
+            distributed: DistributedExecutor::with_shards(cheetah.clone(), 2),
+            serving: ServeExecutor::with_pool(cheetah, 2),
         }
     }
 
@@ -192,6 +195,7 @@ impl Fleet {
             &self.netaccel,
             &self.sharded,
             &self.distributed,
+            &self.serving,
         ]
     }
 }
@@ -223,7 +227,8 @@ fn reports_are_complete_and_labeled() {
                 "threaded",
                 "netaccel",
                 "sharded",
-                "distributed"
+                "distributed",
+                "serving"
             ],
             "[{label}] reports must arrive labeled, in input order"
         );
@@ -240,6 +245,19 @@ fn reports_are_complete_and_labeled() {
                     p.processed,
                     p.pruned + p.forwarded(),
                     "[{label}] {name} inconsistent prune counters"
+                );
+            }
+            // Only the multi-switch paths have a combine layer or
+            // per-shard merge spans; everywhere else these fields must
+            // stay empty, not carry stale or fabricated measurements.
+            if !matches!(name, "sharded" | "distributed") {
+                assert_eq!(
+                    report.combine_wall, None,
+                    "[{label}] {name} is single-switch — no combine span"
+                );
+                assert!(
+                    report.merge_walls.is_empty(),
+                    "[{label}] {name} is single-switch — no merge spans"
                 );
             }
         }
@@ -394,8 +412,12 @@ fn sharded_executor_matrix_over_shard_counts_and_query_shapes() {
                 r.fetch_checksum, det.fetch_checksum,
                 "[{label}] sharded fetch must materialize the same row set"
             );
-            // Single-switch executors carry no combine span.
+            // Single-switch executors carry no combine span or merge spans.
             assert_eq!(det.combine_wall, None, "[{label}] deterministic combine");
+            assert!(
+                det.merge_walls.is_empty(),
+                "[{label}] single-switch path fabricated merge spans"
+            );
         }
     }
 }

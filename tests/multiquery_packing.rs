@@ -8,6 +8,9 @@ use cheetah::core::groupby::{Extremum, GroupByPruner};
 use cheetah::core::multiquery::{CombinedPruner, MultiQueryPruner};
 use cheetah::core::resources::table2;
 use cheetah::core::{RowPruner, SwitchModel};
+use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah::engine::serve::ServeExecutor;
+use cheetah::engine::{Agg, CostModel, Database, Predicate, Query, Table};
 use cheetah::pisa::pack::pack;
 
 use rand::rngs::StdRng;
@@ -154,4 +157,191 @@ fn over_subscription_detected() {
     let q = table2::group_by(8, 4096 * 64); // 2MB per stage
     assert!(pack(&model, &[q, q]).is_ok());
     assert!(pack(&model, &[q, q, q]).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// The real serving path: §6 packing over the `Executor` seam. The batch
+// below hits every query shape; the serving layer groups the shareable
+// single-pass shapes into one shared scan routed through
+// `MultiQueryPruner`, and every per-query report must be bit-identical
+// (result, fetch checksum, prune counters) to a solo `CheetahExecutor`
+// run of the same query.
+// ---------------------------------------------------------------------------
+
+/// Two-table database exercising every shape: skewed keys, several value
+/// columns, a second table for the join.
+fn serving_db(rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    db.add(Table::new(
+        "t",
+        vec![
+            ("k", (0..rows).map(|_| rng.gen_range(1..100u64)).collect()),
+            (
+                "v",
+                (0..rows).map(|_| rng.gen_range(1..10_000u64)).collect(),
+            ),
+            ("w", (0..rows).map(|_| rng.gen_range(1..500u64)).collect()),
+        ],
+    ));
+    db.add(Table::new(
+        "s",
+        vec![
+            (
+                "k",
+                (0..rows / 2).map(|_| rng.gen_range(50..150u64)).collect(),
+            ),
+            (
+                "x",
+                (0..rows / 2).map(|_| rng.gen_range(1..100u64)).collect(),
+            ),
+        ],
+    ));
+    db
+}
+
+/// The full shapes matrix as one serving batch: seven shareable
+/// single-pass shapes on `t` plus the solo-dispatch shapes (register
+/// aggregates, HAVING, JOIN).
+fn shapes_batch() -> Vec<Query> {
+    let pred = Predicate {
+        columns: vec!["v".into()],
+        atoms: vec![Atom::cmp(0, CmpOp::Lt, 4_000)],
+        formula: Formula::Atom(0),
+    };
+    vec![
+        Query::FilterCount {
+            table: "t".into(),
+            predicate: pred.clone(),
+        },
+        Query::Filter {
+            table: "t".into(),
+            predicate: pred,
+        },
+        Query::Distinct {
+            table: "t".into(),
+            column: "k".into(),
+        },
+        Query::DistinctMulti {
+            table: "t".into(),
+            columns: vec!["k".into(), "w".into()],
+        },
+        Query::TopN {
+            table: "t".into(),
+            order_by: "v".into(),
+            n: 25,
+        },
+        Query::GroupBy {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            agg: Agg::Max,
+        },
+        Query::GroupBy {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            agg: Agg::Min,
+        },
+        Query::GroupBy {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            agg: Agg::Sum,
+        },
+        Query::GroupBy {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            agg: Agg::Count,
+        },
+        Query::Having {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            threshold: 150_000,
+        },
+        Query::Join {
+            left: "t".into(),
+            right: "s".into(),
+            left_col: "k".into(),
+            right_col: "k".into(),
+        },
+        Query::Skyline {
+            table: "t".into(),
+            columns: vec!["v".into(), "w".into()],
+        },
+    ]
+}
+
+#[test]
+fn serving_packed_batch_is_bit_identical_to_solo_cheetah() {
+    let db = serving_db(6_000, 11);
+    let solo = CheetahExecutor::new(CostModel::default(), PrunerConfig::default());
+    let serving = ServeExecutor::with_pool(
+        CheetahExecutor::new(CostModel::default(), PrunerConfig::default()),
+        3,
+    );
+    let batch = shapes_batch();
+    let (reports, agg) = serving.serve(&db, &batch);
+    assert_eq!(reports.len(), batch.len());
+    assert_eq!(agg.queries, batch.len() as u64);
+    // Table 2 stage budget on a 12-stage Tofino: the two filters (1 each),
+    // both DISTINCT variants (2 each) and the randomized TOP N (4) pack
+    // into 10 stages; each 8-stage GROUP BY and the 23-stage SKYLINE
+    // exceed what remains and spill to software.
+    assert_eq!(
+        agg.packed, 5,
+        "the small shapes on `t` must share a scan, got {agg:?}"
+    );
+    assert_eq!(agg.spilled, 3, "both group-bys and skyline spill: {agg:?}");
+    assert!(agg.shared_scans >= 1);
+    assert_eq!(agg.packed + agg.solo, agg.queries);
+    for (q, packed) in batch.iter().zip(&reports) {
+        let solo_r = solo.execute(&db, q);
+        assert_eq!(packed.result, solo_r.result, "{} diverged", q.kind());
+        assert_eq!(
+            packed.fetch_checksum,
+            solo_r.fetch_checksum,
+            "{} fetch checksum diverged",
+            q.kind()
+        );
+        assert_eq!(
+            packed.prune,
+            solo_r.prune,
+            "{} prune counters diverged — packed decisions are not bit-identical",
+            q.kind()
+        );
+        assert_eq!(packed.executor, "serving");
+    }
+}
+
+#[test]
+fn serving_spills_to_software_when_the_switch_is_tiny_and_stays_correct() {
+    let db = serving_db(4_000, 13);
+    let solo = CheetahExecutor::new(CostModel::default(), PrunerConfig::default());
+    let mut serving = ServeExecutor::with_pool(
+        CheetahExecutor::new(CostModel::default(), PrunerConfig::default()),
+        2,
+    );
+    // A two-stage switch: almost nothing co-resides, so packing admits at
+    // most a sliver and the rest spill to the software pool.
+    serving.switch = SwitchModel {
+        stages: 2,
+        alus_per_stage: 4,
+        sram_per_stage_bits: 64 * 1024,
+        tcam_entries: 16,
+        phv_bits: 128,
+    };
+    let batch = shapes_batch();
+    let (reports, agg) = serving.serve(&db, &batch);
+    assert!(
+        agg.spilled >= 5,
+        "a two-stage switch cannot hold the shareable set: {agg:?}"
+    );
+    for (q, r) in batch.iter().zip(&reports) {
+        let solo_r = solo.execute(&db, q);
+        assert_eq!(r.result, solo_r.result, "{} diverged after spill", q.kind());
+        assert_eq!(r.fetch_checksum, solo_r.fetch_checksum);
+    }
 }

@@ -1,0 +1,409 @@
+//! The serving layer under concurrency: arbitrary query mixes, arbitrary
+//! batch boundaries and pool widths must all be invisible in the output —
+//! every per-query report equals a solo `CheetahExecutor` run of the same
+//! query, in admission order, with nothing lost and nothing deadlocked.
+//!
+//! The scheduling itself is seed-deterministic only in *admission*
+//! (grouping and packing are pure functions of the batch); the pool's
+//! interleaving is real thread nondeterminism, which is exactly why the
+//! per-slot result delivery has to make it unobservable.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use cheetah::core::filter::{Atom, CmpOp, Formula};
+use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
+use cheetah::engine::serve::ServeExecutor;
+use cheetah::engine::{Agg, CostModel, Database, Predicate, Query, Table};
+
+/// A database over explicit column data (so proptest owns the values).
+fn db_from(t_cols: (Vec<u64>, Vec<u64>, Vec<u64>), s_cols: (Vec<u64>, Vec<u64>)) -> Database {
+    let mut db = Database::new();
+    db.add(Table::new(
+        "t",
+        vec![("k", t_cols.0), ("v", t_cols.1), ("w", t_cols.2)],
+    ));
+    db.add(Table::new("s", vec![("k", s_cols.0), ("x", s_cols.1)]));
+    db
+}
+
+/// The query template pool admissions draw from — every shape, so any
+/// mix exercises shared scans, solo dispatch and the filter cache.
+fn templates() -> Vec<Query> {
+    let predicate = Predicate {
+        columns: vec!["v".into(), "w".into()],
+        atoms: vec![Atom::cmp(0, CmpOp::Lt, 700), Atom::cmp(1, CmpOp::Gt, 200)],
+        formula: Formula::Or(vec![Formula::Atom(0), Formula::Atom(1)]),
+    };
+    vec![
+        Query::FilterCount {
+            table: "t".into(),
+            predicate: predicate.clone(),
+        },
+        Query::Filter {
+            table: "t".into(),
+            predicate,
+        },
+        Query::Distinct {
+            table: "t".into(),
+            column: "k".into(),
+        },
+        Query::DistinctMulti {
+            table: "t".into(),
+            columns: vec!["k".into(), "w".into()],
+        },
+        Query::TopN {
+            table: "t".into(),
+            order_by: "v".into(),
+            n: 10,
+        },
+        Query::GroupBy {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            agg: Agg::Max,
+        },
+        Query::GroupBy {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            agg: Agg::Min,
+        },
+        Query::GroupBy {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            agg: Agg::Sum,
+        },
+        Query::GroupBy {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            agg: Agg::Count,
+        },
+        Query::Having {
+            table: "t".into(),
+            key: "k".into(),
+            val: "v".into(),
+            threshold: 5_000,
+        },
+        Query::Join {
+            left: "t".into(),
+            right: "s".into(),
+            left_col: "k".into(),
+            right_col: "k".into(),
+        },
+        Query::Skyline {
+            table: "t".into(),
+            columns: vec!["v".into(), "w".into()],
+        },
+    ]
+}
+
+/// Compact switch config so eviction churn really happens at test sizes.
+fn test_config(seed: u64) -> PrunerConfig {
+    PrunerConfig {
+        distinct_d: 32,
+        distinct_w: 2,
+        topn_d: 64,
+        topn_w: 8,
+        groupby_d: 16,
+        groupby_w: 2,
+        join_m_bits: 1 << 16,
+        having_d: 3,
+        having_w: 128,
+        skyline_w: 4,
+        seed,
+        ..PrunerConfig::default()
+    }
+}
+
+/// Solo oracle + serving layer over the same config. The pool width
+/// comes from `SERVE_POOL` when set (the CI matrix sweeps {2, 8} across
+/// this whole suite), else from the caller.
+fn executors(pool: usize, workers: usize, seed: u64) -> (CheetahExecutor, ServeExecutor) {
+    let pool = std::env::var("SERVE_POOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(pool);
+    let model = CostModel {
+        workers,
+        ..CostModel::default()
+    };
+    let solo = CheetahExecutor::new(model, test_config(seed));
+    let serving = ServeExecutor::with_pool(CheetahExecutor::new(model, test_config(seed)), pool);
+    (solo, serving)
+}
+
+/// Serve `mix` (template indices) in batches of `chunk`, asserting every
+/// report equals the solo run and nothing is lost or reordered. The
+/// cache persists across batches, so later batches re-exercise every
+/// repeated HAVING/JOIN through cached state.
+fn assert_mix_equals_solo(db: &Database, mix: &[usize], chunk: usize, pool: usize, seed: u64) {
+    let (solo, serving) = executors(pool, 2, seed);
+    let pool_q = templates();
+    let queries: Vec<Query> = mix
+        .iter()
+        .map(|&i| pool_q[i % pool_q.len()].clone())
+        .collect();
+    for batch in queries.chunks(chunk.max(1)) {
+        let (reports, agg) = serving.serve(db, batch);
+        assert_eq!(reports.len(), batch.len(), "lost or duplicated a query");
+        assert_eq!(agg.queries, batch.len() as u64);
+        assert_eq!(
+            agg.packed + agg.solo,
+            agg.queries,
+            "admission must partition"
+        );
+        for (q, r) in batch.iter().zip(&reports) {
+            let solo_r = solo.execute(db, q);
+            assert_eq!(
+                r.result,
+                solo_r.result,
+                "{} diverged under pool={pool} chunk={chunk}",
+                q.kind()
+            );
+            assert_eq!(r.fetch_checksum, solo_r.fetch_checksum, "{}", q.kind());
+            assert_eq!(r.executor, "serving");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any interleaving of admissions: arbitrary data, arbitrary query
+    /// mix, arbitrary batch boundaries, arbitrary pool width.
+    #[test]
+    fn any_admission_interleaving_equals_solo_runs(
+        t_rows in vec((1u64..50, 1u64..2_000, 1u64..400), 1..200),
+        s_keys in vec(20u64..80, 0..100),
+        mix in vec(0usize..12, 1..30),
+        chunk in 1usize..13,
+        pool in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let (tk, rest): (Vec<u64>, Vec<(u64, u64)>) =
+            t_rows.iter().map(|&(k, v, w)| (k, (v, w))).unzip();
+        let (tv, tw): (Vec<u64>, Vec<u64>) = rest.into_iter().unzip();
+        let sx: Vec<u64> = s_keys.iter().map(|&k| k * 3 % 97).collect();
+        let db = db_from((tk, tv, tw), (s_keys, sx));
+        assert_mix_equals_solo(&db, &mix, chunk, pool, seed);
+    }
+}
+
+/// Deterministic fixture shared by the stress tests below.
+fn stress_db(rows: usize) -> Database {
+    let tk: Vec<u64> = (0..rows as u64).map(|i| i * 7 % 83 + 1).collect();
+    let tv: Vec<u64> = (0..rows as u64).map(|i| i * 31 % 9_973).collect();
+    let tw: Vec<u64> = (0..rows as u64).map(|i| i * 13 % 499 + 1).collect();
+    let sk: Vec<u64> = (0..rows as u64 / 2).map(|i| i * 11 % 140 + 40).collect();
+    let sx: Vec<u64> = (0..rows as u64 / 2).map(|i| i * 3 % 97).collect();
+    db_from((tk, tv, tw), (sk, sx))
+}
+
+/// Pool size 1: the whole solo queue drains through a single worker.
+/// This is the deadlock canary — a worker blocking on the queue lock or
+/// a slot lock held across a query run would hang right here.
+#[test]
+fn pool_of_one_drains_the_full_shapes_matrix_without_deadlock() {
+    let db = stress_db(3_000);
+    let (solo, _) = executors(1, 2, 42);
+    // Pinned at 1 regardless of SERVE_POOL — this canary is only
+    // meaningful when a single worker must drain the whole queue.
+    let model = CostModel {
+        workers: 2,
+        ..CostModel::default()
+    };
+    let serving = ServeExecutor::with_pool(CheetahExecutor::new(model, test_config(42)), 1);
+    let batch = templates();
+    let (reports, agg) = serving.serve(&db, &batch);
+    assert_eq!(reports.len(), batch.len());
+    assert_eq!(agg.packed + agg.solo, agg.queries);
+    for (q, r) in batch.iter().zip(&reports) {
+        assert_eq!(r.result, solo.execute(&db, q).result, "{}", q.kind());
+    }
+}
+
+/// 128 queries in one batch across an 8-wide pool: every admission must
+/// come back (no lost slots), in admission order, each equal to its solo
+/// run, with the cache accounting covering exactly the cacheable shapes.
+#[test]
+fn no_lost_queries_at_128_in_flight() {
+    let db = stress_db(2_000);
+    let (solo, serving) = executors(8, 2, 7);
+    let pool_q = templates();
+    let batch: Vec<Query> = (0..128).map(|i| pool_q[i % pool_q.len()].clone()).collect();
+    let cacheable = batch
+        .iter()
+        .filter(|q| matches!(q, Query::Having { .. } | Query::Join { .. }))
+        .count() as u64;
+    let (reports, agg) = serving.serve(&db, &batch);
+    assert_eq!(reports.len(), 128, "a slot came back empty");
+    assert_eq!(agg.queries, 128);
+    assert_eq!(agg.packed + agg.solo, 128);
+    assert_eq!(
+        agg.cache_hits + agg.cache_misses,
+        cacheable,
+        "every cacheable run must be accounted as hit or miss"
+    );
+    for (q, r) in batch.iter().zip(&reports) {
+        let solo_r = solo.execute(&db, q);
+        assert_eq!(r.result, solo_r.result, "{} lost under load", q.kind());
+        assert_eq!(r.fetch_checksum, solo_r.fetch_checksum);
+    }
+}
+
+/// A warmed cache across batches serves repeated predicates from cached
+/// state — deterministically, because the second batch runs after the
+/// first completed.
+#[test]
+fn warm_cache_serves_repeats_across_batches() {
+    let db = stress_db(2_000);
+    let (solo, serving) = executors(4, 2, 9);
+    let batch = templates();
+    let (_, cold) = serving.serve(&db, &batch);
+    let (reports, warm) = serving.serve(&db, &batch);
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(warm.cache_misses, 0, "second pass must be all hits");
+    assert_eq!(warm.cache_hits, 2, "one HAVING + one JOIN template");
+    for (q, r) in batch.iter().zip(&reports) {
+        assert_eq!(r.result, solo.execute(&db, q).result, "{}", q.kind());
+    }
+}
+
+/// `SERVE_POOL` sizes the dispatch pool (the CI matrix runs {2, 8});
+/// unset falls back to the default of 4.
+#[test]
+fn serve_pool_env_var_sizes_the_pool() {
+    let mk = || CheetahExecutor::new(CostModel::default(), PrunerConfig::default());
+    std::env::set_var("SERVE_POOL", "3");
+    assert_eq!(ServeExecutor::new(mk()).pool(), 3);
+    std::env::set_var("SERVE_POOL", "not-a-number");
+    assert_eq!(ServeExecutor::new(mk()).pool(), 4, "garbage falls back");
+    std::env::remove_var("SERVE_POOL");
+    assert_eq!(ServeExecutor::new(mk()).pool(), 4);
+    // The pool width is scheduling only — results are identical either way.
+    let db = stress_db(1_000);
+    let batch = templates();
+    let (r2, _) = ServeExecutor::with_pool(mk(), 2).serve(&db, &batch);
+    let (r8, _) = ServeExecutor::with_pool(mk(), 8).serve(&db, &batch);
+    for (a, b) in r2.iter().zip(&r8) {
+        assert_eq!(a.result, b.result);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache correctness properties: reuse is invisible in results; epoch
+// bumps invalidate; a stale filter is never consulted against new data.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Serving the cacheable shapes any number of times yields the solo
+    /// result every time: the first run misses, every later run hits —
+    /// and neither the Bloom pair nor the Count-Min sketch reuse can
+    /// change a single key or pair.
+    #[test]
+    fn cached_filter_reuse_never_changes_results(
+        t_rows in vec((1u64..50, 1u64..2_000, 1u64..400), 1..200),
+        s_keys in vec(20u64..80, 0..100),
+        threshold in 100u64..20_000,
+        reps in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let (tk, rest): (Vec<u64>, Vec<(u64, u64)>) =
+            t_rows.iter().map(|&(k, v, w)| (k, (v, w))).unzip();
+        let (tv, tw): (Vec<u64>, Vec<u64>) = rest.into_iter().unzip();
+        let sx: Vec<u64> = s_keys.iter().map(|&k| k * 3 % 97).collect();
+        let db = db_from((tk, tv, tw), (s_keys, sx));
+        let (solo, serving) = executors(2, 2, seed);
+        let batch = [
+            Query::Having {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                threshold,
+            },
+            Query::Join {
+                left: "t".into(),
+                right: "s".into(),
+                left_col: "k".into(),
+                right_col: "k".into(),
+            },
+        ];
+        let truth: Vec<_> = batch.iter().map(|q| solo.execute(&db, q)).collect();
+        for rep in 0..reps {
+            let (reports, agg) = serving.serve(&db, &batch);
+            if rep == 0 {
+                prop_assert_eq!(agg.cache_hits, 0, "cold cache cannot hit");
+                prop_assert_eq!(agg.cache_misses, 2);
+            } else {
+                prop_assert_eq!(agg.cache_hits, 2, "warm rep {} must hit", rep);
+                prop_assert_eq!(agg.cache_misses, 0);
+            }
+            for ((q, r), t) in batch.iter().zip(&reports).zip(&truth) {
+                prop_assert_eq!(&r.result, &t.result, "{} changed on rep {}", q.kind(), rep);
+                prop_assert_eq!(r.fetch_checksum, t.fetch_checksum);
+            }
+        }
+    }
+
+    /// Replacing a table bumps its epoch; the very next serve must treat
+    /// every cached entry touching it as stale — and the fresh results
+    /// must track the *new* data, which a stale filter would get wrong.
+    #[test]
+    fn epoch_bump_invalidates_and_results_track_the_new_data(
+        t_rows in vec((1u64..50, 1u64..2_000, 1u64..400), 10..150),
+        s_keys in vec(20u64..80, 1..80),
+        shift in 1u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        let (tk, rest): (Vec<u64>, Vec<(u64, u64)>) =
+            t_rows.iter().map(|&(k, v, w)| (k, (v, w))).unzip();
+        let (tv, tw): (Vec<u64>, Vec<u64>) = rest.into_iter().unzip();
+        let sx: Vec<u64> = s_keys.iter().map(|&k| k * 3 % 97).collect();
+        let mut db = db_from((tk.clone(), tv.clone(), tw.clone()), (s_keys.clone(), sx.clone()));
+        let (solo, serving) = executors(2, 2, seed);
+        let batch = [
+            Query::Having {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                threshold: 3_000,
+            },
+            Query::Join {
+                left: "t".into(),
+                right: "s".into(),
+                left_col: "k".into(),
+                right_col: "k".into(),
+            },
+        ];
+        serving.serve(&db, &batch); // populate the cache against epoch 0
+
+        // Replace `t` wholesale: shifted keys and values change both the
+        // join's left key set and every HAVING group sum.
+        let new_tk: Vec<u64> = tk.iter().map(|&k| k + shift % 37).collect();
+        let new_tv: Vec<u64> = tv.iter().map(|&v| v.wrapping_mul(3) % 2_000 + 1).collect();
+        db.add(Table::new(
+            "t",
+            vec![("k", new_tk), ("v", new_tv), ("w", tw.clone())],
+        ));
+
+        let (reports, agg) = serving.serve(&db, &batch);
+        prop_assert_eq!(agg.cache_hits, 0, "stale epochs must not hit: {:?}", agg);
+        prop_assert_eq!(agg.cache_misses, 2);
+        for (q, r) in batch.iter().zip(&reports) {
+            let fresh = solo.execute(&db, q);
+            prop_assert_eq!(&r.result, &fresh.result, "{} served stale state", q.kind());
+        }
+
+        // And the re-populated cache is hit-correct against the new epoch.
+        let (reports2, agg2) = serving.serve(&db, &batch);
+        prop_assert_eq!(agg2.cache_hits, 2);
+        for (a, b) in reports.iter().zip(&reports2) {
+            prop_assert_eq!(&a.result, &b.result);
+        }
+    }
+}
