@@ -14,8 +14,10 @@ const USAGE: &str = "usage: experiments <id>… | all | --json [path]\n\
      --json: run the streaming benchmark (row vs block layouts, \
      per-query rows/sec + prune rate + wall clock, the threaded \
      multi-pass dataflows, the worker/shard scaling sweeps with \
-     combine walls, and the concurrent-serving sweep: queries/sec + \
-     cache hit rate at N ∈ {1, 8, 32, 128}) and write \
+     combine walls, the concurrent-serving sweep: queries/sec + \
+     cache hit rate at N ∈ {1, 8, 32, 128}, and the projection-pushdown \
+     sweep: rows/sec + bytes materialized, full vs pruned fetch on \
+     narrow and wide tables) and write \
      BENCH_streaming.json (or the given path); the snapshot's schema \
      and how to read the speedups are documented in docs/BENCHMARKS.md";
 

@@ -16,11 +16,12 @@ use cheetah_engine::cheetah::{CheetahExecutor, PrunerConfig};
 use cheetah_engine::serve::ServeExecutor;
 use cheetah_engine::stream::EntryStream;
 use cheetah_engine::{
-    Agg, CostModel, DistributedExecutor, Executor, FailurePlan, Predicate, Query, ShardedExecutor,
-    Table, ThreadedExecutor,
+    Agg, CostModel, Database, DistributedExecutor, Executor, FailurePlan, FetchSpec, Predicate,
+    Query, ShardedExecutor, Table, ThreadedExecutor,
 };
 
 use cheetah_workloads::dist::rng_for;
+use cheetah_workloads::wide::{WideTable, WideTableConfig};
 use rand::Rng;
 
 use crate::bigdata_db;
@@ -712,6 +713,95 @@ pub fn run_concurrent_serving(uv_rows: usize, reps: usize) -> Vec<ServingCell> {
     out
 }
 
+/// One projection-pushdown cell: a Filter-with-fetch run on a narrow or
+/// wide table under the full-row vs referenced-lanes fetch projection.
+#[derive(Debug, Clone)]
+pub struct ProjectionCell {
+    /// Workload label (`narrow` / `wide`).
+    pub workload: String,
+    /// Fetch mode (`full` / `pruned`).
+    pub mode: String,
+    /// Total table columns.
+    pub table_cols: usize,
+    /// Columns the fetch actually materialized (the projection width).
+    pub referenced_cols: usize,
+    /// Rows the §7.1 late materialization fetched.
+    pub fetch_rows: u64,
+    /// Bytes the fetch materialized: `fetch_rows × projection width × 8`
+    /// (analytic, machine-independent).
+    pub bytes_materialized: u64,
+    /// Table rows per second of wall clock (best of reps).
+    pub rows_per_sec: f64,
+    /// Wall-clock seconds of the measured run.
+    pub wall_s: f64,
+}
+
+/// A `Database` holding one wide table named `wide`.
+fn wide_db(rows: usize, cols: usize, seed: u64) -> Database {
+    let wt = WideTable::generate(WideTableConfig { rows, cols, seed });
+    let names = wt.names.clone();
+    let pairs: Vec<(&str, Vec<u64>)> = names.iter().map(String::as_str).zip(wt.columns).collect();
+    let mut db = Database::new();
+    db.add(Table::new("wide", pairs));
+    db
+}
+
+/// The projection-pushdown benchmark: the same fetch-heavy Filter
+/// (two referenced columns, ~60% selective, so the §7.1 fetch dominates)
+/// over a narrow and a wide table, under [`FetchSpec::All`] (the seed
+/// behavior: every lane materializes) and [`FetchSpec::Referenced`]
+/// (only the lanes the query touches). Row ids are asserted identical
+/// across modes — projection changes what the fetch carries, never the
+/// result.
+pub fn run_projection_pushdown(rows: usize, reps: usize) -> Vec<ProjectionCell> {
+    let query = Query::Filter {
+        table: "wide".into(),
+        predicate: Predicate {
+            columns: vec!["c000".into(), "c001".into()],
+            atoms: vec![Atom::cmp(0, CmpOp::Lt, 600), Atom::cmp(1, CmpOp::Le, 48)],
+            formula: Formula::And(vec![Formula::Atom(0), Formula::Atom(1)]),
+        },
+    };
+    let mut out = Vec::new();
+    for (workload, table_cols) in [("narrow", 8usize), ("wide", 120usize)] {
+        let db = wide_db(rows, table_cols, 11);
+        let t = db.table("wide");
+        let mut results = Vec::new();
+        for (mode, spec) in [("full", FetchSpec::All), ("pruned", FetchSpec::Referenced)] {
+            let exec = CheetahExecutor::new(
+                CostModel::default(),
+                PrunerConfig {
+                    fetch: spec.clone(),
+                    ..PrunerConfig::default()
+                },
+            );
+            let mut fetch_rows = 0u64;
+            let wall = best_of(reps, || {
+                let report = exec.execute(&db, &query);
+                fetch_rows = report.fetch_rows;
+                results.push(report.result);
+                fetch_rows
+            });
+            let proj = query.projection(t, &spec);
+            out.push(ProjectionCell {
+                workload: workload.to_string(),
+                mode: mode.to_string(),
+                table_cols,
+                referenced_cols: proj.width(),
+                fetch_rows,
+                bytes_materialized: fetch_rows * proj.bytes_per_row(),
+                rows_per_sec: rows as f64 / wall,
+                wall_s: wall,
+            });
+        }
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "projection changed the Filter result on the {workload} table"
+        );
+    }
+    out
+}
+
 /// Render the benchmark snapshot as JSON (no external deps: the format is
 /// flat enough to emit by hand).
 #[allow(clippy::too_many_arguments)] // one slice per snapshot section
@@ -724,6 +814,7 @@ pub fn to_json(
     shard_scaling: &[ShardScaling],
     net_resilience: &[NetResilience],
     concurrent_serving: &[ServingCell],
+    projection_pushdown: &[ProjectionCell],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -836,6 +927,22 @@ pub fn to_json(
             if i + 1 < concurrent_serving.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"projection_pushdown\": [\n");
+    for (i, c) in projection_pushdown.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"table_cols\": {}, \"referenced_cols\": {}, \"fetch_rows\": {}, \"bytes_materialized\": {}, \"rows_per_sec\": {:.0}, \"wall_s\": {:.6}}}{}\n",
+            c.workload,
+            c.mode,
+            c.table_cols,
+            c.referenced_cols,
+            c.fetch_rows,
+            c.bytes_materialized,
+            c.rows_per_sec,
+            c.wall_s,
+            if i + 1 < projection_pushdown.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ]\n");
     out.push_str("}\n");
     out
@@ -853,6 +960,7 @@ pub fn write_bench_json(path: &str) -> std::io::Result<String> {
     let shard_scaling = run_shard_scaling(200_000, 3);
     let net_resilience = run_net_resilience(100_000, 3);
     let concurrent_serving = run_concurrent_serving(100_000, 3);
+    let projection = run_projection_pushdown(60_000, 3);
     let json = to_json(
         micro_rows,
         &micro,
@@ -862,6 +970,7 @@ pub fn write_bench_json(path: &str) -> std::io::Result<String> {
         &shard_scaling,
         &net_resilience,
         &concurrent_serving,
+        &projection,
     );
     std::fs::write(path, &json)?;
     Ok(json)
@@ -895,6 +1004,7 @@ mod tests {
         let shard_scaling = run_shard_scaling(5_000, 1);
         let net_resilience = run_net_resilience(5_000, 1);
         let concurrent_serving = run_concurrent_serving(5_000, 1);
+        let projection = run_projection_pushdown(5_000, 1);
         let json = to_json(
             5_000,
             &micro,
@@ -904,6 +1014,7 @@ mod tests {
             &shard_scaling,
             &net_resilience,
             &concurrent_serving,
+            &projection,
         );
         assert!(json.contains("\"microbench\""));
         assert!(json.contains("\"queries\""));
@@ -917,6 +1028,15 @@ mod tests {
         assert!(json.contains("\"concurrent_serving\""));
         assert!(json.contains("\"cache_hit_rate\""));
         assert!(json.contains("\"shared_scans\""));
+        assert!(json.contains("\"projection_pushdown\""));
+        assert!(json.contains("\"bytes_materialized\""));
+        for cell in ["narrow", "wide"].iter().flat_map(|w| {
+            ["full", "pruned"]
+                .iter()
+                .map(move |m| format!("\"workload\": \"{w}\", \"mode\": \"{m}\""))
+        }) {
+            assert!(json.contains(&cell), "missing projection cell {cell}");
+        }
         for n in [1usize, 8, 32, 128] {
             assert!(
                 json.contains(&format!("\"concurrent\": {n}, \"queries_per_sec\"")),
@@ -1051,6 +1171,41 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn projection_pushdown_sweeps_the_advertised_grid() {
+        let cells = run_projection_pushdown(3_000, 1);
+        assert_eq!(cells.len(), 4, "2 workloads × 2 fetch modes");
+        for cell in &cells {
+            assert!(
+                matches!(cell.workload.as_str(), "narrow" | "wide"),
+                "unexpected workload {}",
+                cell.workload
+            );
+            assert!(cell.wall_s > 0.0 && cell.rows_per_sec > 0.0);
+            assert!(cell.fetch_rows > 0, "the Filter must fetch survivors");
+            match cell.mode.as_str() {
+                "full" => assert_eq!(cell.referenced_cols, cell.table_cols),
+                "pruned" => assert_eq!(cell.referenced_cols, 2, "c000 and c001"),
+                other => panic!("unexpected fetch mode {other}"),
+            }
+        }
+        let bytes = |w: &str, m: &str| {
+            cells
+                .iter()
+                .find(|c| c.workload == w && c.mode == m)
+                .expect("cell present")
+                .bytes_materialized
+        };
+        // Same survivors either way, so the ratio is exactly the column
+        // ratio: 120/2 on the wide table — far past the 4× floor.
+        assert!(
+            bytes("wide", "pruned") * 4 <= bytes("wide", "full"),
+            "wide-table pruning must cut materialized bytes at least 4×"
+        );
+        assert_eq!(bytes("wide", "full") / bytes("wide", "pruned"), 60);
+        assert!(bytes("narrow", "pruned") * 4 <= bytes("narrow", "full"));
     }
 
     #[test]

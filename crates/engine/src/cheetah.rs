@@ -29,7 +29,7 @@ use crate::executor::ExecutionReport;
 use crate::multipass::{
     AsymJoinPhases, GroupBySumStage, HavingPhases, JoinPhases, SIDE_LEFT, SIDE_RIGHT,
 };
-use crate::query::{fetch_checksum, pair_checksum, Agg, Query, QueryResult};
+use crate::query::{fetch_checksum, pair_checksum, Agg, FetchSpec, Projection, Query, QueryResult};
 use crate::reference::skyline_of;
 use crate::stream::{EntryStream, BLOCK_ENTRIES};
 use crate::table::{Database, Table};
@@ -72,6 +72,12 @@ pub struct PrunerConfig {
     /// (GROUP BY SUM/COUNT always uses the reference partial-aggregation
     /// matrix — §6's register accumulators have no single-pass program.)
     pub backend: SwitchBackend,
+    /// Projection pushdown for the §7.1 late-materialization fetch:
+    /// which lanes the Filter fetch (and, distributed, the `Rows` wire
+    /// payload) materializes. Defaults to [`FetchSpec::All`] — the
+    /// full-projection mode whose reports are bit-identical to the
+    /// unprojected engine.
+    pub fetch: FetchSpec,
 }
 
 impl Default for PrunerConfig {
@@ -92,6 +98,7 @@ impl Default for PrunerConfig {
             skyline_w: 10,
             seed: 0x0c4e_e7a4,
             backend: SwitchBackend::Reference,
+            fetch: FetchSpec::All,
         }
     }
 }
@@ -133,14 +140,17 @@ fn interleave(table: &Table, columns: &[usize], workers: usize) -> EntryStream {
     EntryStream::interleaved(table, columns, workers)
 }
 
-/// §7.1 late materialization, shared by the deterministic, threaded and
-/// sharded Filter arms: fetch `ids` through one reused buffer and fold
-/// the order-independent checksum.
-pub(crate) fn fetch_and_checksum(t: &Table, ids: &[u64]) -> u64 {
-    let mut buf = Vec::with_capacity(t.width());
+/// §7.1 late materialization, shared by the deterministic, threaded,
+/// sharded and serving Filter arms: fetch `ids` through one reused
+/// buffer — gathering only the projected lanes — and fold the
+/// order-independent checksum. Under a full projection the gathered row
+/// is exactly [`Table::row_into`]'s, so the checksum is bit-identical to
+/// the unprojected engine.
+pub(crate) fn fetch_and_checksum(t: &Table, proj: &Projection, ids: &[u64]) -> u64 {
+    let mut buf = Vec::with_capacity(proj.width());
     let mut checksum = 0u64;
     for &rid in ids {
-        t.row_into(rid as usize, &mut buf);
+        t.row_into_cols(rid as usize, proj.cols(), &mut buf);
         checksum = fetch_checksum(checksum, rid, &buf);
     }
     checksum
@@ -300,7 +310,8 @@ impl CheetahExecutor {
                     }
                 });
                 let fetch = ids.len() as u64;
-                let checksum = fetch_and_checksum(t, &ids);
+                let proj = query.projection(t, &cfg.fetch);
+                let checksum = fetch_and_checksum(t, &proj, &ids);
                 let result = QueryResult::row_ids(ids);
                 let mut report = self.report(query, t.rows() as u64, stats, 1, fetch, result);
                 report.fetch_checksum = Some(checksum);
@@ -729,7 +740,8 @@ impl CheetahExecutor {
                 // Switch pass over the predicate lanes (synthesized row
                 // ids ride switch-blind), then the §7.1
                 // late-materialization fetch of the surviving row ids
-                // through [`Table::row_into`].
+                // through [`Table::row_into_cols`] — projected lanes
+                // only.
                 let t = db.table(table);
                 let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
                 let run = run_phases(
@@ -752,7 +764,8 @@ impl CheetahExecutor {
                     .map(|i| rids[i])
                     .collect();
                 let fetch = ids.len() as u64;
-                let checksum = fetch_and_checksum(t, &ids);
+                let proj = query.projection(t, &cfg.fetch);
+                let checksum = fetch_and_checksum(t, &proj, &ids);
                 let result = QueryResult::row_ids(ids);
                 let mut report = self.report(query, t.rows() as u64, run.stats, 1, fetch, result);
                 report.fetch_checksum = Some(checksum);

@@ -18,6 +18,8 @@ use cheetah_core::decision::{PruneStats, RowPruner};
 use cheetah_core::resources::{ResourceUsage, SwitchModel};
 use cheetah_pisa::pack::{pack, DoesNotFit, Packing};
 
+use crate::table::Table;
+
 /// A worker-stage task: transform a row, or drop it (`None`).
 pub type StageTask = Box<dyn Fn(&[u64]) -> Option<Vec<u64>> + Send + Sync>;
 
@@ -80,6 +82,40 @@ impl DagPipeline {
             current = next;
         }
         current
+    }
+
+    /// Run a table's rows through the pipeline without materializing the
+    /// input: each row is gathered straight off the columnar lanes —
+    /// only the projected `cols` — into one reused scratch via
+    /// [`Table::row_into_cols`], so the O(rows) input `Vec`s that
+    /// [`DagPipeline::run`] is handed never exist; only rows a worker
+    /// task emits allocate. Produces exactly `run`'s output and edge
+    /// statistics over the same projected rows: every pruner sees its
+    /// survivors in identical order under row-major and stage-major
+    /// traversal.
+    pub fn run_table(&mut self, t: &Table, cols: &[usize]) -> Vec<Vec<u64>> {
+        let mut scratch = Vec::with_capacity(cols.len());
+        let mut out = Vec::new();
+        'rows: for r in 0..t.rows() {
+            t.row_into_cols(r, cols, &mut scratch);
+            let mut current: Option<Vec<u64>> = None;
+            for (i, stage) in self.stages.iter_mut().enumerate() {
+                let row: &[u64] = current.as_deref().unwrap_or(&scratch);
+                let Some(next) = (stage.task)(row) else {
+                    continue 'rows; // dropped by the worker task itself
+                };
+                let d = stage.edge_pruner.process_row(&next);
+                self.edge_stats[i].record(d);
+                if !d.is_forward() {
+                    continue 'rows;
+                }
+                current = Some(next);
+            }
+            if let Some(row) = current {
+                out.push(row);
+            }
+        }
+        out
     }
 
     /// Verify all edge programs pack onto one switch (§9 → §6).
@@ -151,6 +187,51 @@ mod tests {
         assert!(dag.edge_stats[1].pruned > 0, "edge 2 idle");
         // And the second edge sees only the first edge's survivors.
         assert_eq!(dag.edge_stats[1].processed, dag.edge_stats[0].forwarded());
+    }
+
+    #[test]
+    fn run_table_matches_run_on_projected_rows() {
+        let mk_dag = || {
+            DagPipeline::new(vec![
+                DagStage {
+                    name: "filter-workers".into(),
+                    task: Box::new(|row| (row[1] >= 5_000).then(|| row.to_vec())),
+                    edge_pruner: Box::new(GroupByPruner::new(32, 2, Extremum::Max, 1)),
+                    edge_resources: table2::group_by(2, 32),
+                },
+                DagStage {
+                    name: "agg-workers".into(),
+                    task: Box::new(|row| Some(row.to_vec())),
+                    edge_pruner: Box::new(GroupByPruner::new(32, 2, Extremum::Max, 2)),
+                    edge_resources: table2::group_by(2, 32),
+                },
+            ])
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let t = Table::new(
+            "t",
+            vec![
+                ("key", (0..n).map(|_| rng.gen_range(1..200u64)).collect()),
+                ("pad", (0..n).map(|_| rng.gen()).collect()),
+                ("val", (0..n).map(|_| rng.gen_range(0..10_000u64)).collect()),
+            ],
+        );
+        // The DAG reads key and val; the pad lane never materializes.
+        let cols = [0usize, 2];
+        let mut streamed = mk_dag();
+        let got = streamed.run_table(&t, &cols);
+        let mut materialized = mk_dag();
+        let mut buf = Vec::new();
+        let input: Vec<Vec<u64>> = (0..t.rows())
+            .map(|r| {
+                t.row_into_cols(r, &cols, &mut buf);
+                buf.clone()
+            })
+            .collect();
+        let want = materialized.run(input);
+        assert_eq!(got, want, "streamed traversal diverged");
+        assert_eq!(streamed.edge_stats, materialized.edge_stats);
     }
 
     #[test]

@@ -52,13 +52,13 @@ use cheetah_net::{MasterRx, Simulation, SimulationConfig, SwitchNode, WorkerTx};
 
 use crate::backend;
 use crate::backend::JoinFlow;
-use crate::cheetah::{fetch_and_checksum, join_survivors, CheetahExecutor};
+use crate::cheetah::{join_survivors, CheetahExecutor};
 use crate::executor::{ExecutionReport, Executor, ResilienceReport};
 use crate::multipass::{
     AsymJoinPhases, GroupBySumStage, HavingShardProbe, HavingShardSketch, JoinPhases, ShardSums,
     SIDE_LEFT, SIDE_RIGHT,
 };
-use crate::query::{Agg, Query, QueryResult};
+use crate::query::{fetch_checksum, Agg, Projection, Query, QueryResult};
 use crate::reference::skyline_of;
 use crate::sharded::{
     join_side_parts, join_sink, merge_extrema, merge_sorted_dedup, merge_top, range_parts,
@@ -131,11 +131,21 @@ pub enum ShardOutput {
     /// FILTER COUNT: the shard's re-checked survivor count.
     Count(u64),
     /// FILTER: surviving global row ids plus the shard's §7.1
-    /// late-materialization fetch checksum.
+    /// late-materialization fetch — the *projected* rows themselves,
+    /// row-major, and the checksum over them. Projection pushdown is
+    /// what keeps this payload affordable on wide tables: only the lanes
+    /// the query touches ride the wire (`width` words per row instead of
+    /// the full table width).
     Rows {
+        /// Projected-row width in words.
+        width: u64,
         /// Surviving global row ids.
         ids: Vec<u64>,
-        /// Wrapping checksum over the shard's fetched rows.
+        /// `ids.len() × width` fetched projected-row words, row-major.
+        flat: Vec<u64>,
+        /// Wrapping checksum over the shard's fetched projected rows —
+        /// recomputed from `flat` at the master as an end-to-end
+        /// integrity check.
         checksum: u64,
     },
     /// DISTINCT: the shard's canonical (sorted, deduplicated) values.
@@ -244,11 +254,18 @@ impl ShardOutput {
                 out.push(TAG_COUNT);
                 out.push(*v);
             }
-            ShardOutput::Rows { ids, checksum } => {
+            ShardOutput::Rows {
+                width,
+                ids,
+                flat,
+                checksum,
+            } => {
                 out.push(TAG_ROWS);
                 out.push(*checksum);
+                out.push(*width);
                 out.push(ids.len() as u64);
                 out.extend_from_slice(ids);
+                out.extend_from_slice(flat);
             }
             ShardOutput::Values(values) => {
                 out.push(TAG_VALUES);
@@ -336,9 +353,14 @@ impl ShardOutput {
             TAG_COUNT => ShardOutput::Count(c.take()?),
             TAG_ROWS => {
                 let checksum = c.take()?;
+                let width = c.take()?;
                 let len = c.take()?;
+                let ids = c.take_n(len)?;
+                let payload = len.checked_mul(width).ok_or(CodecError::Malformed)?;
                 ShardOutput::Rows {
-                    ids: c.take_n(len)?,
+                    width,
+                    ids,
+                    flat: c.take_n(payload)?,
                     checksum,
                 }
             }
@@ -414,6 +436,38 @@ impl ShardOutput {
         };
         c.finish(v)
     }
+}
+
+/// Shard-side §7.1 fetch for the wire: gather each surviving row's
+/// projected lanes into one flat row-major payload (what
+/// [`ShardOutput::Rows`] ships) while folding the order-independent
+/// checksum. The distributed counterpart of the in-process
+/// `fetch_and_checksum` — here the fetched rows really leave the shard,
+/// so projection pushdown directly shrinks the packet count.
+fn fetch_rows_flat(t: &Table, proj: &Projection, ids: &[u64]) -> (Vec<u64>, u64) {
+    let mut flat = Vec::with_capacity(ids.len() * proj.width());
+    let mut checksum = 0u64;
+    for &rid in ids {
+        let start = flat.len();
+        for &c in proj.cols() {
+            flat.push(t.col_at(c)[rid as usize]);
+        }
+        checksum = fetch_checksum(checksum, rid, &flat[start..]);
+    }
+    (flat, checksum)
+}
+
+/// Master-side recomputation of the fetch checksum from a shipped
+/// [`ShardOutput::Rows`] payload: the delivered projected rows — not the
+/// shard's summary word — are the source of truth, and the shipped
+/// checksum becomes an end-to-end integrity cross-check.
+fn rows_payload_checksum(width: u64, ids: &[u64], flat: &[u64]) -> u64 {
+    let w = width as usize;
+    let mut checksum = 0u64;
+    for (i, &rid) in ids.iter().enumerate() {
+        checksum = fetch_checksum(checksum, rid, &flat[i * w..(i + 1) * w]);
+    }
+    checksum
 }
 
 // ---------------------------------------------------------------------------
@@ -1008,6 +1062,8 @@ impl DistributedExecutor {
                 let t = db.table(table);
                 let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
                 let npred = cols.len();
+                let proj = query.projection(t, &cfg.fetch);
+                let proj = &proj;
                 let bounds = t.partition_bounds(shards);
                 let yields = compute_shards(shards, &resumable, &mut res, |s| {
                     run_shard(
@@ -1027,11 +1083,17 @@ impl DistributedExecutor {
                             });
                         },
                         // §7.1 late materialization runs per shard
-                        // before encoding; the checksum fold is
+                        // before encoding: the projected rows themselves
+                        // ship to the master, and the checksum fold is
                         // commutative, so shard partials just sum.
                         |_, ids| {
-                            let checksum = fetch_and_checksum(t, &ids);
-                            ShardOutput::Rows { ids, checksum }
+                            let (flat, checksum) = fetch_rows_flat(t, proj, &ids);
+                            ShardOutput::Rows {
+                                width: proj.width() as u64,
+                                ids,
+                                flat,
+                                checksum,
+                            }
                         },
                     )
                 });
@@ -1041,16 +1103,41 @@ impl DistributedExecutor {
                 let decoded = self.ship(&outputs, 0, true, &mut res);
                 let mut merge_walls = Vec::new();
                 let combine_t0 = Instant::now();
+                // The master rebuilds each shard's fetch checksum from
+                // the delivered projected rows; the shipped word must
+                // agree (end-to-end payload integrity).
+                let verify = |width: u64, ids: &[u64], flat: &[u64], shipped: u64| -> u64 {
+                    let local = rows_payload_checksum(width, ids, flat);
+                    debug_assert_eq!(
+                        local, shipped,
+                        "shipped fetch payload diverged from shard checksum"
+                    );
+                    local
+                };
                 let (ids, checksum) = fold_decoded(
                     decoded,
                     |o| match o {
-                        ShardOutput::Rows { ids, checksum } => (ids, checksum),
+                        ShardOutput::Rows {
+                            width,
+                            ids,
+                            flat,
+                            checksum,
+                        } => {
+                            let local = verify(width, &ids, &flat, checksum);
+                            (ids, local)
+                        }
                         other => wrong(&other),
                     },
                     |acc, o| match o {
-                        ShardOutput::Rows { mut ids, checksum } => {
+                        ShardOutput::Rows {
+                            width,
+                            mut ids,
+                            flat,
+                            checksum,
+                        } => {
+                            let local = verify(width, &ids, &flat, checksum);
                             acc.0.append(&mut ids);
-                            acc.1 = acc.1.wrapping_add(checksum);
+                            acc.1 = acc.1.wrapping_add(local);
                         }
                         other => wrong(&other),
                     },
@@ -1850,8 +1937,16 @@ mod tests {
         let variants = vec![
             ShardOutput::Count(42),
             ShardOutput::Rows {
+                width: 2,
                 ids: vec![3, 1, 99],
+                flat: vec![30, 31, 10, 11, 990, 991],
                 checksum: 0xdead_beef,
+            },
+            ShardOutput::Rows {
+                width: 0,
+                ids: vec![5, 6],
+                flat: vec![],
+                checksum: 7,
             },
             ShardOutput::Values(vec![1, 2, 5]),
             ShardOutput::TopCandidates(vec![9, 7, 7, 1]),

@@ -73,7 +73,7 @@ pub use distributed::{DistributedExecutor, FailurePlan, ShardOutput};
 pub use executor::{
     ExecutionReport, Executor, NetAccelExecutor, ResilienceReport, ServeReport, ThreadedExecutor,
 };
-pub use query::{Agg, Predicate, Query, QueryResult};
+pub use query::{Agg, FetchSpec, Predicate, Projection, Query, QueryResult};
 pub use serve::ServeExecutor;
 pub use sharded::ShardedExecutor;
 pub use spark::SparkExecutor;

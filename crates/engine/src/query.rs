@@ -10,6 +10,8 @@ use std::collections::BTreeMap;
 
 use cheetah_core::filter::{Atom, Formula};
 
+use crate::table::Table;
+
 /// Aggregate functions for GROUP BY.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Agg {
@@ -155,6 +157,151 @@ impl Query {
             Query::Join { .. } => "join",
             Query::Skyline { .. } => "skyline",
         }
+    }
+
+    /// Projection analysis: the columns of `t` this query actually reads —
+    /// predicate columns plus join/group/distinct/order keys. Indices are
+    /// deduplicated (a column referenced twice is materialized once) and
+    /// returned in schema order; columns the query never names are
+    /// excluded, which is the whole point of projection pushdown. Names
+    /// that do not resolve against `t`'s schema are skipped, so the
+    /// two-table JOIN can ask each side for its own referenced set.
+    pub fn referenced_columns(&self, t: &Table) -> Vec<usize> {
+        let mut cols: Vec<usize> = Vec::new();
+        {
+            let mut touch = |name: &str| {
+                if let Some(i) = t.schema().iter().position(|c| c == name) {
+                    if !cols.contains(&i) {
+                        cols.push(i);
+                    }
+                }
+            };
+            match self {
+                Query::FilterCount { predicate, .. } | Query::Filter { predicate, .. } => {
+                    predicate.columns.iter().for_each(|c| touch(c));
+                }
+                Query::Distinct { column, .. } => touch(column),
+                Query::DistinctMulti { columns, .. } | Query::Skyline { columns, .. } => {
+                    columns.iter().for_each(|c| touch(c));
+                }
+                Query::TopN { order_by, .. } => touch(order_by),
+                Query::GroupBy { key, val, .. } | Query::Having { key, val, .. } => {
+                    touch(key);
+                    touch(val);
+                }
+                Query::Join {
+                    left,
+                    right,
+                    left_col,
+                    right_col,
+                } => {
+                    if left == t.name() {
+                        touch(left_col);
+                    }
+                    if right == t.name() {
+                        touch(right_col);
+                    }
+                }
+            }
+        }
+        cols.sort_unstable();
+        cols
+    }
+
+    /// Resolve the late-materialization fetch projection for this query
+    /// over `t` under `spec` — what [`crate::table::Table::row_into_cols`]
+    /// gathers per surviving row.
+    pub fn projection(&self, t: &Table, spec: &FetchSpec) -> Projection {
+        match spec {
+            FetchSpec::All => Projection::all(t),
+            FetchSpec::Referenced => Projection::of(t, self.referenced_columns(t)),
+            FetchSpec::Plus(names) => {
+                let mut cols = self.referenced_columns(t);
+                cols.extend(names.iter().map(|n| t.col_index(n)));
+                Projection::of(t, cols)
+            }
+        }
+    }
+}
+
+/// Which columns the §7.1 late-materialization fetch materializes.
+///
+/// The default is [`FetchSpec::All`] — every column, bit-identical to the
+/// pre-projection behavior (same rows, same `fetch_checksum`). Queries on
+/// wide tables opt into [`FetchSpec::Referenced`] (or
+/// [`FetchSpec::Plus`] with an explicit fetch-column set) so the fetch
+/// loop, and on the distributed path the wire payload, only carry the
+/// lanes the query touches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum FetchSpec {
+    /// Materialize every column (seed behavior; pins bit-identical
+    /// reports).
+    #[default]
+    All,
+    /// Materialize only the columns the query references
+    /// ([`Query::referenced_columns`]).
+    Referenced,
+    /// The referenced columns plus these explicitly requested ones —
+    /// `SELECT a, b`-style fetch lists. Unknown names panic (unlike the
+    /// referenced set, an explicit request for a missing column is a
+    /// caller bug).
+    Plus(Vec<String>),
+}
+
+/// A resolved fetch projection: deduplicated schema-order column indices.
+///
+/// Schema order matters — a full projection gathers exactly the
+/// [`crate::table::Table::row_into`] row, so [`fetch_checksum`] over it
+/// is bit-identical to the unprojected engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Projection {
+    cols: Vec<usize>,
+    full: bool,
+}
+
+impl Projection {
+    /// The full-width projection over `t` (back-compat mode).
+    pub fn all(t: &Table) -> Self {
+        Projection {
+            cols: (0..t.width()).collect(),
+            full: true,
+        }
+    }
+
+    /// A projection over explicit schema indices of `t` (deduplicated,
+    /// reordered to schema order; may be empty — a fetch that verifies
+    /// row ids without materializing any lane is legal).
+    pub fn of(t: &Table, mut cols: Vec<usize>) -> Self {
+        cols.sort_unstable();
+        cols.dedup();
+        assert!(
+            cols.iter().all(|&c| c < t.width()),
+            "projected column out of range for table '{}'",
+            t.name()
+        );
+        let full = cols.len() == t.width();
+        Projection { cols, full }
+    }
+
+    /// The projected column indices, schema order.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Entries one projected row materializes.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether this projection covers the whole schema (and therefore
+    /// reproduces the unprojected fetch bit for bit).
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Bytes one projected row materializes (u64 lanes).
+    pub fn bytes_per_row(&self) -> u64 {
+        8 * self.cols.len() as u64
     }
 }
 
@@ -332,6 +479,68 @@ mod tests {
         };
         assert!(p.eval(&[5]));
         assert!(!p.eval(&[15]));
+    }
+
+    #[test]
+    fn projection_analysis() {
+        let t = Table::new(
+            "t",
+            vec![
+                ("a", vec![1, 2]),
+                ("b", vec![3, 4]),
+                ("c", vec![5, 6]),
+                ("unused", vec![7, 8]),
+            ],
+        );
+        // Predicate referencing `c` twice and `a` once: dedup, schema order,
+        // and the never-read column stays out.
+        let q = Query::Filter {
+            table: "t".into(),
+            predicate: Predicate {
+                columns: vec!["c".into(), "a".into(), "c".into()],
+                atoms: vec![
+                    Atom::cmp(0, CmpOp::Lt, 10),
+                    Atom::cmp(1, CmpOp::Ge, 0),
+                    Atom::cmp(2, CmpOp::Gt, 0),
+                ],
+                formula: Formula::And(vec![Formula::Atom(0), Formula::Atom(1), Formula::Atom(2)]),
+            },
+        };
+        assert_eq!(q.referenced_columns(&t), vec![0, 2]);
+
+        let full = q.projection(&t, &FetchSpec::All);
+        assert!(full.is_full());
+        assert_eq!(full.cols(), &[0, 1, 2, 3]);
+        assert_eq!(full.bytes_per_row(), 32);
+
+        let pruned = q.projection(&t, &FetchSpec::Referenced);
+        assert!(!pruned.is_full());
+        assert_eq!(pruned.cols(), &[0, 2]);
+        assert_eq!(pruned.width(), 2);
+
+        let plus = q.projection(&t, &FetchSpec::Plus(vec!["b".into(), "a".into()]));
+        assert_eq!(
+            plus.cols(),
+            &[0, 1, 2],
+            "explicit set unions with referenced"
+        );
+
+        // JOIN resolves per side by table name.
+        let j = Query::Join {
+            left: "t".into(),
+            right: "r".into(),
+            left_col: "b".into(),
+            right_col: "k".into(),
+        };
+        assert_eq!(j.referenced_columns(&t), vec![1]);
+
+        // Covering every column explicitly is recognized as full.
+        let covering = q.projection(
+            &t,
+            &FetchSpec::Plus(vec!["a".into(), "b".into(), "c".into(), "unused".into()]),
+        );
+        assert!(covering.is_full());
+        assert_eq!(covering, full);
     }
 
     #[test]

@@ -307,7 +307,8 @@ impl ServeExecutor {
                 }
                 Completion::Fetch { ids, .. } => {
                     let fetch = ids.len() as u64;
-                    let checksum = fetch_and_checksum(t, &ids);
+                    let proj = query.projection(t, &cfg.fetch);
+                    let checksum = fetch_and_checksum(t, &proj, &ids);
                     let result = QueryResult::row_ids(ids);
                     let mut r = self.cheetah.report(query, rows, stats[m], 1, fetch, result);
                     r.fetch_checksum = Some(checksum);

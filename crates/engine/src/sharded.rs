@@ -631,6 +631,8 @@ impl ShardedExecutor {
                 let t = db.table(table);
                 let cols: Vec<usize> = predicate.columns.iter().map(|c| t.col_index(c)).collect();
                 let npred = cols.len();
+                let proj = query.projection(t, &cfg.fetch);
+                let proj = &proj;
                 let bounds = t.partition_bounds(shards);
                 let outcome = sharded_tree(
                     shards,
@@ -654,8 +656,9 @@ impl ShardedExecutor {
                             // §7.1 late materialization runs per shard, in
                             // parallel, before the tree: the checksum fold
                             // is commutative, so shard partials just sum.
+                            // Only the projected lanes are gathered.
                             |_, ids| {
-                                let checksum = fetch_and_checksum(t, &ids);
+                                let checksum = fetch_and_checksum(t, proj, &ids);
                                 (ids, checksum)
                             },
                         )

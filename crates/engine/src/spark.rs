@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use crate::cost::{master_rate, spark_task_rate, CostModel, TimingBreakdown};
 use crate::executor::ExecutionReport;
-use crate::query::{pair_checksum, Agg, Query, QueryResult};
+use crate::query::{pair_checksum, Agg, FetchSpec, Query, QueryResult};
 use crate::reference::skyline_of;
 use crate::table::Database;
 
@@ -20,12 +20,25 @@ use crate::table::Database;
 pub struct SparkExecutor {
     /// Cost/cluster parameters.
     pub model: CostModel,
+    /// Late-materialization fetch projection — the same pushdown knob as
+    /// [`crate::cheetah::PrunerConfig::fetch`], so baseline and pruned
+    /// executors fetch (and checksum) the same lanes.
+    pub fetch: FetchSpec,
 }
 
 impl SparkExecutor {
-    /// An executor over the given model.
+    /// An executor over the given model (full-row fetch).
     pub fn new(model: CostModel) -> Self {
-        SparkExecutor { model }
+        SparkExecutor {
+            model,
+            fetch: FetchSpec::All,
+        }
+    }
+
+    /// Same executor with a fetch projection.
+    pub fn with_fetch(mut self, fetch: FetchSpec) -> Self {
+        self.fetch = fetch;
+        self
     }
 
     /// Run the query: real partial computation per partition, real merge,
@@ -59,12 +72,14 @@ impl SparkExecutor {
                     );
                 }
                 // Late materialization: fetch matching rows through one
-                // reused buffer, checksummed order-independently so every
-                // executor's fetch can be cross-checked.
-                let mut buf = Vec::with_capacity(t.width());
+                // reused buffer — projected lanes only — checksummed
+                // order-independently so every executor's fetch can be
+                // cross-checked.
+                let proj = query.projection(t, &self.fetch);
+                let mut buf = Vec::with_capacity(proj.width());
                 let mut checksum = 0u64;
                 for &rid in &ids {
-                    t.row_into(rid as usize, &mut buf);
+                    t.row_into_cols(rid as usize, proj.cols(), &mut buf);
                     checksum = crate::query::fetch_checksum(checksum, rid, &buf);
                 }
                 let shuffle = ids.len() as u64;

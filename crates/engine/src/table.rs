@@ -79,7 +79,10 @@ impl Table {
         &self.columns[idx]
     }
 
-    /// One full row (across all columns) — used by late materialization.
+    /// One full row (across all columns), freshly allocated. Test-only
+    /// convenience: production fetch loops go through [`Table::row_into`]
+    /// or [`Table::row_into_cols`], which reuse one buffer per loop.
+    #[doc(hidden)]
     pub fn row(&self, r: usize) -> Vec<u64> {
         let mut buf = Vec::new();
         self.row_into(r, &mut buf);
@@ -107,6 +110,40 @@ impl Table {
     pub fn row_into(&self, r: usize, buf: &mut Vec<u64>) {
         buf.clear();
         buf.extend(self.columns.iter().map(|c| c[r]));
+    }
+
+    /// Fill `buf` with row `r` gathered over just the columns in `cols`
+    /// (schema indices, caller order) — the projected form of
+    /// [`Table::row_into`] that projection pushdown uses so a Filter
+    /// fetch over a 100-column table touches only the lanes the query
+    /// references. Passing every column index in schema order produces
+    /// exactly the [`Table::row_into`] row.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cheetah_engine::Table;
+    ///
+    /// let t = Table::new("t", vec![("a", vec![1, 2]), ("b", vec![10, 20]), ("c", vec![7, 8])]);
+    /// let mut buf = Vec::new();
+    /// t.row_into_cols(1, &[0, 2], &mut buf); // skip the `b` lane entirely
+    /// assert_eq!(buf, vec![2, 8]);
+    /// ```
+    pub fn row_into_cols(&self, r: usize, cols: &[usize], buf: &mut Vec<u64>) {
+        buf.clear();
+        buf.extend(cols.iter().map(|&c| self.columns[c][r]));
+    }
+
+    /// Width of a projected row over `cols` — entries one
+    /// [`Table::row_into_cols`] gather materializes. Validates the
+    /// indices against the schema in debug builds.
+    pub fn projected_width(&self, cols: &[usize]) -> usize {
+        debug_assert!(
+            cols.iter().all(|&c| c < self.width()),
+            "projected column out of range for table '{}'",
+            self.name
+        );
+        cols.len()
     }
 
     /// Append a derived column (e.g. the `sourceIP` prefix of Big Data B).
@@ -200,6 +237,24 @@ mod tests {
         let mut buf = vec![99; 7];
         t.row_into(3, &mut buf);
         assert_eq!(buf, vec![4, 40], "row_into must clear and refill");
+    }
+
+    #[test]
+    fn projected_row_gather() {
+        let t = t();
+        let mut buf = vec![99; 7];
+        t.row_into_cols(2, &[1], &mut buf);
+        assert_eq!(buf, vec![30], "row_into_cols must clear and refill");
+        t.row_into_cols(2, &[1, 0, 1], &mut buf);
+        assert_eq!(buf, vec![30, 3, 30], "caller order and repeats honored");
+        t.row_into_cols(4, &[], &mut buf);
+        assert_eq!(buf, Vec::<u64>::new(), "empty projection is legal");
+        assert_eq!(t.projected_width(&[0, 1]), 2);
+        // Full projection in schema order reproduces row_into exactly.
+        let mut full = Vec::new();
+        t.row_into(1, &mut full);
+        t.row_into_cols(1, &[0, 1], &mut buf);
+        assert_eq!(buf, full);
     }
 
     #[test]

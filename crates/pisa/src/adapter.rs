@@ -17,13 +17,20 @@ use crate::programs::SwitchProgram;
 pub struct ProgramPruner<P: SwitchProgram> {
     program: P,
     name: &'static str,
+    /// Block-feed scratch row, hoisted so `process_block` allocates once
+    /// per pruner lifetime, not once per block.
+    scratch: Vec<u64>,
 }
 
 impl<P: SwitchProgram> ProgramPruner<P> {
     /// Wrap a configured program.
     pub fn new(program: P) -> Self {
         let name = program.name();
-        ProgramPruner { program, name }
+        ProgramPruner {
+            program,
+            name,
+            scratch: Vec::new(),
+        }
     }
 
     /// Access the wrapped program.
@@ -46,15 +53,15 @@ impl<P: SwitchProgram> RowPruner for ProgramPruner<P> {
 
     fn process_block(&mut self, cols: &[&[u64]], out: &mut [Decision]) {
         // Metered programs still see one packet per entry (the pipeline is
-        // per-packet by construction), but the feed reuses one scratch row
-        // across the whole block instead of allocating per entry.
-        let mut row = Vec::with_capacity(cols.len());
+        // per-packet by construction), but the feed reuses the pruner's
+        // scratch row across every block instead of allocating per block.
+        let row = &mut self.scratch;
         for (i, d) in out.iter_mut().enumerate() {
             row.clear();
             row.extend(cols.iter().map(|c| c[i]));
             *d = self
                 .program
-                .process(&row)
+                .process(row)
                 .unwrap_or_else(|v| panic!("pipeline violation in {}: {v}", self.name));
         }
     }

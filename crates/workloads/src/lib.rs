@@ -8,7 +8,10 @@
 //!   `uservisits` with nine columns including `destURL`, `adRevenue`,
 //!   `languageCode` and `userAgent` (zipfian);
 //! * a **TPC-H subset** (reference \[2\]) — `customer`/`orders`/`lineitem`
-//!   with the columns query Q3 touches, at a configurable scale factor.
+//!   with the columns query Q3 touches, at a configurable scale factor;
+//! * a **wide-table** workload ([`wide`]) — 50–200 columns of which a
+//!   query references a handful, the schema shape that motivates
+//!   projection pushdown.
 //!
 //! The paper's samples hold 31.7M uservisits / 18M rankings rows and TPC-H
 //! at default scale; the generators reproduce the schema, key
@@ -37,7 +40,9 @@ pub mod bigdata;
 pub mod dist;
 pub mod stream;
 pub mod tpch;
+pub mod wide;
 
 pub use bigdata::{Rankings, UserVisits};
 pub use dist::Zipf;
 pub use tpch::TpchData;
+pub use wide::{WideTable, WideTableConfig};

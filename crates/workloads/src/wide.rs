@@ -1,0 +1,144 @@
+//! Wide-table workload: many columns, few referenced.
+//!
+//! The clickstream/telemetry schema shape that motivates projection
+//! pushdown — 50–200 columns of which a typical query touches a handful.
+//! The first two lanes are query-friendly (`c000` uniform over a small
+//! selectivity-tunable domain, `c001` zipfian group keys); the rest are
+//! uniform payload lanes a projected fetch should never materialize.
+//!
+//! Each column is generated from its own domain-separated RNG stream, so
+//! widening the table never perturbs existing lanes: the 40-column and
+//! 200-column tables agree on their shared prefix, which keeps narrow-vs-
+//! wide bench comparisons apples-to-apples.
+
+use rand::Rng;
+
+use crate::dist::{rng_for, Zipf};
+
+/// Generation knobs for [`WideTable`].
+#[derive(Debug, Clone, Copy)]
+pub struct WideTableConfig {
+    /// Rows to generate.
+    pub rows: usize,
+    /// Total columns (the paper-adjacent sweep uses 50–200; min 2).
+    pub cols: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WideTableConfig {
+    fn default() -> Self {
+        WideTableConfig {
+            rows: 100_000,
+            cols: 120,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated wide table: `cols` named u64 lanes of equal length.
+#[derive(Debug, Clone)]
+pub struct WideTable {
+    /// Column names: `c000`, `c001`, … (zero-padded, schema order).
+    pub names: Vec<String>,
+    /// Column data, parallel to `names`.
+    pub columns: Vec<Vec<u64>>,
+}
+
+impl WideTable {
+    /// Generate per `config`.
+    pub fn generate(config: WideTableConfig) -> Self {
+        assert!(config.cols >= 2, "a wide table needs at least 2 columns");
+        let n = config.rows;
+        let key_dist = Zipf::new(64, 1.0);
+        let mut names = Vec::with_capacity(config.cols);
+        let mut columns = Vec::with_capacity(config.cols);
+        for c in 0..config.cols {
+            let name = format!("c{c:03}");
+            let mut rng = rng_for(config.seed, &name);
+            let data: Vec<u64> = match c {
+                // The selectivity lane: predicates like `c000 < k` pick
+                // k/1000 of the rows.
+                0 => (0..n).map(|_| rng.gen_range(0..1000u64)).collect(),
+                // The group-key lane: zipfian over 64 keys, nonzero.
+                1 => (0..n)
+                    .map(|_| key_dist.sample(&mut rng) as u64 + 1)
+                    .collect(),
+                // Payload lanes a projected fetch never touches.
+                _ => (0..n).map(|_| rng.gen_range(0..u32::MAX as u64)).collect(),
+            };
+            names.push(name);
+            columns.push(data);
+        }
+        WideTable { names, columns }
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column count.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Consume into `(name, data)` pairs, ready for a columnar table
+    /// constructor.
+    pub fn into_columns(self) -> Vec<(String, Vec<u64>)> {
+        self.names.into_iter().zip(self.columns).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_and_shaped() {
+        let cfg = WideTableConfig {
+            rows: 500,
+            cols: 50,
+            seed: 9,
+        };
+        let a = WideTable::generate(cfg);
+        let b = WideTable::generate(cfg);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a.width(), 50);
+        assert_eq!(a.names[0], "c000");
+        assert_eq!(a.names[49], "c049");
+        assert_eq!(a.columns, b.columns, "same seed, same data");
+        assert!(a.columns[0].iter().all(|&v| v < 1000));
+        assert!(a.columns[1].iter().all(|&v| (1..=64).contains(&v)));
+    }
+
+    #[test]
+    fn widening_preserves_the_shared_prefix() {
+        let narrow = WideTable::generate(WideTableConfig {
+            rows: 300,
+            cols: 10,
+            seed: 4,
+        });
+        let wide = WideTable::generate(WideTableConfig {
+            rows: 300,
+            cols: 40,
+            seed: 4,
+        });
+        assert_eq!(narrow.columns[..10], wide.columns[..10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn too_narrow_rejected() {
+        WideTable::generate(WideTableConfig {
+            rows: 10,
+            cols: 1,
+            seed: 0,
+        });
+    }
+}

@@ -12,6 +12,9 @@
 # present, and the repeated-predicate mix actually hitting the filter
 # cache (hit rate > 0 somewhere) — a silent all-miss snapshot means the
 # epoch/fingerprint keying broke and every query is rebuilding state.
+# And the projection_pushdown[] sweep: both fetch modes present per
+# workload, pruned wide-table bytes at most 1/4 of full, pruned rows/s
+# no slower than full.
 #
 # Usage: scripts/bench_check.sh [BENCH_streaming.json]
 set -euo pipefail
@@ -86,6 +89,44 @@ else
         fail=1
     elif [[ "$levels" == "1 8 32 128 " ]]; then
         echo "bench_check: ok concurrent_serving: N sweep complete, best cache hit rate $best_hit"
+    fi
+fi
+
+# projection_pushdown[] gate: both fetch modes present for both table
+# shapes; on the wide table the pruned fetch must materialize at most a
+# quarter of the full fetch's bytes (analytic — survivors × lanes × 8 —
+# so the 4× floor is machine-independent) and must not be slower than
+# the full fetch (gathering strictly fewer lanes per survivor over the
+# same scan; holds on any host).
+proj_cells=$(grep -o '{"workload": "[a-z]*", "mode": "[a-z]*", "table_cols": [0-9]*, "referenced_cols": [0-9]*, "fetch_rows": [0-9]*, "bytes_materialized": [0-9]*, "rows_per_sec": [0-9]*' "$json" |
+    sed 's/[{"]//g; s/workload: //; s/ mode: //; s/ table_cols: //; s/ referenced_cols: //; s/ fetch_rows: //; s/ bytes_materialized: //; s/ rows_per_sec: //' |
+    awk -F, '{print $1, $2, $6, $7}')
+
+if [[ -z "$proj_cells" ]]; then
+    echo "bench_check: no projection_pushdown cells in $json" >&2
+    fail=1
+else
+    for w in narrow wide; do
+        modes=$(awk -v w="$w" '$1 == w {print $2}' <<<"$proj_cells" | sort -u | tr '\n' ' ')
+        if [[ "$modes" != "full pruned " ]]; then
+            echo "bench_check: FAIL projection_pushdown $w sweep incomplete (got: $modes)" >&2
+            fail=1
+        fi
+    done
+    full_bytes=$(awk '$1 == "wide" && $2 == "full" {print $3}' <<<"$proj_cells")
+    pruned_bytes=$(awk '$1 == "wide" && $2 == "pruned" {print $3}' <<<"$proj_cells")
+    full_rps=$(awk '$1 == "wide" && $2 == "full" {print $4}' <<<"$proj_cells")
+    pruned_rps=$(awk '$1 == "wide" && $2 == "pruned" {print $4}' <<<"$proj_cells")
+    if [[ -n "$full_bytes" && -n "$pruned_bytes" ]]; then
+        if ((pruned_bytes * 4 > full_bytes)); then
+            echo "bench_check: FAIL projection_pushdown: pruned wide fetch materialized ${pruned_bytes} B vs ${full_bytes} B full (< 4x reduction — never-read lanes are back in the fetch)" >&2
+            fail=1
+        elif ((pruned_rps < full_rps)); then
+            echo "bench_check: FAIL projection_pushdown: pruned wide fetch ${pruned_rps} rows/s < full ${full_rps} rows/s (projection costs more than the lanes it skips)" >&2
+            fail=1
+        else
+            echo "bench_check: ok projection_pushdown: wide ${full_bytes} B -> ${pruned_bytes} B, ${full_rps} -> ${pruned_rps} rows/s"
+        fi
     fi
 fi
 

@@ -7,6 +7,11 @@
 //! 60 000-row query cost >60 000 allocations; this test fails loudly if
 //! any per-row allocation sneaks back into the loop.
 //!
+//! The allocator also tracks **live bytes** and a resettable **peak
+//! watermark**, pinning the projection-pushdown contract: a projected
+//! wide-table fetch must peak at a fraction of the full-row fetch's
+//! memory, because the never-read lanes are never gathered or shipped.
+//!
 //! The counting allocator is process-global, so this file holds exactly
 //! one #[test] (integration tests in one binary run concurrently and
 //! would cross-pollute the counter).
@@ -18,26 +23,42 @@ use cheetah::core::filter::{Atom, CmpOp, Formula};
 use cheetah::engine::cheetah::{CheetahExecutor, PrunerConfig};
 use cheetah::engine::serve::ServeExecutor;
 use cheetah::engine::{
-    Agg, CostModel, Database, Executor, Predicate, Query, ShardedExecutor, Table, ThreadedExecutor,
-    BLOCK_ENTRIES,
+    Agg, CostModel, Database, DistributedExecutor, Executor, FetchSpec, Predicate, Query,
+    ShardedExecutor, Table, ThreadedExecutor, BLOCK_ENTRIES,
 };
 
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn count(size: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count(layout.size());
         System.alloc(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if new_size >= layout.size() {
+            let grown = (new_size - layout.size()) as u64;
+            let live = LIVE.fetch_add(grown, Ordering::Relaxed) + grown;
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        } else {
+            LIVE.fetch_sub((layout.size() - new_size) as u64, Ordering::Relaxed);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -49,6 +70,16 @@ fn allocs_during<F: FnMut()>(mut f: F) -> u64 {
     let before = ALLOCS.load(Ordering::Relaxed);
     f();
     ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Peak heap growth over `f`'s lifetime: the high-water mark of live
+/// bytes above the level at entry. Resets the global watermark, so only
+/// one measurement may run at a time (this file's single-#[test] rule).
+fn peak_bytes_during<F: FnMut()>(mut f: F) -> u64 {
+    let start = LIVE.load(Ordering::Relaxed);
+    PEAK.store(start, Ordering::Relaxed);
+    f();
+    PEAK.load(Ordering::Relaxed).saturating_sub(start)
 }
 
 const ROWS: usize = 60_000;
@@ -307,4 +338,71 @@ fn warm_queries_allocate_o1_not_o_rows() {
              its O(1)-per-block guarantee"
         );
     }
+
+    // Projection pushdown peak-memory pin: a fetch-heavy Filter over a
+    // 64-column table where the query touches one lane. The distributed
+    // path ships the fetched rows over the wire, so the flat payload is
+    // O(survivors × projected width): under `FetchSpec::All` that is 64
+    // words per survivor, under `FetchSpec::Referenced` exactly one. The
+    // projected run must peak well under half the full-row run — if the
+    // gather or the codec starts carrying never-read lanes again, the
+    // watermark converges and this fails.
+    const WIDE_COLS: usize = 64;
+    const WIDE_ROWS: usize = 20_000;
+    let names: Vec<String> = (0..WIDE_COLS).map(|c| format!("c{c:02}")).collect();
+    let lanes: Vec<(&str, Vec<u64>)> = names
+        .iter()
+        .enumerate()
+        .map(|(c, name)| {
+            let lane = (0..WIDE_ROWS as u64)
+                .map(|i| i.wrapping_mul(2 * c as u64 + 7) % 1_000)
+                .collect();
+            (name.as_str(), lane)
+        })
+        .collect();
+    let mut wide = Database::new();
+    wide.add(Table::new("w", lanes));
+    let wide_query = Query::Filter {
+        table: "w".into(),
+        predicate: Predicate {
+            columns: vec!["c00".into()],
+            atoms: vec![Atom::cmp(0, CmpOp::Lt, 500)],
+            formula: Formula::Atom(0),
+        },
+    };
+    let peak_for = |fetch: FetchSpec| {
+        let exec = DistributedExecutor::with_shards(
+            CheetahExecutor::new(
+                CostModel::default(),
+                PrunerConfig {
+                    fetch,
+                    ..PrunerConfig::default()
+                },
+            ),
+            2,
+        );
+        let warm = exec.execute(&wide, &wide_query);
+        let mut result = None;
+        let peak = peak_bytes_during(|| {
+            result = Some(exec.execute(&wide, &wide_query));
+        });
+        assert_eq!(
+            result.expect("ran").result,
+            warm.result,
+            "warm rerun changed the wide-table Filter result"
+        );
+        (peak, warm.result)
+    };
+    let (full_peak, full_result) = peak_for(FetchSpec::All);
+    let (pruned_peak, pruned_result) = peak_for(FetchSpec::Referenced);
+    assert_eq!(
+        full_result, pruned_result,
+        "projection changed the wide-table Filter result"
+    );
+    assert!(
+        pruned_peak * 2 <= full_peak,
+        "projected wide-table fetch peaked at {pruned_peak} B vs {full_peak} B \
+         full-row ({WIDE_COLS} columns, 1 referenced); late materialization \
+         is carrying never-read lanes again"
+    );
 }

@@ -59,7 +59,12 @@ proptest! {
             .collect();
         let variants = vec![
             ShardOutput::Count(count),
-            ShardOutput::Rows { ids: ids.clone(), checksum },
+            ShardOutput::Rows {
+                width: 3,
+                ids: ids.clone(),
+                flat: (0..ids.len() as u64 * 3).map(|i| i.wrapping_mul(seed)).collect(),
+                checksum,
+            },
             ShardOutput::Values(values.clone()),
             ShardOutput::TopCandidates(values),
             ShardOutput::Tuples { width, flat },
@@ -98,7 +103,8 @@ proptest! {
         checksum in any::<u64>(),
         junk in any::<u64>(),
     ) {
-        let v = ShardOutput::Rows { ids, checksum };
+        let flat: Vec<u64> = (0..ids.len() as u64 * 2).map(|i| i ^ junk).collect();
+        let v = ShardOutput::Rows { width: 2, ids, flat, checksum };
         let words = v.encode();
         for cut in 0..words.len() {
             prop_assert_eq!(
