@@ -14,7 +14,8 @@ const USAGE: &str = "usage: experiments <id>… | all | --json [path]\n\
      --json: run the streaming benchmark (row vs block layouts, \
      per-query rows/sec + prune rate + wall clock, the threaded \
      multi-pass dataflows, the worker/shard scaling sweeps with \
-     combine walls, the concurrent-serving sweep: queries/sec + \
+     combine walls, the cost-based planner sweep: chosen arm + \
+     predicted vs measured wall per shape, the concurrent-serving sweep: queries/sec + \
      cache hit rate at N ∈ {1, 8, 32, 128}, and the projection-pushdown \
      sweep: rows/sec + bytes materialized, full vs pruned fetch on \
      narrow and wide tables) and write \

@@ -18,7 +18,7 @@ use cheetah_core::skyline::{Heuristic, SkylinePruner};
 use cheetah_core::topn::{DeterministicTopN, RandomizedTopN};
 
 use cheetah_engine::cheetah::{CheetahExecutor, PrunerConfig};
-use cheetah_engine::cost::{master_rate, HARDWARE_COMPARISON};
+use cheetah_engine::cost::{master_rate, FALLBACK_MASTER_RATE, HARDWARE_COMPARISON};
 use cheetah_engine::executor::run_all as run_executors;
 use cheetah_engine::netaccel::NetAccelModel;
 use cheetah_engine::q3;
@@ -358,8 +358,8 @@ pub fn fig_7() {
         let entries = input_entries * pct / 100;
         // Cheetah: results stream to the master inline (already there);
         // the only cost is receiving + touching them once.
-        let cheetah_s =
-            entries as f64 / master_rate("join") + model.transfer_s(entries as f64 * 64.0);
+        let cheetah_s = entries as f64 / master_rate("join").unwrap_or(FALLBACK_MASTER_RATE)
+            + model.transfer_s(entries as f64 * 64.0);
         let netaccel_s = na.drain_s(entries);
         println!(
             "{:<22} {:>12.3} s {:>14.3} s",
@@ -465,7 +465,7 @@ pub fn fig_9() {
     // Paper-scale parameters for the blocking model.
     let model_entries = 31_700_000f64;
     let arrival_pps = 10.0e6;
-    let service = |kind: &str| master_rate(kind) / 4.0; // conservative master
+    let service = |kind: &str| master_rate(kind).unwrap_or(FALLBACK_MASTER_RATE) / 4.0; // conservative master
     println!(
         "{:<10} | {:>14} {:>14} {:>14} | {:>11} {:>11} {:>11}",
         "unpruned",

@@ -541,6 +541,58 @@ pub fn run_shard_scaling(uv_rows: usize, reps: usize) -> Vec<ShardScaling> {
     out
 }
 
+/// One cell of the cost-based planner sweep.
+#[derive(Debug, Clone)]
+pub struct PlannerCell {
+    /// Query label (the threaded multipass shapes).
+    pub name: String,
+    /// Executor arm the planner chose.
+    pub arm: String,
+    /// Worker count the plan ran with.
+    pub workers: usize,
+    /// Shard count the plan ran with.
+    pub shards: usize,
+    /// The plan's predicted wall-clock seconds.
+    pub predicted_wall_s: f64,
+    /// Measured wall-clock seconds, best of reps.
+    pub wall_s: f64,
+    /// `measured / predicted` for the best run — the planner's
+    /// estimate-vs-actual honesty number.
+    pub misprediction: f64,
+    /// Entries per second of measured wall clock (best of reps).
+    pub rows_per_sec: f64,
+}
+
+/// Sweep the cost-based planner over every threaded multipass shape: the
+/// planner probes, races its candidate arms, executes the winner, and
+/// reports predicted vs measured wall. `scripts/bench_check.sh` gates
+/// the chosen arm's wall against the best static arm from the
+/// `worker_scaling[]`/`shard_scaling[]` sweeps.
+pub fn run_planner_sweep(uv_rows: usize, reps: usize) -> Vec<PlannerCell> {
+    let db = bigdata_db(uv_rows, uv_rows / 5, 2_000, 0.5, 42);
+    let exec = cheetah_engine::PlannerExecutor::new(CheetahExecutor::new(
+        CostModel::default(),
+        PrunerConfig::default(),
+    ));
+    multipass_queries()
+        .into_iter()
+        .map(|(name, q)| {
+            let (report, best) = best_measured_run(&exec, &db, &q, reps);
+            let plan = report.plan.clone().expect("planner reports its plan");
+            PlannerCell {
+                name: name.to_string(),
+                arm: plan.arm.to_string(),
+                workers: plan.workers,
+                shards: plan.shards,
+                predicted_wall_s: plan.predicted_s,
+                wall_s: best,
+                misprediction: plan.misprediction(),
+                rows_per_sec: report.prune_stats().processed as f64 / best,
+            }
+        })
+        .collect()
+}
+
 /// One cell of the wire-protocol resilience sweep.
 #[derive(Debug, Clone)]
 pub struct NetResilience {
@@ -812,6 +864,7 @@ pub fn to_json(
     multipass: &[MultipassBench],
     scaling: &[WorkerScaling],
     shard_scaling: &[ShardScaling],
+    planner: &[PlannerCell],
     net_resilience: &[NetResilience],
     concurrent_serving: &[ServingCell],
     projection_pushdown: &[ProjectionCell],
@@ -897,6 +950,22 @@ pub fn to_json(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"planner\": [\n");
+    for (i, c) in planner.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"arm\": \"{}\", \"workers\": {}, \"shards\": {}, \"predicted_wall_s\": {:.6}, \"wall_s\": {:.6}, \"misprediction\": {:.3}, \"rows_per_sec\": {:.0}}}{}\n",
+            c.name,
+            c.arm,
+            c.workers,
+            c.shards,
+            c.predicted_wall_s,
+            c.wall_s,
+            c.misprediction,
+            c.rows_per_sec,
+            if i + 1 < planner.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"net_resilience\": [\n");
     for (i, c) in net_resilience.iter().enumerate() {
         out.push_str(&format!(
@@ -958,6 +1027,7 @@ pub fn write_bench_json(path: &str) -> std::io::Result<String> {
     let multipass = run_threaded_multipass(200_000, 3);
     let scaling = run_worker_scaling(200_000, 3);
     let shard_scaling = run_shard_scaling(200_000, 3);
+    let planner = run_planner_sweep(200_000, 3);
     let net_resilience = run_net_resilience(100_000, 3);
     let concurrent_serving = run_concurrent_serving(100_000, 3);
     let projection = run_projection_pushdown(60_000, 3);
@@ -968,6 +1038,7 @@ pub fn write_bench_json(path: &str) -> std::io::Result<String> {
         &multipass,
         &scaling,
         &shard_scaling,
+        &planner,
         &net_resilience,
         &concurrent_serving,
         &projection,
@@ -1002,6 +1073,7 @@ mod tests {
         let multipass = run_threaded_multipass(5_000, 1);
         let scaling = run_worker_scaling(5_000, 1);
         let shard_scaling = run_shard_scaling(5_000, 1);
+        let planner = run_planner_sweep(5_000, 1);
         let net_resilience = run_net_resilience(5_000, 1);
         let concurrent_serving = run_concurrent_serving(5_000, 1);
         let projection = run_projection_pushdown(5_000, 1);
@@ -1012,6 +1084,7 @@ mod tests {
             &multipass,
             &scaling,
             &shard_scaling,
+            &planner,
             &net_resilience,
             &concurrent_serving,
             &projection,
@@ -1066,6 +1139,55 @@ mod tests {
             assert!(
                 json.contains(&format!("\"name\": \"{name}\", \"passes\"")),
                 "missing threaded multipass row for {name}"
+            );
+            assert!(
+                json.contains(&format!("\"name\": \"{name}\", \"arm\"")),
+                "missing planner row for {name}"
+            );
+        }
+        assert!(json.contains("\"planner\""));
+        assert!(json.contains("\"predicted_wall_s\""));
+        assert!(json.contains("\"misprediction\""));
+    }
+
+    #[test]
+    fn planner_sweep_covers_every_shape_with_finite_mispredictions() {
+        let cells = run_planner_sweep(3_000, 1);
+        assert_eq!(cells.len(), 5, "one planner cell per multipass shape");
+        for cell in &cells {
+            assert!(
+                matches!(
+                    cell.name.as_str(),
+                    "join" | "having" | "filter_fetch" | "distinct_multi" | "groupby_sum"
+                ),
+                "unexpected sweep query {}",
+                cell.name
+            );
+            assert!(
+                matches!(
+                    cell.arm.as_str(),
+                    "deterministic" | "threaded" | "sharded" | "distributed"
+                ),
+                "{}: unknown arm {}",
+                cell.name,
+                cell.arm
+            );
+            assert!([1, 2, 4, 8].contains(&cell.workers), "{}", cell.name);
+            assert!([1, 2, 4, 8].contains(&cell.shards), "{}", cell.name);
+            assert!(
+                cell.wall_s > 0.0 && cell.rows_per_sec > 0.0,
+                "{}",
+                cell.name
+            );
+            assert!(
+                cell.predicted_wall_s > 0.0 && cell.predicted_wall_s.is_finite(),
+                "{}: predicted wall must be positive and finite",
+                cell.name
+            );
+            assert!(
+                cell.misprediction > 0.0 && cell.misprediction.is_finite(),
+                "{}: misprediction must be positive and finite",
+                cell.name
             );
         }
     }

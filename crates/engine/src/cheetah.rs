@@ -24,7 +24,7 @@ use cheetah_core::having::{HavingPassOne, HavingPruner};
 use cheetah_core::join::{BloomFilter, JoinPassTwo, JoinPruner, Side};
 
 use crate::backend::{self, HavingFlow, JoinFlow, SwitchBackend};
-use crate::cost::{master_rate, CostModel, TimingBreakdown};
+use crate::cost::{master_rate, CostModel, TimingBreakdown, FALLBACK_MASTER_RATE};
 use crate::executor::ExecutionReport;
 use crate::multipass::{
     AsymJoinPhases, GroupBySumStage, HavingPhases, JoinPhases, SIDE_LEFT, SIDE_RIGHT,
@@ -928,16 +928,10 @@ impl CheetahExecutor {
     /// serialized switch wall: short streams get one worker (thread
     /// setup would dominate), long streams get the full pool so
     /// serialization and master completion overlap the pruning.
+    /// Delegates to the planner's shared [`crate::plan::PlanContext`], so
+    /// the worker and shard grids read one probe instead of re-sampling.
     pub fn adaptive_workers(&self, db: &Database, query: &Query) -> usize {
-        let Some(sample) = self.sample_throughput(db, query) else {
-            return 1;
-        };
-        match sample.est_switch_s() {
-            s if s < 0.5e-3 => 1,
-            s if s < 2e-3 => 2,
-            s if s < 8e-3 => 4,
-            _ => 8,
-        }
+        crate::plan::PlanContext::probe(self, db, query).adaptive_workers()
     }
 
     /// Stream the first few blocks of the query's metadata columns
@@ -1064,7 +1058,8 @@ impl CheetahExecutor {
         let per_worker = streamed_rows.div_ceil(m.workers as u64);
         let serialize_s = m.scaled(per_worker) / m.serialize_cpu_pps;
         let network_s = m.scaled(per_worker) / m.worker_pps();
-        let master_s = m.scaled(stats.forwarded()) / master_rate(kind);
+        let master_s =
+            m.scaled(stats.forwarded()) / master_rate(kind).unwrap_or(FALLBACK_MASTER_RATE);
         let fetch_s = m.transfer_s(m.scaled(fetch_rows) * m.fetch_bytes_per_row);
         let stream_phase = serialize_s.max(network_s).max(master_s);
         // Residual master work after the stream drains (blocking effect of
@@ -1090,6 +1085,7 @@ impl CheetahExecutor {
             combine_wall: None,
             merge_walls: Vec::new(),
             resilience: None,
+            plan: None,
         }
     }
 }

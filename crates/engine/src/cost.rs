@@ -8,37 +8,53 @@
 //! JIT/indexing penalties (§8.2.2) — and are otherwise chosen so the
 //! *relative* shapes of Figures 5–9 hold; absolute seconds are not claims.
 
+/// Conservative worker-task fallback rate for query kinds the model has
+/// never been calibrated on: the SKYLINE floor, the slowest calibrated
+/// kind. An unknown shape costs as the worst known one, so a planner
+/// degrades to a pessimistic estimate instead of aborting.
+pub const FALLBACK_TASK_RATE: f64 = 0.35e6;
+
+/// Conservative master-completion fallback rate for unknown query kinds
+/// (the SKYLINE floor — see [`FALLBACK_TASK_RATE`]).
+pub const FALLBACK_MASTER_RATE: f64 = 0.4e6;
+
 /// Per-query-kind processing rates (rows per second per worker).
 ///
 /// Spark worker tasks are the computational bottleneck the paper
 /// offloads; rates order the query kinds by their per-row cost
 /// (SKYLINE ≫ JOIN ≫ DISTINCT/GROUP BY ≫ TOP N ≫ scans).
-pub fn spark_task_rate(kind: &str) -> f64 {
+///
+/// `None` for kinds the model was never calibrated on — callers on the
+/// planning path fall back to [`FALLBACK_TASK_RATE`] rather than
+/// aborting the query.
+pub fn spark_task_rate(kind: &str) -> Option<f64> {
     match kind {
-        "filter-count" | "filter" => 8.0e6,
-        "distinct" => 1.8e6,
-        "topn" => 3.0e6,
-        "groupby" => 2.2e6,
-        "having" => 2.5e6,
-        "join" => 1.2e6,
-        "skyline" => 0.35e6,
-        other => panic!("unknown query kind '{other}'"),
+        "filter-count" | "filter" => Some(8.0e6),
+        "distinct" => Some(1.8e6),
+        "topn" => Some(3.0e6),
+        "groupby" => Some(2.2e6),
+        "having" => Some(2.5e6),
+        "join" => Some(1.2e6),
+        "skyline" => Some(0.35e6),
+        _ => None,
     }
 }
 
 /// Master-side completion rates (entries per second) for the pruned
 /// stream — the Figure 9 service rates ("TOP N … processes millions of
 /// entries per second; SKYLINE is computationally expensive").
-pub fn master_rate(kind: &str) -> f64 {
+///
+/// `None` for uncalibrated kinds; see [`FALLBACK_MASTER_RATE`].
+pub fn master_rate(kind: &str) -> Option<f64> {
     match kind {
-        "filter-count" | "filter" => 20.0e6,
-        "distinct" => 8.0e6,
-        "topn" => 10.0e6,
-        "groupby" => 6.0e6,
-        "having" => 6.0e6,
-        "join" => 4.0e6,
-        "skyline" => 0.4e6,
-        other => panic!("unknown query kind '{other}'"),
+        "filter-count" | "filter" => Some(20.0e6),
+        "distinct" => Some(8.0e6),
+        "topn" => Some(10.0e6),
+        "groupby" => Some(6.0e6),
+        "having" => Some(6.0e6),
+        "join" => Some(4.0e6),
+        "skyline" => Some(0.4e6),
+        _ => None,
     }
 }
 
@@ -197,16 +213,21 @@ mod tests {
 
     #[test]
     fn rates_order_query_costs() {
-        assert!(spark_task_rate("skyline") < spark_task_rate("join"));
-        assert!(spark_task_rate("join") < spark_task_rate("distinct"));
-        assert!(spark_task_rate("distinct") < spark_task_rate("filter-count"));
-        assert!(master_rate("skyline") < master_rate("topn"));
+        let task = |k| spark_task_rate(k).unwrap();
+        assert!(task("skyline") < task("join"));
+        assert!(task("join") < task("distinct"));
+        assert!(task("distinct") < task("filter-count"));
+        assert!(master_rate("skyline").unwrap() < master_rate("topn").unwrap());
     }
 
     #[test]
-    #[should_panic(expected = "unknown query kind")]
-    fn unknown_kind_panics() {
-        spark_task_rate("sort");
+    fn unknown_kind_degrades_to_conservative_fallback() {
+        assert_eq!(spark_task_rate("sort"), None);
+        assert_eq!(master_rate("sort"), None);
+        // The documented fallbacks are the slowest calibrated rates, so
+        // an unknown kind is never costed optimistically.
+        assert_eq!(spark_task_rate("skyline"), Some(FALLBACK_TASK_RATE));
+        assert_eq!(master_rate("skyline"), Some(FALLBACK_MASTER_RATE));
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub struct ExecutionReport {
     /// for in-process executors — degradation cannot be silent, so any
     /// executor that retries or reboots must fill this in.
     pub resilience: Option<ResilienceReport>,
+    /// Estimate-vs-actual planning telemetry: the chosen arm, its grid
+    /// knobs, and predicted vs measured wall. Filled only by
+    /// [`crate::plan::PlannerExecutor`]; `None` when the caller picked
+    /// the executor itself.
+    pub plan: Option<crate::plan::PlanReport>,
 }
 
 /// What the fault-handling layer did during one distributed execution.

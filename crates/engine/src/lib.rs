@@ -57,6 +57,7 @@ pub mod distributed;
 pub mod executor;
 pub mod multipass;
 pub mod netaccel;
+pub mod plan;
 pub mod q3;
 pub mod query;
 pub mod reference;
@@ -73,6 +74,7 @@ pub use distributed::{DistributedExecutor, FailurePlan, ShardOutput};
 pub use executor::{
     ExecutionReport, Executor, NetAccelExecutor, ResilienceReport, ServeReport, ThreadedExecutor,
 };
+pub use plan::{PlanContext, PlanReport, PlannerExecutor};
 pub use query::{Agg, FetchSpec, Predicate, Projection, Query, QueryResult};
 pub use serve::ServeExecutor;
 pub use sharded::ShardedExecutor;

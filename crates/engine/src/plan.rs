@@ -1,0 +1,712 @@
+//! Cost-based query planning: pick the executor, its grid knobs, and the
+//! join flow per query — then measure how wrong the estimate was.
+//!
+//! The engine has seven ways to complete a query but, until this module,
+//! nothing that *chooses* among them: callers hardcoded an executor and
+//! the Cuttlefish-style samplers ([`CheetahExecutor::adaptive_workers`],
+//! [`crate::sharded::ShardedExecutor::with_adaptive_shards`]) each probed
+//! the stream in isolation. [`PlannerExecutor`] closes the loop, Bonsai
+//! style — compile the whole configuration up front from measured
+//! calibration inputs, then record estimate-vs-actual so a misprediction
+//! is visible telemetry, not a silent slowdown:
+//!
+//! 1. **Probe once.** [`PlanContext::probe`] runs
+//!    [`CheetahExecutor::sample_throughput`] a single time per query and
+//!    times one representative combine-state merge; every grid (worker
+//!    count, shard count, arm race) reads that shared context instead of
+//!    re-sampling the same first blocks.
+//! 2. **Feasibility.** The query's Table 2 program is packed onto the
+//!    [`SwitchModel`] through [`DagPipeline::check_packing`] (the §6
+//!    placer `serve` already exercises). A program that does not fit —
+//!    SKYLINE at its default `w = 10` needs 23 stages against Tofino's
+//!    12 — rejects every switch-window arm before costing; the
+//!    deterministic arm (no exclusive switch window to reserve) remains.
+//! 3. **Cost.** Each surviving candidate gets a predicted wall from the
+//!    sampled switch estimate, a per-shape threading factor calibrated
+//!    against the committed `worker_scaling[]`/`shard_scaling[]` grids,
+//!    the measured merge cost, and per-arm setup charges. JOIN
+//!    candidates embed the §4.3 symmetric-vs-asymmetric flow decision
+//!    (lopsided tables stream once per side instead of twice).
+//! 4. **Pick & execute.** The cheapest candidate runs; ties break toward
+//!    the simpler arm (deterministic ≺ threaded ≺ sharded ≺
+//!    distributed). Filter-shape plans also pick the [`FetchSpec`]:
+//!    projection pushdown is never worse, so a default `All` fetch is
+//!    planned down to `Referenced`.
+//! 5. **Measure.** The report's [`PlanReport`] records predicted vs
+//!    measured wall and their ratio — the `planner[]` bench section and
+//!    `scripts/bench_check.sh` gate on it.
+
+use std::time::Instant;
+
+use cheetah_core::decision::{Decision, RowPruner};
+use cheetah_core::distinct::EvictionPolicy;
+use cheetah_core::resources::{table2, ResourceUsage, SwitchModel};
+
+use crate::cheetah::{CheetahExecutor, PrunerConfig, ThroughputSample};
+use crate::cost::CostModel;
+use crate::dag::{DagPipeline, DagStage};
+use crate::distributed::DistributedExecutor;
+use crate::executor::{ExecutionReport, Executor};
+use crate::query::{Agg, FetchSpec, Query};
+use crate::sharded::{sampled_merge_cost, ShardedExecutor};
+use crate::table::Database;
+
+/// The worker-count grid the threaded arm races (same arms as
+/// [`CheetahExecutor::adaptive_workers`] always used).
+pub const WORKER_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// The shard-count grid the sharded/distributed arms race.
+pub const SHARD_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// Estimated pipeline spin-up cost per extra shard (threads + channel
+/// plumbing), charged in the shard race.
+pub const SHARD_SETUP_S: f64 = 1.5e-4;
+
+/// Estimated spin-up cost per extra pool worker on the threaded arm.
+pub const THREAD_SETUP_S: f64 = 8.0e-5;
+
+/// Wire/session setup charge for the distributed arm: codec framing,
+/// simulated-fabric handshakes and the retry machinery are pure overhead
+/// when every shard lives in this process.
+pub const DIST_SETUP_S: f64 = 2.0e-3;
+
+/// Per-entry multiplier for shipping shard output through the §7.2 wire
+/// protocol instead of returning it in-process.
+pub const DIST_WIRE_FACTOR: f64 = 3.0;
+
+/// The shared per-query calibration context: one throughput probe + one
+/// timed representative merge, read by **every** grid. Hoisting the probe
+/// here is what deduplicates the sampling path — before,
+/// `adaptive_workers` and `with_adaptive_shards` each re-sampled the
+/// same first blocks.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanContext {
+    sample: Option<ThroughputSample>,
+    merge_s: f64,
+    cores: usize,
+}
+
+impl PlanContext {
+    /// Probe `query` once: sample block throughput through a proxy of its
+    /// switch program ([`CheetahExecutor::sample_throughput`]) and time
+    /// one representative combine-state merge. `sample` is `None` on an
+    /// empty table, where every grid picks its minimum arm.
+    pub fn probe(exec: &CheetahExecutor, db: &Database, query: &Query) -> Self {
+        PlanContext {
+            sample: exec.sample_throughput(db, query),
+            merge_s: sampled_merge_cost(&exec.config, query),
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// The shared throughput probe (`None` on an empty table).
+    pub fn sample(&self) -> Option<ThroughputSample> {
+        self.sample
+    }
+
+    /// How many times the stream was sampled building this context —
+    /// 1, or 0 for an empty table. The planner regression suite pins
+    /// that planning never samples twice.
+    pub fn probes(&self) -> u32 {
+        u32::from(self.sample.is_some())
+    }
+
+    /// Estimated serialized switch wall from the probe (0.0 when empty).
+    pub fn est_switch_s(&self) -> f64 {
+        self.sample.map_or(0.0, |s| s.est_switch_s())
+    }
+
+    /// Measured cost of one representative combine-state merge.
+    pub fn merge_cost_s(&self) -> f64 {
+        self.merge_s
+    }
+
+    /// Cores available to actually run shards/workers in parallel.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The worker-count arm from [`WORKER_GRID`]: short streams get one
+    /// worker (thread setup would dominate), long streams the full pool.
+    /// Same thresholds [`CheetahExecutor::adaptive_workers`] always used;
+    /// both now read this shared context.
+    pub fn adaptive_workers(&self) -> usize {
+        match self.est_switch_s() {
+            s if s < 0.5e-3 => 1,
+            s if s < 2e-3 => 2,
+            s if s < 8e-3 => 4,
+            _ => 8,
+        }
+    }
+
+    /// The shard-count arm minimizing
+    /// `switch_wall / min(n, cores) + merge_cost × log2(n) + setup × (n − 1)`
+    /// over [`SHARD_GRID`] — the race behind
+    /// [`crate::sharded::ShardedExecutor::with_adaptive_shards`], now
+    /// capped by the measured core count: shards beyond the cores can
+    /// only time-slice, so they are charged setup without speedup.
+    pub fn planned_shards(&self) -> usize {
+        if self.sample.is_none() {
+            return 1;
+        }
+        let est_switch_s = self.est_switch_s();
+        let mut best = (f64::INFINITY, 1usize);
+        for n in SHARD_GRID {
+            let stages = (usize::BITS - 1 - n.leading_zeros()) as f64;
+            let speedup = n.min(self.cores) as f64;
+            let est =
+                est_switch_s / speedup + self.merge_s * stages + SHARD_SETUP_S * (n - 1) as f64;
+            if est < best.0 {
+                best = (est, n);
+            }
+        }
+        best.1
+    }
+}
+
+/// Which executor a candidate plan runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorArm {
+    /// Single-threaded switch-pruning pipeline ([`CheetahExecutor`]).
+    Deterministic,
+    /// Worker-pool/watermark pipeline
+    /// ([`CheetahExecutor::execute_threaded`]).
+    Threaded,
+    /// N in-process shard pipelines + streaming tree reduce
+    /// ([`ShardedExecutor`]).
+    Sharded,
+    /// Shard outputs shipped over the §7.2 wire protocol
+    /// ([`DistributedExecutor`]) — costed so the planner knows what the
+    /// process boundary would charge, picked only when the wire overhead
+    /// amortizes.
+    Distributed,
+}
+
+impl ExecutorArm {
+    /// Stable label for reports, benches and gates.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutorArm::Deterministic => "deterministic",
+            ExecutorArm::Threaded => "threaded",
+            ExecutorArm::Sharded => "sharded",
+            ExecutorArm::Distributed => "distributed",
+        }
+    }
+}
+
+/// One fully specified way to run the query, with its predicted wall.
+#[derive(Debug, Clone)]
+pub struct CandidatePlan {
+    /// The executor to run.
+    pub arm: ExecutorArm,
+    /// Worker-pool width (threaded/sharded pipelines).
+    pub workers: usize,
+    /// Shard count (1 for single-switch arms).
+    pub shards: usize,
+    /// Whether a JOIN takes the §4.3 asymmetric flow (decided by table
+    /// lopsidedness; `false` for non-joins).
+    pub asymmetric_join: bool,
+    /// The late-materialization fetch projection the plan executes with.
+    pub fetch: FetchSpec,
+    /// Predicted wall-clock seconds for this candidate.
+    pub predicted_s: f64,
+}
+
+/// The outcome of planning one query (before executing it).
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The winning candidate.
+    pub chosen: CandidatePlan,
+    /// Candidates enumerated (including the winner).
+    pub candidates: usize,
+    /// Candidates rejected by the switch-budget feasibility check before
+    /// costing.
+    pub infeasible: usize,
+    /// The shared calibration context the race read.
+    pub ctx: PlanContext,
+}
+
+/// Estimate-vs-actual telemetry hung off
+/// [`ExecutionReport::plan`] — the planner's honesty record.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// Chosen arm label ([`ExecutorArm::label`]).
+    pub arm: &'static str,
+    /// Chosen worker count.
+    pub workers: usize,
+    /// Chosen shard count.
+    pub shards: usize,
+    /// Whether a JOIN ran the §4.3 asymmetric flow.
+    pub asymmetric_join: bool,
+    /// Candidates enumerated.
+    pub candidates: usize,
+    /// Candidates rejected by the feasibility check.
+    pub infeasible: usize,
+    /// Throughput probes taken (1, or 0 on an empty table) — pinned to
+    /// never exceed one per query.
+    pub probes: u32,
+    /// Predicted wall-clock seconds for the chosen candidate.
+    pub predicted_s: f64,
+    /// Measured wall-clock seconds of the chosen candidate's run.
+    pub measured_s: f64,
+}
+
+impl PlanReport {
+    /// Misprediction ratio `measured / predicted` — 1.0 is a perfect
+    /// estimate, > 1 underestimated, < 1 overestimated. Always finite
+    /// and positive: both inputs are clamped away from zero when the
+    /// report is built.
+    pub fn misprediction(&self) -> f64 {
+        self.measured_s / self.predicted_s
+    }
+}
+
+/// The cost-based planning executor: probe → feasibility → cost → pick →
+/// execute → measure, behind the same [`Executor`] seam as every arm it
+/// chooses among.
+#[derive(Debug, Clone)]
+pub struct PlannerExecutor {
+    /// Configuration shared with every arm (cost model + switch knobs).
+    pub inner: CheetahExecutor,
+    /// The switch budget candidate programs must pack onto.
+    pub switch: SwitchModel,
+}
+
+impl PlannerExecutor {
+    /// A planner over `inner`'s configuration with the Tofino-like
+    /// switch budget.
+    pub fn new(inner: CheetahExecutor) -> Self {
+        PlannerExecutor {
+            inner,
+            switch: SwitchModel::tofino_like(),
+        }
+    }
+
+    /// Derive, filter and cost the candidate plans for `query`, returning
+    /// the winner plus race telemetry. Probes the stream at most once
+    /// (see [`PlanContext::probe`]); never panics, whatever the query —
+    /// uncalibrated shapes ride the documented conservative fallbacks.
+    pub fn plan(&self, db: &Database, query: &Query) -> Plan {
+        let ctx = PlanContext::probe(&self.inner, db, query);
+        let fetch = self.planned_fetch(query);
+        let asymmetric = asymmetric_join(db, query);
+
+        // An empty table: nothing to race, the minimum arm wins.
+        if ctx.sample().is_none() {
+            return Plan {
+                chosen: CandidatePlan {
+                    arm: ExecutorArm::Deterministic,
+                    workers: 1,
+                    shards: 1,
+                    asymmetric_join: asymmetric,
+                    fetch,
+                    predicted_s: 0.0,
+                },
+                candidates: 1,
+                infeasible: 0,
+                ctx,
+            };
+        }
+
+        let est = ctx.est_switch_s();
+        let factor = threaded_factor(query, asymmetric);
+        let workers = ctx.adaptive_workers();
+        let shards = ctx.planned_shards();
+        let shard_speedup = shards.min(ctx.cores()) as f64;
+        let shard_stages = (usize::BITS - 1 - shards.leading_zeros()) as f64;
+        let shard_est = est * factor / shard_speedup
+            + ctx.merge_cost_s() * shard_stages
+            + SHARD_SETUP_S * (shards - 1) as f64;
+
+        let mut candidates = vec![
+            CandidatePlan {
+                arm: ExecutorArm::Deterministic,
+                workers: 1,
+                shards: 1,
+                asymmetric_join: asymmetric,
+                fetch: fetch.clone(),
+                predicted_s: est,
+            },
+            CandidatePlan {
+                arm: ExecutorArm::Threaded,
+                workers,
+                shards: 1,
+                asymmetric_join: asymmetric,
+                fetch: fetch.clone(),
+                predicted_s: est * factor + THREAD_SETUP_S * (workers - 1) as f64,
+            },
+            CandidatePlan {
+                arm: ExecutorArm::Sharded,
+                workers,
+                shards,
+                asymmetric_join: asymmetric,
+                fetch: fetch.clone(),
+                predicted_s: shard_est,
+            },
+            CandidatePlan {
+                arm: ExecutorArm::Distributed,
+                workers,
+                shards: shards.max(2),
+                asymmetric_join: asymmetric,
+                fetch,
+                predicted_s: shard_est * DIST_WIRE_FACTOR + DIST_SETUP_S,
+            },
+        ];
+        let total = candidates.len();
+
+        // Feasibility: every non-deterministic arm reserves a switch
+        // window for the query's Table 2 program; if the program cannot
+        // pack onto the budget, those candidates are rejected before
+        // costing. The deterministic arm survives as the software
+        // fallback (the §6 spill path `serve` already takes).
+        let mut infeasible = 0;
+        if !self.fits_switch(query) {
+            candidates.retain(|c| c.arm == ExecutorArm::Deterministic);
+            infeasible = total - candidates.len();
+        }
+
+        let chosen = candidates
+            .iter()
+            .min_by(|a, b| {
+                a.predicted_s
+                    .partial_cmp(&b.predicted_s)
+                    .expect("predicted walls are finite")
+            })
+            .expect("the deterministic candidate always survives")
+            .clone();
+        Plan {
+            chosen,
+            candidates: total,
+            infeasible,
+            ctx,
+        }
+    }
+
+    /// Whether the query's Table 2 program packs onto this planner's
+    /// switch budget — [`DagPipeline::check_packing`] over a single-edge
+    /// pipeline declaring the program's [`ResourceUsage`].
+    pub fn fits_switch(&self, query: &Query) -> bool {
+        let usage = query_resources(&self.inner.config, &self.switch, query);
+        let dag = DagPipeline::new(vec![DagStage {
+            name: format!("{}-edge", query.kind()),
+            task: Box::new(|row| Some(row.to_vec())),
+            edge_pruner: Box::new(ForwardAll),
+            edge_resources: usage,
+        }]);
+        dag.check_packing(&self.switch).is_ok()
+    }
+
+    /// The fetch projection the plan executes with: projection pushdown
+    /// is never worse (PR 9's measured gate), so a Filter left on the
+    /// default full-width fetch is planned down to the referenced lanes.
+    /// Explicit specs (`Referenced`, `Plus`) are the caller's choice and
+    /// pass through.
+    fn planned_fetch(&self, query: &Query) -> FetchSpec {
+        match (query, &self.inner.config.fetch) {
+            (Query::Filter { .. }, FetchSpec::All) => FetchSpec::Referenced,
+            (_, spec) => spec.clone(),
+        }
+    }
+}
+
+impl Executor for PlannerExecutor {
+    fn name(&self) -> &'static str {
+        "planner"
+    }
+
+    fn execute(&self, db: &Database, query: &Query) -> ExecutionReport {
+        let plan = self.plan(db, query);
+        let tuned = CheetahExecutor {
+            model: CostModel {
+                workers: plan.chosen.workers,
+                ..self.inner.model
+            },
+            config: PrunerConfig {
+                fetch: plan.chosen.fetch.clone(),
+                ..self.inner.config.clone()
+            },
+        };
+        let started = Instant::now();
+        let mut report = match plan.chosen.arm {
+            ExecutorArm::Deterministic => tuned.execute(db, query),
+            ExecutorArm::Threaded => tuned.execute_threaded(db, query),
+            ExecutorArm::Sharded => {
+                ShardedExecutor::with_shards(tuned, plan.chosen.shards).execute(db, query)
+            }
+            ExecutorArm::Distributed => {
+                DistributedExecutor::with_shards(tuned, plan.chosen.shards).execute(db, query)
+            }
+        };
+        let measured = started.elapsed();
+        if report.wall.is_none() {
+            report.wall = Some(measured);
+        }
+        report.executor = self.name();
+        report.plan = Some(PlanReport {
+            arm: plan.chosen.arm.label(),
+            workers: plan.chosen.workers,
+            shards: plan.chosen.shards,
+            asymmetric_join: plan.chosen.asymmetric_join,
+            candidates: plan.candidates,
+            infeasible: plan.infeasible,
+            probes: plan.ctx.probes(),
+            // Clamp both sides away from zero so the misprediction ratio
+            // is always finite and positive, even for empty/instant runs.
+            predicted_s: plan.chosen.predicted_s.max(1e-9),
+            measured_s: measured.as_secs_f64().max(1e-9),
+        });
+        report
+    }
+}
+
+/// The §4.3 flow decision the threaded/sharded JOIN arms take: lopsided
+/// tables stream the small side once, unpruned, while building its
+/// filter (same rule as [`CheetahExecutor::execute_threaded`]). `false`
+/// for non-joins.
+pub fn asymmetric_join(db: &Database, query: &Query) -> bool {
+    let Query::Join { left, right, .. } = query else {
+        return false;
+    };
+    let l = db.table(left).rows();
+    let r = db.table(right).rows();
+    2 * l.min(r) <= l.max(r)
+}
+
+/// Per-shape multiplier for moving a stream from the deterministic loop
+/// to the pool/watermark pipeline, calibrated against the committed
+/// `worker_scaling[]` grid: asymmetric JOIN wins big (half the streamed
+/// entries plus overlap), DistinctMulti overlaps its fingerprint pass,
+/// while the register-aggregating shapes (HAVING, GROUP BY SUM/COUNT)
+/// pay more for phase handoff than the overlap returns.
+fn threaded_factor(query: &Query, asymmetric: bool) -> f64 {
+    match query {
+        Query::Join { .. } if asymmetric => 0.7,
+        Query::Join { .. } => 0.95,
+        Query::DistinctMulti { .. } => 0.85,
+        Query::Having { .. }
+        | Query::GroupBy {
+            agg: Agg::Sum | Agg::Count,
+            ..
+        } => 1.15,
+        _ => 1.05,
+    }
+}
+
+/// The Table 2 resource declaration for **any** query shape — the total
+/// version of the mapping `serve`'s packing uses for its shareable
+/// subset, so the feasibility check covers two-pass programs too.
+pub(crate) fn query_resources(
+    cfg: &PrunerConfig,
+    switch: &SwitchModel,
+    query: &Query,
+) -> ResourceUsage {
+    match query {
+        Query::FilterCount { predicate, .. } | Query::Filter { predicate, .. } => {
+            table2::filter(predicate.atoms.len() as u32)
+        }
+        Query::Distinct { .. } | Query::DistinctMulti { .. } => match cfg.distinct_policy {
+            EvictionPolicy::Lru => {
+                table2::distinct_lru(cfg.distinct_w as u32, cfg.distinct_d as u64)
+            }
+            EvictionPolicy::Fifo => table2::distinct_fifo(
+                cfg.distinct_w as u32,
+                cfg.distinct_d as u64,
+                switch.alus_per_stage,
+            ),
+        },
+        Query::TopN { .. } => {
+            if cfg.topn_randomized {
+                table2::topn_rand(cfg.topn_w as u32, cfg.topn_d as u64)
+            } else {
+                table2::topn_det(cfg.topn_w as u32)
+            }
+        }
+        Query::GroupBy { .. } => table2::group_by(cfg.groupby_w as u32, cfg.groupby_d as u64),
+        Query::Having { .. } => table2::having(
+            cfg.having_w as u64,
+            cfg.having_d as u32,
+            switch.alus_per_stage,
+        ),
+        Query::Join { .. } => table2::join_bf(cfg.join_m_bits, cfg.join_h as u32),
+        Query::Skyline { columns, .. } => {
+            table2::skyline_aph(columns.len() as u32, cfg.skyline_w as u32)
+        }
+    }
+}
+
+/// The feasibility stage's edge pruner: forwards everything. The packing
+/// check only reads the stage's declared resources; no row ever flows.
+struct ForwardAll;
+
+impl RowPruner for ForwardAll {
+    fn process_row(&mut self, _row: &[u64]) -> Decision {
+        Decision::Forward
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "planner-feasibility"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryResult;
+    use crate::reference;
+    use crate::table::Table;
+
+    fn db(rows: usize) -> Database {
+        let mut db = Database::new();
+        db.add(Table::new(
+            "t",
+            vec![
+                ("k", (0..rows as u64).map(|i| i * 7 % 83 + 1).collect()),
+                ("v", (0..rows as u64).map(|i| i * 31 % 9_973).collect()),
+            ],
+        ));
+        db.add(Table::new(
+            "s",
+            vec![(
+                "k",
+                (0..rows as u64 / 4).map(|i| i * 11 % 140 + 40).collect(),
+            )],
+        ));
+        db
+    }
+
+    fn planner() -> PlannerExecutor {
+        PlannerExecutor::new(CheetahExecutor::new(
+            CostModel::default(),
+            PrunerConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn probe_is_shared_and_single() {
+        let db = db(4_000);
+        let exec = planner();
+        let q = Query::Distinct {
+            table: "t".into(),
+            column: "k".into(),
+        };
+        let ctx = PlanContext::probe(&exec.inner, &db, &q);
+        assert_eq!(ctx.probes(), 1);
+        assert!(ctx.est_switch_s() > 0.0);
+        assert!(WORKER_GRID.contains(&ctx.adaptive_workers()));
+        assert!(SHARD_GRID.contains(&ctx.planned_shards()));
+    }
+
+    #[test]
+    fn skyline_program_is_infeasible_and_falls_back_deterministic() {
+        // SKYLINE APH at the default w=10 needs 23 stages — over the
+        // 12-stage Tofino budget (the same overflow `serve` spills on).
+        let db = db(3_000);
+        let exec = planner();
+        let q = Query::Skyline {
+            table: "t".into(),
+            columns: vec!["k".into(), "v".into()],
+        };
+        assert!(!exec.fits_switch(&q));
+        let plan = exec.plan(&db, &q);
+        assert_eq!(plan.chosen.arm, ExecutorArm::Deterministic);
+        assert_eq!(plan.infeasible, 3, "three switch-window arms rejected");
+        let r = exec.execute(&db, &q);
+        assert_eq!(r.result, reference::evaluate(&db, &q));
+        assert_eq!(r.plan.expect("planner reports its plan").infeasible, 3);
+    }
+
+    #[test]
+    fn join_candidates_carry_the_flow_decision() {
+        let db = db(4_000); // t has 4× s's rows → asymmetric flow
+        let exec = planner();
+        let q = Query::Join {
+            left: "t".into(),
+            right: "s".into(),
+            left_col: "k".into(),
+            right_col: "k".into(),
+        };
+        assert!(asymmetric_join(&db, &q));
+        let plan = exec.plan(&db, &q);
+        assert!(plan.chosen.asymmetric_join);
+        assert_eq!(plan.candidates, 4);
+    }
+
+    #[test]
+    fn planned_filter_fetch_pushes_projection_down() {
+        let db = db(2_000);
+        let exec = planner();
+        let q = Query::Filter {
+            table: "t".into(),
+            predicate: crate::query::Predicate {
+                columns: vec!["v".into()],
+                atoms: vec![cheetah_core::filter::Atom::cmp(
+                    0,
+                    cheetah_core::filter::CmpOp::Lt,
+                    5_000,
+                )],
+                formula: cheetah_core::filter::Formula::Atom(0),
+            },
+        };
+        let plan = exec.plan(&db, &q);
+        assert_eq!(plan.chosen.fetch, FetchSpec::Referenced);
+        let r = exec.execute(&db, &q);
+        assert_eq!(r.result, reference::evaluate(&db, &q));
+        assert!(r.fetch_checksum.is_some(), "filter still fetches");
+    }
+
+    #[test]
+    fn empty_table_plans_the_minimum_arm_without_sampling() {
+        let mut empty = Database::new();
+        empty.add(Table::new("t", vec![("k", vec![]), ("v", vec![])]));
+        let exec = planner();
+        let q = Query::Distinct {
+            table: "t".into(),
+            column: "k".into(),
+        };
+        let plan = exec.plan(&empty, &q);
+        assert_eq!(plan.ctx.probes(), 0, "nothing to sample");
+        assert_eq!(plan.chosen.arm, ExecutorArm::Deterministic);
+        assert_eq!((plan.chosen.workers, plan.chosen.shards), (1, 1));
+        let r = exec.execute(&empty, &q);
+        assert_eq!(r.result, QueryResult::Values(vec![]));
+        let pr = r.plan.expect("plan present");
+        assert!(pr.misprediction().is_finite() && pr.misprediction() > 0.0);
+    }
+
+    #[test]
+    fn misprediction_is_finite_across_shapes() {
+        let db = db(3_000);
+        let exec = planner();
+        for q in [
+            Query::Distinct {
+                table: "t".into(),
+                column: "k".into(),
+            },
+            Query::TopN {
+                table: "t".into(),
+                order_by: "v".into(),
+                n: 25,
+            },
+            Query::Having {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                threshold: 100_000,
+            },
+        ] {
+            let r = exec.execute(&db, &q);
+            assert_eq!(r.result, reference::evaluate(&db, &q), "{}", q.kind());
+            let pr = r.plan.expect("plan present");
+            let ratio = pr.misprediction();
+            assert!(
+                ratio.is_finite() && ratio > 0.0,
+                "{}: misprediction {ratio}",
+                q.kind()
+            );
+            assert!(pr.probes <= 1, "sampled more than once");
+            assert_eq!(r.executor, "planner");
+        }
+    }
+}

@@ -15,7 +15,10 @@ use std::collections::{HashMap, HashSet};
 use cheetah_core::decision::PruneStats;
 use cheetah_core::join::{AsymmetricJoin, BloomFilter};
 
-use crate::cost::{master_rate, spark_task_rate, CostModel, TimingBreakdown};
+use crate::cost::{
+    master_rate, spark_task_rate, CostModel, TimingBreakdown, FALLBACK_MASTER_RATE,
+    FALLBACK_TASK_RATE,
+};
 use cheetah_workloads::tpch::{TpchData, Q3_CUT_DATE, SEGMENT_BUILDING};
 
 /// One Q3 output row.
@@ -106,11 +109,12 @@ pub fn spark(data: &TpchData, model: &CostModel, first_run: bool) -> Q3Report {
         + data.orders.orderkey.len()
         + data.lineitem.orderkey.len()) as u64;
     let per_worker = total_rows.div_ceil(model.workers as u64);
-    let join_s = model.scaled(per_worker) / spark_task_rate("join");
-    let agg_s = model.scaled(per_worker) / spark_task_rate("groupby");
+    let join_s = model.scaled(per_worker) / spark_task_rate("join").unwrap_or(FALLBACK_TASK_RATE);
+    let agg_s = model.scaled(per_worker) / spark_task_rate("groupby").unwrap_or(FALLBACK_TASK_RATE);
     let shuffle_entries = (data.orders.orderkey.len() + data.lineitem.orderkey.len()) as u64;
     let network_s = model.transfer_s(model.scaled(shuffle_entries) * model.shuffle_bytes_per_entry);
-    let merge_s = model.scaled(shuffle_entries / 4) / master_rate("join");
+    let merge_s =
+        model.scaled(shuffle_entries / 4) / master_rate("join").unwrap_or(FALLBACK_MASTER_RATE);
     let factor = if first_run {
         model.first_run_factor
     } else {
@@ -202,7 +206,8 @@ pub fn cheetah(data: &TpchData, model: &CostModel, m_bits: u64, h: usize, seed: 
     let per_worker = streamed.div_ceil(model.workers as u64);
     let serialize_s = model.scaled(per_worker) / model.serialize_cpu_pps;
     let network_s = model.scaled(per_worker) / model.worker_pps();
-    let master_s = model.scaled(stats.forwarded()) / master_rate("join");
+    let master_s =
+        model.scaled(stats.forwarded()) / master_rate("join").unwrap_or(FALLBACK_MASTER_RATE);
     let residual = (master_s - serialize_s.max(network_s)).max(0.0);
     // The un-offloaded stages run at warm-engine speed.
     let non_join_s = spark(data, model, false).timing.computation_s * Q3_NON_JOIN_FRACTION;

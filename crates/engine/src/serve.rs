@@ -39,13 +39,12 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use cheetah_core::decision::{Decision, PruneStats, RowPruner};
-use cheetah_core::distinct::EvictionPolicy;
 use cheetah_core::fingerprint::Fingerprinter;
 use cheetah_core::groupby::Extremum;
 use cheetah_core::having::CountMinSketch;
 use cheetah_core::join::{BloomFilter, Side};
 use cheetah_core::multiquery::MultiQueryPruner;
-use cheetah_core::resources::{table2, ResourceUsage};
+use cheetah_core::resources::ResourceUsage;
 use cheetah_core::SwitchModel;
 
 use crate::backend::{self, HavingFlow, JoinFlow, SwitchBackend};
@@ -87,12 +86,15 @@ impl ServeExecutor {
     /// A serving layer over `cheetah` with the Tofino-like packing budget.
     /// The solo-dispatch pool width comes from the `SERVE_POOL`
     /// environment variable when set (the CI concurrency matrix runs
-    /// `{2, 8}`), else 4.
+    /// `{2, 8}`), else 4. Env-derived widths are clamped to ≥ 1 —
+    /// `SERVE_POOL=0` (or garbage) must degrade to a working server,
+    /// not panic it; the explicit [`ServeExecutor::with_pool`] API keeps
+    /// its assert, since a programmatic zero is a caller bug.
     pub fn new(cheetah: CheetahExecutor) -> Self {
         let pool = std::env::var("SERVE_POOL")
             .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(4);
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or(4, |p| p.max(1));
         ServeExecutor::with_pool(cheetah, pool)
     }
 
@@ -550,34 +552,10 @@ impl ServeExecutor {
 
     /// The Table 2 resource declaration the packing admits the flow with.
     fn packed_resources(&self, query: &Query) -> ResourceUsage {
-        let cfg = &self.cheetah.config;
-        match query {
-            Query::FilterCount { predicate, .. } | Query::Filter { predicate, .. } => {
-                table2::filter(predicate.atoms.len() as u32)
-            }
-            Query::Distinct { .. } | Query::DistinctMulti { .. } => match cfg.distinct_policy {
-                EvictionPolicy::Lru => {
-                    table2::distinct_lru(cfg.distinct_w as u32, cfg.distinct_d as u64)
-                }
-                EvictionPolicy::Fifo => table2::distinct_fifo(
-                    cfg.distinct_w as u32,
-                    cfg.distinct_d as u64,
-                    self.switch.alus_per_stage,
-                ),
-            },
-            Query::TopN { .. } => {
-                if cfg.topn_randomized {
-                    table2::topn_rand(cfg.topn_w as u32, cfg.topn_d as u64)
-                } else {
-                    table2::topn_det(cfg.topn_w as u32)
-                }
-            }
-            Query::GroupBy { .. } => table2::group_by(cfg.groupby_w as u32, cfg.groupby_d as u64),
-            Query::Skyline { columns, .. } => {
-                table2::skyline_aph(columns.len() as u32, cfg.skyline_w as u32)
-            }
-            _ => unreachable!("only shareable shapes are packed"),
-        }
+        // One Table 2 mapping for the whole engine: the planner's total
+        // resource declaration (shareable shapes only reach here, so the
+        // two-pass arms of that mapping are never hit from this path).
+        crate::plan::query_resources(&self.cheetah.config, &self.switch, query)
     }
 }
 
@@ -966,6 +944,38 @@ mod tests {
         assert_eq!(r.executor, "serving");
         assert_eq!(r.result, reference::evaluate(&db, &q));
         assert_eq!(exec.name(), "serving");
+    }
+
+    #[test]
+    fn env_pool_widths_clamp_instead_of_panicking() {
+        // One test fn for every SERVE_POOL value — env vars are process
+        // globals, so probing them from parallel tests would race.
+        let cheetah = CheetahExecutor::new(CostModel::default(), PrunerConfig::default());
+        for (val, want) in [("0", 1), ("garbage", 4), ("3", 3), ("-2", 4)] {
+            std::env::set_var("SERVE_POOL", val);
+            let exec = ServeExecutor::new(cheetah.clone());
+            assert_eq!(exec.pool(), want, "SERVE_POOL={val}");
+        }
+        std::env::remove_var("SERVE_POOL");
+        assert_eq!(ServeExecutor::new(cheetah.clone()).pool(), 4, "default");
+        // A clamped server still serves.
+        std::env::set_var("SERVE_POOL", "0");
+        let exec = ServeExecutor::new(cheetah);
+        std::env::remove_var("SERVE_POOL");
+        let db = db(500);
+        let q = Query::Distinct {
+            table: "t".into(),
+            column: "k".into(),
+        };
+        let r = Executor::execute(&exec, &db, &q);
+        assert_eq!(r.result, reference::evaluate(&db, &q));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pool worker")]
+    fn explicit_zero_pool_is_still_a_caller_bug() {
+        let cheetah = CheetahExecutor::new(CostModel::default(), PrunerConfig::default());
+        ServeExecutor::with_pool(cheetah, 0);
     }
 
     #[test]

@@ -64,7 +64,7 @@ use cheetah_core::having::HavingPruner;
 
 use crate::backend;
 use crate::backend::JoinFlow;
-use crate::cheetah::{fetch_and_checksum, join_survivors, CheetahExecutor};
+use crate::cheetah::{fetch_and_checksum, join_survivors, CheetahExecutor, PrunerConfig};
 use crate::executor::{ExecutionReport, Executor};
 use crate::multipass::{
     AsymJoinPhases, GroupBySumStage, HavingShardProbe, HavingShardSketch, JoinPhases, ShardSums,
@@ -83,12 +83,7 @@ use crate::threaded::{
 /// independent of the switch structures' hashes at the same seed.
 pub(crate) const SHARD_SALT: u64 = 0x5a4d_0c4e;
 
-/// The adaptive shard grid: every arm the sampled cost race considers.
-const SHARD_GRID: [usize; 4] = [1, 2, 4, 8];
-
-/// Estimated pipeline spin-up cost per extra shard (threads + channel
-/// plumbing), charged in the adaptive cost race.
-const SHARD_SETUP_S: f64 = 1.5e-4;
+pub use crate::plan::{SHARD_GRID, SHARD_SETUP_S};
 
 /// The sharded multi-switch executor: `N` independent pool + watermark
 /// pipelines over shard-local partition views, merged by a streaming
@@ -144,68 +139,56 @@ impl ShardedExecutor {
 
     /// The shard count this executor will run `query` with: the fixed
     /// count, or the adaptive pick — the grid arm minimizing
-    /// `switch_wall / n + merge_cost × log2(n) + setup × (n − 1)`,
+    /// `switch_wall / min(n, cores) + merge_cost × log2(n) + setup × (n − 1)`,
     /// with both the switch wall and the merge cost measured, not
-    /// modeled.
+    /// modeled. The adaptive path delegates to the planner's shared
+    /// [`crate::plan::PlanContext`], so the stream is probed exactly
+    /// once per query whichever grid asks.
     pub fn planned_shards(&self, db: &Database, query: &Query) -> usize {
         if !self.adaptive {
             return self.shards;
         }
-        let Some(sample) = self.inner.sample_throughput(db, query) else {
-            return 1;
-        };
-        let est_switch_s = sample.est_switch_s();
-        let merge_s = self.sampled_merge_cost(query);
-        let mut best = (f64::INFINITY, 1usize);
-        for n in SHARD_GRID {
-            let stages = (usize::BITS - 1 - n.leading_zeros()) as f64;
-            let est = est_switch_s / n as f64 + merge_s * stages + SHARD_SETUP_S * (n - 1) as f64;
-            if est < best.0 {
-                best = (est, n);
-            }
-        }
-        best.1
+        crate::plan::PlanContext::probe(&self.inner, db, query).planned_shards()
     }
+}
 
-    /// Time one representative merge of the query shape's combine state
-    /// — the per-stage cost the reduction tree pays per level. Shapes
-    /// whose merge is a buffer append or an integer sum (partition-local
-    /// JOIN, the range shapes) are effectively free per stage.
-    fn sampled_merge_cost(&self, query: &Query) -> f64 {
-        let cfg = &self.inner.config;
-        match query {
-            Query::GroupBy {
-                agg: Agg::Sum | Agg::Count,
-                ..
-            } => {
-                // Two full register matrices, disjoint-ish keys: the
-                // worst-case re-aggregation a tree stage can see.
-                let mut a = ShardSums::new(cfg.groupby_d, cfg.groupby_w, cfg.seed);
-                let mut b = ShardSums::new(cfg.groupby_d, cfg.groupby_w, cfg.seed);
-                for i in 0..(cfg.groupby_d * cfg.groupby_w) as u64 {
-                    a.absorb(i, 1);
-                    b.absorb(i ^ 0x5555, 1);
-                }
-                let t0 = Instant::now();
-                a.merge(b);
-                t0.elapsed().as_secs_f64()
+/// Time one representative merge of the query shape's combine state —
+/// the per-stage cost the reduction tree pays per level. Shapes whose
+/// merge is a buffer append or an integer sum (partition-local JOIN,
+/// the range shapes) are effectively free per stage.
+pub(crate) fn sampled_merge_cost(cfg: &PrunerConfig, query: &Query) -> f64 {
+    match query {
+        Query::GroupBy {
+            agg: Agg::Sum | Agg::Count,
+            ..
+        } => {
+            // Two full register matrices, disjoint-ish keys: the
+            // worst-case re-aggregation a tree stage can see.
+            let mut a = ShardSums::new(cfg.groupby_d, cfg.groupby_w, cfg.seed);
+            let mut b = ShardSums::new(cfg.groupby_d, cfg.groupby_w, cfg.seed);
+            for i in 0..(cfg.groupby_d * cfg.groupby_w) as u64 {
+                a.absorb(i, 1);
+                b.absorb(i ^ 0x5555, 1);
             }
-            Query::Having { threshold, .. } => {
-                let mut a = HavingPruner::new(cfg.having_d, cfg.having_w, *threshold, cfg.seed);
-                let b = HavingPruner::new(cfg.having_d, cfg.having_w, *threshold, cfg.seed);
-                let t0 = Instant::now();
-                a.merge(&b);
-                t0.elapsed().as_secs_f64()
-            }
-            Query::TopN { n, .. } => {
-                let mut a: Vec<u64> = (0..*n as u64).rev().collect();
-                let b: Vec<u64> = (0..*n as u64).rev().collect();
-                let t0 = Instant::now();
-                merge_top(&mut a, b, *n);
-                t0.elapsed().as_secs_f64()
-            }
-            _ => 0.0,
+            let t0 = Instant::now();
+            a.merge(b);
+            t0.elapsed().as_secs_f64()
         }
+        Query::Having { threshold, .. } => {
+            let mut a = HavingPruner::new(cfg.having_d, cfg.having_w, *threshold, cfg.seed);
+            let b = HavingPruner::new(cfg.having_d, cfg.having_w, *threshold, cfg.seed);
+            let t0 = Instant::now();
+            a.merge(&b);
+            t0.elapsed().as_secs_f64()
+        }
+        Query::TopN { n, .. } => {
+            let mut a: Vec<u64> = (0..*n as u64).rev().collect();
+            let b: Vec<u64> = (0..*n as u64).rev().collect();
+            let t0 = Instant::now();
+            merge_top(&mut a, b, *n);
+            t0.elapsed().as_secs_f64()
+        }
+        _ => 0.0,
     }
 }
 

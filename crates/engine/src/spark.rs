@@ -9,7 +9,10 @@
 
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
-use crate::cost::{master_rate, spark_task_rate, CostModel, TimingBreakdown};
+use crate::cost::{
+    master_rate, spark_task_rate, CostModel, TimingBreakdown, FALLBACK_MASTER_RATE,
+    FALLBACK_TASK_RATE,
+};
 use crate::executor::ExecutionReport;
 use crate::query::{pair_checksum, Agg, FetchSpec, Query, QueryResult};
 use crate::reference::skyline_of;
@@ -290,8 +293,9 @@ impl SparkExecutor {
         let m = &self.model;
         let kind = query.kind();
         let max_partition_rows = rows.div_ceil(m.workers as u64);
-        let task_s = m.scaled(max_partition_rows) / spark_task_rate(kind);
-        let merge_s = m.scaled(shuffle_entries) / master_rate(kind);
+        let task_s =
+            m.scaled(max_partition_rows) / spark_task_rate(kind).unwrap_or(FALLBACK_TASK_RATE);
+        let merge_s = m.scaled(shuffle_entries) / master_rate(kind).unwrap_or(FALLBACK_MASTER_RATE);
         let shuffle_bytes = m.scaled(shuffle_entries) * m.shuffle_bytes_per_entry;
         let fetch_bytes = m.scaled(fetch_rows) * m.fetch_bytes_per_row;
         let network_s = m.transfer_s(shuffle_bytes + fetch_bytes);
@@ -320,6 +324,7 @@ impl SparkExecutor {
             combine_wall: None,
             merge_walls: Vec::new(),
             resilience: None,
+            plan: None,
         }
     }
 }

@@ -14,7 +14,10 @@
 # epoch/fingerprint keying broke and every query is rebuilding state.
 # And the projection_pushdown[] sweep: both fetch modes present per
 # workload, pruned wide-table bytes at most 1/4 of full, pruned rows/s
-# no slower than full.
+# no slower than full. And the planner[] sweep: every multipass shape
+# planned, with a finite positive misprediction ratio (structural,
+# machine-independent), and — on hosts with >= 4 cores — the planned
+# wall at most 1.25x the best static arm from the worker/shard sweeps.
 #
 # Usage: scripts/bench_check.sh [BENCH_streaming.json]
 set -euo pipefail
@@ -130,6 +133,41 @@ else
     fi
 fi
 
+# planner[] gate (structural, machine-independent): every multipass
+# shape must have been planned, the chosen arm must be a known executor,
+# and the misprediction ratio must be a finite positive number — a zero,
+# negative or absurd ratio means the estimate-vs-actual loop is broken
+# (an unmeasured run, a zero prediction, or a stale report).
+plan_cells=$(grep -o '{"name": "[a-z_]*", "arm": "[a-z]*", "workers": [0-9]*, "shards": [0-9]*, "predicted_wall_s": [0-9.]*, "wall_s": [0-9.]*, "misprediction": [0-9.e+-]*' "$json" |
+    sed 's/[{"]//g; s/name: //; s/ arm: //; s/ workers: //; s/ shards: //; s/ predicted_wall_s: //; s/ wall_s: //; s/ misprediction: //' |
+    awk -F, '{print $1, $2, $6, $7}')
+
+if [[ -z "$plan_cells" ]]; then
+    echo "bench_check: no planner cells in $json" >&2
+    fail=1
+else
+    plan_names=$(awk '{print $1}' <<<"$plan_cells" | sort -u | tr '\n' ' ')
+    if [[ "$plan_names" != "distinct_multi filter_fetch groupby_sum having join " ]]; then
+        echo "bench_check: FAIL planner sweep incomplete (got: $plan_names)" >&2
+        fail=1
+    fi
+    while read -r name arm wall mis; do
+        case "$arm" in
+        deterministic | threaded | sharded | distributed) ;;
+        *)
+            echo "bench_check: FAIL planner $name: unknown arm '$arm'" >&2
+            fail=1
+            ;;
+        esac
+        if ! awk -v m="$mis" 'BEGIN {exit !(m > 0 && m < 1e6)}'; then
+            echo "bench_check: FAIL planner $name: misprediction '$mis' not a finite positive ratio" >&2
+            fail=1
+        else
+            echo "bench_check: ok planner $name: arm $arm, wall ${wall}s, misprediction $mis"
+        fi
+    done <<<"$plan_cells"
+fi
+
 # Shard parallelism needs cores to run on: on a box with fewer than 4
 # CPUs the shards=4 configuration time-slices a single core and no
 # implementation can win the comparison. Validate the snapshot shape
@@ -156,4 +194,33 @@ for name in $(awk '{print $1}' <<<"$cells" | sort -u); do
         echo "bench_check: ok $name: ${at1} rows/s @1 -> ${at4} rows/s @4"
     fi
 done
+
+# planner[] wall gate (>= 4 cores only, like the shard gate: below that
+# the static sweeps' parallel arms time-slice and the comparison is
+# meaningless): for every shape the static sweeps cover, the planned
+# wall must be within 1.25x of the best static arm's wall — the planner
+# may pay its probe and a modest misprediction, but it must not pick an
+# arm materially worse than the grid it was calibrated against.
+worker_walls=$(grep -o '{"name": "[a-z_]*", "workers": [0-9]*, "rows_per_sec": [0-9]*, "wall_s": [0-9.]*' "$json" |
+    sed 's/[{"]//g; s/name: //; s/ workers: //; s/ rows_per_sec: //; s/ wall_s: //' |
+    awk -F, '{print $1, $4}')
+shard_walls=$(grep -o '{"name": "[a-z_]*", "shards": [0-9]*, "rows_per_sec": [0-9]*, "wall_s": [0-9.]*' "$json" |
+    sed 's/[{"]//g; s/name: //; s/ shards: //; s/ rows_per_sec: //; s/ wall_s: //' |
+    awk -F, '{print $1, $4}')
+
+if [[ -n "$plan_cells" ]]; then
+    while read -r name _arm wall _mis; do
+        best_static=$(printf '%s\n%s\n' "$worker_walls" "$shard_walls" |
+            awk -v n="$name" '$1 == n {print $2}' | sort -g | head -1)
+        if [[ -z "$best_static" ]]; then
+            continue # no static sweep covers this shape (e.g. filter_fetch)
+        fi
+        if ! awk -v p="$wall" -v s="$best_static" 'BEGIN {exit !(p <= 1.25 * s)}'; then
+            echo "bench_check: FAIL planner $name: planned wall ${wall}s > 1.25x best static arm ${best_static}s" >&2
+            fail=1
+        else
+            echo "bench_check: ok planner $name: planned wall ${wall}s vs best static ${best_static}s"
+        fi
+    done <<<"$plan_cells"
+fi
 exit $fail

@@ -285,6 +285,64 @@ fn warm_queries_allocate_o1_not_o_rows() {
         );
     }
 
+    // The planner path: planning a warm query — one throughput probe,
+    // one timed merge sample, the candidate race, the feasibility
+    // packing — must add O(1) allocations on top of whatever the chosen
+    // arm's execution costs. Arm-conditional budget: when the planner
+    // lands on the deterministic arm, it is pinned against that arm's
+    // measured count plus a constant; any pool/shard arm inherits the
+    // O(1)-per-block budget the threaded/sharded paragraphs enforce.
+    let planner = cheetah::engine::PlannerExecutor::new(exec.clone());
+    let planner_queries = [
+        (
+            "planner-join",
+            Query::Join {
+                left: "t".into(),
+                right: "s".into(),
+                left_col: "k".into(),
+                right_col: "k".into(),
+            },
+            2 * (ROWS + ROWS / 2),
+        ),
+        (
+            "planner-groupby-sum",
+            Query::GroupBy {
+                table: "t".into(),
+                key: "k".into(),
+                val: "v".into(),
+                agg: Agg::Sum,
+            },
+            ROWS,
+        ),
+    ];
+    for (name, q, streamed) in planner_queries {
+        let warm = planner.execute(&db, &q);
+        let arm = warm.plan.as_ref().expect("planner reports its plan").arm;
+        let det_allocs = allocs_during(|| {
+            exec.execute(&db, &q);
+        });
+        let blocks = (streamed / BLOCK_ENTRIES + 16) as u64;
+        let budget = if arm == "deterministic" {
+            det_allocs + 4096
+        } else {
+            16 * blocks + 8192
+        };
+        let mut result = None;
+        let allocs = allocs_during(|| {
+            result = Some(planner.execute(&db, &q));
+        });
+        assert_eq!(
+            result.expect("ran").result,
+            warm.result,
+            "[{name}] warm rerun changed the result"
+        );
+        assert!(
+            allocs < budget,
+            "[{name}] planned warm query ({arm} arm) made {allocs} allocations \
+             (budget {budget}); planning is no longer O(1) beyond execution"
+        );
+    }
+
     // The serving cache-hit path: a warmed `ServeExecutor` re-serving a
     // repeated JOIN/HAVING replays cached filter state — one cloned
     // Bloom pair / sketch, the stream lanes, amortized survivor growth —

@@ -12,7 +12,7 @@ use cheetah::engine::serve::ServeExecutor;
 use cheetah::engine::spark::SparkExecutor;
 use cheetah::engine::{
     Agg, CostModel, Database, DistributedExecutor, Executor, FailurePlan, NetAccelExecutor,
-    Predicate, Query, ShardedExecutor, Table, ThreadedExecutor,
+    PlannerExecutor, Predicate, Query, ShardedExecutor, Table, ThreadedExecutor,
 };
 
 /// A database hitting every query shape: skewed keys for the aggregates,
@@ -170,6 +170,7 @@ struct Fleet {
     sharded: ShardedExecutor,
     distributed: DistributedExecutor,
     serving: ServeExecutor,
+    planner: PlannerExecutor,
 }
 
 impl Fleet {
@@ -183,7 +184,8 @@ impl Fleet {
             netaccel: NetAccelExecutor::new(cheetah.clone(), NetAccelModel::default()),
             sharded: ShardedExecutor::with_shards(cheetah.clone(), 2),
             distributed: DistributedExecutor::with_shards(cheetah.clone(), 2),
-            serving: ServeExecutor::with_pool(cheetah, 2),
+            serving: ServeExecutor::with_pool(cheetah.clone(), 2),
+            planner: PlannerExecutor::new(cheetah),
         }
     }
 
@@ -196,6 +198,7 @@ impl Fleet {
             &self.sharded,
             &self.distributed,
             &self.serving,
+            &self.planner,
         ]
     }
 }
@@ -228,7 +231,8 @@ fn reports_are_complete_and_labeled() {
                 "netaccel",
                 "sharded",
                 "distributed",
-                "serving"
+                "serving",
+                "planner"
             ],
             "[{label}] reports must arrive labeled, in input order"
         );
@@ -247,10 +251,19 @@ fn reports_are_complete_and_labeled() {
                     "[{label}] {name} inconsistent prune counters"
                 );
             }
+            // Planning telemetry only comes from the planner: anyone
+            // else carrying a PlanReport fabricated it.
+            assert_eq!(
+                report.plan.is_some(),
+                name == "planner",
+                "[{label}] {name} plan telemetry presence"
+            );
             // Only the multi-switch paths have a combine layer or
             // per-shard merge spans; everywhere else these fields must
             // stay empty, not carry stale or fabricated measurements.
-            if !matches!(name, "sharded" | "distributed") {
+            // The planner may legitimately choose a multi-switch arm,
+            // so its reports can carry either shape.
+            if !matches!(name, "sharded" | "distributed" | "planner") {
                 assert_eq!(
                     report.combine_wall, None,
                     "[{label}] {name} is single-switch — no combine span"
